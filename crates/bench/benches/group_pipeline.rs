@@ -1,0 +1,50 @@
+//! Raw CMU-Group pipeline cost: compression + initialization +
+//! preparation + operation for one packet, as task load grows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flymon::prelude::*;
+use flymon_packet::{KeySpec, TaskFilter};
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let trace = TraceGenerator::new(9).wide_like(&TraceConfig {
+        flows: 2_000,
+        packets: 20_000,
+        ..TraceConfig::default()
+    });
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    for (label, groups, tasks) in [("1group_1task", 1usize, 1u32), ("4groups_12tasks", 4, 12)] {
+        let mut fm = FlyMon::new(FlyMonConfig {
+            groups,
+            buckets_per_cmu: 65536,
+            ..FlyMonConfig::default()
+        });
+        for i in 0..tasks {
+            let def = TaskDefinition::builder(format!("t{i}"))
+                .key(KeySpec::SRC_IP)
+                .attribute(Attribute::frequency_packets())
+                .algorithm(Algorithm::Cms { d: 1 })
+                .filter(TaskFilter::src(i << 28, 4))
+                .memory(2048)
+                .build();
+            fm.deploy(&def).expect("deploys");
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                fm.process_trace(&trace);
+                fm.packets_processed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

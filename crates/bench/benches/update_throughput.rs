@@ -1,0 +1,112 @@
+//! Per-packet update cost of each built-in algorithm hosted on CMUs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use flymon::prelude::*;
+use flymon_packet::KeySpec;
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let trace = TraceGenerator::new(7).wide_like(&TraceConfig {
+        flows: 5_000,
+        packets: 50_000,
+        ..TraceConfig::default()
+    });
+
+    let cases: Vec<(&str, TaskDefinition, FlyMonConfig)> = vec![
+        (
+            "cms_d3",
+            TaskDefinition::builder("cms")
+                .key(KeySpec::SRC_IP)
+                .attribute(Attribute::frequency_packets())
+                .algorithm(Algorithm::Cms { d: 3 })
+                .memory(16384)
+                .build(),
+            FlyMonConfig {
+                groups: 1,
+                ..FlyMonConfig::default()
+            },
+        ),
+        (
+            "beaucoup_d3",
+            TaskDefinition::builder("bc")
+                .key(KeySpec::DST_IP)
+                .attribute(Attribute::Distinct(KeySpec::SRC_IP))
+                .algorithm(Algorithm::BeauCoup { d: 3 })
+                .memory(16384)
+                .build(),
+            FlyMonConfig {
+                groups: 1,
+                ..FlyMonConfig::default()
+            },
+        ),
+        (
+            "hll",
+            TaskDefinition::builder("hll")
+                .key(KeySpec::NONE)
+                .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+                .algorithm(Algorithm::Hll)
+                .memory(16384)
+                .build(),
+            FlyMonConfig {
+                groups: 1,
+                ..FlyMonConfig::default()
+            },
+        ),
+        (
+            "sumax_sum_d3",
+            TaskDefinition::builder("sumax")
+                .key(KeySpec::SRC_IP)
+                .attribute(Attribute::frequency_packets())
+                .algorithm(Algorithm::SuMaxSum { d: 3 })
+                .memory(16384)
+                .build(),
+            FlyMonConfig {
+                groups: 3,
+                ..FlyMonConfig::default()
+            },
+        ),
+        (
+            "bloom_d3",
+            TaskDefinition::builder("bloom")
+                .key(KeySpec::NONE)
+                .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+                .algorithm(Algorithm::Bloom {
+                    d: 3,
+                    bit_optimized: true,
+                })
+                .memory(16384)
+                .build(),
+            FlyMonConfig {
+                groups: 1,
+                ..FlyMonConfig::default()
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("cmu_update");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, def, cfg) in cases {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut fm = FlyMon::new(cfg);
+                    fm.deploy(&def).expect("deploys");
+                    fm
+                },
+                |mut fm| {
+                    fm.process_trace(&trace);
+                    fm
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms
+}
+criterion_main!(benches);

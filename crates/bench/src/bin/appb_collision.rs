@@ -1,0 +1,57 @@
+//! Appendix B: compressed-key collision probability `1 − e^(−n/m)`.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin appb_collision
+//! ```
+//!
+//! Empirically measures the fraction of flows whose 24-bit compressed key
+//! collides with another flow's, against the paper's closed form — the
+//! §3.1.1 claim is 2.35% for 400K flows.
+
+use std::collections::HashMap;
+
+use flymon_bench::print_table;
+use flymon_packet::{KeySpec, Packet};
+use flymon_rmt::hash::HashUnit;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut unit = HashUnit::new(0);
+    unit.set_mask(KeySpec::FIVE_TUPLE);
+    let mut rng = SmallRng::seed_from_u64(0xAB);
+
+    let mut rows = Vec::new();
+    for &(n, bits) in &[(100_000u32, 24u32), (400_000, 24), (400_000, 20), (400_000, 28)] {
+        let m = 1u64 << bits;
+        let mut buckets: HashMap<u32, u32> = HashMap::new();
+        for _ in 0..n {
+            let pkt = Packet::tcp(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+            let digest = unit.compute(&pkt) & ((m - 1) as u32);
+            *buckets.entry(digest).or_insert(0) += 1;
+        }
+        let collided: u64 = buckets
+            .values()
+            .filter(|&&c| c > 1)
+            .map(|&c| u64::from(c))
+            .sum();
+        let empirical = collided as f64 / f64::from(n);
+        let theory = 1.0 - (-(f64::from(n)) / m as f64).exp();
+        rows.push(vec![
+            n.to_string(),
+            bits.to_string(),
+            format!("{:.4}", empirical),
+            format!("{:.4}", theory),
+        ]);
+    }
+    print_table(
+        "Appendix B: compressed-key collision probability",
+        &["flows n", "key bits", "empirical", "1 - e^(-n/m)"],
+        &rows,
+    );
+    println!(
+        "paper checkpoint: 400K flows on a 24-bit compressed key collide\n\
+         at ~2.35% — \"a small percentage of collisions ... has little\n\
+         effect on the accuracy of network measurements\" (§3.1.1)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 8 (and Appendix E / Figure 16): cross-stacked CMU Group layout.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig08_cross_stacking
+//! ```
+
+use flymon_bench::print_table;
+use flymon_rmt::stacking::{GroupStage, Placement};
+
+fn main() {
+    // The per-stage resource-usage table of Figure 8, verbatim.
+    let rows: Vec<Vec<String>> = GroupStage::ALL
+        .iter()
+        .map(|s| {
+            let u = s.usage();
+            vec![
+                format!("{:?}", s),
+                format!("{:.2}%", u.hash * 100.0),
+                format!("{:.2}%", u.vliw * 100.0),
+                format!("{:.2}%", u.tcam * 100.0),
+                format!("{:.2}%", u.salu * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 8 (table): per-MAU-stage usage of the four CMU-Group stages",
+        &["stage", "Hash", "VLIW", "TCAM", "SALU"],
+        &rows,
+    );
+
+    let plain = Placement::plan(12, false);
+    println!("== Figure 8: cross-stacked layout, 12 MAU stages ==");
+    print!("{}", plain.render_layout());
+    println!(
+        "groups: {}  cmus: {}  feasible: {}\n",
+        plain.groups.len(),
+        plain.cmus(),
+        plain.feasible()
+    );
+
+    let spliced = Placement::plan(12, true);
+    println!("== Appendix E (Figure 16): spliced layout via mirror+recirculate ==");
+    print!("{}", spliced.render_layout());
+    println!(
+        "groups: {} ({} spliced)  cmus: {}  bandwidth overhead: {:.0}% of measured traffic\n",
+        spliced.groups.len(),
+        spliced.spliced_groups(),
+        spliced.cmus(),
+        spliced.bandwidth_overhead() * 100.0
+    );
+
+    println!("paper: 9 groups / 27 CMUs without splicing; +3 groups with (Appendix E)");
+}

@@ -1,0 +1,34 @@
+//! Figure 11: resource overhead of the two address-translation methods.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig11_addr_translation
+//! ```
+
+use flymon::addr::{fig11_shift_phv_bits, fig11_tcam_usage};
+use flymon_bench::print_table;
+use flymon_rmt::resources::TofinoModel;
+
+fn main() {
+    let model = TofinoModel::default();
+    let rows: Vec<Vec<String>> = [8usize, 16, 32, 64]
+        .iter()
+        .map(|&p| {
+            vec![
+                p.to_string(),
+                format!("{:.3}", fig11_tcam_usage(p, model.tcam_slots_per_stage)),
+                fig11_shift_phv_bits(p).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 11: address-translation overhead vs number of partitions",
+        &["partitions", "TCAM usage (frac of 1 stage)", "shift-based PHV (bits)"],
+        &rows,
+    );
+    println!(
+        "paper checkpoints: 32 partitions need 12.5% of one stage's TCAM\n\
+         (§5.1), enabling 5 memory levels (m..m/32) and 96 tasks per group;\n\
+         the shift-based method trades that TCAM for log2(partitions)\n\
+         pre-computed 16-bit offsets per CMU."
+    );
+}

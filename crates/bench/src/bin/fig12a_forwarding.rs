@@ -1,0 +1,64 @@
+//! Figure 12a: impact of reconfiguration on traffic forwarding.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig12a_forwarding
+//! ```
+
+use flymon_bench::print_table;
+use flymon_netsim::forwarding::{outage_seconds, run_forwarding, DeploymentStyle, ForwardingConfig};
+
+fn main() {
+    let config = ForwardingConfig::default();
+    let styles = [
+        DeploymentStyle::Bare,
+        DeploymentStyle::FlyMon,
+        DeploymentStyle::Static,
+    ];
+    let series: Vec<_> = styles
+        .iter()
+        .map(|&s| (s, run_forwarding(s, &config)))
+        .collect();
+
+    // Coarse 5-second throughput averages so the table stays readable.
+    let mut rows = Vec::new();
+    let window = 5.0;
+    let mut t = 0.0;
+    while t < config.duration_s {
+        let mut row = vec![format!("{:>3.0}-{:<3.0}", t, t + window)];
+        for (_, samples) in &series {
+            let in_window: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.time_s >= t && s.time_s < t + window)
+                .map(|s| s.gbps)
+                .collect();
+            let avg = in_window.iter().sum::<f64>() / in_window.len() as f64;
+            row.push(format!("{avg:.1}"));
+        }
+        // Mark reconfiguration events inside the window.
+        let events: Vec<String> = config
+            .events
+            .iter()
+            .filter(|(et, _)| *et >= t && *et < t + window)
+            .map(|(et, e)| format!("e@{et:.0}s {e:?}"))
+            .collect();
+        row.push(events.join(" "));
+        rows.push(row);
+        t += window;
+    }
+    print_table(
+        "Figure 12a: throughput (Gbps) under reconfiguration events",
+        &["time (s)", "Bare", "FlyMon", "Static", "events"],
+        &rows,
+    );
+
+    for (style, samples) in &series {
+        println!(
+            "{style:?}: total outage {:.1} s",
+            outage_seconds(samples, config.sample_period_s)
+        );
+    }
+    println!(
+        "\npaper shape: FlyMon/Bare never dip (rule installs are ms-scale);\n\
+         each critical Static reconfiguration interrupts traffic 4-8 s."
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 12b: impact of reconfiguration on measurement accuracy.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig12b_accuracy_timeline
+//! ```
+//!
+//! The paper-scale run: 20 one-second epochs of ~10K flows, +30K flows
+//! injected during epochs 6–15, task-B churn at epochs 3/10, memory
+//! reallocation at epochs 6/16.
+
+use flymon_bench::print_table;
+use flymon_netsim::epochs::{run_accuracy_timeline, EpochTimelineConfig};
+
+fn main() {
+    let config = EpochTimelineConfig::default();
+    println!(
+        "{} epochs, {}+{} flows, spike epochs {}..={}\n",
+        config.traffic.epochs,
+        config.traffic.base_flows,
+        config.traffic.spike_flows,
+        config.traffic.spike_start + 1,
+        config.traffic.spike_end + 1
+    );
+    let points = run_accuracy_timeline(&config);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                (p.epoch + 1).to_string(),
+                p.flows.to_string(),
+                p.flymon_buckets.to_string(),
+                format!("{:.4}", p.flymon_are),
+                format!("{:.4}", p.static_are),
+                p.events.join(", "),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 12b: per-epoch ARE of task A",
+        &["epoch", "flows", "A buckets", "FlyMon ARE", "Static ARE", "events"],
+        &rows,
+    );
+
+    let spike: Vec<&flymon_netsim::AccuracyPoint> = points
+        .iter()
+        .filter(|p| (config.traffic.spike_start..=config.traffic.spike_end).contains(&p.epoch))
+        .collect();
+    let fly: f64 = spike.iter().map(|p| p.flymon_are).sum::<f64>() / spike.len() as f64;
+    let stat: f64 = spike.iter().map(|p| p.static_are).sum::<f64>() / spike.len() as f64;
+    println!(
+        "spike-epoch ARE: FlyMon {fly:.4}, Static {stat:.4} ({:.1}x — the paper\n\
+         reports 15x under its trace); task-B insertion/removal leaves task\n\
+         A's accuracy untouched.",
+        stat / fly
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 13a: resource overhead of CMU Groups beside switch.p4.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig13a_overhead
+//! ```
+
+use flymon::compiler::cmu_group_footprint;
+use flymon::group::GroupConfig;
+use flymon_bench::print_table;
+use flymon_rmt::resources::{ResourceKind, TofinoModel};
+
+fn main() {
+    let model = TofinoModel::default();
+    let group = cmu_group_footprint(&GroupConfig::default(), &model);
+    let base = model.baseline_switch();
+
+    let configs = [
+        ("switch.p4", base),
+        ("switch.p4 + 1 CMU-Group", base.add(&group)),
+        ("switch.p4 + 3 CMU-Group", base.add(&group.scale(3))),
+    ];
+
+    let kinds = [
+        ResourceKind::HashUnit,
+        ResourceKind::Salu,
+        ResourceKind::Sram,
+        ResourceKind::Tcam,
+        ResourceKind::Vliw,
+        ResourceKind::LogicalTableId,
+    ];
+    let mut rows = Vec::new();
+    for (name, fp) in &configs {
+        let mut row = vec![name.to_string()];
+        for k in kinds {
+            row.push(format!(
+                "{:.3}",
+                fp.get(k) as f64 / model.capacity(k) as f64
+            ));
+        }
+        row.push(if fp.fits(&model) { "yes" } else { "NO" }.to_string());
+        rows.push(row);
+    }
+    print_table(
+        "Figure 13a: utilization with CMU Groups integrated into switch.p4",
+        &["configuration", "Hash", "SALU", "SRAM", "TCAM", "VLIW", "LTID", "fits"],
+        &rows,
+    );
+
+    println!(
+        "per-group overhead: mean {:.1}% across the six resources, bottleneck\n\
+         Hash Unit at {:.1}% (paper: \"less than 8.3%\"); more than 3 groups\n\
+         integrate beside switch.p4.",
+        group.mean_utilization(&model) * 100.0,
+        100.0 * group.get(ResourceKind::HashUnit) as f64
+            / model.capacity(ResourceKind::HashUnit) as f64
+    );
+    // How many groups actually fit beside switch.p4 in the model?
+    let mut n = 0u64;
+    while base.add(&group.scale(n + 1)).fits(&model) {
+        n += 1;
+    }
+    println!("groups that fit beside switch.p4 in this model: {n}");
+}

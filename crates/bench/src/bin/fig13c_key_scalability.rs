@@ -1,0 +1,34 @@
+//! Figure 13c: deployable CMUs vs candidate key size, with and without
+//! the less-copy (compression) strategy.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig13c_key_scalability
+//! ```
+
+use flymon::compiler::phv_limited_cmus;
+use flymon_bench::print_table;
+
+fn main() {
+    // 32: one address; 64: IP pair; 104: 5-tuple; 360: + IPv6 addresses.
+    let rows: Vec<Vec<String>> = [32u64, 64, 104, 360]
+        .iter()
+        .map(|&bits| {
+            vec![
+                bits.to_string(),
+                phv_limited_cmus(bits, false).to_string(),
+                phv_limited_cmus(bits, true).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 13c: CMUs deployable vs candidate key size",
+        &["key size (bits)", "w/o compression", "w/ compression"],
+        &rows,
+    );
+    println!(
+        "with compression the PHV cost is key-size independent (compressed\n\
+         keys are 32-bit digests); at 360-bit candidate keys (IPv6) FlyMon\n\
+         deploys {}x more CMUs (paper: ~5x).",
+        phv_limited_cmus(360, true) / phv_limited_cmus(360, false).max(1)
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 14d: flow cardinality RE vs memory — BeauCoup vs FlyMon-HLL.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig14d_cardinality
+//! ```
+
+use flymon::prelude::*;
+use flymon_bench::{eval_trace, fmt_bytes, print_table};
+use flymon_packet::KeySpec;
+use flymon_sketches::beaucoup::{BeauCoup, BeauCoupConfig};
+use flymon_traffic::ground_truth::GroundTruth;
+use flymon_traffic::metrics::relative_error;
+
+fn main() {
+    let trace = eval_trace();
+    let truth = GroundTruth::packet_counts(&trace, KeySpec::FIVE_TUPLE).cardinality() as f64;
+    println!("trace: {} packets, true cardinality {truth}\n", trace.len());
+
+    let sweeps: [usize; 5] = [16, 128, 1024, 4096, 8192];
+    let mut rows = Vec::new();
+    for &bytes in &sweeps {
+        let mut row = vec![fmt_bytes(bytes)];
+
+        // BeauCoup: `bytes/6` single-bucket coupon collectors, each
+        // owning a hash partition of the flow space (stochastic
+        // averaging); the cardinality estimate is the sum of the
+        // per-partition inversions. Each collector is ranged for the
+        // cardinalities its partition will plausibly see.
+        let collectors = (bytes / 6).max(1);
+        let range_hint = (100_000 / collectors as u64).max(64);
+        let cfg = BeauCoupConfig::for_threshold(range_hint, 1, 1);
+        let mut bcs: Vec<BeauCoup> = (0..collectors).map(|_| BeauCoup::new(cfg)).collect();
+        for p in &trace {
+            let key = KeySpec::FIVE_TUPLE.extract(p);
+            let c = flymon_rmt::hash::murmur3_32(0xca4d, key.as_bytes()) as usize % collectors;
+            bcs[c].update(b"", key.as_bytes());
+        }
+        let est: f64 = bcs.iter().map(|b| b.estimate(b"")).sum();
+        row.push(format!("{:.3}", relative_error(truth, est)));
+
+        // FlyMon-HLL: bytes/2 16-bit registers.
+        let def = TaskDefinition::builder("cardinality")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+            .algorithm(Algorithm::Hll)
+            .memory((bytes / 2).max(8))
+            .build();
+        let mut fm = FlyMon::new(FlyMonConfig {
+            groups: 1,
+            buckets_per_cmu: 65536,
+            max_partitions_log2: 13,
+            ..FlyMonConfig::default()
+        });
+        let h = fm.deploy(&def).expect("deploys");
+        fm.process_trace(&trace);
+        row.push(format!("{:.3}", relative_error(truth, fm.cardinality(h))));
+        rows.push(row);
+    }
+    print_table(
+        "Figure 14d: flow cardinality RE vs memory",
+        &["memory", "BeauCoup RE", "FlyMon-HLL RE"],
+        &rows,
+    );
+    println!(
+        "paper shape: BeauCoup gets RE < 0.2 from ~16 bytes; HLL needs more\n\
+         memory but converges to sub-percent error by ~8 KB."
+    );
+}

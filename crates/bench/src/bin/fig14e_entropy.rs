@@ -1,0 +1,65 @@
+//! Figure 14e: flow entropy RE vs memory — UnivMon vs FlyMon-MRAC.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig14e_entropy
+//! ```
+
+use flymon::prelude::*;
+use flymon_bench::{eval_trace, fmt_bytes, print_table};
+use flymon_packet::KeySpec;
+use flymon_sketches::univmon::UnivMon;
+use flymon_traffic::ground_truth::GroundTruth;
+use flymon_traffic::metrics::relative_error;
+
+const KEY: KeySpec = KeySpec::FIVE_TUPLE;
+
+fn main() {
+    let trace = eval_trace();
+    let truth = GroundTruth::packet_counts(&trace, KEY).entropy();
+    println!(
+        "trace: {} packets, true flow entropy {truth:.4} nats\n",
+        trace.len()
+    );
+
+    let sweeps: [usize; 4] = [200 << 10, 300 << 10, 400 << 10, 500 << 10];
+    let mut rows = Vec::new();
+    for &bytes in &sweeps {
+        let mut row = vec![fmt_bytes(bytes)];
+
+        // UnivMon entropy via the universal estimator.
+        let mut um = UnivMon::with_memory(bytes);
+        for p in &trace {
+            um.update(KEY.extract(p).as_bytes());
+        }
+        row.push(format!("{:.3}", relative_error(truth, um.entropy())));
+
+        // FlyMon-MRAC on a 32-bit-register CMU (heavy flows exceed
+        // 16-bit counters; the paper's CMUs support both widths).
+        let def = TaskDefinition::builder("entropy")
+            .key(KEY)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Mrac)
+            .memory((bytes / 4).max(8))
+            .build();
+        let mut fm = FlyMon::new(FlyMonConfig {
+            groups: 1,
+            buckets_per_cmu: 1 << 17,
+            bucket_bits: 32,
+            max_partitions_log2: 10,
+            ..FlyMonConfig::default()
+        });
+        let h = fm.deploy(&def).expect("deploys");
+        fm.process_trace(&trace);
+        row.push(format!("{:.3}", relative_error(truth, fm.entropy(h, 10))));
+        rows.push(row);
+    }
+    print_table(
+        "Figure 14e: flow entropy RE vs memory",
+        &["memory", "UnivMon RE", "FlyMon-MRAC RE"],
+        &rows,
+    );
+    println!(
+        "paper shape: MRAC reaches RE < 0.2 at ~200 KB, ahead of UnivMon\n\
+         (which needed ~340 KB in the paper's runs)."
+    );
+}

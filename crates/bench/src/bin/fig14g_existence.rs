@@ -1,0 +1,74 @@
+//! Figure 14g: existence check FP vs memory — the bit-level Bloom
+//! optimization of §4.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin fig14g_existence
+//! ```
+//!
+//! Inserts 20K keys, probes with ~95K (75K of which are absent), and
+//! compares the bit-optimized CMU Bloom filter (every bit of a 16-bit
+//! bucket usable) against the naive one (a whole bucket per bit).
+
+use flymon::prelude::*;
+use flymon_bench::{fmt_bytes, print_table};
+use flymon_packet::{KeySpec, Packet};
+use flymon_traffic::metrics::false_positive_rate;
+
+fn probe_packet(i: u32) -> Packet {
+    Packet::tcp(0x0a00_0000 | i, 0xc0a8_0001, (i % 60_000) as u16, 443)
+}
+
+fn main() {
+    let inserted = 20_000u32;
+    let probes = 95_000u32;
+
+    let sweeps: [usize; 5] = [2 << 10, 4 << 10, 6 << 10, 8 << 10, 10 << 10];
+    let mut rows = Vec::new();
+    for &bytes in &sweeps {
+        let mut row = vec![fmt_bytes(bytes)];
+        for bit_optimized in [false, true] {
+            let def = TaskDefinition::builder("blacklist")
+                .key(KeySpec::NONE)
+                .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+                .algorithm(Algorithm::Bloom { d: 3, bit_optimized })
+                .memory((bytes / 2 / 3).max(8))
+                .build();
+            let mut fm = FlyMon::new(FlyMonConfig {
+                groups: 1,
+                buckets_per_cmu: 65536,
+                max_partitions_log2: 12,
+                ..FlyMonConfig::default()
+            });
+            let h = fm.deploy(&def).expect("deploys");
+            for i in 0..inserted {
+                fm.process(&probe_packet(i));
+            }
+            // Probe: first `inserted` are members (must all hit — no
+            // false negatives), the rest are absent.
+            let mut fp = 0usize;
+            let mut tn = 0usize;
+            for i in 0..probes {
+                let hit = fm.query_exists(h, &probe_packet(i));
+                if i < inserted {
+                    assert!(hit, "Bloom filters must not have false negatives");
+                } else if hit {
+                    fp += 1;
+                } else {
+                    tn += 1;
+                }
+            }
+            row.push(format!("{:.4}", false_positive_rate(fp, tn)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 14g: existence-check false-positive rate vs memory",
+        &["memory", "w/o bit-opt FP", "w/ bit-opt FP"],
+        &rows,
+    );
+    println!(
+        "paper shape: with the bit-level optimization every bucket bit is a\n\
+         filter bit (16x the bits per byte), so FP collapses, reaching\n\
+         <0.1% around 40 KB in the paper's setting."
+    );
+}

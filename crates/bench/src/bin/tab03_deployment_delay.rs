@@ -1,0 +1,129 @@
+//! Table 3: built-in algorithms — CMU Group usage and deployment delay.
+//!
+//! ```sh
+//! cargo run --release -p flymon-bench --bin tab03_deployment_delay
+//! ```
+//!
+//! Deploys each built-in algorithm on a fresh switch and reports the CMU
+//! Group usage plus the modeled rule-install latency (3 ms per
+//! synchronous table rule, 16 ms per hash-mask rule, 0.3 ms per batched
+//! rule — the §5.1 measurements).
+
+use flymon::prelude::*;
+use flymon_bench::print_table;
+use flymon_packet::KeySpec;
+
+fn main() {
+    // (name, paper delay ms, task definition)
+    let cases: Vec<(&str, f64, TaskDefinition)> = vec![
+        (
+            "CMS (d=3)",
+            16.93,
+            TaskDefinition::builder("cms")
+                .key(KeySpec::SRC_IP)
+                .attribute(Attribute::frequency_packets())
+                .algorithm(Algorithm::Cms { d: 3 })
+                .memory(16384)
+                .build(),
+        ),
+        (
+            "BeauCoup (d=3)",
+            40.18,
+            TaskDefinition::builder("beaucoup")
+                .key(KeySpec::DST_IP)
+                .attribute(Attribute::Distinct(KeySpec::SRC_IP))
+                .algorithm(Algorithm::BeauCoup { d: 3 })
+                .memory(16384)
+                .build(),
+        ),
+        (
+            "Bloom Filter (d=3)",
+            13.67,
+            TaskDefinition::builder("bloom")
+                .key(KeySpec::NONE)
+                .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+                .algorithm(Algorithm::Bloom {
+                    d: 3,
+                    bit_optimized: true,
+                })
+                .memory(16384)
+                .build(),
+        ),
+        (
+            "SuMax(Max) (d=3)",
+            19.68,
+            TaskDefinition::builder("sumax-max")
+                .key(KeySpec::SRC_IP)
+                .attribute(Attribute::Max(MaxParam::QueueLen))
+                .algorithm(Algorithm::SuMaxMax { d: 3 })
+                .memory(16384)
+                .build(),
+        ),
+        (
+            "HyperLogLog",
+            5.98,
+            TaskDefinition::builder("hll")
+                .key(KeySpec::NONE)
+                .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+                .algorithm(Algorithm::Hll)
+                .memory(16384)
+                .build(),
+        ),
+        (
+            "SuMax(Sum) (d=3)",
+            19.47,
+            TaskDefinition::builder("sumax-sum")
+                .key(KeySpec::SRC_IP)
+                .attribute(Attribute::frequency_packets())
+                .algorithm(Algorithm::SuMaxSum { d: 3 })
+                .memory(16384)
+                .build(),
+        ),
+        (
+            "MRAC",
+            6.51,
+            TaskDefinition::builder("mrac")
+                .key(KeySpec::FIVE_TUPLE)
+                .attribute(Attribute::frequency_packets())
+                .algorithm(Algorithm::Mrac)
+                .memory(16384)
+                .build(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, paper_ms, def) in &cases {
+        let mut switch = FlyMon::new(FlyMonConfig::default());
+        let handle = switch.deploy(def).expect("deploys");
+        let task = switch.task(handle).unwrap();
+        rows.push(vec![
+            name.to_string(),
+            def.attribute.name().to_string(),
+            task.algorithm.groups_used().to_string(),
+            format!(
+                "{}H + {}S + {}B",
+                task.install.hash_mask_rules,
+                task.install.sync_table_rules,
+                task.install.batched_table_rules
+            ),
+            format!("{:.2}", task.install.latency_ms()),
+            format!("{paper_ms:.2}"),
+        ]);
+    }
+    print_table(
+        "Table 3: built-in algorithms, CMU Group usage and deployment delay",
+        &[
+            "algorithm",
+            "attribute",
+            "CMUG",
+            "rules (hash/sync/batched)",
+            "delay (ms)",
+            "paper (ms)",
+        ],
+        &rows,
+    );
+    println!(
+        "all algorithms deploy within 100 ms without interrupting traffic\n\
+         (§5.1; constants: 3 ms/table rule, 16 ms/hash-mask rule, batching)"
+    );
+}

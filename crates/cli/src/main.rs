@@ -1,0 +1,29 @@
+//! The FlyMon REPL: `cargo run --release -p flymon-cli`.
+
+use std::io::{BufRead, Write};
+
+use flymon_cli::{Outcome, Session};
+
+fn main() {
+    println!("FlyMon interactive control plane — 'help' for commands");
+    let mut session = Session::default();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("flymon> ");
+        stdout.flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match session.execute(&line) {
+                Outcome::Text(t) if t.is_empty() => {}
+                Outcome::Text(t) => println!("{t}"),
+                Outcome::Quit => break,
+            },
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type of the FlyMon control plane.
+
+use flymon_rmt::RmtError;
+
+/// Errors surfaced by task deployment and management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlymonError {
+    /// No CMU Group can satisfy the task's combined requirements
+    /// (compressed keys + CMUs + memory).
+    NoCapacity(String),
+    /// The task's traffic filter intersects an existing task on every
+    /// candidate CMU (§3.3: intersecting tasks cannot share a CMU).
+    FilterIntersection {
+        /// The existing task the new filter collides with.
+        existing: String,
+    },
+    /// Requested memory is invalid (zero, too large, or finer than the
+    /// 32-partition granularity).
+    BadMemory(String),
+    /// The task definition is inconsistent (e.g. a Distinct attribute
+    /// without a parameter key).
+    BadTask(String),
+    /// Unknown task handle.
+    NoSuchTask,
+    /// An error bubbled up from the RMT substrate.
+    Rmt(RmtError),
+}
+
+impl From<RmtError> for FlymonError {
+    fn from(e: RmtError) -> Self {
+        FlymonError::Rmt(e)
+    }
+}
+
+impl std::fmt::Display for FlymonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlymonError::NoCapacity(what) => write!(f, "no CMU Group has capacity: {what}"),
+            FlymonError::FilterIntersection { existing } => {
+                write!(f, "traffic filter intersects deployed task {existing}")
+            }
+            FlymonError::BadMemory(msg) => write!(f, "bad memory request: {msg}"),
+            FlymonError::BadTask(msg) => write!(f, "bad task definition: {msg}"),
+            FlymonError::NoSuchTask => write!(f, "no such task"),
+            FlymonError::Rmt(e) => write!(f, "substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlymonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FlymonError::NoSuchTask.to_string().contains("task"));
+        assert!(FlymonError::NoCapacity("hash".into())
+            .to_string()
+            .contains("hash"));
+        let e: FlymonError = RmtError::RegisterActionsFull.into();
+        assert!(e.to_string().contains("SALU"));
+    }
+}

@@ -1,0 +1,511 @@
+//! CMU Groups: the data-plane pipeline of §3.2 (Figure 7).
+//!
+//! A CMU Group spans four MAU stages. In this model each stage is a
+//! phase of [`CmuGroup::process`]:
+//!
+//! 1. **Compression** — the shared hash units turn the candidate key set
+//!    into a few 32-bit compressed keys, per their dynamic hash masks.
+//! 2. **Initialization** — each CMU matches the packet against its
+//!    installed task bindings (filter + optional sampling coin) and, for
+//!    the matched task, selects the dynamic key and parameters.
+//! 3. **Preparation** — address translation and parameter processing.
+//! 4. **Operation** — one stateful operation on the CMU's register.
+//!
+//! A CMU executes **at most one task per packet** (its SALU touches
+//! memory once), which is exactly the hardware constraint of §3.3.
+
+use flymon_packet::{Packet, TaskFilter};
+use flymon_rmt::hash::{murmur3_32, HashUnit};
+use flymon_rmt::salu::{Salu, StatefulOp};
+use flymon_rmt::RmtError;
+
+use crate::addr::AddrTranslation;
+use crate::keysel::KeySelect;
+use crate::params::{PacketContext, ParamSource};
+use crate::prep::PrepAction;
+use crate::task::TaskId;
+
+/// Geometry of one CMU Group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Hash units in the compression stage (paper setting: 3 of the 6
+    /// per-group units; the other 3 serve SALU addressing).
+    pub compression_units: usize,
+    /// CMUs (SALUs) in the group (paper setting: 3).
+    pub cmus: usize,
+    /// Buckets per CMU register (power of two).
+    pub buckets_per_cmu: usize,
+    /// Bucket width in bits (paper setting: 16; the max-interval recipe
+    /// uses 32-bit groups).
+    pub bucket_bits: u8,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            compression_units: 3,
+            cmus: 3,
+            buckets_per_cmu: 65536,
+            bucket_bits: 16,
+        }
+    }
+}
+
+/// Which SALU output a CMU forwards into the PHV for downstream CMUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forward {
+    /// The Appendix A result value.
+    Result,
+    /// The pre-update bucket value (the arrival-time recorder of §4).
+    Old,
+    /// `old & p1` — nonzero iff the packet's one-hot bit was already set
+    /// (the "seen before?" output of a Bloom-filter CMU).
+    OldAndP1,
+}
+
+/// One task's runtime binding on one CMU — the materialization of all the
+/// rules the control plane installed for it.
+#[derive(Debug, Clone)]
+pub struct CmuBinding {
+    /// Owning task.
+    pub task: TaskId,
+    /// Traffic filter (first match wins).
+    pub filter: TaskFilter,
+    /// Probabilistic execution: participate with probability
+    /// `2^-prob_log2` (0 = always).
+    pub prob_log2: u8,
+    /// Key selection (source + slice).
+    pub key: KeySelect,
+    /// First parameter source.
+    pub p1: ParamSource,
+    /// Second parameter source.
+    pub p2: ParamSource,
+    /// Preparation-stage processing.
+    pub prep: PrepAction,
+    /// Address translation (partition mapping).
+    pub translation: AddrTranslation,
+    /// The stateful operation.
+    pub op: StatefulOp,
+    /// Which output is forwarded downstream.
+    pub forward: Forward,
+}
+
+impl CmuBinding {
+    /// Decides the sampling coin for this packet: a hash over the
+    /// 5-tuple, timestamp and task id, so distinct tasks flip independent
+    /// coins (§5.3 probabilistic execution).
+    fn coin_passes(&self, pkt: &Packet) -> bool {
+        if self.prob_log2 == 0 {
+            return true;
+        }
+        let mut seed_bytes = [0u8; 24];
+        seed_bytes[0..4].copy_from_slice(&pkt.src_ip.to_be_bytes());
+        seed_bytes[4..8].copy_from_slice(&pkt.dst_ip.to_be_bytes());
+        seed_bytes[8..10].copy_from_slice(&pkt.src_port.to_be_bytes());
+        seed_bytes[10..12].copy_from_slice(&pkt.dst_port.to_be_bytes());
+        seed_bytes[12..20].copy_from_slice(&pkt.ts_ns.to_be_bytes());
+        seed_bytes[20..24].copy_from_slice(&self.task.0.to_be_bytes());
+        let coin = murmur3_32(0xc011_f11b, &seed_bytes);
+        coin & ((1u32 << self.prob_log2) - 1) == 0
+    }
+}
+
+/// One Composable Measurement Unit: a SALU plus its installed bindings.
+#[derive(Debug)]
+pub struct Cmu {
+    salu: Salu,
+    bindings: Vec<CmuBinding>,
+    /// Packets matched per binding (parallel to `bindings`) — the
+    /// per-task hit counters an operator reads alongside the sketch.
+    hits: Vec<u64>,
+}
+
+impl Cmu {
+    fn new(buckets: usize, width_bits: u8) -> Self {
+        let mut salu = Salu::new(buckets, width_bits);
+        // FlyMon pre-loads the reduced operation set at compile time
+        // (§3.1.2); the fourth slot carries the §6 expansion (XOR, for
+        // Odd Sketch set-similarity) — exactly filling the SALU's four
+        // register-action slots.
+        salu.load_op(StatefulOp::CondAdd).expect("slot 1");
+        salu.load_op(StatefulOp::Max).expect("slot 2");
+        salu.load_op(StatefulOp::AndOr).expect("slot 3");
+        salu.load_op(StatefulOp::Xor).expect("slot 4");
+        Cmu {
+            salu,
+            bindings: Vec::new(),
+            hits: Vec::new(),
+        }
+    }
+
+    /// Packets matched by the binding at `idx` since install/reset.
+    pub fn hits(&self, idx: usize) -> u64 {
+        self.hits.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Packets matched by `task`'s binding on this CMU, if installed.
+    pub fn hits_of(&self, task: TaskId) -> Option<u64> {
+        self.bindings
+            .iter()
+            .position(|b| b.task == task)
+            .map(|i| self.hits[i])
+    }
+
+    /// Installed bindings, in match order.
+    pub fn bindings(&self) -> &[CmuBinding] {
+        &self.bindings
+    }
+
+    /// Read-only register access (control-plane readout).
+    pub fn register(&self) -> &flymon_rmt::register::Register {
+        self.salu.register()
+    }
+
+    /// Mutable register access (control-plane resets).
+    pub fn register_mut(&mut self) -> &mut flymon_rmt::register::Register {
+        self.salu.register_mut()
+    }
+}
+
+/// A CMU Group.
+#[derive(Debug)]
+pub struct CmuGroup {
+    index: usize,
+    config: GroupConfig,
+    units: Vec<HashUnit>,
+    cmus: Vec<Cmu>,
+}
+
+impl CmuGroup {
+    /// Creates group `index` of the pipeline with the given geometry.
+    ///
+    /// # Panics
+    /// Panics if the bucket count is not a power of two (register
+    /// constraint) or any dimension is zero.
+    pub fn new(index: usize, config: GroupConfig) -> Self {
+        assert!(config.compression_units > 0 && config.cmus > 0);
+        CmuGroup {
+            index,
+            config,
+            units: (0..config.compression_units)
+                // Offset unit identities by group so different groups
+                // hash independently (hardware: different stages own
+                // different hash blocks).
+                .map(|u| HashUnit::new(index * config.compression_units + u))
+                .collect(),
+            cmus: (0..config.cmus)
+                .map(|_| Cmu::new(config.buckets_per_cmu, config.bucket_bits))
+                .collect(),
+        }
+    }
+
+    /// Group position in the pipeline.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The group geometry.
+    pub fn config(&self) -> &GroupConfig {
+        &self.config
+    }
+
+    /// The compression-stage hash units.
+    pub fn units(&self) -> &[HashUnit] {
+        &self.units
+    }
+
+    /// Mutable access to a hash unit (installing dynamic hash masks).
+    pub fn unit_mut(&mut self, idx: usize) -> &mut HashUnit {
+        &mut self.units[idx]
+    }
+
+    /// The group's CMUs.
+    pub fn cmus(&self) -> &[Cmu] {
+        &self.cmus
+    }
+
+    /// Mutable access to one CMU.
+    pub fn cmu_mut(&mut self, idx: usize) -> &mut Cmu {
+        &mut self.cmus[idx]
+    }
+
+    /// `log2` of the register bucket count (the address width).
+    pub fn addr_bits(&self) -> u8 {
+        self.config.buckets_per_cmu.ilog2() as u8
+    }
+
+    /// Runs the compression stage only: the compressed keys this group
+    /// derives for `pkt`. Exposed so the control plane can replay the
+    /// addressing path at query time.
+    pub fn compressed_keys(&self, pkt: &Packet) -> Vec<u32> {
+        self.units.iter().map(|u| u.compute(pkt)).collect()
+    }
+
+    /// Installs a binding on CMU `cmu`.
+    pub fn install(&mut self, cmu: usize, binding: CmuBinding) -> Result<(), RmtError> {
+        if cmu >= self.cmus.len() {
+            return Err(RmtError::IndexOutOfRange {
+                what: "CMU",
+                index: cmu,
+                limit: self.cmus.len(),
+            });
+        }
+        for src in binding.key.source.units() {
+            if src >= self.units.len() {
+                return Err(RmtError::IndexOutOfRange {
+                    what: "hash unit",
+                    index: src,
+                    limit: self.units.len(),
+                });
+            }
+        }
+        self.cmus[cmu].bindings.push(binding);
+        self.cmus[cmu].hits.push(0);
+        Ok(())
+    }
+
+    /// Removes every binding of `task` from every CMU; returns how many
+    /// were removed.
+    pub fn remove_task(&mut self, task: TaskId) -> usize {
+        let mut removed = 0;
+        for cmu in &mut self.cmus {
+            let before = cmu.bindings.len();
+            let mut keep = cmu.bindings.iter().map(|b| b.task != task);
+            cmu.hits.retain(|_| keep.next().unwrap_or(true));
+            cmu.bindings.retain(|b| b.task != task);
+            removed += before - cmu.bindings.len();
+        }
+        removed
+    }
+
+    /// Processes one packet through the four stages. `ctx` carries
+    /// PHV-resident results between groups; the caller processes groups
+    /// in pipeline order.
+    pub fn process(&mut self, pkt: &Packet, ctx: &mut PacketContext) {
+        // Stage 1: compression.
+        let compressed: Vec<u32> = self.units.iter().map(|u| u.compute(pkt)).collect();
+        let addr_bits = self.addr_bits();
+        let buckets = self.config.buckets_per_cmu;
+        let group_index = self.index;
+
+        for (ci, cmu) in self.cmus.iter_mut().enumerate() {
+            // Stage 2: initialization — first matching task wins.
+            let Some(bi) = cmu
+                .bindings
+                .iter()
+                .position(|b| b.filter.matches(pkt) && b.coin_passes(pkt))
+            else {
+                continue;
+            };
+            cmu.hits[bi] += 1;
+            let binding = &cmu.bindings[bi];
+            let raw_addr = binding.key.address(&compressed, addr_bits);
+            let p1 = binding.p1.resolve(pkt, &compressed, ctx);
+            let p2 = binding.p2.resolve(pkt, &compressed, ctx);
+
+            // Stage 3: preparation.
+            let addr = binding.translation.translate(raw_addr, buckets);
+            let (p1, p2) = binding.prep.apply(p1, p2, ctx);
+
+            // Stage 4: operation.
+            let out = cmu
+                .salu
+                .execute(binding.op, addr, p1, p2)
+                .expect("installed ops are pre-loaded and addresses in range");
+            let forwarded = match binding.forward {
+                Forward::Result => out.result,
+                Forward::Old => out.old,
+                Forward::OldAndP1 => out.old & p1,
+            };
+            ctx.record(group_index, ci, forwarded);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::TranslationMethod;
+    use crate::keysel::KeySource;
+    use flymon_packet::KeySpec;
+
+    fn small_group() -> CmuGroup {
+        let mut g = CmuGroup::new(0, GroupConfig {
+            compression_units: 3,
+            cmus: 3,
+            buckets_per_cmu: 256,
+            bucket_bits: 16,
+        });
+        g.unit_mut(0).set_mask(KeySpec::SRC_IP);
+        g
+    }
+
+    fn count_binding(task: u32) -> CmuBinding {
+        CmuBinding {
+            task: TaskId(task),
+            filter: TaskFilter::ANY,
+            prob_log2: 0,
+            key: KeySelect {
+                source: KeySource::Unit(0),
+                slice_shift: 0,
+            },
+            p1: ParamSource::Const(1),
+            p2: ParamSource::Const(u32::MAX),
+            prep: PrepAction::None,
+            translation: AddrTranslation::IDENTITY,
+            op: StatefulOp::CondAdd,
+            forward: Forward::Result,
+        }
+    }
+
+    #[test]
+    fn frequency_counting_end_to_end() {
+        let mut g = small_group();
+        g.install(0, count_binding(1)).unwrap();
+        let mut ctx = PacketContext::default();
+        let pkt = Packet::tcp(0x0a000001, 2, 3, 4);
+        for _ in 0..5 {
+            ctx.reset();
+            g.process(&pkt, &mut ctx);
+        }
+        // The last process recorded the running count.
+        assert_eq!(ctx.get(crate::params::CmuRef { group: 0, cmu: 0 }), 5);
+        // The bucket itself holds 5.
+        let compressed = g.compressed_keys(&pkt);
+        let addr = count_binding(1).key.address(&compressed, 8) as usize;
+        assert_eq!(g.cmus()[0].register().read(addr).unwrap(), 5);
+    }
+
+    #[test]
+    fn filter_isolates_tasks() {
+        let mut g = small_group();
+        let mut b = count_binding(1);
+        b.filter = TaskFilter::src(0x0a00_0000, 8); // 10/8 only
+        g.install(0, b).unwrap();
+        let mut ctx = PacketContext::default();
+        g.process(&Packet::tcp(0x0b00_0001, 2, 3, 4), &mut ctx); // 11.x
+        // No CMU executed.
+        assert_eq!(ctx.get(crate::params::CmuRef { group: 0, cmu: 0 }), 0);
+        g.process(&Packet::tcp(0x0a00_0001, 2, 3, 4), &mut ctx);
+        assert_eq!(ctx.get(crate::params::CmuRef { group: 0, cmu: 0 }), 1);
+    }
+
+    #[test]
+    fn one_task_per_packet_per_cmu() {
+        // Two all-traffic bindings on one CMU: only the first runs.
+        let mut g = small_group();
+        let mut second = count_binding(2);
+        second.translation =
+            AddrTranslation::new(1, 1, TranslationMethod::TcamBased);
+        g.install(0, count_binding(1)).unwrap();
+        g.install(0, second).unwrap();
+        let mut ctx = PacketContext::default();
+        for _ in 0..10 {
+            ctx.reset();
+            g.process(&Packet::tcp(1, 2, 3, 4), &mut ctx);
+        }
+        // Task 2's partition [128, 256) must be untouched.
+        let upper = g.cmus()[0].register().read_range(128, 256).unwrap();
+        assert!(upper.iter().all(|&v| v == 0), "second task must not run");
+    }
+
+    #[test]
+    fn partitioned_tasks_coexist() {
+        let mut g = small_group();
+        let mut a = count_binding(1);
+        a.filter = TaskFilter::src(0x0a00_0000, 8);
+        a.translation = AddrTranslation::new(1, 0, TranslationMethod::TcamBased);
+        let mut b = count_binding(2);
+        b.filter = TaskFilter::src(0x1400_0000, 8); // 20/8, disjoint
+        b.translation = AddrTranslation::new(1, 1, TranslationMethod::TcamBased);
+        g.install(0, a).unwrap();
+        g.install(0, b).unwrap();
+        let mut ctx = PacketContext::default();
+        for i in 0..32u32 {
+            g.process(&Packet::tcp(0x0a00_0000 + i, 2, 3, 4), &mut ctx);
+            g.process(&Packet::tcp(0x1400_0000 + i, 2, 3, 4), &mut ctx);
+        }
+        let lower: u32 = g.cmus()[0].register().read_range(0, 128).unwrap().iter().sum();
+        let upper: u32 = g.cmus()[0].register().read_range(128, 256).unwrap().iter().sum();
+        assert_eq!(lower, 32, "task 1 counts live in its partition");
+        assert_eq!(upper, 32, "task 2 counts live in its partition");
+    }
+
+    #[test]
+    fn probabilistic_execution_samples() {
+        let mut g = small_group();
+        let mut b = count_binding(1);
+        b.prob_log2 = 2; // p = 1/4
+        g.install(0, b).unwrap();
+        let mut ctx = PacketContext::default();
+        let n = 4_000u32;
+        for i in 0..n {
+            let pkt = flymon_packet::PacketBuilder::new()
+                .src_ip(1)
+                .ts_ns(u64::from(i))
+                .build();
+            g.process(&pkt, &mut ctx);
+        }
+        let total: u32 = g.cmus()[0].register().read_range(0, 256).unwrap().iter().sum();
+        let rate = f64::from(total) / f64::from(n);
+        assert!(
+            (rate - 0.25).abs() < 0.05,
+            "sampling rate {rate} should be ~0.25"
+        );
+    }
+
+    #[test]
+    fn unconfigured_cmu_is_inert() {
+        let mut g = small_group();
+        let mut ctx = PacketContext::default();
+        g.process(&Packet::tcp(1, 2, 3, 4), &mut ctx);
+        for cmu in g.cmus() {
+            let sum: u32 = cmu.register().read_range(0, 256).unwrap().iter().sum();
+            assert_eq!(sum, 0);
+        }
+    }
+
+    #[test]
+    fn remove_task_uninstalls_everywhere() {
+        let mut g = small_group();
+        g.install(0, count_binding(7)).unwrap();
+        g.install(1, count_binding(7)).unwrap();
+        g.install(2, count_binding(8)).unwrap();
+        assert_eq!(g.remove_task(TaskId(7)), 2);
+        assert!(g.cmus()[0].bindings().is_empty());
+        assert_eq!(g.cmus()[2].bindings().len(), 1);
+    }
+
+    #[test]
+    fn install_validates_indices() {
+        let mut g = small_group();
+        assert!(g.install(9, count_binding(1)).is_err());
+        let mut bad_unit = count_binding(1);
+        bad_unit.key.source = KeySource::Unit(5);
+        assert!(g.install(0, bad_unit).is_err());
+    }
+
+    #[test]
+    fn forward_variants() {
+        // Old: a MAX recorder forwards the previous value.
+        let mut g = small_group();
+        let mut rec = count_binding(1);
+        rec.op = StatefulOp::Max;
+        rec.p1 = ParamSource::TimestampUs;
+        rec.forward = Forward::Old;
+        g.install(0, rec).unwrap();
+        let mut ctx = PacketContext::default();
+        let mk = |us: u64| {
+            flymon_packet::PacketBuilder::new()
+                .src_ip(1)
+                .ts_ns(us * 1000)
+                .build()
+        };
+        g.process(&mk(100), &mut ctx);
+        assert_eq!(ctx.get(crate::params::CmuRef { group: 0, cmu: 0 }), 0);
+        ctx.reset();
+        g.process(&mk(250), &mut ctx);
+        // Forwards the previous arrival time.
+        assert_eq!(ctx.get(crate::params::CmuRef { group: 0, cmu: 0 }), 100);
+    }
+}

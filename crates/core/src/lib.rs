@@ -1,0 +1,87 @@
+//! FlyMon: on-the-fly task reconfiguration for network measurement.
+//!
+//! A from-scratch Rust reproduction of the SIGCOMM 2022 paper
+//! *FlyMon: Enabling On-the-Fly Task Reconfiguration for Network
+//! Measurement* (Zheng et al.), running on the software RMT substrate of
+//! [`flymon_rmt`].
+//!
+//! # The idea
+//!
+//! A measurement *task* is a flow key × a flow attribute × a memory size.
+//! Binding tasks to hardware at compile time costs `O(m·n)` resources for
+//! `m` keys and `n` attributes; FlyMon decomposes execution into a
+//! runtime-reconfigurable **key-selection phase** and
+//! **attribute-operation phase**, hosted by *Composable Measurement
+//! Units* (CMUs), dropping the cost to near-constant.
+//!
+//! # Crate layout
+//!
+//! - [`task`]: the task algebra — [`task::Attribute`]s,
+//!   [`task::TaskDefinition`]s, built-in [`task::Algorithm`]s.
+//! - [`group`]: the data plane — [`group::CmuGroup`] with its four
+//!   pipeline stages, per-packet execution.
+//! - [`keysel`] / [`params`] / [`prep`] / [`addr`]: the reconfigurable
+//!   pieces a CMU binding is assembled from (key selection, parameter
+//!   sourcing, preparation-stage processing, address translation).
+//! - [`alloc`]: the buddy allocator behind dynamic memory management.
+//! - [`compiler`]: lowers a task definition onto concrete CMUs and counts
+//!   rules/resources (Table 3 deployment delays, Figure 2/13 footprints).
+//! - [`control`]: the control plane — [`control::FlyMon`], the top-level
+//!   handle applications use.
+//! - [`analysis`]: control-plane estimators (readout → statistics).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flymon::prelude::*;
+//! use flymon_packet::{KeySpec, Packet, TaskFilter};
+//!
+//! // A switch with two CMU Groups of 3 CMUs, 4096 buckets each.
+//! let mut flymon = FlyMon::new(FlyMonConfig {
+//!     groups: 2,
+//!     buckets_per_cmu: 4096,
+//!     ..FlyMonConfig::default()
+//! });
+//!
+//! // Deploy a per-source packet counter with 3x2048 buckets.
+//! let task = TaskDefinition::builder("per-src-frequency")
+//!     .key(KeySpec::SRC_IP)
+//!     .attribute(Attribute::frequency_packets())
+//!     .memory(2048)
+//!     .build();
+//! let handle = flymon.deploy(&task).expect("deploys");
+//!
+//! // Feed packets.
+//! for i in 0..100u32 {
+//!     flymon.process(&Packet::tcp(0x0a000001, i, 80, 80));
+//! }
+//!
+//! // Query: per-flow estimate for a representative packet.
+//! let est = flymon.query_frequency(handle, &Packet::tcp(0x0a000001, 7, 80, 80));
+//! assert!(est >= 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod alloc;
+pub mod analysis;
+pub mod compiler;
+pub mod control;
+pub mod group;
+pub mod keysel;
+pub mod params;
+pub mod prep;
+pub mod task;
+
+mod error;
+
+pub use error::FlymonError;
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::control::{FlyMon, FlyMonConfig, TaskHandle};
+    pub use crate::task::{Algorithm, Attribute, FreqParam, MaxParam, TaskDefinition};
+    pub use crate::FlymonError;
+}

@@ -1,0 +1,485 @@
+//! The task algebra: attributes, algorithms and task definitions.
+//!
+//! §2.1/§3.4: a task is a *filter*, a *key*, an *attribute with
+//! parameters* and a *memory size*. The attribute names *what* to measure;
+//! the compiler picks (or the user pins) a built-in *algorithm* naming
+//! *how*.
+
+use flymon_packet::{KeySpec, TaskFilter};
+
+/// Identifier of a deployed task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// Parameter of a `Frequency` attribute: what gets accumulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqParam {
+    /// `Const(1)` — count packets.
+    Packets,
+    /// Packet length — count bytes.
+    Bytes,
+}
+
+/// Parameter of a `Max` attribute: which metadata's maximum to track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxParam {
+    /// Egress queue occupancy (congestion detection \[55\]).
+    QueueLen,
+    /// Queuing delay in µs (HOL-blocking detection \[47\]).
+    QueueDelayUs,
+    /// Packet inter-arrival time in µs (the combinatorial task of §4).
+    PacketIntervalUs,
+}
+
+/// A flow attribute with its parameters — the four frequently used
+/// attributes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attribute {
+    /// `Frequency(param)`: accumulate the parameter per key.
+    Frequency(FreqParam),
+    /// `Distinct(param)`: count distinct parameter values per key
+    /// (`param` is itself a partial key, e.g. `Distinct(SrcIP)`).
+    Distinct(KeySpec),
+    /// `Existence(param)`: is the parameter in the recorded set?
+    /// (`param` is a partial key; for blacklists it equals the task key).
+    Existence(KeySpec),
+    /// `Max(param)`: track the maximum parameter per key.
+    Max(MaxParam),
+}
+
+impl Attribute {
+    /// `Frequency(Const(1))` — per-flow packet counts.
+    pub fn frequency_packets() -> Self {
+        Attribute::Frequency(FreqParam::Packets)
+    }
+
+    /// `Frequency(PktBytes)` — per-flow byte counts.
+    pub fn frequency_bytes() -> Self {
+        Attribute::Frequency(FreqParam::Bytes)
+    }
+
+    /// Short name matching Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Attribute::Frequency(_) => "Frequency",
+            Attribute::Distinct(_) => "Distinct",
+            Attribute::Existence(_) => "Existence",
+            Attribute::Max(_) => "Max",
+        }
+    }
+}
+
+/// The built-in algorithms of Figure 6 / Table 3.
+///
+/// `d` is the number of bucket rows (CMUs) used. Variants that need CMUs
+/// in *different* groups (because they chain results through the packet)
+/// say so in their docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Count-Min Sketch: `d` CMUs in one group, unconditional ADD.
+    Cms {
+        /// Number of rows (CMUs).
+        d: usize,
+    },
+    /// SuMax(Sum): `d` CMUs across `d` *different* groups (approximate
+    /// conservative update chains the running minimum through the PHV).
+    SuMaxSum {
+        /// Number of rows (one per group).
+        d: usize,
+    },
+    /// MRAC: one CMU; identical to CMS(d=1) in the data plane, EM-based
+    /// flow-size-distribution analysis in the control plane.
+    Mrac,
+    /// TowerSketch (Appendix D): `d` CMUs in one group acting as counter
+    /// levels of widths 4/8/16 bits carved from 16-bit buckets.
+    Tower {
+        /// Number of levels (at most 3 with 16-bit buckets).
+        d: usize,
+    },
+    /// Counter Braids (Appendix D): 2 CMUs in *different* groups; the
+    /// low layer's saturation carries into the high layer.
+    CounterBraids,
+    /// HyperLogLog: one CMU, MAX op over ρ values.
+    Hll,
+    /// Linear Counting: same data plane as the bit-optimized Bloom
+    /// filter; control plane estimates `m·ln(m/z)`.
+    LinearCounting,
+    /// FlyMon-BeauCoup (§4): `d` CMUs in one group, coupon one-hot in the
+    /// preparation stage, OR in the operation stage; a key reports only
+    /// when *every* row collected enough coupons.
+    BeauCoup {
+        /// Number of coupon tables (CMUs).
+        d: usize,
+    },
+    /// Bloom filter: `d` CMUs in one group.
+    Bloom {
+        /// Number of hash rows (CMUs).
+        d: usize,
+        /// Bit-level optimization (§4 Existence Check): use each of the
+        /// 16 bucket bits as a filter bit (16× the bits per byte).
+        bit_optimized: bool,
+    },
+    /// SuMax(Max): `d` CMUs in one group, MAX op; query is the row-wise
+    /// minimum.
+    SuMaxMax {
+        /// Number of rows (CMUs).
+        d: usize,
+    },
+    /// Odd Sketch (§6 expansion, using the reserved XOR operation):
+    /// 2 CMUs across 2 groups — a Bloom-filter gate for first occurrence
+    /// plus a parity bitmap. Two such tasks' readouts yield the Jaccard
+    /// similarity of their traffic sets.
+    OddSketch,
+    /// Maximum inter-arrival time (§4): 3 CMUs across 3 groups —
+    /// a Bloom-filter CMU (new-flow detection), an arrival-time recorder
+    /// (MAX, forwarding the old value), and the interval maximizer.
+    /// `d` parallel instances reduce hash-collision error (Fig. 14f).
+    MaxInterval {
+        /// Number of parallel instances (each 3 CMUs).
+        d: usize,
+    },
+}
+
+impl Algorithm {
+    /// The default algorithm the compiler picks for an attribute
+    /// (Table 3's "built-in algorithms", one per attribute).
+    pub fn default_for(attr: &Attribute, key: &KeySpec) -> Algorithm {
+        match attr {
+            Attribute::Frequency(_) => Algorithm::Cms { d: 3 },
+            // Single-key distinct counting (cardinality) -> HLL;
+            // multi-key -> BeauCoup (§4).
+            Attribute::Distinct(_) if key.is_empty() => Algorithm::Hll,
+            Attribute::Distinct(_) => Algorithm::BeauCoup { d: 3 },
+            Attribute::Existence(_) => Algorithm::Bloom {
+                d: 3,
+                bit_optimized: true,
+            },
+            Attribute::Max(MaxParam::PacketIntervalUs) => Algorithm::MaxInterval { d: 1 },
+            Attribute::Max(_) => Algorithm::SuMaxMax { d: 3 },
+        }
+    }
+
+    /// Number of CMUs consumed per instance.
+    pub fn cmus_used(&self) -> usize {
+        match self {
+            Algorithm::Cms { d }
+            | Algorithm::SuMaxSum { d }
+            | Algorithm::Tower { d }
+            | Algorithm::BeauCoup { d }
+            | Algorithm::Bloom { d, .. }
+            | Algorithm::SuMaxMax { d } => *d,
+            Algorithm::Mrac | Algorithm::Hll | Algorithm::LinearCounting => 1,
+            Algorithm::CounterBraids | Algorithm::OddSketch => 2,
+            Algorithm::MaxInterval { d } => 3 * d,
+        }
+    }
+
+    /// Number of *distinct CMU Groups* required (Table 3's "CMUG Usage").
+    /// Algorithms that chain per-packet results need one group per
+    /// chained CMU; the rest pack into a single group.
+    pub fn groups_used(&self) -> usize {
+        match self {
+            Algorithm::SuMaxSum { d } => *d,
+            Algorithm::CounterBraids | Algorithm::OddSketch => 2,
+            Algorithm::MaxInterval { .. } => 3,
+            _ => 1,
+        }
+    }
+
+    /// Display name matching Table 3.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::Cms { d } => format!("CMS (d={d})"),
+            Algorithm::SuMaxSum { d } => format!("SuMax(Sum) (d={d})"),
+            Algorithm::Mrac => "MRAC".to_string(),
+            Algorithm::Tower { d } => format!("TowerSketch (d={d})"),
+            Algorithm::CounterBraids => "Counter Braids (L=2)".to_string(),
+            Algorithm::Hll => "HyperLogLog".to_string(),
+            Algorithm::LinearCounting => "Linear Counting".to_string(),
+            Algorithm::BeauCoup { d } => format!("BeauCoup (d={d})"),
+            Algorithm::Bloom { d, bit_optimized } => {
+                if *bit_optimized {
+                    format!("Bloom Filter (d={d})")
+                } else {
+                    format!("Bloom Filter (d={d}, no bit-opt)")
+                }
+            }
+            Algorithm::SuMaxMax { d } => format!("SuMax(Max) (d={d})"),
+            Algorithm::OddSketch => "Odd Sketch".to_string(),
+            Algorithm::MaxInterval { d } => format!("Max Interval (d={d})"),
+        }
+    }
+}
+
+/// A complete measurement task definition (§3.4).
+#[derive(Debug, Clone)]
+pub struct TaskDefinition {
+    /// Human-readable task name (reports, error messages).
+    pub name: String,
+    /// Which packets feed the task.
+    pub filter: TaskFilter,
+    /// How packets group into flows.
+    pub key: KeySpec,
+    /// What to measure.
+    pub attribute: Attribute,
+    /// Requested buckets **per row** (rounded per the allocation mode).
+    pub memory: usize,
+    /// Pinned algorithm; `None` lets the compiler pick the default.
+    pub algorithm: Option<Algorithm>,
+    /// Probabilistic execution (§5.3, Fig. 14b): process a packet with
+    /// probability `2^-prob_log2` (0 = always). Lets intersecting tasks
+    /// time-share a CMU.
+    pub prob_log2: u8,
+    /// Detection threshold for Distinct tasks (calibrates BeauCoup's
+    /// coupon probability at deploy time; ignored by other attributes).
+    pub distinct_threshold: u64,
+}
+
+impl TaskDefinition {
+    /// Starts a builder with mandatory name.
+    pub fn builder(name: impl Into<String>) -> TaskBuilder {
+        TaskBuilder {
+            def: TaskDefinition {
+                name: name.into(),
+                filter: TaskFilter::ANY,
+                key: KeySpec::FIVE_TUPLE,
+                attribute: Attribute::frequency_packets(),
+                memory: 1024,
+                algorithm: None,
+                prob_log2: 0,
+                distinct_threshold: 512,
+            },
+        }
+    }
+
+    /// The algorithm that will actually run (pinned or default).
+    pub fn effective_algorithm(&self) -> Algorithm {
+        self.algorithm
+            .unwrap_or_else(|| Algorithm::default_for(&self.attribute, &self.key))
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), crate::FlymonError> {
+        use crate::FlymonError::BadTask;
+        if self.memory == 0 {
+            return Err(crate::FlymonError::BadMemory("zero buckets".into()));
+        }
+        match (&self.attribute, self.effective_algorithm()) {
+            (Attribute::Frequency(_), a)
+                if !matches!(
+                    a,
+                    Algorithm::Cms { .. }
+                        | Algorithm::SuMaxSum { .. }
+                        | Algorithm::Mrac
+                        | Algorithm::Tower { .. }
+                        | Algorithm::CounterBraids
+                        | Algorithm::BeauCoup { .. }
+                ) =>
+            {
+                Err(BadTask(format!(
+                    "{} cannot implement Frequency",
+                    a.name()
+                )))
+            }
+            (Attribute::Distinct(param), a) => {
+                if param.is_empty()
+                    && self.key.is_empty()
+                    && !matches!(
+                        a,
+                        Algorithm::Hll
+                            | Algorithm::LinearCounting
+                            | Algorithm::BeauCoup { .. }
+                            | Algorithm::OddSketch
+                    )
+                {
+                    return Err(BadTask("cardinality needs HLL/LC/BeauCoup".into()));
+                }
+                match a {
+                    Algorithm::Hll
+                    | Algorithm::LinearCounting
+                    | Algorithm::BeauCoup { .. }
+                    | Algorithm::OddSketch => Ok(()),
+                    other => Err(BadTask(format!("{} cannot implement Distinct", other.name()))),
+                }
+            }
+            (Attribute::Existence(_), a)
+                if !matches!(a, Algorithm::Bloom { .. }) =>
+            {
+                Err(BadTask(format!("{} cannot implement Existence", a.name())))
+            }
+            (Attribute::Max(MaxParam::PacketIntervalUs), a)
+                if !matches!(a, Algorithm::MaxInterval { .. }) =>
+            {
+                Err(BadTask("packet-interval Max needs the 3-CMU recipe".into()))
+            }
+            (Attribute::Max(p), a)
+                if !matches!(p, MaxParam::PacketIntervalUs)
+                    && !matches!(a, Algorithm::SuMaxMax { .. }) =>
+            {
+                Err(BadTask(format!("{} cannot implement Max", a.name())))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Builder for [`TaskDefinition`].
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    def: TaskDefinition,
+}
+
+impl TaskBuilder {
+    /// Sets the traffic filter (default: all traffic).
+    pub fn filter(mut self, f: TaskFilter) -> Self {
+        self.def.filter = f;
+        self
+    }
+
+    /// Sets the flow key (default: 5-tuple).
+    pub fn key(mut self, k: KeySpec) -> Self {
+        self.def.key = k;
+        self
+    }
+
+    /// Sets the attribute (default: Frequency(packets)).
+    pub fn attribute(mut self, a: Attribute) -> Self {
+        self.def.attribute = a;
+        self
+    }
+
+    /// Sets the requested buckets per row (default: 1024).
+    pub fn memory(mut self, buckets: usize) -> Self {
+        self.def.memory = buckets;
+        self
+    }
+
+    /// Pins a specific algorithm.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.def.algorithm = Some(a);
+        self
+    }
+
+    /// Enables probabilistic execution with probability `2^-log2`.
+    pub fn probability_log2(mut self, log2: u8) -> Self {
+        self.def.prob_log2 = log2;
+        self
+    }
+
+    /// Sets the Distinct detection threshold (BeauCoup calibration;
+    /// default 512, the paper's DDoS setting).
+    pub fn distinct_threshold(mut self, n: u64) -> Self {
+        self.def.distinct_threshold = n;
+        self
+    }
+
+    /// Finishes the definition.
+    pub fn build(self) -> TaskDefinition {
+        self.def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let freq = Attribute::frequency_packets();
+        assert_eq!(
+            Algorithm::default_for(&freq, &KeySpec::SRC_IP),
+            Algorithm::Cms { d: 3 }
+        );
+        let card = Attribute::Distinct(KeySpec::FIVE_TUPLE);
+        assert_eq!(
+            Algorithm::default_for(&card, &KeySpec::NONE),
+            Algorithm::Hll
+        );
+        let ddos = Attribute::Distinct(KeySpec::SRC_IP);
+        assert_eq!(
+            Algorithm::default_for(&ddos, &KeySpec::DST_IP),
+            Algorithm::BeauCoup { d: 3 }
+        );
+        let exist = Attribute::Existence(KeySpec::FIVE_TUPLE);
+        assert!(matches!(
+            Algorithm::default_for(&exist, &KeySpec::FIVE_TUPLE),
+            Algorithm::Bloom { d: 3, bit_optimized: true }
+        ));
+        let cong = Attribute::Max(MaxParam::QueueLen);
+        assert_eq!(
+            Algorithm::default_for(&cong, &KeySpec::FIVE_TUPLE),
+            Algorithm::SuMaxMax { d: 3 }
+        );
+    }
+
+    #[test]
+    fn group_usage_matches_table3() {
+        // Table 3 "CMUG Usage" column.
+        assert_eq!(Algorithm::Cms { d: 3 }.groups_used(), 1);
+        assert_eq!(Algorithm::BeauCoup { d: 3 }.groups_used(), 1);
+        assert_eq!(Algorithm::Bloom { d: 3, bit_optimized: true }.groups_used(), 1);
+        assert_eq!(Algorithm::SuMaxMax { d: 3 }.groups_used(), 1);
+        assert_eq!(Algorithm::Hll.groups_used(), 1);
+        assert_eq!(Algorithm::SuMaxSum { d: 3 }.groups_used(), 3);
+        assert_eq!(Algorithm::Mrac.groups_used(), 1);
+        // §4: the combinatorial interval task needs 3 CMUs from 3 groups.
+        assert_eq!(Algorithm::MaxInterval { d: 1 }.groups_used(), 3);
+    }
+
+    #[test]
+    fn cmu_counts() {
+        assert_eq!(Algorithm::Cms { d: 3 }.cmus_used(), 3);
+        assert_eq!(Algorithm::Hll.cmus_used(), 1);
+        assert_eq!(Algorithm::CounterBraids.cmus_used(), 2);
+        assert_eq!(Algorithm::MaxInterval { d: 2 }.cmus_used(), 6);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let t = TaskDefinition::builder("hh")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_bytes())
+            .memory(4096)
+            .algorithm(Algorithm::SuMaxSum { d: 3 })
+            .probability_log2(2)
+            .build();
+        assert_eq!(t.name, "hh");
+        assert_eq!(t.memory, 4096);
+        assert_eq!(t.prob_log2, 2);
+        assert_eq!(t.effective_algorithm(), Algorithm::SuMaxSum { d: 3 });
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_mismatches() {
+        let bad = TaskDefinition::builder("bad")
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Hll)
+            .build();
+        assert!(bad.validate().is_err());
+
+        let bad2 = TaskDefinition::builder("bad2")
+            .attribute(Attribute::Existence(KeySpec::SRC_IP))
+            .algorithm(Algorithm::Cms { d: 3 })
+            .build();
+        assert!(bad2.validate().is_err());
+
+        let zero = TaskDefinition::builder("zero").memory(0).build();
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn beaucoup_can_serve_frequency_via_distinct_timestamps() {
+        // §5.3 Fig. 14a evaluates BeauCoup-based heavy-hitter detection by
+        // counting distinct timestamps; the task algebra must allow it.
+        let t = TaskDefinition::builder("hh-beaucoup")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::Distinct(KeySpec {
+                timestamp: true,
+                ..KeySpec::NONE
+            }))
+            .algorithm(Algorithm::BeauCoup { d: 3 })
+            .build();
+        assert!(t.validate().is_ok());
+    }
+}

@@ -1,0 +1,293 @@
+//! Property tests for FlyMon's dynamic memory management and address
+//! translation invariants.
+
+use flymon::addr::{AddrTranslation, TranslationMethod};
+use flymon::alloc::{AllocMode, BuddyAllocator};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random alloc/free interleavings: live blocks never overlap, the
+    /// allocator conserves buckets, and a drained allocator recoalesces
+    /// to one maximal block.
+    #[test]
+    fn buddy_allocator_invariants(ops in prop::collection::vec((0u8..4, 0u8..6), 1..200)) {
+        let total = 1024usize;
+        let min = 32usize;
+        let mut b = BuddyAllocator::new(total, min);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for (op, size_sel) in ops {
+            if op < 3 {
+                // Allocate a random power-of-two size in [min, total].
+                let size = (min << (size_sel % 6)).min(total);
+                if let Some(off) = b.alloc(size) {
+                    // No overlap with any live block.
+                    for &(o, s) in &live {
+                        prop_assert!(off + size <= o || o + s <= off,
+                            "overlap: new ({off},{size}) vs live ({o},{s})");
+                    }
+                    prop_assert_eq!(off % size, 0, "misaligned block");
+                    live.push((off, size));
+                }
+            } else if let Some((off, size)) = live.pop() {
+                b.free(off, size);
+            }
+            let used: usize = live.iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(b.used_buckets(), used, "bucket conservation");
+        }
+        for (off, size) in live.drain(..) {
+            b.free(off, size);
+        }
+        prop_assert_eq!(b.largest_free(), total, "full coalescing after drain");
+    }
+
+    /// Address translation confines every address to the owned
+    /// partition, covers the whole partition, and is balanced: hashing
+    /// the full range uniformly lands `sub_len` addresses per bucket.
+    #[test]
+    fn translation_confinement(p in 0u8..=5, index_sel in any::<u32>()) {
+        let m = 1024usize;
+        let parts = 1u32 << p;
+        let index = index_sel % parts;
+        let t = AddrTranslation::new(p, index, TranslationMethod::TcamBased);
+        let base = t.base(m);
+        let len = t.sub_range_len(m);
+        let mut hits = vec![0u32; m];
+        for addr in 0..m as u32 {
+            let out = t.translate(addr, m);
+            prop_assert!((base..base + len).contains(&out));
+            hits[out] += 1;
+        }
+        for b in base..base + len {
+            prop_assert_eq!(hits[b], parts, "unbalanced bucket {}", b);
+        }
+    }
+
+    /// Accurate mode never under-allocates; efficient mode never strays
+    /// more than 2x in either direction; both return powers of two.
+    #[test]
+    fn alloc_mode_rounding_bounds(request in 1usize..1_000_000) {
+        let acc = AllocMode::Accurate.round(request);
+        let eff = AllocMode::Efficient.round(request);
+        prop_assert!(acc.is_power_of_two() && eff.is_power_of_two());
+        prop_assert!(acc >= request);
+        prop_assert!(acc < request * 2);
+        prop_assert!(eff * 2 > request && eff <= request * 2);
+        // Efficient picks the closer of the two neighbors.
+        let up = request.next_power_of_two();
+        let down = up / 2;
+        let closer = if down >= 1 && request - down < up - request { down } else { up };
+        prop_assert_eq!(eff, closer);
+    }
+}
+
+proptest! {
+    /// Conservation law of the one-access-per-packet constraint: an
+    /// unconditional-ADD task sees every matching packet exactly once,
+    /// so the sum over its partition equals the number of matching
+    /// packets — for any traffic.
+    #[test]
+    fn counter_mass_equals_matching_packets(
+        srcs in prop::collection::vec(any::<u32>(), 1..300),
+    ) {
+        use flymon::prelude::*;
+        use flymon_packet::{KeySpec, Packet, TaskFilter};
+
+        let mut fm = FlyMon::new(FlyMonConfig {
+            groups: 1,
+            buckets_per_cmu: 256,
+            ..FlyMonConfig::default()
+        });
+        let def = TaskDefinition::builder("mass")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 1 })
+            .filter(TaskFilter::src(0x0a000000, 8))
+            .memory(128)
+            .build();
+        let h = fm.deploy(&def).unwrap();
+        let mut matching = 0u64;
+        for &s in &srcs {
+            if (s >> 24) == 10 {
+                matching += 1;
+            }
+            fm.process(&Packet::tcp(s, 1, 2, 3));
+        }
+        let mass: u64 = fm
+            .read_row(h, 0)
+            .unwrap()
+            .iter()
+            .map(|&v| u64::from(v))
+            .sum();
+        prop_assert_eq!(mass, matching);
+    }
+
+    /// Determinism: the same trace through two identically configured
+    /// switches produces identical registers and identical queries.
+    #[test]
+    fn processing_is_deterministic(
+        pkts in prop::collection::vec((any::<u32>(), any::<u32>()), 1..200),
+    ) {
+        use flymon::prelude::*;
+        use flymon_packet::{KeySpec, Packet};
+
+        let config = FlyMonConfig {
+            groups: 2,
+            buckets_per_cmu: 512,
+            ..FlyMonConfig::default()
+        };
+        let def = TaskDefinition::builder("det")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 3 })
+            .memory(256)
+            .build();
+        let mut a = FlyMon::new(config);
+        let mut b = FlyMon::new(config);
+        let ha = a.deploy(&def).unwrap();
+        let hb = b.deploy(&def).unwrap();
+        for &(s, d) in &pkts {
+            let p = Packet::tcp(s, d, 1, 2);
+            a.process(&p);
+            b.process(&p);
+        }
+        for row in 0..3 {
+            prop_assert_eq!(a.read_row(ha, row).unwrap(), b.read_row(hb, row).unwrap());
+        }
+    }
+}
+
+proptest! {
+    /// Control-plane fuzz: random sequences of deploy/remove/realloc
+    /// with random geometries never panic, never leak buckets, and
+    /// always leave the switch consistent.
+    #[test]
+    fn control_plane_survives_random_churn(
+        ops in prop::collection::vec((0u8..4, 0u8..6, any::<u8>(), 0u8..4), 1..60),
+    ) {
+        use flymon::prelude::*;
+        use flymon_packet::{KeySpec, Packet, TaskFilter};
+
+        let mut fm = FlyMon::new(FlyMonConfig {
+            groups: 2,
+            buckets_per_cmu: 1024,
+            ..FlyMonConfig::default()
+        });
+        let total = 2 * 3 * 1024;
+        let mut live: Vec<TaskHandle> = Vec::new();
+        let mut next_net = 0u32;
+        for (op, size_sel, pkt_sel, alg_sel) in ops {
+            match op {
+                0 | 1 => {
+                    // Deploy with a fresh /16 filter so tasks never
+                    // intersect.
+                    let net = (10u32 << 24) | (next_net << 12);
+                    next_net = (next_net + 1) % 4096;
+                    let alg = match alg_sel {
+                        0 => Algorithm::Cms { d: 1 },
+                        1 => Algorithm::Cms { d: 3 },
+                        2 => Algorithm::Mrac,
+                        _ => Algorithm::SuMaxMax { d: 2 },
+                    };
+                    let attr = if matches!(alg, Algorithm::SuMaxMax { .. }) {
+                        Attribute::Max(MaxParam::QueueLen)
+                    } else {
+                        Attribute::frequency_packets()
+                    };
+                    let def = TaskDefinition::builder("fuzz")
+                        .key(KeySpec::SRC_IP)
+                        .attribute(attr)
+                        .algorithm(alg)
+                        .filter(TaskFilter::src(net, 20))
+                        .memory(32usize << (size_sel % 6))
+                        .build();
+                    if let Ok(h) = fm.deploy(&def) {
+                        live.push(h);
+                    }
+                }
+                2 => {
+                    if let Some(h) = live.pop() {
+                        fm.remove(h).unwrap();
+                    }
+                }
+                _ => {
+                    if let Some(h) = live.pop() {
+                        let new_size = 32usize << (size_sel % 6);
+                        match fm.reallocate_memory(h, new_size) {
+                            Ok(nh) => live.push(nh),
+                            Err(_) => {} // capacity race: task is gone
+                        }
+                    }
+                }
+            }
+            // The data plane never panics on traffic.
+            fm.process(&Packet::tcp(
+                (10 << 24) | u32::from(pkt_sel) << 12,
+                1,
+                2,
+                3,
+            ));
+            // Accounting stays conserved.
+            let used: usize = live
+                .iter()
+                .filter_map(|&h| fm.task(h).ok())
+                .map(|t| t.rows.iter().map(|r| r.size).sum::<usize>())
+                .sum();
+            prop_assert_eq!(fm.free_buckets(), total - used);
+        }
+        for h in live {
+            fm.remove(h).unwrap();
+        }
+        prop_assert_eq!(fm.free_buckets(), total);
+        prop_assert_eq!(fm.task_count(), 0);
+    }
+}
+
+/// The §3.3 isolation law: a co-resident task in another partition of
+/// the same CMU changes *nothing* about a task's measurements — the
+/// per-flow estimates are bitwise identical with and without the
+/// neighbor. (Deterministic end-to-end check.)
+#[test]
+fn partitioned_neighbor_changes_nothing() {
+    use flymon::prelude::*;
+    use flymon_packet::{KeySpec, Packet, TaskFilter};
+
+    let mk = |filter| {
+        TaskDefinition::builder("t")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 1 })
+            .filter(filter)
+            .memory(128)
+            .build()
+    };
+    let config = FlyMonConfig {
+        groups: 1,
+        buckets_per_cmu: 256,
+        ..FlyMonConfig::default()
+    };
+    // Switch 1: task A alone. Switch 2: task A plus neighbor B.
+    let mut alone = FlyMon::new(config);
+    let ha = alone.deploy(&mk(TaskFilter::src(0x0a000000, 8))).unwrap();
+    let mut cohab = FlyMon::new(config);
+    let ha2 = cohab.deploy(&mk(TaskFilter::src(0x0a000000, 8))).unwrap();
+    let hb = cohab.deploy(&mk(TaskFilter::src(0x14000000, 8))).unwrap();
+
+    for i in 0..500u32 {
+        let pa = Packet::tcp(0x0a000000 | (i % 40), 1, 1, 1);
+        let pb = Packet::tcp(0x14000000 | (i % 25), 1, 1, 1);
+        alone.process(&pa);
+        cohab.process(&pa);
+        cohab.process(&pb);
+    }
+    for i in 0..40u32 {
+        let p = Packet::tcp(0x0a000000 | i, 1, 1, 1);
+        assert_eq!(
+            alone.query_frequency(ha, &p),
+            cohab.query_frequency(ha2, &p),
+            "neighbor perturbed flow {i}"
+        );
+    }
+    // And B actually measured its own traffic.
+    let pb = Packet::tcp(0x14000001, 1, 1, 1);
+    assert!(cohab.query_frequency(hb, &pb) >= 20);
+}

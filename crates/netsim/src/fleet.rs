@@ -1,0 +1,267 @@
+//! Network-wide measurement: a fleet of FlyMon switches with merged
+//! readouts.
+//!
+//! §3.4 positions FlyMon as the data plane under software-defined
+//! measurement controllers (DREAM/SCREAM) that run *network-wide*
+//! measurements. This module provides that control-plane layer for a
+//! simulated fleet: the same task deployed on every switch, traffic
+//! split across ingresses, and readouts merged according to each
+//! sketch's merge law:
+//!
+//! - frequency sketches (CMS/MRAC) are *linear*: per-bucket sums of the
+//!   partial registers equal the register of the union traffic —
+//!   exactly, because every switch derives identical hash
+//!   configurations for the same deployment;
+//! - HLL registers merge by per-bucket max;
+//! - Bloom filters merge by per-bucket OR.
+
+use flymon::prelude::*;
+use flymon::FlymonError;
+use flymon_packet::Packet;
+use flymon_sketches::hll::estimate_from_registers;
+
+/// A fleet of identically configured FlyMon switches running one shared
+/// measurement task.
+#[derive(Debug)]
+pub struct SwitchFleet {
+    switches: Vec<FlyMon>,
+    handles: Vec<TaskHandle>,
+    algorithm: Algorithm,
+}
+
+impl SwitchFleet {
+    /// Builds `n` switches with the given config and deploys `task` on
+    /// every one. Deployments are deterministic, so every switch ends up
+    /// with identical hash configurations and partition layouts — the
+    /// precondition for exact register merging.
+    pub fn deploy(n: usize, config: FlyMonConfig, task: &TaskDefinition) -> Result<Self, FlymonError> {
+        assert!(n > 0, "a fleet needs at least one switch");
+        let mut switches = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut algorithm = None;
+        for _ in 0..n {
+            let mut fm = FlyMon::new(config);
+            let h = fm.deploy(task)?;
+            algorithm = Some(fm.task(h)?.algorithm);
+            switches.push(fm);
+            handles.push(h);
+        }
+        Ok(SwitchFleet {
+            switches,
+            handles,
+            algorithm: algorithm.expect("n > 0"),
+        })
+    }
+
+    /// Number of switches.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// True when the fleet is empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+
+    /// Feeds a packet to the switch at `ingress`.
+    ///
+    /// # Panics
+    /// Panics if `ingress` is out of range.
+    pub fn process(&mut self, ingress: usize, pkt: &Packet) {
+        self.switches[ingress].process(pkt);
+    }
+
+    /// Splits a trace across ingresses by source address (a stand-in
+    /// for topology-based ingress assignment).
+    pub fn process_trace(&mut self, trace: &[Packet]) {
+        let n = self.switches.len();
+        for p in trace {
+            let ingress = flymon_rmt::hash::murmur3_32(0xf1ee7, &p.src_ip.to_be_bytes()) as usize % n;
+            self.switches[ingress].process(p);
+        }
+    }
+
+    /// Per-bucket merged readout of one row across the fleet.
+    fn merged_row(&self, row: usize, merge: impl Fn(u32, u32) -> u32) -> Result<Vec<u32>, FlymonError> {
+        let mut acc = self.switches[0].read_row(self.handles[0], row)?;
+        for (fm, &h) in self.switches.iter().zip(&self.handles).skip(1) {
+            for (a, v) in acc.iter_mut().zip(fm.read_row(h, row)?) {
+                *a = merge(*a, v);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Network-wide frequency estimate for a flow: per-bucket sums of
+    /// the fleet's registers, then the row-wise minimum (linearity of
+    /// counter sketches).
+    pub fn merged_frequency(&self, pkt: &Packet) -> Result<u64, FlymonError> {
+        let d = match self.algorithm {
+            Algorithm::Cms { d } => d,
+            Algorithm::Mrac => 1,
+            other => {
+                return Err(FlymonError::BadTask(format!(
+                    "{} readouts do not merge by summation",
+                    other.name()
+                )))
+            }
+        };
+        let mut best = u64::MAX;
+        for row in 0..d {
+            let merged = self.merged_row(row, |a, b| a.saturating_add(b))?;
+            // Locate the bucket through any switch (identical layouts).
+            let idx = self.switches[0].locate(self.handles[0], row, pkt)?;
+            best = best.min(u64::from(merged[idx]));
+        }
+        Ok(best)
+    }
+
+    /// Network-wide cardinality estimate: HLL registers merge by max.
+    pub fn merged_cardinality(&self) -> Result<f64, FlymonError> {
+        if !matches!(self.algorithm, Algorithm::Hll) {
+            return Err(FlymonError::BadTask(
+                "merged cardinality needs an HLL task".into(),
+            ));
+        }
+        let merged = self.merged_row(0, u32::max)?;
+        let regs: Vec<u8> = merged.into_iter().map(|v| v.min(255) as u8).collect();
+        Ok(estimate_from_registers(&regs))
+    }
+
+    /// Network-wide existence check. A key inserted anywhere was
+    /// inserted on exactly one switch (its ingress), which set *all* of
+    /// its filter rows — so union membership is the OR of the per-switch
+    /// checks: no false negatives, and at most the sum of the per-switch
+    /// false-positive rates.
+    pub fn merged_exists(&self, pkt: &Packet) -> Result<bool, FlymonError> {
+        if !matches!(self.algorithm, Algorithm::Bloom { .. }) {
+            return Err(FlymonError::BadTask(
+                "merged existence needs a Bloom task".into(),
+            ));
+        }
+        Ok(self
+            .switches
+            .iter()
+            .zip(&self.handles)
+            .any(|(fm, &h)| fm.query_exists(h, pkt)))
+    }
+
+    /// Access one switch (diagnostics, per-ingress queries).
+    pub fn switch(&self, i: usize) -> (&FlyMon, TaskHandle) {
+        (&self.switches[i], self.handles[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flymon_packet::KeySpec;
+    use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+    fn config() -> FlyMonConfig {
+        FlyMonConfig {
+            groups: 2,
+            buckets_per_cmu: 16384,
+            ..FlyMonConfig::default()
+        }
+    }
+
+    fn trace() -> Vec<Packet> {
+        TraceGenerator::new(44).wide_like(&TraceConfig {
+            flows: 3_000,
+            packets: 60_000,
+            zipf_alpha: 1.1,
+            duration_ns: 1_000_000_000,
+            seed: 44,
+        })
+    }
+
+    #[test]
+    fn merged_frequency_equals_single_switch_exactly() {
+        // Linearity: a 4-switch fleet over a split trace must produce
+        // byte-identical merged registers to one switch over the whole
+        // trace.
+        let def = TaskDefinition::builder("freq")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 3 })
+            .memory(8192)
+            .build();
+        let t = trace();
+
+        let mut fleet = SwitchFleet::deploy(4, config(), &def).unwrap();
+        fleet.process_trace(&t);
+
+        let mut single = FlyMon::new(config());
+        let h = single.deploy(&def).unwrap();
+        single.process_trace(&t);
+
+        let mut checked = 0;
+        let mut seen = std::collections::HashSet::new();
+        for p in &t {
+            if !seen.insert(KeySpec::SRC_IP.extract(p)) {
+                continue;
+            }
+            assert_eq!(
+                fleet.merged_frequency(p).unwrap(),
+                single.query_frequency(h, p),
+                "merged and single-switch estimates diverged"
+            );
+            checked += 1;
+            if checked > 500 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn merged_cardinality_tracks_union() {
+        let def = TaskDefinition::builder("card")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+            .algorithm(Algorithm::Hll)
+            .memory(2048)
+            .build();
+        let mut fleet = SwitchFleet::deploy(3, config(), &def).unwrap();
+        let n = 20_000u32;
+        for i in 0..n {
+            fleet.process((i % 3) as usize, &Packet::udp(i, 9, 1, 53));
+        }
+        let est = fleet.merged_cardinality().unwrap();
+        let err = (est - f64::from(n)).abs() / f64::from(n);
+        assert!(err < 0.1, "merged estimate {est:.0} (err {err:.3})");
+        // Each single switch saw only a third.
+        let (fm, h) = fleet.switch(0);
+        assert!(fm.cardinality(h) < est * 0.5);
+    }
+
+    #[test]
+    fn merged_existence_unions_the_fleet() {
+        let def = TaskDefinition::builder("bl")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+            .memory(8192)
+            .build();
+        let mut fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
+        let on_a = Packet::tcp(1, 2, 3, 4);
+        let on_b = Packet::tcp(5, 6, 7, 8);
+        fleet.process(0, &on_a);
+        fleet.process(1, &on_b);
+        assert!(fleet.merged_exists(&on_a).unwrap());
+        assert!(fleet.merged_exists(&on_b).unwrap());
+        assert!(!fleet.merged_exists(&Packet::tcp(9, 9, 9, 9)).unwrap());
+    }
+
+    #[test]
+    fn mismatched_queries_are_rejected() {
+        let def = TaskDefinition::builder("freq")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 1 })
+            .memory(1024)
+            .build();
+        let fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
+        assert!(fleet.merged_cardinality().is_err());
+        assert!(fleet.merged_exists(&Packet::tcp(1, 2, 3, 4)).is_err());
+    }
+}

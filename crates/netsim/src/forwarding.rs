@@ -1,0 +1,214 @@
+//! Figure 12a: impact of reconfiguration on traffic forwarding.
+//!
+//! The model: 12 iPerf-like server–client pairs push TCP traffic whose
+//! aggregate goodput wanders between 80 and 93 Gbps (TCP dynamics are
+//! modeled as a bounded random walk — the paper's own plot shows exactly
+//! that band). Reconfiguration events fire every 10 s:
+//!
+//! - **FlyMon** installs runtime rules; the install takes milliseconds
+//!   and the data plane keeps forwarding — throughput is unaffected.
+//! - **Static** reloads the P4 program; the pipeline goes down for
+//!   4–8 s per reload (§5.1). The Static baseline also applies the
+//!   paper's two optimizations: deletions are skipped, and consecutive
+//!   critical events are batched into a single reload.
+//! - **Bare** runs no measurement at all (the control curve).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The three data planes Figure 12a compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentStyle {
+    /// No measurement functions at all.
+    Bare,
+    /// FlyMon: reconfiguration via runtime rules.
+    FlyMon,
+    /// Static: reconfiguration via P4 reload (with the paper's two
+    /// optimizations: skip deletions, batch critical events).
+    Static,
+}
+
+/// One reconfiguration event in the experiment timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigEvent {
+    /// Deploy a new measurement task.
+    AddTask,
+    /// Remove a task (non-critical: Static skips it).
+    DeleteTask,
+    /// Change a task's memory allocation.
+    Reallocate,
+}
+
+impl ReconfigEvent {
+    /// Whether the static baseline must reload the pipeline for this
+    /// event ("no reconfiguration when there is a task deletion event
+    /// because it is not critical", §5.1).
+    pub fn critical(self) -> bool {
+        !matches!(self, ReconfigEvent::DeleteTask)
+    }
+}
+
+/// Experiment configuration (defaults reproduce the paper's setup).
+#[derive(Debug, Clone)]
+pub struct ForwardingConfig {
+    /// Total experiment duration in seconds (paper: 100 s).
+    pub duration_s: f64,
+    /// Sampling period of the throughput curve in seconds.
+    pub sample_period_s: f64,
+    /// The event timeline: `(time_s, event)` pairs (paper: e1..e9, one
+    /// every 10 s).
+    pub events: Vec<(f64, ReconfigEvent)>,
+    /// Throughput band floor in Gbps (paper: ~80).
+    pub min_gbps: f64,
+    /// Throughput band ceiling in Gbps (paper: ~93).
+    pub max_gbps: f64,
+    /// RNG seed for the TCP random walk and outage lengths.
+    pub seed: u64,
+}
+
+impl Default for ForwardingConfig {
+    fn default() -> Self {
+        use ReconfigEvent::*;
+        // e1..e9 every 10 s: a mix of adds, reallocations and deletes.
+        let kinds = [
+            AddTask, AddTask, Reallocate, DeleteTask, AddTask, Reallocate, DeleteTask, AddTask,
+            Reallocate,
+        ];
+        ForwardingConfig {
+            duration_s: 100.0,
+            sample_period_s: 0.5,
+            events: kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| ((i as f64 + 1.0) * 10.0, k))
+                .collect(),
+            min_gbps: 80.0,
+            max_gbps: 93.0,
+            seed: 12,
+        }
+    }
+}
+
+/// One point of the throughput timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputSample {
+    /// Sample time in seconds.
+    pub time_s: f64,
+    /// Aggregate server-side goodput in Gbps.
+    pub gbps: f64,
+}
+
+/// Runs the forwarding simulation for one deployment style.
+pub fn run_forwarding(style: DeploymentStyle, config: &ForwardingConfig) -> Vec<ThroughputSample> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    // Outage windows for the static baseline: 4-8 s per critical
+    // reload, with consecutive critical events batched when their
+    // windows would overlap.
+    let mut outages: Vec<(f64, f64)> = Vec::new();
+    if style == DeploymentStyle::Static {
+        // The paper's second optimization: "batch two critical events
+        // (i.e., add, reallocation) to a single reconfiguration" — the
+        // reload is deferred until the second event of each pair.
+        let critical: Vec<f64> = config
+            .events
+            .iter()
+            .filter(|(_, e)| e.critical())
+            .map(|&(t, _)| t)
+            .collect();
+        for pair in critical.chunks(2) {
+            let t = *pair.last().unwrap();
+            let len = rng.gen_range(4.0..8.0);
+            match outages.last_mut() {
+                // Still merge if a previous outage runs into this one.
+                Some((_, end)) if *end >= t => {
+                    *end = (t + len).max(*end);
+                }
+                _ => outages.push((t, t + len)),
+            }
+        }
+    }
+
+    let mut samples = Vec::new();
+    let mut level = (config.min_gbps + config.max_gbps) / 2.0;
+    let mut t = 0.0;
+    while t <= config.duration_s {
+        // Bounded random walk inside the TCP band.
+        level += rng.gen_range(-2.0..2.0);
+        level = level.clamp(config.min_gbps, config.max_gbps);
+        let mut gbps = level;
+
+        // FlyMon's reconfigurations are millisecond-scale rule installs:
+        // invisible at the 0.5 s sampling period. Static outages zero
+        // the goodput (TCP stalls while the pipeline reloads).
+        if outages.iter().any(|&(s, e)| t >= s && t < e) {
+            gbps = 0.0;
+        }
+        samples.push(ThroughputSample { time_s: t, gbps });
+        t += config.sample_period_s;
+    }
+    samples
+}
+
+/// Seconds of (near-)zero throughput in a timeline — the outage total.
+pub fn outage_seconds(samples: &[ThroughputSample], period_s: f64) -> f64 {
+    samples.iter().filter(|s| s.gbps < 1.0).count() as f64 * period_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flymon_never_interrupts_traffic() {
+        let cfg = ForwardingConfig::default();
+        for style in [DeploymentStyle::FlyMon, DeploymentStyle::Bare] {
+            let samples = run_forwarding(style, &cfg);
+            assert!(
+                samples.iter().all(|s| s.gbps >= cfg.min_gbps - 1e-9),
+                "{style:?} dipped below the TCP band"
+            );
+        }
+    }
+
+    #[test]
+    fn static_outages_are_4_to_8_seconds_each() {
+        let cfg = ForwardingConfig::default();
+        let samples = run_forwarding(DeploymentStyle::Static, &cfg);
+        let outage = outage_seconds(&samples, cfg.sample_period_s);
+        // Default timeline: 7 critical events; batching may merge some.
+        let critical = cfg.events.iter().filter(|(_, e)| e.critical()).count() as f64;
+        assert!(outage >= 4.0, "at least one reload outage: {outage}");
+        assert!(
+            outage <= critical * 8.0,
+            "outage {outage} exceeds worst case"
+        );
+    }
+
+    #[test]
+    fn deletions_are_skipped_by_static() {
+        let cfg = ForwardingConfig {
+            events: vec![(10.0, ReconfigEvent::DeleteTask)],
+            ..ForwardingConfig::default()
+        };
+        let samples = run_forwarding(DeploymentStyle::Static, &cfg);
+        assert_eq!(outage_seconds(&samples, cfg.sample_period_s), 0.0);
+    }
+
+    #[test]
+    fn throughput_stays_in_band() {
+        let cfg = ForwardingConfig::default();
+        let samples = run_forwarding(DeploymentStyle::Bare, &cfg);
+        assert!(samples
+            .iter()
+            .all(|s| s.gbps >= 80.0 && s.gbps <= 93.0));
+        assert_eq!(samples.len(), 201); // 100s at 0.5s period, inclusive
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ForwardingConfig::default();
+        let a = run_forwarding(DeploymentStyle::Static, &cfg);
+        let b = run_forwarding(DeploymentStyle::Static, &cfg);
+        assert_eq!(a, b);
+    }
+}

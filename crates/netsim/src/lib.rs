@@ -1,0 +1,29 @@
+//! Switch-level simulation: the system experiments of §5.1.
+//!
+//! Two simulations substitute for the paper's hardware testbed
+//! (Tofino + two iPerf servers on 100 Gbps NICs):
+//!
+//! - [`forwarding`]: the Figure 12a experiment — a switch forwarding
+//!   ~80–93 Gbps of TCP traffic while reconfiguration events fire every
+//!   10 s. FlyMon reconfigures by installing runtime rules (zero traffic
+//!   impact, millisecond-scale); the *Static* baseline reloads the P4
+//!   pipeline, interrupting traffic for 4–8 s.
+//! - [`epochs`]: the Figure 12b experiment — a 20-epoch accuracy
+//!   timeline with a flow spike, task insertion/removal and on-the-fly
+//!   memory reallocation, comparing FlyMon against a statically
+//!   provisioned sketch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epochs;
+pub mod fleet;
+pub mod forwarding;
+pub mod runner;
+
+pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};
+pub use fleet::SwitchFleet;
+pub use runner::run_epochs;
+pub use forwarding::{
+    run_forwarding, DeploymentStyle, ForwardingConfig, ReconfigEvent, ThroughputSample,
+};

@@ -1,0 +1,470 @@
+//! Flow keys: any partial key of the candidate key set.
+
+use crate::{fmt_ipv4, HeaderField, Packet};
+
+/// Maximum serialized key length in bytes: SrcIP(4) + DstIP(4) + ports(2+2)
+/// + protocol(1) + timestamp(4) = 17, rounded up for alignment headroom.
+pub const MAX_KEY_BYTES: usize = 20;
+
+/// Canonical byte serialization of an extracted flow key.
+///
+/// Inline, fixed-capacity buffer: extraction never allocates. Fields are
+/// serialized big-endian in the canonical order of [`HeaderField::ALL`];
+/// masked-out prefix bits are zeroed *and* the serialization length is
+/// fixed per `KeySpec`, so two packets collide on bytes iff they agree on
+/// the selected key bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKeyBytes {
+    buf: [u8; MAX_KEY_BYTES],
+    len: u8,
+}
+
+impl FlowKeyBytes {
+    /// Empty key (matches the paper's `N/A` key for single-key tasks such
+    /// as cardinality, where every packet maps to the same logical flow).
+    pub const EMPTY: FlowKeyBytes = FlowKeyBytes {
+        buf: [0; MAX_KEY_BYTES],
+        len: 0,
+    };
+
+    fn push_u32(&mut self, v: u32) {
+        let l = self.len as usize;
+        self.buf[l..l + 4].copy_from_slice(&v.to_be_bytes());
+        self.len += 4;
+    }
+
+    fn push_u16(&mut self, v: u16) {
+        let l = self.len as usize;
+        self.buf[l..l + 2].copy_from_slice(&v.to_be_bytes());
+        self.len += 2;
+    }
+
+    fn push_u8(&mut self, v: u8) {
+        self.buf[self.len as usize] = v;
+        self.len += 1;
+    }
+
+    /// The serialized key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// True when no field is selected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl AsRef<[u8]> for FlowKeyBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+/// A *partial key* over the candidate key set (§2.1, §3.1.1).
+///
+/// A `KeySpec` selects which header fields participate in the flow key.
+/// Address fields carry a prefix length so `SrcIP/24`-style keys are first
+/// class. A `KeySpec` with all fields deselected is the `N/A` key used by
+/// single-key tasks (flow cardinality): every packet belongs to one flow.
+///
+/// ```
+/// use flymon_packet::{KeySpec, Packet};
+/// let k = KeySpec::IP_PAIR;
+/// let a = k.extract(&Packet::tcp(0x0a000001, 0x0a000002, 5, 6));
+/// let b = k.extract(&Packet::tcp(0x0a000001, 0x0a000002, 7, 8));
+/// assert_eq!(a, b); // ports are not part of the IP-pair key
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeySpec {
+    /// Number of SrcIP prefix bits included (0 = field absent, 32 = full).
+    pub src_ip_prefix: u8,
+    /// Number of DstIP prefix bits included (0 = field absent, 32 = full).
+    pub dst_ip_prefix: u8,
+    /// Include the source port.
+    pub src_port: bool,
+    /// Include the destination port.
+    pub dst_port: bool,
+    /// Include the protocol number.
+    pub protocol: bool,
+    /// Include the (µs-quantized) ingress timestamp.
+    pub timestamp: bool,
+}
+
+impl KeySpec {
+    /// The empty (`N/A`) key: all packets fall into a single flow.
+    pub const NONE: KeySpec = KeySpec {
+        src_ip_prefix: 0,
+        dst_ip_prefix: 0,
+        src_port: false,
+        dst_port: false,
+        protocol: false,
+        timestamp: false,
+    };
+
+    /// Full 32-bit source address.
+    pub const SRC_IP: KeySpec = KeySpec {
+        src_ip_prefix: 32,
+        ..KeySpec::NONE
+    };
+
+    /// Full 32-bit destination address.
+    pub const DST_IP: KeySpec = KeySpec {
+        dst_ip_prefix: 32,
+        ..KeySpec::NONE
+    };
+
+    /// Source–destination address pair.
+    pub const IP_PAIR: KeySpec = KeySpec {
+        src_ip_prefix: 32,
+        dst_ip_prefix: 32,
+        ..KeySpec::NONE
+    };
+
+    /// SrcIP + SrcPort (e.g. per-endpoint tasks).
+    pub const SRC_IP_SRC_PORT: KeySpec = KeySpec {
+        src_ip_prefix: 32,
+        src_port: true,
+        ..KeySpec::NONE
+    };
+
+    /// The classic 5-tuple.
+    pub const FIVE_TUPLE: KeySpec = KeySpec {
+        src_ip_prefix: 32,
+        dst_ip_prefix: 32,
+        src_port: true,
+        dst_port: true,
+        protocol: true,
+        timestamp: false,
+    };
+
+    /// Source prefix key, e.g. `KeySpec::src_ip_slash(24)` for `SrcIP/24`.
+    ///
+    /// # Panics
+    /// Panics if `bits > 32`.
+    pub const fn src_ip_slash(bits: u8) -> KeySpec {
+        assert!(bits <= 32);
+        KeySpec {
+            src_ip_prefix: bits,
+            ..KeySpec::NONE
+        }
+    }
+
+    /// Destination prefix key, e.g. `KeySpec::dst_ip_slash(16)`.
+    ///
+    /// # Panics
+    /// Panics if `bits > 32`.
+    pub const fn dst_ip_slash(bits: u8) -> KeySpec {
+        assert!(bits <= 32);
+        KeySpec {
+            dst_ip_prefix: bits,
+            ..KeySpec::NONE
+        }
+    }
+
+    /// Returns the fields this key touches, in canonical order.
+    pub fn fields(&self) -> Vec<HeaderField> {
+        let mut out = Vec::new();
+        if self.src_ip_prefix > 0 {
+            out.push(HeaderField::SrcIp);
+        }
+        if self.dst_ip_prefix > 0 {
+            out.push(HeaderField::DstIp);
+        }
+        if self.src_port {
+            out.push(HeaderField::SrcPort);
+        }
+        if self.dst_port {
+            out.push(HeaderField::DstPort);
+        }
+        if self.protocol {
+            out.push(HeaderField::Protocol);
+        }
+        if self.timestamp {
+            out.push(HeaderField::Timestamp);
+        }
+        out
+    }
+
+    /// Width of the selected key in bits (prefix bits count as their
+    /// prefix length, exactly the "PHV copy" cost of the naive strategy in
+    /// §3.1.1).
+    pub fn width_bits(&self) -> u32 {
+        let mut bits = u32::from(self.src_ip_prefix) + u32::from(self.dst_ip_prefix);
+        if self.src_port {
+            bits += 16;
+        }
+        if self.dst_port {
+            bits += 16;
+        }
+        if self.protocol {
+            bits += 8;
+        }
+        if self.timestamp {
+            bits += 32;
+        }
+        bits
+    }
+
+    /// True when no field is selected (the `N/A` key).
+    pub fn is_empty(&self) -> bool {
+        self.width_bits() == 0
+    }
+
+    /// True when every field selected by `other` is also selected by
+    /// `self` with at least the same prefix length. A CMU whose hash units
+    /// are configured for `self`'s fields can derive `other` by masking.
+    pub fn covers(&self, other: &KeySpec) -> bool {
+        self.src_ip_prefix >= other.src_ip_prefix
+            && self.dst_ip_prefix >= other.dst_ip_prefix
+            && (self.src_port || !other.src_port)
+            && (self.dst_port || !other.dst_port)
+            && (self.protocol || !other.protocol)
+            && (self.timestamp || !other.timestamp)
+    }
+
+    /// Merges two keys whose field sets are disjoint; `None` if any field
+    /// overlaps. This is the key algebra behind XOR composition of
+    /// compressed keys (§3.1.1: `C(SrcIP) ⊕ C(DstIP)` realizes the
+    /// IP-pair key).
+    pub fn merge_disjoint(&self, other: &KeySpec) -> Option<KeySpec> {
+        let overlap = (self.src_ip_prefix > 0 && other.src_ip_prefix > 0)
+            || (self.dst_ip_prefix > 0 && other.dst_ip_prefix > 0)
+            || (self.src_port && other.src_port)
+            || (self.dst_port && other.dst_port)
+            || (self.protocol && other.protocol)
+            || (self.timestamp && other.timestamp);
+        if overlap {
+            return None;
+        }
+        Some(KeySpec {
+            src_ip_prefix: self.src_ip_prefix.max(other.src_ip_prefix),
+            dst_ip_prefix: self.dst_ip_prefix.max(other.dst_ip_prefix),
+            src_port: self.src_port || other.src_port,
+            dst_port: self.dst_port || other.dst_port,
+            protocol: self.protocol || other.protocol,
+            timestamp: self.timestamp || other.timestamp,
+        })
+    }
+
+    /// Serializes the selected key bits of `pkt` into canonical bytes.
+    ///
+    /// Prefix-masked addresses zero their host bits, so `SrcIP/24` keys of
+    /// `10.0.0.1` and `10.0.0.2` serialize identically.
+    pub fn extract(&self, pkt: &Packet) -> FlowKeyBytes {
+        let mut out = FlowKeyBytes::EMPTY;
+        if self.src_ip_prefix > 0 {
+            out.push_u32(mask_prefix(pkt.src_ip, self.src_ip_prefix));
+        }
+        if self.dst_ip_prefix > 0 {
+            out.push_u32(mask_prefix(pkt.dst_ip, self.dst_ip_prefix));
+        }
+        if self.src_port {
+            out.push_u16(pkt.src_port);
+        }
+        if self.dst_port {
+            out.push_u16(pkt.dst_port);
+        }
+        if self.protocol {
+            out.push_u8(pkt.protocol);
+        }
+        if self.timestamp {
+            out.push_u32(HeaderField::Timestamp.read(pkt));
+        }
+        out
+    }
+
+    /// Human-readable name, e.g. `SrcIP/24+DstPort`.
+    pub fn describe(&self) -> String {
+        if self.is_empty() {
+            return "N/A".to_string();
+        }
+        let mut parts = Vec::new();
+        match self.src_ip_prefix {
+            0 => {}
+            32 => parts.push("SrcIP".to_string()),
+            n => parts.push(format!("SrcIP/{n}")),
+        }
+        match self.dst_ip_prefix {
+            0 => {}
+            32 => parts.push("DstIP".to_string()),
+            n => parts.push(format!("DstIP/{n}")),
+        }
+        if self.src_port {
+            parts.push("SrcPort".to_string());
+        }
+        if self.dst_port {
+            parts.push("DstPort".to_string());
+        }
+        if self.protocol {
+            parts.push("Proto".to_string());
+        }
+        if self.timestamp {
+            parts.push("Ts".to_string());
+        }
+        parts.join("+")
+    }
+
+    /// Renders the concrete key value of a packet for reports
+    /// (e.g. `10.0.0.0/8` or `10.0.0.1->192.168.0.1`).
+    pub fn render(&self, pkt: &Packet) -> String {
+        if self.is_empty() {
+            return "*".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.src_ip_prefix > 0 {
+            let ip = fmt_ipv4(mask_prefix(pkt.src_ip, self.src_ip_prefix));
+            if self.src_ip_prefix == 32 {
+                parts.push(ip);
+            } else {
+                parts.push(format!("{ip}/{}", self.src_ip_prefix));
+            }
+        }
+        if self.dst_ip_prefix > 0 {
+            let ip = fmt_ipv4(mask_prefix(pkt.dst_ip, self.dst_ip_prefix));
+            if self.dst_ip_prefix == 32 {
+                parts.push(format!("->{ip}"));
+            } else {
+                parts.push(format!("->{ip}/{}", self.dst_ip_prefix));
+            }
+        }
+        if self.src_port {
+            parts.push(format!(":{}", pkt.src_port));
+        }
+        if self.dst_port {
+            parts.push(format!(":{}", pkt.dst_port));
+        }
+        if self.protocol {
+            parts.push(format!("p{}", pkt.protocol));
+        }
+        if self.timestamp {
+            parts.push(format!("t{}", HeaderField::Timestamp.read(pkt)));
+        }
+        parts.concat()
+    }
+}
+
+/// Keeps the top `bits` bits of `v`, zeroing the rest.
+pub(crate) fn mask_prefix(v: u32, bits: u8) -> u32 {
+    match bits {
+        0 => 0,
+        b if b >= 32 => v,
+        b => v & (u32::MAX << (32 - b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+
+    fn pkt() -> Packet {
+        PacketBuilder::new()
+            .src_ip(0x0a010203) // 10.1.2.3
+            .dst_ip(0xc0a80001) // 192.168.0.1
+            .src_port(1000)
+            .dst_port(80)
+            .protocol(6)
+            .ts_ns(5_000)
+            .build()
+    }
+
+    #[test]
+    fn mask_prefix_edges() {
+        assert_eq!(mask_prefix(0xffff_ffff, 0), 0);
+        assert_eq!(mask_prefix(0xffff_ffff, 32), 0xffff_ffff);
+        assert_eq!(mask_prefix(0xffff_ffff, 8), 0xff00_0000);
+        assert_eq!(mask_prefix(0x0a010203, 24), 0x0a010200);
+    }
+
+    #[test]
+    fn five_tuple_width_is_104_bits() {
+        assert_eq!(KeySpec::FIVE_TUPLE.width_bits(), 104);
+    }
+
+    #[test]
+    fn empty_key_maps_everything_together() {
+        let k = KeySpec::NONE;
+        assert!(k.is_empty());
+        let a = k.extract(&pkt());
+        let b = k.extract(&Packet::udp(9, 9, 9, 9));
+        assert_eq!(a, b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn prefix_key_groups_subnets() {
+        let k = KeySpec::src_ip_slash(24);
+        let a = k.extract(&Packet::tcp(0x0a010203, 1, 1, 1));
+        let b = k.extract(&Packet::tcp(0x0a0102ff, 2, 2, 2));
+        let c = k.extract(&Packet::tcp(0x0a010303, 1, 1, 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extraction_is_canonical_and_injective_on_selected_bits() {
+        let k = KeySpec::FIVE_TUPLE;
+        let a = k.extract(&pkt());
+        assert_eq!(a.as_bytes().len(), 13); // 4+4+2+2+1
+        let mut other = pkt();
+        other.src_port += 1;
+        assert_ne!(a, k.extract(&other));
+        // Unselected fields must not perturb the key.
+        let mut len_changed = pkt();
+        len_changed.len = 1500;
+        assert_eq!(a, k.extract(&len_changed));
+    }
+
+    #[test]
+    fn covers_relation() {
+        assert!(KeySpec::FIVE_TUPLE.covers(&KeySpec::SRC_IP));
+        assert!(KeySpec::SRC_IP.covers(&KeySpec::src_ip_slash(24)));
+        assert!(!KeySpec::src_ip_slash(24).covers(&KeySpec::SRC_IP));
+        assert!(!KeySpec::DST_IP.covers(&KeySpec::SRC_IP));
+        assert!(KeySpec::IP_PAIR.covers(&KeySpec::IP_PAIR));
+    }
+
+    #[test]
+    fn describe_and_render() {
+        assert_eq!(KeySpec::NONE.describe(), "N/A");
+        assert_eq!(KeySpec::IP_PAIR.describe(), "SrcIP+DstIP");
+        assert_eq!(KeySpec::src_ip_slash(24).describe(), "SrcIP/24");
+        assert_eq!(KeySpec::src_ip_slash(24).render(&pkt()), "10.1.2.0/24");
+        assert_eq!(KeySpec::IP_PAIR.render(&pkt()), "10.1.2.3->192.168.0.1");
+    }
+
+    #[test]
+    fn merge_disjoint_composes_ip_pair() {
+        let merged = KeySpec::SRC_IP.merge_disjoint(&KeySpec::DST_IP).unwrap();
+        assert_eq!(merged, KeySpec::IP_PAIR);
+        // Overlapping fields refuse to merge.
+        assert!(KeySpec::SRC_IP.merge_disjoint(&KeySpec::SRC_IP).is_none());
+        assert!(KeySpec::IP_PAIR.merge_disjoint(&KeySpec::DST_IP).is_none());
+        // Prefixes count as the field being present.
+        assert!(KeySpec::src_ip_slash(8)
+            .merge_disjoint(&KeySpec::src_ip_slash(24))
+            .is_none());
+        // Empty key is the identity.
+        assert_eq!(
+            KeySpec::NONE.merge_disjoint(&KeySpec::FIVE_TUPLE),
+            Some(KeySpec::FIVE_TUPLE)
+        );
+    }
+
+    #[test]
+    fn timestamp_key_quantizes_to_microseconds() {
+        let k = KeySpec {
+            timestamp: true,
+            ..KeySpec::NONE
+        };
+        let mut a = pkt();
+        a.ts_ns = 1_000;
+        let mut b = pkt();
+        b.ts_ns = 1_999;
+        let mut c = pkt();
+        c.ts_ns = 2_000;
+        assert_eq!(k.extract(&a), k.extract(&b));
+        assert_ne!(k.extract(&a), k.extract(&c));
+    }
+}

@@ -1,0 +1,197 @@
+//! The packet abstraction seen by the measurement data plane.
+
+use crate::Ipv4;
+
+/// One packet as observed by the switch data plane.
+///
+/// This is the *parsed* view: the 5-tuple header fields plus the standard
+/// metadata FlyMon's initialization stage can select as attribute
+/// parameters (§3.2: "The parameters can be constant values or standard
+/// metadata such as packet size, timestamp, queue length, and delay").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// IPv4 source address (host byte order).
+    pub src_ip: Ipv4,
+    /// IPv4 destination address (host byte order).
+    pub dst_ip: Ipv4,
+    /// Transport-layer source port (0 for protocols without ports).
+    pub src_port: u16,
+    /// Transport-layer destination port (0 for protocols without ports).
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP, ...).
+    pub protocol: u8,
+    /// Total packet length in bytes (used by `Frequency(PktBytes)` tasks).
+    pub len: u16,
+    /// Ingress timestamp in nanoseconds since the start of the trace.
+    pub ts_ns: u64,
+    /// Egress queue occupancy in cells when this packet was enqueued
+    /// (used by congestion detection: `Max(QueueLen)`).
+    pub queue_len: u32,
+    /// Queuing delay experienced by this packet in nanoseconds
+    /// (used by HOL-blocking detection: `Max(QueueDelay)`).
+    pub queue_delay_ns: u32,
+}
+
+impl Packet {
+    /// Creates a TCP packet with the given 5-tuple and defaults for the
+    /// remaining fields. Primarily for tests and examples.
+    pub fn tcp(src_ip: Ipv4, dst_ip: Ipv4, src_port: u16, dst_port: u16) -> Self {
+        PacketBuilder::new()
+            .src_ip(src_ip)
+            .dst_ip(dst_ip)
+            .src_port(src_port)
+            .dst_port(dst_port)
+            .protocol(6)
+            .build()
+    }
+
+    /// Creates a UDP packet with the given 5-tuple and defaults for the
+    /// remaining fields.
+    pub fn udp(src_ip: Ipv4, dst_ip: Ipv4, src_port: u16, dst_port: u16) -> Self {
+        PacketBuilder::new()
+            .src_ip(src_ip)
+            .dst_ip(dst_ip)
+            .src_port(src_port)
+            .dst_port(dst_port)
+            .protocol(17)
+            .build()
+    }
+}
+
+/// Builder for [`Packet`]; every field has a sensible default so tests and
+/// generators only set what they care about.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketBuilder {
+    pkt: Packet,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuilder {
+    /// Starts from an all-defaults packet: zero addresses/ports, TCP,
+    /// 64-byte frame at t = 0 with an empty queue.
+    pub fn new() -> Self {
+        Self {
+            pkt: Packet {
+                src_ip: 0,
+                dst_ip: 0,
+                src_port: 0,
+                dst_port: 0,
+                protocol: 6,
+                len: 64,
+                ts_ns: 0,
+                queue_len: 0,
+                queue_delay_ns: 0,
+            },
+        }
+    }
+
+    /// Sets the source IPv4 address.
+    pub fn src_ip(mut self, v: Ipv4) -> Self {
+        self.pkt.src_ip = v;
+        self
+    }
+
+    /// Sets the destination IPv4 address.
+    pub fn dst_ip(mut self, v: Ipv4) -> Self {
+        self.pkt.dst_ip = v;
+        self
+    }
+
+    /// Sets the source port.
+    pub fn src_port(mut self, v: u16) -> Self {
+        self.pkt.src_port = v;
+        self
+    }
+
+    /// Sets the destination port.
+    pub fn dst_port(mut self, v: u16) -> Self {
+        self.pkt.dst_port = v;
+        self
+    }
+
+    /// Sets the IP protocol number.
+    pub fn protocol(mut self, v: u8) -> Self {
+        self.pkt.protocol = v;
+        self
+    }
+
+    /// Sets the packet length in bytes.
+    pub fn len(mut self, v: u16) -> Self {
+        self.pkt.len = v;
+        self
+    }
+
+    /// Sets the ingress timestamp in nanoseconds.
+    pub fn ts_ns(mut self, v: u64) -> Self {
+        self.pkt.ts_ns = v;
+        self
+    }
+
+    /// Sets the queue occupancy metadata.
+    pub fn queue_len(mut self, v: u32) -> Self {
+        self.pkt.queue_len = v;
+        self
+    }
+
+    /// Sets the queuing-delay metadata in nanoseconds.
+    pub fn queue_delay_ns(mut self, v: u32) -> Self {
+        self.pkt.queue_delay_ns = v;
+        self
+    }
+
+    /// Finalizes the packet.
+    pub fn build(self) -> Packet {
+        self.pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let p = PacketBuilder::new().build();
+        assert_eq!(p.protocol, 6);
+        assert_eq!(p.len, 64);
+        assert_eq!(p.ts_ns, 0);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let p = PacketBuilder::new()
+            .src_ip(0x0a000001)
+            .dst_ip(0x0a000002)
+            .src_port(1234)
+            .dst_port(80)
+            .protocol(17)
+            .len(1500)
+            .ts_ns(42)
+            .queue_len(7)
+            .queue_delay_ns(99)
+            .build();
+        assert_eq!(p.src_ip, 0x0a000001);
+        assert_eq!(p.dst_ip, 0x0a000002);
+        assert_eq!(p.src_port, 1234);
+        assert_eq!(p.dst_port, 80);
+        assert_eq!(p.protocol, 17);
+        assert_eq!(p.len, 1500);
+        assert_eq!(p.ts_ns, 42);
+        assert_eq!(p.queue_len, 7);
+        assert_eq!(p.queue_delay_ns, 99);
+    }
+
+    #[test]
+    fn tcp_and_udp_shorthands() {
+        let t = Packet::tcp(1, 2, 3, 4);
+        assert_eq!(t.protocol, 6);
+        let u = Packet::udp(1, 2, 3, 4);
+        assert_eq!(u.protocol, 17);
+        assert_eq!((u.src_ip, u.dst_ip, u.src_port, u.dst_port), (1, 2, 3, 4));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the flow-key algebra.
+
+use flymon_packet::{KeySpec, Packet, PacketBuilder, PrefixFilter, TaskFilter};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u16>(),
+        0u64..10_000_000_000,
+    )
+        .prop_map(|(s, d, sp, dp, proto, len, ts)| {
+            PacketBuilder::new()
+                .src_ip(s)
+                .dst_ip(d)
+                .src_port(sp)
+                .dst_port(dp)
+                .protocol(proto)
+                .len(len)
+                .ts_ns(ts)
+                .build()
+        })
+}
+
+fn arb_keyspec() -> impl Strategy<Value = KeySpec> {
+    (
+        0u8..=32,
+        0u8..=32,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(s, d, sp, dp, pr, ts)| KeySpec {
+            src_ip_prefix: s,
+            dst_ip_prefix: d,
+            src_port: sp,
+            dst_port: dp,
+            protocol: pr,
+            timestamp: ts,
+        })
+}
+
+proptest! {
+    /// Two packets extract equal keys iff they agree on every selected
+    /// field bit — the byte serialization is canonical.
+    #[test]
+    fn extraction_is_canonical(key in arb_keyspec(), a in arb_packet(), b in arb_packet()) {
+        let mask = |v: u32, bits: u8| if bits == 0 { 0 } else { v & (u32::MAX << (32 - bits)) };
+        let agree = mask(a.src_ip, key.src_ip_prefix) == mask(b.src_ip, key.src_ip_prefix)
+            && mask(a.dst_ip, key.dst_ip_prefix) == mask(b.dst_ip, key.dst_ip_prefix)
+            && (!key.src_port || a.src_port == b.src_port)
+            && (!key.dst_port || a.dst_port == b.dst_port)
+            && (!key.protocol || a.protocol == b.protocol)
+            && (!key.timestamp || a.ts_ns / 1_000 == b.ts_ns / 1_000);
+        prop_assert_eq!(key.extract(&a) == key.extract(&b), agree);
+    }
+
+    /// A covering key always distinguishes at least as much as the
+    /// covered key: equal fine keys imply equal coarse keys.
+    #[test]
+    fn coarser_keys_merge_flows(a in arb_packet(), b in arb_packet(), bits in 0u8..=32) {
+        let fine = KeySpec::SRC_IP;
+        let coarse = KeySpec::src_ip_slash(bits);
+        if fine.extract(&a) == fine.extract(&b) {
+            prop_assert_eq!(coarse.extract(&a), coarse.extract(&b));
+        }
+    }
+
+    /// Key width equals serialized length semantics: width 0 iff empty.
+    #[test]
+    fn width_and_emptiness_agree(key in arb_keyspec(), p in arb_packet()) {
+        prop_assert_eq!(key.width_bits() == 0, key.is_empty());
+        prop_assert_eq!(key.extract(&p).is_empty(), key.is_empty());
+    }
+
+    /// merge_disjoint, when it succeeds, covers both parts and has the
+    /// summed width.
+    #[test]
+    fn merge_disjoint_is_a_union(a in arb_keyspec(), b in arb_keyspec()) {
+        if let Some(m) = a.merge_disjoint(&b) {
+            prop_assert!(m.covers(&a));
+            prop_assert!(m.covers(&b));
+            prop_assert_eq!(m.width_bits(), a.width_bits() + b.width_bits());
+        }
+    }
+
+    /// Splitting a filter partitions its traffic: every packet matching
+    /// the parent matches exactly one child.
+    #[test]
+    fn filter_split_partitions(net in any::<u32>(), bits in 0u8..32, p in arb_packet()) {
+        let parent = TaskFilter {
+            src: PrefixFilter::new(net, bits),
+            dst: PrefixFilter::ANY,
+        };
+        let (lo, hi) = parent.split().unwrap();
+        if parent.matches(&p) {
+            prop_assert!(lo.matches(&p) ^ hi.matches(&p));
+        } else {
+            prop_assert!(!lo.matches(&p) && !hi.matches(&p));
+        }
+    }
+
+    /// Prefix intersection is exactly containment of one in the other.
+    #[test]
+    fn prefix_intersection_symmetric(
+        a_net in any::<u32>(), a_bits in 0u8..=32,
+        b_net in any::<u32>(), b_bits in 0u8..=32,
+    ) {
+        let a = PrefixFilter::new(a_net, a_bits);
+        let b = PrefixFilter::new(b_net, b_bits);
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        // Intersecting prefixes share their shorter prefix.
+        if a.intersects(&b) {
+            let bits = a_bits.min(b_bits);
+            prop_assert_eq!(
+                PrefixFilter::new(a.net, bits).net,
+                PrefixFilter::new(b.net, bits).net
+            );
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Hash units: CRC-based 32-bit digests with dynamic hash masks.
+//!
+//! Tofino's hash distribution units compute CRCs over PHV fields. The
+//! polynomial is fixed per unit at compile time; what changed in SDE 9.7.0
+//! (the `tna_dyn_hashing` feature FlyMon leans on, §3.1.1) is that the
+//! *input symmetrization mask* became runtime-programmable: the unit is
+//! wired to the whole candidate key set, and a runtime rule selects which
+//! fields actually enter the digest.
+//!
+//! [`HashUnit`] models exactly that: polynomial fixed at construction,
+//! [`HashUnit::set_mask`] installs a runtime mask ([`flymon_packet::KeySpec`]).
+//!
+//! The module also provides the free functions [`crc32`] and [`murmur3_32`]
+//! used as seed-separated hash families by the reference sketches.
+
+use flymon_packet::{KeySpec, Packet};
+
+/// Well-known 32-bit CRC polynomials (reflected form), one per hash unit,
+/// so distinct units behave as (approximately) independent hash functions.
+///
+/// Tofino likewise offers a handful of fixed polynomials per hash block.
+pub const CRC32_POLYNOMIALS: [u32; 8] = [
+    0xEDB8_8320, // CRC-32 (ISO-HDLC, zlib)
+    0x82F6_3B78, // CRC-32C (Castagnoli)
+    0xEB31_D82E, // CRC-32K (Koopman)
+    0xD419_CC15, // CRC-32Q
+    0x992C_1A4C, // CRC-32 (AIXM reflected)
+    0xBA0D_C66B, // CRC-32/BZIP2-like variant
+    0x8141_41AB, // CRC-32/MEF-like variant
+    0xA833_982B, // CRC-32D
+];
+
+/// Computes a reflected CRC-32 of `bytes` with the given reflected
+/// `poly` and `seed`, one bit at a time.
+///
+/// This is the obviously-correct reference; the hot path uses the
+/// table-driven [`crc32`] (they are differentially tested against each
+/// other).
+pub fn crc32_bitwise(poly: u32, seed: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= poly;
+            }
+        }
+    }
+    !crc
+}
+
+/// Builds the byte-at-a-time lookup table for a reflected polynomial.
+pub const fn crc32_table(poly: u32) -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= poly;
+            }
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes a reflected CRC-32 of `bytes` using a caller-provided table
+/// (from [`crc32_table`]). This is what [`HashUnit`] runs per packet.
+pub fn crc32_with_table(table: &[u32; 256], seed: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Computes a reflected CRC-32 of `bytes`, building the table on the fly.
+/// Convenient for one-off digests; hot paths should hold a [`HashUnit`]
+/// (which caches its table).
+pub fn crc32(poly: u32, seed: u32, bytes: &[u8]) -> u32 {
+    crc32_with_table(&crc32_table(poly), seed, bytes)
+}
+
+/// The murmur3 32-bit finalizer: a full-avalanche bit mix.
+///
+/// CRC32 is *linear* over GF(2): sequential or low-entropy keys produce
+/// highly structured digests (e.g. 500 sequential integers can map to 500
+/// distinct buckets — "too perfect" dispersion that breaks estimators
+/// like Linear Counting, which assume binomial collisions). Real Tofino
+/// hash paths swizzle/slice the raw CRC before distribution; this
+/// finalizer models that whitening step.
+pub fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// MurmurHash3 x86_32. Used as the seedable hash family of the reference
+/// sketch implementations (which are software baselines, not hardware).
+pub fn murmur3_32(seed: u32, bytes: &[u8]) -> u32 {
+    const C1: u32 = 0xcc9e_2d51;
+    const C2: u32 = 0x1b87_3593;
+    let mut h = seed;
+    let chunks = bytes.chunks_exact(4);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        let mut k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        k = k.wrapping_mul(C1).rotate_left(15).wrapping_mul(C2);
+        h = (h ^ k).rotate_left(13).wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+    let mut k: u32 = 0;
+    for (i, &b) in tail.iter().enumerate() {
+        k |= u32::from(b) << (8 * i);
+    }
+    if !tail.is_empty() {
+        k = k.wrapping_mul(C1).rotate_left(15).wrapping_mul(C2);
+        h ^= k;
+    }
+    h ^= bytes.len() as u32;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// A hash distribution unit with a runtime-programmable input mask.
+///
+/// The polynomial identifies the unit and is fixed at construction (like
+/// hardware); the mask is a runtime rule. While the mask is unset the unit
+/// is considered *free* — the control plane's resource manager uses this
+/// to track compressed-key occupancy.
+#[derive(Debug, Clone)]
+pub struct HashUnit {
+    poly: u32,
+    seed: u32,
+    table: Box<[u32; 256]>,
+    mask: Option<KeySpec>,
+}
+
+impl HashUnit {
+    /// Creates unit `index` of a stage; each index gets a distinct
+    /// polynomial/seed pair so units hash independently.
+    pub fn new(index: usize) -> Self {
+        let poly = CRC32_POLYNOMIALS[index % CRC32_POLYNOMIALS.len()];
+        HashUnit {
+            poly,
+            seed: 0x9e37_79b9u32.wrapping_mul(index as u32 + 1),
+            table: Box::new(crc32_table(poly)),
+            mask: None,
+        }
+    }
+
+    /// Installs (or replaces) the dynamic hash mask. This is the runtime
+    /// reconfiguration FlyMon's compression stage performs; it does not
+    /// interrupt traffic.
+    pub fn set_mask(&mut self, mask: KeySpec) {
+        self.mask = Some(mask);
+    }
+
+    /// Clears the mask, returning the unit to the free pool.
+    pub fn clear_mask(&mut self) {
+        self.mask = None;
+    }
+
+    /// The currently installed mask, if any.
+    pub fn mask(&self) -> Option<&KeySpec> {
+        self.mask.as_ref()
+    }
+
+    /// True when no mask is installed.
+    pub fn is_free(&self) -> bool {
+        self.mask.is_none()
+    }
+
+    /// Computes the 32-bit digest of the masked candidate key for `pkt`.
+    /// Returns 0 when no mask is installed (hardware would emit the CRC of
+    /// an all-zero input; emitting a constant keeps "unconfigured" obvious
+    /// in tests).
+    pub fn compute(&self, pkt: &Packet) -> u32 {
+        match &self.mask {
+            None => 0,
+            Some(mask) => self.compute_with(mask, pkt),
+        }
+    }
+
+    /// Computes the digest for an explicit mask, bypassing the installed
+    /// one. Used by planning code to predict collisions.
+    pub fn compute_with(&self, mask: &KeySpec, pkt: &Packet) -> u32 {
+        let key = mask.extract(pkt);
+        self.digest_bytes(key.as_bytes())
+    }
+
+    /// Hashes raw bytes with this unit's polynomial/seed: a CRC32 core
+    /// followed by the [`fmix32`] whitening step (see its docs for why
+    /// the raw CRC is not enough). The operation stage's SALU addressing
+    /// path uses this too (Tofino always routes SALU addresses through a
+    /// hash distribution unit, §5 "Setting").
+    pub fn digest_bytes(&self, bytes: &[u8]) -> u32 {
+        fmix32(crc32_with_table(&self.table, self.seed, bytes))
+    }
+
+    /// The unit's fixed polynomial (diagnostics).
+    pub fn polynomial(&self) -> u32 {
+        self.poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flymon_packet::PacketBuilder;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // CRC-32 (zlib) of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(0xEDB8_8320, 0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32c_matches_known_vector() {
+        // CRC-32C (Castagnoli) of "123456789" is 0xE3069283.
+        assert_eq!(crc32(0x82F6_3B78, 0, b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn table_driven_crc_matches_bitwise_reference() {
+        for (i, &poly) in CRC32_POLYNOMIALS.iter().enumerate() {
+            let seed = 0x1234_5678u32.wrapping_mul(i as u32 + 1);
+            for bytes in [
+                &b""[..],
+                b"a",
+                b"123456789",
+                b"the quick brown fox jumps over the lazy dog",
+            ] {
+                assert_eq!(
+                    crc32(poly, seed, bytes),
+                    crc32_bitwise(poly, seed, bytes),
+                    "poly {poly:#x}, input {bytes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn murmur3_matches_known_vectors() {
+        // Reference vectors from the canonical MurmurHash3 implementation.
+        assert_eq!(murmur3_32(0, b""), 0);
+        assert_eq!(murmur3_32(1, b""), 0x514E_28B7);
+        assert_eq!(murmur3_32(0, b"test"), 0xba6b_d213);
+        assert_eq!(murmur3_32(0x9747b28c, b"aaaa"), 0x5A97_808A);
+    }
+
+    #[test]
+    fn units_hash_independently() {
+        let pkt = PacketBuilder::new().src_ip(0x0a000001).build();
+        let mut u0 = HashUnit::new(0);
+        let mut u1 = HashUnit::new(1);
+        u0.set_mask(KeySpec::SRC_IP);
+        u1.set_mask(KeySpec::SRC_IP);
+        assert_ne!(u0.compute(&pkt), u1.compute(&pkt));
+    }
+
+    #[test]
+    fn mask_reconfiguration_changes_grouping() {
+        let mut unit = HashUnit::new(0);
+        unit.set_mask(KeySpec::SRC_IP);
+        let a = unit.compute(&Packet::tcp(1, 100, 5, 5));
+        let b = unit.compute(&Packet::tcp(1, 200, 6, 6));
+        assert_eq!(a, b, "SrcIP mask ignores everything else");
+
+        unit.set_mask(KeySpec::IP_PAIR);
+        let a = unit.compute(&Packet::tcp(1, 100, 5, 5));
+        let b = unit.compute(&Packet::tcp(1, 200, 6, 6));
+        assert_ne!(a, b, "IP-pair mask distinguishes destinations");
+    }
+
+    #[test]
+    fn unconfigured_unit_emits_zero_and_reports_free() {
+        let mut unit = HashUnit::new(3);
+        assert!(unit.is_free());
+        assert_eq!(unit.compute(&Packet::tcp(1, 2, 3, 4)), 0);
+        unit.set_mask(KeySpec::DST_IP);
+        assert!(!unit.is_free());
+        unit.clear_mask();
+        assert!(unit.is_free());
+    }
+
+    #[test]
+    fn prefix_masks_group_like_keyspec() {
+        let mut unit = HashUnit::new(2);
+        unit.set_mask(KeySpec::src_ip_slash(24));
+        let a = unit.compute(&Packet::tcp(0x0a010203, 1, 1, 1));
+        let b = unit.compute(&Packet::tcp(0x0a0102aa, 2, 2, 2));
+        let c = unit.compute(&Packet::tcp(0x0a010303, 1, 1, 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    use flymon_packet::Packet;
+
+    #[test]
+    fn digest_spreads_over_range() {
+        // Sanity: hashing sequential keys should cover both halves of the
+        // 32-bit range (catches accidental truncation).
+        let mut unit = HashUnit::new(0);
+        unit.set_mask(KeySpec::SRC_IP);
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for i in 0..1000u32 {
+            let d = unit.compute(&Packet::tcp(i, 0, 0, 0));
+            if d < u32::MAX / 2 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        assert!(lo > 300 && hi > 300, "skewed digests: lo={lo} hi={hi}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Packet Header Vector budget accounting.
+//!
+//! PHV bits are "a precious resource in RMT switches" (§3.1.1): every
+//! dynamically-selected key needs PHV-resident fields, and the naive
+//! strategy copies the *whole candidate key set* per SALU. FlyMon's
+//! less-copy strategy instead materializes a few 32-bit compressed keys
+//! per CMU Group. This module provides the allocator that both strategies
+//! are costed against (Figure 13c).
+
+use crate::RmtError;
+
+/// A simple bump allocator over the pipeline's PHV bit budget.
+///
+/// PHV allocation is static per P4 program; we model it as alloc/free of
+/// bit counts (container packing effects are folded into the budget
+/// constant). Frees are tracked as aggregate bits, which is sufficient
+/// because FlyMon only ever releases whole field groups.
+#[derive(Debug, Clone)]
+pub struct PhvBudget {
+    capacity_bits: u64,
+    used_bits: u64,
+}
+
+impl PhvBudget {
+    /// Creates a budget of `capacity_bits`.
+    pub fn new(capacity_bits: u64) -> Self {
+        PhvBudget {
+            capacity_bits,
+            used_bits: 0,
+        }
+    }
+
+    /// Reserves `bits` PHV bits.
+    pub fn alloc(&mut self, bits: u64) -> Result<(), RmtError> {
+        if self.used_bits + bits > self.capacity_bits {
+            return Err(RmtError::CapacityExceeded {
+                resource: "PHV bits",
+                requested: bits,
+                available: self.capacity_bits - self.used_bits,
+            });
+        }
+        self.used_bits += bits;
+        Ok(())
+    }
+
+    /// Releases `bits` PHV bits.
+    ///
+    /// # Panics
+    /// Panics if more bits are freed than were allocated — that is always
+    /// a bookkeeping bug in the caller.
+    pub fn free(&mut self, bits: u64) {
+        assert!(
+            bits <= self.used_bits,
+            "freeing {bits} PHV bits but only {} allocated",
+            self.used_bits
+        );
+        self.used_bits -= bits;
+    }
+
+    /// Bits currently allocated.
+    pub fn used_bits(&self) -> u64 {
+        self.used_bits
+    }
+
+    /// Bits still available.
+    pub fn available_bits(&self) -> u64 {
+        self.capacity_bits - self.used_bits
+    }
+
+    /// Total capacity.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Fraction of the budget in use.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_bits == 0 {
+            0.0
+        } else {
+            self.used_bits as f64 / self.capacity_bits as f64
+        }
+    }
+}
+
+/// Containers consumed by one PHV field allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FieldAlloc {
+    /// 8-bit containers taken.
+    pub c8: usize,
+    /// 16-bit containers taken.
+    pub c16: usize,
+    /// 32-bit containers taken.
+    pub c32: usize,
+}
+
+impl FieldAlloc {
+    /// Total container bits consumed (including fragmentation).
+    pub fn bits(&self) -> u64 {
+        (self.c8 * 8 + self.c16 * 16 + self.c32 * 32) as u64
+    }
+}
+
+/// A container-granular PHV allocator.
+///
+/// Where [`PhvBudget`] counts raw bits, `ContainerPool` models the real
+/// constraint: PHV is made of fixed-width *containers* (Tofino 1: 64×8b,
+/// 96×16b, 64×32b per pipeline = the 4096-bit budget), and a field
+/// occupies whole containers — a 4-bit field still burns an 8-bit
+/// container. This is why the naive per-SALU key copy of §3.1.1 is even
+/// worse than its bit count suggests.
+#[derive(Debug, Clone)]
+pub struct ContainerPool {
+    free8: usize,
+    free16: usize,
+    free32: usize,
+}
+
+impl ContainerPool {
+    /// The Tofino 1 container mix (sums to 4096 bits).
+    pub fn tofino1() -> Self {
+        ContainerPool {
+            free8: 64,
+            free16: 96,
+            free32: 64,
+        }
+    }
+
+    /// Creates a pool with an explicit container mix.
+    pub fn new(c8: usize, c16: usize, c32: usize) -> Self {
+        ContainerPool {
+            free8: c8,
+            free16: c16,
+            free32: c32,
+        }
+    }
+
+    /// Bits still free (container-granular).
+    pub fn free_bits(&self) -> u64 {
+        (self.free8 * 8 + self.free16 * 16 + self.free32 * 32) as u64
+    }
+
+    /// Allocates containers for a `bits`-wide field. Wide fields take
+    /// 32-bit containers first; the remainder takes the smallest class
+    /// that fits, widening (or combining two smaller containers) when a
+    /// class is exhausted.
+    pub fn alloc_field(&mut self, bits: u32) -> Result<FieldAlloc, RmtError> {
+        let mut plan = FieldAlloc::default();
+        let mut remaining = bits;
+        let mut scratch = self.clone();
+
+        while remaining > 32 && scratch.free32 > 0 {
+            scratch.free32 -= 1;
+            plan.c32 += 1;
+            remaining -= 32;
+        }
+        while remaining > 0 {
+            let took = if remaining <= 8 && scratch.free8 > 0 {
+                scratch.free8 -= 1;
+                plan.c8 += 1;
+                remaining.min(8)
+            } else if remaining <= 16 && scratch.free16 > 0 {
+                scratch.free16 -= 1;
+                plan.c16 += 1;
+                remaining.min(16)
+            } else if scratch.free32 > 0 {
+                scratch.free32 -= 1;
+                plan.c32 += 1;
+                remaining.min(32)
+            } else if scratch.free16 > 0 {
+                scratch.free16 -= 1;
+                plan.c16 += 1;
+                remaining.min(16)
+            } else if scratch.free8 > 0 {
+                scratch.free8 -= 1;
+                plan.c8 += 1;
+                remaining.min(8)
+            } else {
+                return Err(RmtError::CapacityExceeded {
+                    resource: "PHV containers",
+                    requested: u64::from(bits),
+                    available: self.free_bits(),
+                });
+            };
+            remaining -= took;
+        }
+        *self = scratch;
+        Ok(plan)
+    }
+
+    /// Returns a field's containers to the pool.
+    pub fn free_field(&mut self, alloc: &FieldAlloc) {
+        self.free8 += alloc.c8;
+        self.free16 += alloc.c16;
+        self.free32 += alloc.c32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let mut b = PhvBudget::new(256);
+        b.alloc(96).unwrap();
+        assert_eq!(b.used_bits(), 96);
+        assert_eq!(b.available_bits(), 160);
+        b.free(32);
+        assert_eq!(b.used_bits(), 64);
+        assert!((b.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alloc_beyond_capacity_fails_cleanly() {
+        let mut b = PhvBudget::new(100);
+        b.alloc(60).unwrap();
+        let err = b.alloc(41).unwrap_err();
+        assert!(matches!(
+            err,
+            RmtError::CapacityExceeded {
+                requested: 41,
+                available: 40,
+                ..
+            }
+        ));
+        // Failed alloc must not leak.
+        assert_eq!(b.used_bits(), 60);
+        b.alloc(40).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut b = PhvBudget::new(10);
+        b.free(1);
+    }
+
+    #[test]
+    fn tofino1_container_mix_sums_to_4096_bits() {
+        assert_eq!(ContainerPool::tofino1().free_bits(), 4096);
+    }
+
+    #[test]
+    fn five_tuple_field_takes_three_32s_and_an_8() {
+        let mut pool = ContainerPool::tofino1();
+        let alloc = pool.alloc_field(104).unwrap();
+        assert_eq!(alloc, FieldAlloc { c8: 1, c16: 0, c32: 3 });
+        assert_eq!(alloc.bits(), 104);
+        assert_eq!(pool.free_bits(), 4096 - 104);
+        pool.free_field(&alloc);
+        assert_eq!(pool.free_bits(), 4096);
+    }
+
+    #[test]
+    fn small_fields_fragment_whole_containers() {
+        // A 4-bit field still burns an 8-bit container.
+        let mut pool = ContainerPool::new(1, 0, 0);
+        let alloc = pool.alloc_field(4).unwrap();
+        assert_eq!(alloc.bits(), 8);
+        assert_eq!(pool.free_bits(), 0);
+    }
+
+    #[test]
+    fn class_exhaustion_widens_or_combines() {
+        // No 16-bit containers: a 16-bit field falls back to a 32.
+        let mut pool = ContainerPool::new(0, 0, 1);
+        let alloc = pool.alloc_field(16).unwrap();
+        assert_eq!(alloc, FieldAlloc { c8: 0, c16: 0, c32: 1 });
+        // No 32s left: a 32-bit field combines two 16s.
+        let mut pool = ContainerPool::new(0, 2, 0);
+        let alloc = pool.alloc_field(32).unwrap();
+        assert_eq!(alloc, FieldAlloc { c8: 0, c16: 2, c32: 0 });
+    }
+
+    #[test]
+    fn exhaustion_is_atomic() {
+        let mut pool = ContainerPool::new(1, 0, 0);
+        // 40 bits cannot fit; the failed alloc must not leak containers.
+        assert!(pool.alloc_field(40).is_err());
+        assert_eq!(pool.free_bits(), 8);
+        assert!(pool.alloc_field(8).is_ok());
+    }
+
+    #[test]
+    fn only_224_eight_bit_fields_fit_despite_4096_bits() {
+        // The fragmentation story: 4096 nominal bits host at most
+        // 64+96+64 = 224 single-byte fields.
+        let mut pool = ContainerPool::tofino1();
+        let mut n = 0;
+        while pool.alloc_field(8).is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 224);
+    }
+}

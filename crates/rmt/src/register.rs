@@ -1,0 +1,186 @@
+//! Stateful memory: fixed-geometry register (bucket) arrays in SRAM.
+
+use crate::RmtError;
+
+/// A register: an array of fixed-width buckets bound to one SALU.
+///
+/// Geometry (bucket count and bit width) is frozen at construction,
+/// mirroring the hardware constraint of §3.3: "The configuration of the
+/// stateful memory (i.e., size and bit-width) cannot be changed at
+/// runtime". FlyMon's dynamic memory management never resizes a register;
+/// it re-maps address ranges instead.
+///
+/// Values are stored as `u32` and masked to the configured width on write,
+/// so a 16-bit register wraps at 65535 exactly like hardware.
+#[derive(Debug, Clone)]
+pub struct Register {
+    width_bits: u8,
+    buckets: Vec<u32>,
+}
+
+impl Register {
+    /// Creates a register with `buckets` buckets of `width_bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `width_bits` is 0 or exceeds 32, or if `buckets` is not a
+    /// power of two (FlyMon's address translation assumes 2^n geometry).
+    pub fn new(buckets: usize, width_bits: u8) -> Self {
+        assert!((1..=32).contains(&width_bits), "width must be 1..=32 bits");
+        assert!(
+            buckets.is_power_of_two(),
+            "bucket count must be a power of two (got {buckets})"
+        );
+        Register {
+            width_bits,
+            buckets: vec![0; buckets],
+        }
+    }
+
+    /// Bucket bit width.
+    pub fn width_bits(&self) -> u8 {
+        self.width_bits
+    }
+
+    /// Maximum representable bucket value.
+    pub fn max_value(&self) -> u32 {
+        if self.width_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width_bits) - 1
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when the register has no buckets (never the case after
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// SRAM footprint in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.buckets.len() as u64 * u64::from(self.width_bits)
+    }
+
+    /// Reads the bucket at `addr`.
+    pub fn read(&self, addr: usize) -> Result<u32, RmtError> {
+        self.buckets
+            .get(addr)
+            .copied()
+            .ok_or(RmtError::IndexOutOfRange {
+                what: "bucket",
+                index: addr,
+                limit: self.buckets.len(),
+            })
+    }
+
+    /// Writes the bucket at `addr`, masking to the register width.
+    pub fn write(&mut self, addr: usize, value: u32) -> Result<(), RmtError> {
+        let max = self.max_value();
+        let limit = self.buckets.len();
+        let slot = self.buckets.get_mut(addr).ok_or(RmtError::IndexOutOfRange {
+            what: "bucket",
+            index: addr,
+            limit,
+        })?;
+        *slot = value & max;
+        Ok(())
+    }
+
+    /// Zeroes a half-open bucket range (a control-plane reset of one
+    /// task's partition at epoch boundaries or on reallocation).
+    pub fn clear_range(&mut self, start: usize, end: usize) -> Result<(), RmtError> {
+        if end > self.buckets.len() || start > end {
+            return Err(RmtError::IndexOutOfRange {
+                what: "bucket range end",
+                index: end,
+                limit: self.buckets.len(),
+            });
+        }
+        self.buckets[start..end].fill(0);
+        Ok(())
+    }
+
+    /// Snapshot of a bucket range (the control plane's periodic readout).
+    pub fn read_range(&self, start: usize, end: usize) -> Result<&[u32], RmtError> {
+        if end > self.buckets.len() || start > end {
+            return Err(RmtError::IndexOutOfRange {
+                what: "bucket range end",
+                index: end,
+                limit: self.buckets.len(),
+            });
+        }
+        Ok(&self.buckets[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_enforced() {
+        let r = Register::new(1024, 16);
+        assert_eq!(r.len(), 1024);
+        assert_eq!(r.width_bits(), 16);
+        assert_eq!(r.max_value(), 65535);
+        assert_eq!(r.size_bits(), 1024 * 16);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Register::new(1000, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = Register::new(16, 0);
+    }
+
+    #[test]
+    fn write_masks_to_width() {
+        let mut r = Register::new(4, 16);
+        r.write(0, 0x1_2345).unwrap();
+        assert_eq!(r.read(0).unwrap(), 0x2345);
+        let mut r32 = Register::new(4, 32);
+        r32.write(0, u32::MAX).unwrap();
+        assert_eq!(r32.read(0).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn one_bit_register_behaves_like_bloom_bit() {
+        let mut r = Register::new(8, 1);
+        assert_eq!(r.max_value(), 1);
+        r.write(3, 0xff).unwrap();
+        assert_eq!(r.read(3).unwrap(), 1);
+    }
+
+    #[test]
+    fn out_of_range_access_errors() {
+        let mut r = Register::new(4, 16);
+        assert!(matches!(
+            r.read(4),
+            Err(RmtError::IndexOutOfRange { index: 4, .. })
+        ));
+        assert!(r.write(17, 1).is_err());
+        assert!(r.clear_range(0, 5).is_err());
+        assert!(r.read_range(3, 2).is_err());
+    }
+
+    #[test]
+    fn clear_range_is_half_open() {
+        let mut r = Register::new(8, 16);
+        for i in 0..8 {
+            r.write(i, 7).unwrap();
+        }
+        r.clear_range(2, 5).unwrap();
+        assert_eq!(r.read_range(0, 8).unwrap(), &[7, 7, 0, 0, 0, 7, 7, 7]);
+    }
+}

@@ -1,0 +1,313 @@
+//! The Tofino resource model: per-stage capacities, occupancy vectors and
+//! the `switch.p4` baseline of Figure 13a.
+//!
+//! Absolute capacities are calibrated to public Tofino 1 numbers and to
+//! the paper's own per-stage usage table (Figure 8): 12 MAU stages, 6 hash
+//! distribution units and 4 SALUs per stage, 32 VLIW instruction slots,
+//! 8192 TCAM entry slots (24 blocks), 10 Mbit SRAM and 16 logical table
+//! IDs per stage, and a 4096-bit PHV shared by the pipeline.
+
+/// The six resource kinds the paper's evaluation tracks (Figure 13a),
+/// plus PHV which is accounted pipeline-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Hash distribution units.
+    HashUnit,
+    /// Stateful ALUs.
+    Salu,
+    /// Stateful memory (SRAM bits).
+    Sram,
+    /// TCAM entry slots.
+    Tcam,
+    /// VLIW instruction slots.
+    Vliw,
+    /// Logical table IDs.
+    LogicalTableId,
+    /// Packet Header Vector bits (pipeline-wide).
+    Phv,
+}
+
+impl ResourceKind {
+    /// All kinds in the order Figure 13a plots them (PHV last).
+    pub const ALL: [ResourceKind; 7] = [
+        ResourceKind::HashUnit,
+        ResourceKind::Salu,
+        ResourceKind::Sram,
+        ResourceKind::Tcam,
+        ResourceKind::Vliw,
+        ResourceKind::LogicalTableId,
+        ResourceKind::Phv,
+    ];
+
+    /// Display name matching the paper's axis labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::HashUnit => "Hash Unit",
+            ResourceKind::Salu => "SALU",
+            ResourceKind::Sram => "SRAM",
+            ResourceKind::Tcam => "TCAM",
+            ResourceKind::Vliw => "VLIW",
+            ResourceKind::LogicalTableId => "Logical Table",
+            ResourceKind::Phv => "PHV",
+        }
+    }
+}
+
+/// Capacity model of one Tofino pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TofinoModel {
+    /// Number of MAU stages in the pipeline (12 on Tofino 1, §3.2).
+    pub stages: usize,
+    /// Hash distribution units per stage (6; §5 "Setting" configures 6 per
+    /// CMU Group, half for compression and half for SALU addressing).
+    pub hash_units_per_stage: usize,
+    /// SALUs per stage (4 on Tofino 1).
+    pub salus_per_stage: usize,
+    /// VLIW instruction slots per stage (32).
+    pub vliw_slots_per_stage: usize,
+    /// TCAM entry slots per stage (24 blocks × ~341 entries ≈ 8192; this
+    /// constant is calibrated so 32 partitions cost 12.5% of a stage,
+    /// matching §5.1 "only 12.5% of the TCAM is needed ... to split a CMU
+    /// into 32 memory partitions").
+    pub tcam_slots_per_stage: usize,
+    /// SRAM bits per stage (80 blocks × 128 Kbit = 10 Mbit).
+    pub sram_bits_per_stage: u64,
+    /// Logical table IDs per stage (16).
+    pub table_ids_per_stage: usize,
+    /// PHV bits available to the whole pipeline (4096 on Tofino 1).
+    pub phv_bits: u64,
+}
+
+impl Default for TofinoModel {
+    fn default() -> Self {
+        TofinoModel {
+            stages: 12,
+            hash_units_per_stage: 6,
+            salus_per_stage: 4,
+            vliw_slots_per_stage: 32,
+            tcam_slots_per_stage: 8192,
+            sram_bits_per_stage: 10 * 1024 * 1024,
+            table_ids_per_stage: 16,
+            phv_bits: 4096,
+        }
+    }
+}
+
+impl TofinoModel {
+    /// Pipeline-wide capacity of a resource.
+    pub fn capacity(&self, kind: ResourceKind) -> u64 {
+        let s = self.stages as u64;
+        match kind {
+            ResourceKind::HashUnit => self.hash_units_per_stage as u64 * s,
+            ResourceKind::Salu => self.salus_per_stage as u64 * s,
+            ResourceKind::Sram => self.sram_bits_per_stage * s,
+            ResourceKind::Tcam => self.tcam_slots_per_stage as u64 * s,
+            ResourceKind::Vliw => self.vliw_slots_per_stage as u64 * s,
+            ResourceKind::LogicalTableId => self.table_ids_per_stage as u64 * s,
+            ResourceKind::Phv => self.phv_bits,
+        }
+    }
+
+    /// Occupancy of the `switch.p4` baseline switch program (the
+    /// "typical scenario" of Figure 13a). Fractions follow the public
+    /// switch.p4 resource reports used by SketchLib (NSDI '22, Table 2):
+    /// hash 34.5%, SALU 18.8%, SRAM 29.7%, TCAM 28.4%, VLIW 37.0%,
+    /// logical table IDs 54.8%, PHV ~57%.
+    pub fn baseline_switch(&self) -> ResourceVector {
+        let frac = |kind: ResourceKind, f: f64| (self.capacity(kind) as f64 * f).round() as u64;
+        ResourceVector {
+            hash_units: frac(ResourceKind::HashUnit, 0.345),
+            salus: frac(ResourceKind::Salu, 0.188),
+            sram_bits: frac(ResourceKind::Sram, 0.297),
+            tcam_slots: frac(ResourceKind::Tcam, 0.284),
+            vliw_slots: frac(ResourceKind::Vliw, 0.370),
+            table_ids: frac(ResourceKind::LogicalTableId, 0.548),
+            phv_bits: frac(ResourceKind::Phv, 0.570),
+        }
+    }
+}
+
+/// An absolute occupancy vector over the seven resources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceVector {
+    /// Hash distribution units in use.
+    pub hash_units: u64,
+    /// SALUs in use.
+    pub salus: u64,
+    /// SRAM bits in use.
+    pub sram_bits: u64,
+    /// TCAM entry slots in use.
+    pub tcam_slots: u64,
+    /// VLIW instruction slots in use.
+    pub vliw_slots: u64,
+    /// Logical table IDs in use.
+    pub table_ids: u64,
+    /// PHV bits in use.
+    pub phv_bits: u64,
+}
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector = ResourceVector {
+        hash_units: 0,
+        salus: 0,
+        sram_bits: 0,
+        tcam_slots: 0,
+        vliw_slots: 0,
+        table_ids: 0,
+        phv_bits: 0,
+    };
+
+    /// Reads one component.
+    pub fn get(&self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::HashUnit => self.hash_units,
+            ResourceKind::Salu => self.salus,
+            ResourceKind::Sram => self.sram_bits,
+            ResourceKind::Tcam => self.tcam_slots,
+            ResourceKind::Vliw => self.vliw_slots,
+            ResourceKind::LogicalTableId => self.table_ids,
+            ResourceKind::Phv => self.phv_bits,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            hash_units: self.hash_units + other.hash_units,
+            salus: self.salus + other.salus,
+            sram_bits: self.sram_bits + other.sram_bits,
+            tcam_slots: self.tcam_slots + other.tcam_slots,
+            vliw_slots: self.vliw_slots + other.vliw_slots,
+            table_ids: self.table_ids + other.table_ids,
+            phv_bits: self.phv_bits + other.phv_bits,
+        }
+    }
+
+    /// Scales every component by an integer factor (n identical units).
+    pub fn scale(&self, n: u64) -> ResourceVector {
+        ResourceVector {
+            hash_units: self.hash_units * n,
+            salus: self.salus * n,
+            sram_bits: self.sram_bits * n,
+            tcam_slots: self.tcam_slots * n,
+            vliw_slots: self.vliw_slots * n,
+            table_ids: self.table_ids * n,
+            phv_bits: self.phv_bits * n,
+        }
+    }
+
+    /// Per-resource utilization fractions against `model`'s capacities.
+    pub fn utilization(&self, model: &TofinoModel) -> Vec<(ResourceKind, f64)> {
+        ResourceKind::ALL
+            .iter()
+            .map(|&k| {
+                let cap = model.capacity(k);
+                let frac = if cap == 0 {
+                    0.0
+                } else {
+                    self.get(k) as f64 / cap as f64
+                };
+                (k, frac)
+            })
+            .collect()
+    }
+
+    /// True when every component fits within `model`'s capacities.
+    pub fn fits(&self, model: &TofinoModel) -> bool {
+        ResourceKind::ALL
+            .iter()
+            .all(|&k| self.get(k) <= model.capacity(k))
+    }
+
+    /// Mean utilization across the six stage resources (excludes PHV),
+    /// the metric behind the paper's "less than 8.3% resource overhead
+    /// per CMU Group" headline.
+    pub fn mean_utilization(&self, model: &TofinoModel) -> f64 {
+        let kinds = &ResourceKind::ALL[..6];
+        kinds
+            .iter()
+            .map(|&k| self.get(k) as f64 / model.capacity(k) as f64)
+            .sum::<f64>()
+            / kinds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capacities_match_tofino_1() {
+        let m = TofinoModel::default();
+        assert_eq!(m.capacity(ResourceKind::HashUnit), 72);
+        assert_eq!(m.capacity(ResourceKind::Salu), 48);
+        assert_eq!(m.capacity(ResourceKind::Vliw), 384);
+        assert_eq!(m.capacity(ResourceKind::Tcam), 98304);
+        assert_eq!(m.capacity(ResourceKind::LogicalTableId), 192);
+        assert_eq!(m.capacity(ResourceKind::Phv), 4096);
+        assert_eq!(m.capacity(ResourceKind::Sram), 12 * 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn baseline_switch_fits_and_matches_fractions() {
+        let m = TofinoModel::default();
+        let base = m.baseline_switch();
+        assert!(base.fits(&m));
+        for (kind, frac) in base.utilization(&m) {
+            let expect = match kind {
+                ResourceKind::HashUnit => 0.345,
+                ResourceKind::Salu => 0.188,
+                ResourceKind::Sram => 0.297,
+                ResourceKind::Tcam => 0.284,
+                ResourceKind::Vliw => 0.370,
+                ResourceKind::LogicalTableId => 0.548,
+                ResourceKind::Phv => 0.570,
+            };
+            assert!(
+                (frac - expect).abs() < 0.02,
+                "{}: {frac} vs {expect}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = ResourceVector {
+            hash_units: 3,
+            salus: 3,
+            sram_bits: 100,
+            tcam_slots: 10,
+            vliw_slots: 5,
+            table_ids: 4,
+            phv_bits: 96,
+        };
+        let sum = a.add(&a);
+        assert_eq!(sum.hash_units, 6);
+        assert_eq!(sum.phv_bits, 192);
+        let tripled = a.scale(3);
+        assert_eq!(tripled.sram_bits, 300);
+        assert_eq!(ResourceVector::ZERO.add(&a), a);
+    }
+
+    #[test]
+    fn fits_detects_overflow() {
+        let m = TofinoModel::default();
+        let mut v = ResourceVector::ZERO;
+        v.salus = 48;
+        assert!(v.fits(&m));
+        v.salus = 49;
+        assert!(!v.fits(&m));
+    }
+
+    #[test]
+    fn mean_utilization_excludes_phv() {
+        let m = TofinoModel::default();
+        let v = ResourceVector {
+            phv_bits: 4096, // PHV fully used must not affect the mean
+            ..ResourceVector::ZERO
+        };
+        assert_eq!(v.mean_utilization(&m), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Runtime rules and the install-latency model behind Table 3.
+//!
+//! FlyMon reconfigures tasks purely by installing runtime rules through
+//! southbound APIs (P4Runtime / BfRt). §5.1 reports the two measured
+//! constants this model is built on:
+//!
+//! > "it takes around 3 ms to install a common table rule and about 16 ms
+//! > to install a hash mask rule. ... the control plane supports batching
+//! > multiple rules to mask the deployment delay."
+//!
+//! An [`InstallPlan`] therefore distinguishes three rule classes:
+//! hash-mask rules (16 ms each — they reprogram a hash unit's dynamic
+//! input mask), *synchronous* table rules on the install critical path
+//! (3 ms each), and *batched* table rules that ride along in an already
+//! open batch (a small marshalling cost each).
+
+/// Kinds of runtime rules a task install can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// An exact-match or TCAM table entry (filter, select-key,
+    /// select-param, select-operation, address translation, one-hot
+    /// parameter mapping, ...).
+    TableEntry,
+    /// A dynamic hash mask reconfiguration of a hash unit.
+    HashMask,
+}
+
+/// Milliseconds to install one common table rule (§5.1).
+pub const TABLE_RULE_MS: f64 = 3.0;
+/// Milliseconds to install one hash-mask rule (§5.1).
+pub const HASH_MASK_RULE_MS: f64 = 16.0;
+/// Marshalling cost of one additional rule inside an open batch.
+pub const BATCHED_RULE_MS: f64 = 0.1;
+
+/// The rules one task deployment must install, classified for latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstallPlan {
+    /// Hash-mask rules (new compressed-key configurations).
+    pub hash_mask_rules: usize,
+    /// Table rules on the critical path (installed synchronously).
+    pub sync_table_rules: usize,
+    /// Table rules folded into batches.
+    pub batched_table_rules: usize,
+}
+
+impl InstallPlan {
+    /// Total number of rules.
+    pub fn total_rules(&self) -> usize {
+        self.hash_mask_rules + self.sync_table_rules + self.batched_table_rules
+    }
+
+    /// Deployment latency in milliseconds under the §5.1 constants.
+    pub fn latency_ms(&self) -> f64 {
+        self.hash_mask_rules as f64 * HASH_MASK_RULE_MS
+            + self.sync_table_rules as f64 * TABLE_RULE_MS
+            + self.batched_table_rules as f64 * BATCHED_RULE_MS
+    }
+
+    /// Merges two plans (e.g. a multi-CMU-Group deployment).
+    pub fn merge(&self, other: &InstallPlan) -> InstallPlan {
+        InstallPlan {
+            hash_mask_rules: self.hash_mask_rules + other.hash_mask_rules,
+            sync_table_rules: self.sync_table_rules + other.sync_table_rules,
+            batched_table_rules: self.batched_table_rules + other.batched_table_rules,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_uses_measured_constants() {
+        let plan = InstallPlan {
+            hash_mask_rules: 1,
+            sync_table_rules: 2,
+            batched_table_rules: 10,
+        };
+        let expect = 16.0 + 6.0 + 1.0;
+        assert!((plan.latency_ms() - expect).abs() < 1e-9);
+        assert_eq!(plan.total_rules(), 13);
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        assert_eq!(InstallPlan::default().latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = InstallPlan {
+            hash_mask_rules: 1,
+            sync_table_rules: 1,
+            batched_table_rules: 2,
+        };
+        let b = a.merge(&a);
+        assert_eq!(b.hash_mask_rules, 2);
+        assert_eq!(b.sync_table_rules, 2);
+        assert_eq!(b.batched_table_rules, 4);
+        assert!((b.latency_ms() - 2.0 * a.latency_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_rules_stay_well_under_100ms_for_table3_scale() {
+        // §5.1: "all algorithms can be deployed within 100 ms". The
+        // largest plan in Table 3 is BeauCoup-like: 1 hash mask + 8 sync
+        // rules + a batch.
+        let beaucoup = InstallPlan {
+            hash_mask_rules: 1,
+            sync_table_rules: 8,
+            batched_table_rules: 1,
+        };
+        assert!(beaucoup.latency_ms() < 100.0);
+        assert!((beaucoup.latency_ms() - 40.1).abs() < 0.01);
+    }
+}

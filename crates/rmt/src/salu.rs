@@ -1,0 +1,287 @@
+//! Stateful ALUs and the reduced operation set (Appendix A).
+
+use crate::register::Register;
+use crate::RmtError;
+
+/// Maximum register actions a SALU can pre-load (§3.1.2: "each SALU in
+/// Tofino can only pre-load four different operations").
+pub const MAX_REGISTER_ACTIONS: usize = 4;
+
+/// The reduced stateful operation set of Appendix A, plus a no-op.
+///
+/// FlyMon implements its ten built-in algorithms with only three stateful
+/// operations, leaving one of the four SALU slots as expansion room (§6
+/// mentions XOR for Odd Sketch as a candidate for the reserved slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatefulOp {
+    /// Conditional add (Appendix A, Operation 1):
+    /// `if reg[k] < p2 { reg[k] += p1; return reg[k] } else { return 0 }`.
+    ///
+    /// With `p2 = MAX` this degenerates to the unconditional ADD of CMS;
+    /// with `p2` a threshold it implements overflow-guarded counters
+    /// (TowerSketch) and conservative update (SuMax).
+    CondAdd,
+    /// Maximum (Appendix A, Operation 2):
+    /// `if reg[k] < p1 { reg[k] = p1; return reg[k] } else { return 0 }`.
+    Max,
+    /// Aggregated bit-wise AND/OR (Appendix A, Operation 3):
+    /// `if p2 == 0 { reg[k] &= p1 } else { reg[k] |= p1 }; return reg[k]`.
+    AndOr,
+    /// Bit-wise XOR: `reg[k] ^= p1; return reg[k]` — the §6 expansion
+    /// example ("we can add an XOR stateful operation to implement Odd
+    /// Sketch for evaluating the similarity between two traffic sets"),
+    /// occupying the fourth register-action slot.
+    Xor,
+    /// Reserved no-op. Executes no memory update and returns the current
+    /// bucket value (a plain read). Kept for CMUs that need fewer than
+    /// four real operations.
+    ReservedRead,
+}
+
+impl StatefulOp {
+    /// Short name used in rule dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            StatefulOp::CondAdd => "Cond-ADD",
+            StatefulOp::Max => "MAX",
+            StatefulOp::AndOr => "AND-OR",
+            StatefulOp::Xor => "XOR",
+            StatefulOp::ReservedRead => "READ",
+        }
+    }
+}
+
+/// Output of one stateful operation.
+///
+/// Tofino register actions program which value leaves the SALU; FlyMon's
+/// combinatorial tasks (§4: maximum inter-arrival time, existence checks
+/// feeding downstream CMUs) need the *pre-update* bucket value, while the
+/// Appendix A pseudo-code returns the post-update value. Both are exposed;
+/// the CMU binding selects which one is forwarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutput {
+    /// The Appendix A return value (post-update value, or 0 when the
+    /// conditional did not fire).
+    pub result: u32,
+    /// The bucket value *before* the operation.
+    pub old: u32,
+}
+
+/// A stateful ALU bound to one [`Register`].
+///
+/// Models the two hardware constraints FlyMon designs around:
+/// 1. at most [`MAX_REGISTER_ACTIONS`] operations can be pre-loaded;
+/// 2. the register is accessed **once per packet** ([`Salu::execute`]
+///    performs exactly one read-modify-write), which is why tasks with
+///    intersecting traffic cannot share a CMU (§3.3).
+#[derive(Debug, Clone)]
+pub struct Salu {
+    register: Register,
+    loaded: Vec<StatefulOp>,
+}
+
+impl Salu {
+    /// Creates a SALU over a fresh register of the given geometry with no
+    /// operations pre-loaded.
+    pub fn new(buckets: usize, width_bits: u8) -> Self {
+        Salu {
+            register: Register::new(buckets, width_bits),
+            loaded: Vec::new(),
+        }
+    }
+
+    /// Pre-loads a register action. This happens at "compile time"; the
+    /// set of loaded actions cannot grow past [`MAX_REGISTER_ACTIONS`].
+    pub fn load_op(&mut self, op: StatefulOp) -> Result<(), RmtError> {
+        if self.loaded.contains(&op) {
+            return Ok(());
+        }
+        if self.loaded.len() >= MAX_REGISTER_ACTIONS {
+            return Err(RmtError::RegisterActionsFull);
+        }
+        self.loaded.push(op);
+        Ok(())
+    }
+
+    /// The pre-loaded operations.
+    pub fn loaded_ops(&self) -> &[StatefulOp] {
+        &self.loaded
+    }
+
+    /// Immutable access to the bound register (control-plane readout).
+    pub fn register(&self) -> &Register {
+        &self.register
+    }
+
+    /// Mutable access to the bound register (control-plane resets).
+    pub fn register_mut(&mut self) -> &mut Register {
+        &mut self.register
+    }
+
+    /// Executes one pre-loaded stateful operation at `addr` with
+    /// parameters `p1`, `p2`; returns the operation's result value.
+    ///
+    /// Exactly one register access occurs. Attempting to execute an
+    /// operation that was not pre-loaded is a programming error surfaced
+    /// as [`RmtError::NoSuchEntity`] — the data plane cannot invent
+    /// register actions at runtime.
+    pub fn execute(
+        &mut self,
+        op: StatefulOp,
+        addr: usize,
+        p1: u32,
+        p2: u32,
+    ) -> Result<OpOutput, RmtError> {
+        if !self.loaded.contains(&op) {
+            return Err(RmtError::NoSuchEntity("pre-loaded register action"));
+        }
+        let max = self.register.max_value();
+        let current = self.register.read(addr)?;
+        let (next, result) = match op {
+            StatefulOp::CondAdd => {
+                if current < p2 {
+                    let next = (current.wrapping_add(p1)) & max;
+                    (next, next)
+                } else {
+                    (current, 0)
+                }
+            }
+            StatefulOp::Max => {
+                let p1 = p1 & max;
+                if current < p1 {
+                    (p1, p1)
+                } else {
+                    (current, 0)
+                }
+            }
+            StatefulOp::AndOr => {
+                let next = if p2 == 0 { current & p1 } else { current | p1 } & max;
+                (next, next)
+            }
+            StatefulOp::Xor => {
+                let next = (current ^ p1) & max;
+                (next, next)
+            }
+            StatefulOp::ReservedRead => (current, current),
+        };
+        if next != current {
+            self.register.write(addr, next)?;
+        }
+        Ok(OpOutput {
+            result,
+            old: current,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn salu_with(ops: &[StatefulOp]) -> Salu {
+        let mut s = Salu::new(16, 16);
+        for &op in ops {
+            s.load_op(op).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn cond_add_matches_appendix_a() {
+        let mut s = salu_with(&[StatefulOp::CondAdd]);
+        // Below threshold: add and return new value.
+        assert_eq!(s.execute(StatefulOp::CondAdd, 0, 5, 100).unwrap().result, 5);
+        assert_eq!(s.execute(StatefulOp::CondAdd, 0, 5, 100).unwrap().result, 10);
+        // At/above threshold: no update, return 0.
+        assert_eq!(s.execute(StatefulOp::CondAdd, 0, 5, 10).unwrap().result, 0);
+        assert_eq!(s.register().read(0).unwrap(), 10);
+    }
+
+    #[test]
+    fn cond_add_with_max_threshold_is_unconditional_add() {
+        let mut s = salu_with(&[StatefulOp::CondAdd]);
+        for _ in 0..3 {
+            s.execute(StatefulOp::CondAdd, 1, 7, u32::MAX).unwrap();
+        }
+        assert_eq!(s.register().read(1).unwrap(), 21);
+    }
+
+    #[test]
+    fn cond_add_wraps_at_register_width() {
+        let mut s = salu_with(&[StatefulOp::CondAdd]);
+        s.execute(StatefulOp::CondAdd, 0, 0xffff, u32::MAX).unwrap();
+        // 0xffff + 2 wraps to 1 in a 16-bit register.
+        assert_eq!(s.execute(StatefulOp::CondAdd, 0, 2, u32::MAX).unwrap().result, 1);
+    }
+
+    #[test]
+    fn max_matches_appendix_a() {
+        let mut s = salu_with(&[StatefulOp::Max]);
+        assert_eq!(s.execute(StatefulOp::Max, 2, 9, 0).unwrap().result, 9);
+        // Smaller value: no update, return 0.
+        assert_eq!(s.execute(StatefulOp::Max, 2, 4, 0).unwrap().result, 0);
+        assert_eq!(s.register().read(2).unwrap(), 9);
+        assert_eq!(s.execute(StatefulOp::Max, 2, 11, 0).unwrap().result, 11);
+    }
+
+    #[test]
+    fn and_or_matches_appendix_a() {
+        let mut s = salu_with(&[StatefulOp::AndOr]);
+        // p2 != 0 -> OR
+        assert_eq!(s.execute(StatefulOp::AndOr, 0, 0b0101, 1).unwrap().result, 0b0101);
+        assert_eq!(s.execute(StatefulOp::AndOr, 0, 0b0010, 1).unwrap().result, 0b0111);
+        // p2 == 0 -> AND
+        assert_eq!(s.execute(StatefulOp::AndOr, 0, 0b0011, 0).unwrap().result, 0b0011);
+    }
+
+    #[test]
+    fn xor_toggles_bits() {
+        let mut s = salu_with(&[StatefulOp::Xor]);
+        assert_eq!(s.execute(StatefulOp::Xor, 0, 0b0110, 0).unwrap().result, 0b0110);
+        assert_eq!(s.execute(StatefulOp::Xor, 0, 0b0010, 0).unwrap().result, 0b0100);
+        // Toggling the same bit twice restores the bucket (the Odd
+        // Sketch's defining property).
+        assert_eq!(s.execute(StatefulOp::Xor, 0, 0b0100, 0).unwrap().result, 0);
+        // Masked to register width.
+        assert_eq!(
+            s.execute(StatefulOp::Xor, 1, 0xdead_beef, 0).unwrap().result,
+            0xbeef
+        );
+    }
+
+    #[test]
+    fn reserved_read_is_pure() {
+        let mut s = salu_with(&[StatefulOp::CondAdd, StatefulOp::ReservedRead]);
+        s.execute(StatefulOp::CondAdd, 5, 42, u32::MAX).unwrap();
+        assert_eq!(s.execute(StatefulOp::ReservedRead, 5, 0, 0).unwrap().result, 42);
+        assert_eq!(s.register().read(5).unwrap(), 42);
+    }
+
+    #[test]
+    fn at_most_four_register_actions() {
+        let mut s = Salu::new(4, 16);
+        s.load_op(StatefulOp::CondAdd).unwrap();
+        s.load_op(StatefulOp::Max).unwrap();
+        s.load_op(StatefulOp::AndOr).unwrap();
+        s.load_op(StatefulOp::ReservedRead).unwrap();
+        // Re-loading an existing op is idempotent, not a fifth slot.
+        s.load_op(StatefulOp::Max).unwrap();
+        assert_eq!(s.loaded_ops().len(), 4);
+    }
+
+    #[test]
+    fn executing_unloaded_op_is_rejected() {
+        let mut s = salu_with(&[StatefulOp::Max]);
+        assert!(matches!(
+            s.execute(StatefulOp::CondAdd, 0, 1, 1),
+            Err(RmtError::NoSuchEntity(_))
+        ));
+    }
+
+    #[test]
+    fn max_masks_parameter_to_width() {
+        let mut s = salu_with(&[StatefulOp::Max]);
+        // 0x12345 masked to 16 bits is 0x2345.
+        assert_eq!(s.execute(StatefulOp::Max, 0, 0x1_2345, 0).unwrap().result, 0x2345);
+    }
+}

@@ -1,0 +1,118 @@
+//! Exact-match match-action tables.
+//!
+//! The initialization stage's *Select Key* / *Select Param* tables and the
+//! operation stage's *Select Operation* table (Figures 3, 5) match exactly
+//! on a task identifier assigned by the first filter match. SRAM-backed
+//! exact tables are cheap compared to TCAM, so we track only entry counts.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::RmtError;
+
+/// An exact-match table from key `K` to action `A` with a default action
+/// and a fixed entry capacity.
+#[derive(Debug, Clone)]
+pub struct ExactTable<K, A> {
+    entries: HashMap<K, A>,
+    default_action: Option<A>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash, A> ExactTable<K, A> {
+    /// Creates an empty table with room for `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ExactTable {
+            entries: HashMap::new(),
+            default_action: None,
+            capacity,
+        }
+    }
+
+    /// Sets the miss action.
+    pub fn set_default(&mut self, action: A) {
+        self.default_action = Some(action);
+    }
+
+    /// Installs or replaces the entry for `key`.
+    pub fn insert(&mut self, key: K, action: A) -> Result<(), RmtError> {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            return Err(RmtError::CapacityExceeded {
+                resource: "exact-match entries",
+                requested: 1,
+                available: 0,
+            });
+        }
+        self.entries.insert(key, action);
+        Ok(())
+    }
+
+    /// Removes the entry for `key`; returns whether one existed.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Looks up `key`, falling back to the default action.
+    pub fn lookup(&self, key: &K) -> Option<&A> {
+        self.entries.get(key).or(self.default_action.as_ref())
+    }
+
+    /// Number of installed entries (excluding the default action).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_hits_and_falls_back() {
+        let mut t: ExactTable<u32, &str> = ExactTable::new(4);
+        t.set_default("miss");
+        t.insert(1, "one").unwrap();
+        assert_eq!(t.lookup(&1), Some(&"one"));
+        assert_eq!(t.lookup(&2), Some(&"miss"));
+    }
+
+    #[test]
+    fn capacity_enforced_but_replace_allowed() {
+        let mut t: ExactTable<u32, u32> = ExactTable::new(2);
+        t.insert(1, 10).unwrap();
+        t.insert(2, 20).unwrap();
+        assert!(t.insert(3, 30).is_err());
+        // Replacing an existing key does not need a new slot.
+        t.insert(1, 11).unwrap();
+        assert_eq!(t.lookup(&1), Some(&11));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut t: ExactTable<u32, u32> = ExactTable::new(1);
+        t.insert(1, 10).unwrap();
+        assert!(t.remove(&1));
+        assert!(!t.remove(&1));
+        assert!(t.is_empty());
+        t.insert(2, 20).unwrap();
+        assert_eq!(t.lookup(&2), Some(&20));
+        assert_eq!(t.capacity(), 1);
+    }
+
+    #[test]
+    fn no_default_means_true_miss() {
+        let t: ExactTable<u32, u32> = ExactTable::new(4);
+        assert_eq!(t.lookup(&9), None);
+    }
+}

@@ -1,0 +1,336 @@
+//! TCAM tables: ternary matching with range support and entry accounting.
+//!
+//! FlyMon's preparation stage is TCAM-hungry (§3.2 Table 2): address
+//! translation matches on *address ranges* and parameter processing maps
+//! hash values to one-hot encodings. This module models both the matching
+//! semantics and the *entry cost* — in real TCAMs an arbitrary range
+//! expands into multiple ternary entries (prefix expansion), which is why
+//! FlyMon restricts itself to power-of-two partitions (§3.3, Limitation).
+
+use crate::RmtError;
+
+/// A ternary match over a 64-bit key: matches `x` iff
+/// `(x & mask) == (value & mask)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TernaryField {
+    /// Match value (bits outside `mask` are ignored).
+    pub value: u64,
+    /// Care mask: 1-bits participate in the match.
+    pub mask: u64,
+}
+
+impl TernaryField {
+    /// Matches any key.
+    pub const ANY: TernaryField = TernaryField { value: 0, mask: 0 };
+
+    /// Exact match on `value`.
+    pub const fn exact(value: u64) -> Self {
+        TernaryField {
+            value,
+            mask: u64::MAX,
+        }
+    }
+
+    /// True when `x` satisfies the ternary match.
+    pub fn matches(&self, x: u64) -> bool {
+        (x & self.mask) == (self.value & self.mask)
+    }
+}
+
+/// An inclusive range match `[lo, hi]` over a 32-bit field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeField {
+    /// Inclusive lower bound.
+    pub lo: u32,
+    /// Inclusive upper bound.
+    pub hi: u32,
+}
+
+impl RangeField {
+    /// Creates a range; `lo` must not exceed `hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        RangeField { lo, hi }
+    }
+
+    /// True when `x` is inside the range.
+    pub fn matches(&self, x: u32) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Number of TCAM entries this range costs after prefix expansion:
+    /// the minimal set of aligned power-of-two blocks covering `[lo, hi]`.
+    ///
+    /// Power-of-two-aligned ranges (FlyMon's partitions) cost exactly 1.
+    pub fn expansion_cost(&self) -> usize {
+        let mut count = 0usize;
+        let mut lo = u64::from(self.lo);
+        let hi = u64::from(self.hi) + 1; // half-open
+        while lo < hi {
+            // Largest aligned block starting at lo that fits.
+            let align = if lo == 0 { u64::MAX } else { lo & lo.wrapping_neg() };
+            let mut block = align.min(hi - lo);
+            // Round block down to a power of two.
+            block = 1u64 << (63 - block.leading_zeros());
+            lo += block;
+            count += 1;
+        }
+        count.max(1)
+    }
+}
+
+/// One TCAM entry: ternary key + optional range field + action payload.
+#[derive(Debug, Clone)]
+pub struct TcamEntry<A> {
+    /// Priority: lower value wins among multiple matches.
+    pub priority: u32,
+    /// Ternary match over the table's 64-bit key (e.g. a task id).
+    pub ternary: TernaryField,
+    /// Optional range match over a 32-bit operand (e.g. an address).
+    pub range: Option<RangeField>,
+    /// Action payload returned on match.
+    pub action: A,
+}
+
+impl<A> TcamEntry<A> {
+    /// TCAM entry slots this logical entry consumes (range expansion).
+    pub fn cost(&self) -> usize {
+        self.range.map_or(1, |r| r.expansion_cost())
+    }
+}
+
+/// A TCAM match-action table with a fixed entry-slot capacity and an
+/// optional default action.
+#[derive(Debug, Clone)]
+pub struct TcamTable<A> {
+    entries: Vec<TcamEntry<A>>,
+    default_action: Option<A>,
+    capacity_slots: usize,
+    used_slots: usize,
+}
+
+impl<A> TcamTable<A> {
+    /// Creates an empty table with room for `capacity_slots` entry slots.
+    pub fn new(capacity_slots: usize) -> Self {
+        TcamTable {
+            entries: Vec::new(),
+            default_action: None,
+            capacity_slots,
+            used_slots: 0,
+        }
+    }
+
+    /// Sets the action returned when nothing matches. A default action
+    /// occupies no TCAM slot (it lives in the table's action RAM).
+    pub fn set_default(&mut self, action: A) {
+        self.default_action = Some(action);
+    }
+
+    /// Installs an entry, accounting for its expansion cost.
+    pub fn insert(&mut self, entry: TcamEntry<A>) -> Result<(), RmtError> {
+        let cost = entry.cost();
+        if self.used_slots + cost > self.capacity_slots {
+            return Err(RmtError::CapacityExceeded {
+                resource: "TCAM entry slots",
+                requested: cost as u64,
+                available: (self.capacity_slots - self.used_slots) as u64,
+            });
+        }
+        self.used_slots += cost;
+        self.entries.push(entry);
+        // Keep priority order stable: lower priority value first.
+        self.entries.sort_by_key(|e| e.priority);
+        Ok(())
+    }
+
+    /// Removes every entry whose action satisfies `pred`, releasing slots.
+    /// Returns the number of logical entries removed.
+    pub fn remove_where<F: Fn(&A) -> bool>(&mut self, pred: F) -> usize {
+        let before = self.entries.len();
+        let mut freed = 0;
+        self.entries.retain(|e| {
+            if pred(&e.action) {
+                freed += e.cost();
+                false
+            } else {
+                true
+            }
+        });
+        self.used_slots -= freed;
+        before - self.entries.len()
+    }
+
+    /// Looks up the highest-priority entry matching `(key, operand)`.
+    /// Falls back to the default action.
+    pub fn lookup(&self, key: u64, operand: u32) -> Option<&A> {
+        self.entries
+            .iter()
+            .find(|e| e.ternary.matches(key) && e.range.is_none_or(|r| r.matches(operand)))
+            .map(|e| &e.action)
+            .or(self.default_action.as_ref())
+    }
+
+    /// Entry slots currently consumed.
+    pub fn used_slots(&self) -> usize {
+        self.used_slots
+    }
+
+    /// Entry-slot capacity.
+    pub fn capacity_slots(&self) -> usize {
+        self.capacity_slots
+    }
+
+    /// Fraction of capacity in use.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_slots == 0 {
+            0.0
+        } else {
+            self.used_slots as f64 / self.capacity_slots as f64
+        }
+    }
+
+    /// Number of logical entries installed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_matching() {
+        let any = TernaryField::ANY;
+        assert!(any.matches(0));
+        assert!(any.matches(u64::MAX));
+        let exact = TernaryField::exact(42);
+        assert!(exact.matches(42));
+        assert!(!exact.matches(43));
+        let masked = TernaryField {
+            value: 0xab00,
+            mask: 0xff00,
+        };
+        assert!(masked.matches(0xab12));
+        assert!(!masked.matches(0xac12));
+    }
+
+    #[test]
+    fn range_matching_is_inclusive() {
+        let r = RangeField::new(10, 20);
+        assert!(!r.matches(9));
+        assert!(r.matches(10));
+        assert!(r.matches(20));
+        assert!(!r.matches(21));
+    }
+
+    #[test]
+    fn aligned_power_of_two_ranges_cost_one_entry() {
+        // FlyMon partitions: [0, m/4), [m/2, 3m/4) etc. with m = 1024.
+        assert_eq!(RangeField::new(0, 255).expansion_cost(), 1);
+        assert_eq!(RangeField::new(512, 767).expansion_cost(), 1);
+        assert_eq!(RangeField::new(0, 1023).expansion_cost(), 1);
+        assert_eq!(RangeField::new(0, u32::MAX).expansion_cost(), 1);
+    }
+
+    #[test]
+    fn unaligned_ranges_expand() {
+        // [1, 6] = {1} {2,3} {4,5} {6} -> 4 blocks.
+        assert_eq!(RangeField::new(1, 6).expansion_cost(), 4);
+        // [0, 2] = {0,1} {2} -> 2 blocks.
+        assert_eq!(RangeField::new(0, 2).expansion_cost(), 2);
+        // Degenerate single point.
+        assert_eq!(RangeField::new(7, 7).expansion_cost(), 1);
+    }
+
+    #[test]
+    fn priority_order_and_default() {
+        let mut t: TcamTable<&str> = TcamTable::new(16);
+        t.set_default("miss");
+        t.insert(TcamEntry {
+            priority: 10,
+            ternary: TernaryField::ANY,
+            range: Some(RangeField::new(0, 100)),
+            action: "low",
+        })
+        .unwrap();
+        t.insert(TcamEntry {
+            priority: 1,
+            ternary: TernaryField::ANY,
+            range: Some(RangeField::new(50, 60)),
+            action: "high",
+        })
+        .unwrap();
+        assert_eq!(t.lookup(0, 55), Some(&"high"));
+        assert_eq!(t.lookup(0, 10), Some(&"low"));
+        assert_eq!(t.lookup(0, 200), Some(&"miss"));
+    }
+
+    #[test]
+    fn capacity_accounting_counts_expansion() {
+        let mut t: TcamTable<u32> = TcamTable::new(4);
+        // Costs 4 slots ([1,6] expands to 4 blocks).
+        t.insert(TcamEntry {
+            priority: 0,
+            ternary: TernaryField::ANY,
+            range: Some(RangeField::new(1, 6)),
+            action: 0,
+        })
+        .unwrap();
+        assert_eq!(t.used_slots(), 4);
+        assert!(matches!(
+            t.insert(TcamEntry {
+                priority: 1,
+                ternary: TernaryField::ANY,
+                range: None,
+                action: 1,
+            }),
+            Err(RmtError::CapacityExceeded { .. })
+        ));
+        assert_eq!(t.utilization(), 1.0);
+    }
+
+    #[test]
+    fn remove_where_releases_slots() {
+        let mut t: TcamTable<u32> = TcamTable::new(8);
+        for i in 0..4 {
+            t.insert(TcamEntry {
+                priority: i,
+                ternary: TernaryField::exact(u64::from(i)),
+                range: None,
+                action: i,
+            })
+            .unwrap();
+        }
+        assert_eq!(t.used_slots(), 4);
+        let removed = t.remove_where(|&a| a % 2 == 0);
+        assert_eq!(removed, 2);
+        assert_eq!(t.used_slots(), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(0, 0), None);
+        assert_eq!(t.lookup(1, 0), Some(&1));
+    }
+
+    #[test]
+    fn ternary_and_range_compose() {
+        let mut t: TcamTable<&str> = TcamTable::new(8);
+        t.insert(TcamEntry {
+            priority: 0,
+            ternary: TernaryField::exact(7),
+            range: Some(RangeField::new(0, 15)),
+            action: "task7-low",
+        })
+        .unwrap();
+        assert_eq!(t.lookup(7, 3), Some(&"task7-low"));
+        assert_eq!(t.lookup(8, 3), None);
+        assert_eq!(t.lookup(7, 16), None);
+    }
+}

@@ -1,0 +1,292 @@
+//! BeauCoup (Chen, Landau-Feibish, Braverman, Rexford, SIGCOMM 2020):
+//! multi-key distinct counting with one memory update per packet.
+//!
+//! Coupon-collector framing: each attribute value draws at most one of
+//! `c` coupons (each with probability `p`); a key that has collected
+//! `threshold_coupons` coupons has, with high probability, seen roughly
+//! the configured number of distinct attribute values.
+
+use flymon_rmt::hash::murmur3_32;
+
+/// Tuning of a BeauCoup query.
+#[derive(Debug, Clone, Copy)]
+pub struct BeauCoupConfig {
+    /// Number of coupons `c` (≤ 32; the bitmap lives in a u32).
+    pub coupons: u32,
+    /// Probability `p` that an attribute value draws one *specific*
+    /// coupon (total draw probability is `c·p`, which must be ≤ 1).
+    pub coupon_prob: f64,
+    /// Coupons required to report the key.
+    pub threshold_coupons: u32,
+    /// Number of coupon tables `d` (the paper evaluates d=1 and d=3).
+    pub tables: usize,
+    /// Buckets per table.
+    pub buckets_per_table: usize,
+}
+
+impl BeauCoupConfig {
+    /// Derives `(c, p, m_t)` for a target distinct-count threshold using
+    /// the coupon-collector expectation: collecting `m_t` of `c` coupons
+    /// takes `(H_c − H_{c−m_t})/p` distinct draws on average.
+    pub fn for_threshold(distinct_threshold: u64, tables: usize, buckets_per_table: usize) -> Self {
+        let c = 32u32;
+        let m_t = 24u32;
+        let harmonic = |n: u32| (1..=n).map(|i| 1.0 / f64::from(i)).sum::<f64>();
+        let draws_needed = harmonic(c) - harmonic(c - m_t);
+        let p = (draws_needed / distinct_threshold as f64).min(1.0 / f64::from(c));
+        BeauCoupConfig {
+            coupons: c,
+            coupon_prob: p,
+            threshold_coupons: m_t,
+            tables,
+            buckets_per_table,
+        }
+    }
+
+    /// Expected number of distinct attribute values needed to collect
+    /// `j` coupons.
+    pub fn expected_draws(&self, j: u32) -> f64 {
+        let j = j.min(self.coupons);
+        (0..j)
+            .map(|i| 1.0 / (f64::from(self.coupons - i) * self.coupon_prob))
+            .sum()
+    }
+
+    /// Inverts the coupon expectation: given `collected` coupons, the
+    /// maximum-likelihood-ish distinct-count estimate from
+    /// `E[collected] = c·(1 − (1 − p)^n)`.
+    pub fn estimate_distinct(&self, collected: u32) -> f64 {
+        let c = f64::from(self.coupons);
+        if collected == 0 {
+            return 0.0;
+        }
+        if collected >= self.coupons {
+            // Saturated: at least the expectation to collect all coupons.
+            return self.expected_draws(self.coupons);
+        }
+        let frac = f64::from(collected) / c;
+        (1.0 - frac).ln() / (1.0 - self.coupon_prob).ln()
+    }
+}
+
+/// One bucket: the owning key's signature plus the coupon bitmap.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    signature: u16,
+    coupons: u32,
+}
+
+/// The original BeauCoup algorithm (software reference).
+///
+/// Per packet exactly one table is updated (the defining property of
+/// BeauCoup: "one memory update at a time"); with `d` tables the
+/// attribute space is partitioned across tables by hash, and a key's
+/// collected coupons are summed over its `d` buckets. Buckets carry a
+/// 16-bit key signature; updates whose signature mismatches the bucket
+/// owner are dropped (the original's collision defense).
+#[derive(Debug, Clone)]
+pub struct BeauCoup {
+    config: BeauCoupConfig,
+    tables: Vec<Vec<Bucket>>,
+}
+
+impl BeauCoup {
+    /// Creates the coupon tables.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions, more than 32 coupons, or a total draw
+    /// probability above 1.
+    pub fn new(config: BeauCoupConfig) -> Self {
+        assert!(config.tables > 0 && config.buckets_per_table > 0);
+        assert!(config.coupons >= 1 && config.coupons <= 32);
+        assert!(f64::from(config.coupons) * config.coupon_prob <= 1.0 + 1e-9);
+        BeauCoup {
+            config,
+            tables: vec![vec![Bucket::default(); config.buckets_per_table]; config.tables],
+        }
+    }
+
+    /// Memory footprint in bytes: each bucket is a 16-bit signature plus
+    /// a 32-bit coupon bitmap.
+    pub fn memory_bytes(&self) -> usize {
+        self.config.tables * self.config.buckets_per_table * 6
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BeauCoupConfig {
+        &self.config
+    }
+
+    /// Draws a coupon for an attribute value: `Some(coupon)` with
+    /// probability `c·p`, uniform over coupons.
+    fn draw_coupon(&self, attr: &[u8]) -> Option<u32> {
+        let h = murmur3_32(0xbc00_0001, attr);
+        let per_coupon = (self.config.coupon_prob * 2f64.powi(32)) as u64;
+        let space = per_coupon * u64::from(self.config.coupons);
+        let h64 = u64::from(h);
+        if per_coupon == 0 || h64 >= space {
+            None
+        } else {
+            Some((h64 / per_coupon) as u32)
+        }
+    }
+
+    fn bucket_of(&self, table: usize, key: &[u8]) -> usize {
+        murmur3_32(0xbc10_0000 ^ table as u32, key) as usize % self.config.buckets_per_table
+    }
+
+    fn signature(key: &[u8]) -> u16 {
+        (murmur3_32(0xbc20_0000, key) & 0xffff) as u16
+    }
+
+    /// Processes one packet: at most one coupon draw, one table touched.
+    pub fn update(&mut self, key: &[u8], attr: &[u8]) {
+        let Some(coupon) = self.draw_coupon(attr) else {
+            return;
+        };
+        // The drawing attribute also selects the table, partitioning the
+        // attribute space across tables.
+        let t = murmur3_32(0xbc30_0000, attr) as usize % self.config.tables;
+        let b = self.bucket_of(t, key);
+        let sig = Self::signature(key);
+        let bucket = &mut self.tables[t][b];
+        if bucket.coupons == 0 {
+            bucket.signature = sig;
+        }
+        if bucket.signature == sig {
+            bucket.coupons |= 1 << (coupon % self.config.coupons);
+        }
+    }
+
+    /// Total coupons a key has collected across its `d` buckets.
+    pub fn coupons_of(&self, key: &[u8]) -> u32 {
+        let sig = Self::signature(key);
+        (0..self.config.tables)
+            .map(|t| {
+                let b = self.bucket_of(t, key);
+                let bucket = &self.tables[t][b];
+                if bucket.signature == sig {
+                    bucket.coupons.count_ones()
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Whether the key crossed the report threshold.
+    pub fn reports(&self, key: &[u8]) -> bool {
+        self.coupons_of(key) >= self.config.threshold_coupons
+    }
+
+    /// Distinct-count estimate for a key (coupon-expectation inversion).
+    pub fn estimate(&self, key: &[u8]) -> f64 {
+        self.config.estimate_distinct(self.coupons_of(key))
+    }
+
+    /// Resets all buckets.
+    pub fn clear(&mut self) {
+        for t in &mut self.tables {
+            t.fill(Bucket::default());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(threshold: u64) -> BeauCoupConfig {
+        BeauCoupConfig::for_threshold(threshold, 1, 4096)
+    }
+
+    #[test]
+    fn threshold_calibration_expected_draws() {
+        let cfg = config(512);
+        // Collecting the threshold should take ~512 distinct draws.
+        let draws = cfg.expected_draws(cfg.threshold_coupons);
+        assert!(
+            (draws - 512.0).abs() / 512.0 < 0.02,
+            "calibrated draws {draws}"
+        );
+    }
+
+    #[test]
+    fn keys_over_threshold_report() {
+        let cfg = config(500);
+        let mut bc = BeauCoup::new(cfg);
+        // 4000 distinct attribute values, far beyond the 500 threshold.
+        for i in 0..4_000u32 {
+            bc.update(b"victim", &i.to_be_bytes());
+        }
+        assert!(bc.reports(b"victim"));
+        // A key with 20 distinct values must not report.
+        for i in 0..20u32 {
+            bc.update(b"benign", &i.to_be_bytes());
+        }
+        assert!(!bc.reports(b"benign"));
+    }
+
+    #[test]
+    fn duplicates_do_not_collect_new_coupons() {
+        let cfg = config(100);
+        let mut bc = BeauCoup::new(cfg);
+        for _ in 0..10_000 {
+            bc.update(b"k", b"same-value");
+        }
+        assert!(bc.coupons_of(b"k") <= 1);
+    }
+
+    #[test]
+    fn estimate_tracks_distinct_count() {
+        let cfg = BeauCoupConfig::for_threshold(10_000, 1, 64);
+        let mut bc = BeauCoup::new(cfg);
+        for i in 0..5_000u32 {
+            bc.update(b"", &i.to_be_bytes());
+        }
+        let est = bc.estimate(b"");
+        let re = (est - 5_000.0).abs() / 5_000.0;
+        assert!(re < 0.4, "estimate {est}, RE {re:.3}");
+    }
+
+    #[test]
+    fn signature_guards_bucket_collisions() {
+        let cfg = BeauCoupConfig {
+            coupons: 32,
+            coupon_prob: 1.0 / 32.0,
+            threshold_coupons: 8,
+            tables: 1,
+            buckets_per_table: 1, // force every key into one bucket
+        };
+        let mut bc = BeauCoup::new(cfg);
+        for i in 0..1_000u32 {
+            bc.update(b"owner", &i.to_be_bytes());
+        }
+        let before = bc.coupons_of(b"owner");
+        assert!(before > 0);
+        // A colliding key cannot pollute or read the owner's coupons.
+        for i in 0..1_000u32 {
+            bc.update(b"intruder", &(0x8000_0000 | i).to_be_bytes());
+        }
+        assert_eq!(bc.coupons_of(b"owner"), before);
+        assert_eq!(bc.coupons_of(b"intruder"), 0);
+    }
+
+    #[test]
+    fn multi_table_partitions_attribute_space() {
+        let cfg = BeauCoupConfig::for_threshold(500, 3, 1024);
+        let mut bc = BeauCoup::new(cfg);
+        for i in 0..4_000u32 {
+            bc.update(b"victim", &i.to_be_bytes());
+        }
+        assert!(bc.reports(b"victim"));
+        assert_eq!(bc.memory_bytes(), 3 * 1024 * 6);
+    }
+
+    #[test]
+    fn zero_estimate_for_unseen_key() {
+        let bc = BeauCoup::new(config(100));
+        assert_eq!(bc.estimate(b"ghost"), 0.0);
+        assert!(!bc.reports(b"ghost"));
+    }
+}

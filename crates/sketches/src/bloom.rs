@@ -1,0 +1,127 @@
+//! Bloom filter (Bloom, 1970).
+
+use flymon_rmt::hash::murmur3_32;
+
+/// A Bloom filter with `m` bits and `k` hash functions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `m` bits and `k` hash functions.
+    ///
+    /// # Panics
+    /// Panics if `m` or `k` is zero.
+    pub fn new(m: usize, k: usize) -> Self {
+        assert!(m > 0 && k > 0, "Bloom filter needs bits and hashes");
+        BloomFilter {
+            bits: vec![0; m.div_ceil(64)],
+            m,
+            k,
+        }
+    }
+
+    /// Creates a filter fitting in `bytes` of memory with `k` hashes.
+    pub fn with_memory(bytes: usize, k: usize) -> Self {
+        Self::new((bytes * 8).max(1), k)
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.m.div_ceil(8)
+    }
+
+    fn positions<'a>(&'a self, key: &'a [u8]) -> impl Iterator<Item = usize> + 'a {
+        (0..self.k as u32).map(move |i| murmur3_32(0xb100_0000 ^ i, key) as usize % self.m)
+    }
+
+    /// Inserts the key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for p in positions {
+            self.bits[p / 64] |= 1 << (p % 64);
+        }
+    }
+
+    /// Membership query: false negatives never occur; false positives do.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.positions(key)
+            .all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+    }
+
+    /// Number of set bits (used by Linear Counting and diagnostics).
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total bit count `m`.
+    pub fn len_bits(&self) -> usize {
+        self.m
+    }
+
+    /// Resets the filter.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(1 << 14, 3);
+        for i in 0..2_000u32 {
+            bf.insert(&i.to_be_bytes());
+        }
+        for i in 0..2_000u32 {
+            assert!(bf.contains(&i.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_theory() {
+        let m = 1 << 14;
+        let k = 3;
+        let n = 2_000u32;
+        let mut bf = BloomFilter::new(m, k);
+        for i in 0..n {
+            bf.insert(&i.to_be_bytes());
+        }
+        // Theoretical FP ≈ (1 - e^{-kn/m})^k.
+        let p = (1.0 - (-(k as f64) * f64::from(n) / m as f64).exp()).powi(k as i32);
+        let mut fp = 0;
+        let probes = 20_000u32;
+        for i in n..n + probes {
+            if bf.contains(&i.to_be_bytes()) {
+                fp += 1;
+            }
+        }
+        let observed = f64::from(fp) / f64::from(probes);
+        assert!(
+            (observed - p).abs() < 0.02,
+            "observed {observed:.4} vs theory {p:.4}"
+        );
+    }
+
+    #[test]
+    fn ones_counts_set_bits() {
+        let mut bf = BloomFilter::new(1 << 10, 2);
+        assert_eq!(bf.ones(), 0);
+        bf.insert(b"x");
+        assert!(bf.ones() >= 1 && bf.ones() <= 2);
+        bf.clear();
+        assert_eq!(bf.ones(), 0);
+    }
+
+    #[test]
+    fn with_memory_sizes_in_bits() {
+        let bf = BloomFilter::with_memory(1024, 3);
+        assert_eq!(bf.len_bits(), 8192);
+        assert_eq!(bf.memory_bytes(), 1024);
+    }
+}

@@ -1,0 +1,168 @@
+//! Counter Braids (Lu et al., SIGMETRICS 2008) — two-layer variant.
+//!
+//! Layer 1 holds many shallow counters; each flow increments `d1` of
+//! them. When a layer-1 counter overflows it wraps and carries into `d2`
+//! layer-2 counters addressed by the *layer-1 counter index* (the
+//! "braiding"). The full Counter Braids decoder runs message passing over
+//! the complete flow list; this implementation provides the data-plane
+//! structure plus a min-style upper-bound decode, which is exact in the
+//! sparse regime and is what the CMU-hosted version (Appendix D) is
+//! differentially tested against.
+
+use flymon_rmt::hash::murmur3_32;
+
+/// Two-layer Counter Braids.
+#[derive(Debug, Clone)]
+pub struct CounterBraids {
+    l1_bits: u8,
+    l1: Vec<u32>,
+    l2: Vec<u64>,
+    d1: usize,
+    d2: usize,
+}
+
+impl CounterBraids {
+    /// Creates braids with `w1` layer-1 counters of `l1_bits` bits
+    /// (`d1` hashes per flow) and `w2` layer-2 counters (`d2` hashes per
+    /// overflowing layer-1 counter).
+    ///
+    /// # Panics
+    /// Panics on zero dimensions or `l1_bits` outside `1..=16`.
+    pub fn new(w1: usize, l1_bits: u8, d1: usize, w2: usize, d2: usize) -> Self {
+        assert!(
+            w1 > 0 && w2 > 0 && d1 > 0 && d2 > 0,
+            "dimensions must be positive"
+        );
+        assert!((1..=16).contains(&l1_bits), "layer-1 width 1..=16 bits");
+        CounterBraids {
+            l1_bits,
+            l1: vec![0; w1],
+            l2: vec![0; w2],
+            d1,
+            d2,
+        }
+    }
+
+    /// Canonical geometry from the paper's Appendix D example: 8-bit
+    /// layer-1 counters, 3 hashes, a quarter as many layer-2 counters.
+    pub fn with_memory(bytes: usize) -> Self {
+        // Split: 2/3 of memory to layer 1 (1 byte each), 1/3 to layer 2
+        // (4 bytes each).
+        let w1 = (bytes * 2 / 3).max(1);
+        let w2 = (bytes / 3 / 4).max(1);
+        Self::new(w1, 8, 3, w2, 2)
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.l1.len() * self.l1_bits as usize / 8 + self.l2.len() * 4
+    }
+
+    fn l1_cap(&self) -> u32 {
+        (1u32 << self.l1_bits) - 1
+    }
+
+    fn l1_indices(&self, key: &[u8]) -> Vec<usize> {
+        (0..self.d1)
+            .map(|r| murmur3_32(0xb2a1_0000 ^ r as u32, key) as usize % self.l1.len())
+            .collect()
+    }
+
+    fn l2_indices(&self, l1_index: usize) -> Vec<usize> {
+        (0..self.d2)
+            .map(|r| {
+                murmur3_32(0xb2a2_0000 ^ r as u32, &(l1_index as u64).to_be_bytes()) as usize
+                    % self.l2.len()
+            })
+            .collect()
+    }
+
+    /// Counts one packet of `key`: increments the flow's layer-1
+    /// counters; overflows wrap and carry into layer 2.
+    pub fn update(&mut self, key: &[u8]) {
+        let cap = self.l1_cap();
+        for i in self.l1_indices(key) {
+            if self.l1[i] == cap {
+                // Wrap and carry one unit of 2^l1_bits into layer 2.
+                self.l1[i] = 0;
+                for j in self.l2_indices(i) {
+                    self.l2[j] += 1;
+                }
+            } else {
+                self.l1[i] += 1;
+            }
+        }
+    }
+
+    /// Upper-bound decode: for each of the flow's layer-1 counters,
+    /// reconstruct `value + carries·2^bits` where carries is the minimum
+    /// of the counter's layer-2 cells; answer the minimum across the
+    /// flow's `d1` counters. Exact when neither layer has collisions.
+    pub fn query(&self, key: &[u8]) -> u64 {
+        self.l1_indices(key)
+            .into_iter()
+            .map(|i| {
+                let carries = self
+                    .l2_indices(i)
+                    .into_iter()
+                    .map(|j| self.l2[j])
+                    .min()
+                    .unwrap_or(0);
+                u64::from(self.l1[i]) + carries * (u64::from(self.l1_cap()) + 1)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.l1.fill(0);
+        self.l2.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_without_overflow_when_sparse() {
+        let mut cb = CounterBraids::new(4096, 8, 3, 1024, 2);
+        for _ in 0..200 {
+            cb.update(b"flow");
+        }
+        assert_eq!(cb.query(b"flow"), 200);
+        assert_eq!(cb.query(b"other"), 0);
+    }
+
+    #[test]
+    fn overflow_carries_into_layer_two() {
+        let mut cb = CounterBraids::new(4096, 4, 2, 1024, 2);
+        // 4-bit counters overflow at 15 -> carries needed for 100.
+        for _ in 0..100 {
+            cb.update(b"big");
+        }
+        assert_eq!(cb.query(b"big"), 100);
+    }
+
+    #[test]
+    fn never_underestimates_in_light_load() {
+        let mut cb = CounterBraids::new(8192, 8, 3, 2048, 2);
+        for i in 0..1_000u32 {
+            for _ in 0..(i % 7 + 1) {
+                cb.update(&i.to_be_bytes());
+            }
+        }
+        for i in 0..1_000u32 {
+            let truth = u64::from(i % 7 + 1);
+            assert!(cb.query(&i.to_be_bytes()) >= truth);
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let cb = CounterBraids::with_memory(12_000);
+        assert!(cb.memory_bytes() <= 12_100);
+        assert!(cb.memory_bytes() >= 10_000);
+    }
+}

@@ -1,0 +1,144 @@
+//! Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+
+use flymon_rmt::hash::murmur3_32;
+
+/// A `d × w` Count-Min Sketch over byte-slice keys.
+///
+/// Update adds the parameter to one counter per row; query returns the
+/// row-wise minimum, an overestimate with error ≤ `2T/w` with probability
+/// `1 − (1/2)^d` for total volume `T`.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    width: usize,
+    counters: Vec<u64>,
+    seeds: Vec<u32>,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `rows` rows of `width` counters.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, width: usize) -> Self {
+        assert!(rows > 0 && width > 0, "CMS dimensions must be positive");
+        CountMinSketch {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+            seeds: (0..rows as u32).map(|r| 0x5151_0000 ^ r).collect(),
+        }
+    }
+
+    /// Creates a sketch of `rows` rows fitting within `bytes` of memory,
+    /// assuming 32-bit counters (the paper's memory sweeps are quoted in
+    /// KB of counter memory).
+    pub fn with_memory(rows: usize, bytes: usize) -> Self {
+        let width = (bytes / 4 / rows).max(1);
+        Self::new(rows, width)
+    }
+
+    /// Memory footprint in bytes (32-bit counters).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows * self.width * 4
+    }
+
+    fn index(&self, row: usize, key: &[u8]) -> usize {
+        row * self.width + murmur3_32(self.seeds[row], key) as usize % self.width
+    }
+
+    /// Adds `delta` to the key's counters.
+    pub fn update(&mut self, key: &[u8], delta: u64) {
+        for row in 0..self.rows {
+            let i = self.index(row, key);
+            self.counters[i] = self.counters[i].saturating_add(delta);
+        }
+    }
+
+    /// Point query: the row-wise minimum.
+    pub fn query(&self, key: &[u8]) -> u64 {
+        (0..self.rows)
+            .map(|row| self.counters[self.index(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Resets every counter.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_never_underestimates() {
+        let mut cms = CountMinSketch::new(3, 64);
+        for i in 0..200u32 {
+            cms.update(&i.to_be_bytes(), u64::from(i % 7 + 1));
+        }
+        for i in 0..200u32 {
+            let truth = u64::from(i % 7 + 1);
+            assert!(cms.query(&i.to_be_bytes()) >= truth);
+        }
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cms = CountMinSketch::new(3, 4096);
+        cms.update(b"alpha", 5);
+        cms.update(b"beta", 7);
+        cms.update(b"alpha", 1);
+        assert_eq!(cms.query(b"alpha"), 6);
+        assert_eq!(cms.query(b"beta"), 7);
+        assert_eq!(cms.query(b"gamma"), 0);
+    }
+
+    #[test]
+    fn more_width_means_less_error() {
+        let mut narrow = CountMinSketch::new(3, 32);
+        let mut wide = CountMinSketch::new(3, 4096);
+        for i in 0..5_000u32 {
+            narrow.update(&i.to_be_bytes(), 1);
+            wide.update(&i.to_be_bytes(), 1);
+        }
+        let narrow_err: u64 = (0..5_000u32)
+            .map(|i| narrow.query(&i.to_be_bytes()) - 1)
+            .sum();
+        let wide_err: u64 = (0..5_000u32)
+            .map(|i| wide.query(&i.to_be_bytes()) - 1)
+            .sum();
+        assert!(
+            wide_err * 10 < narrow_err,
+            "wide {wide_err} narrow {narrow_err}"
+        );
+    }
+
+    #[test]
+    fn with_memory_respects_budget() {
+        let cms = CountMinSketch::with_memory(3, 12_000);
+        assert!(cms.memory_bytes() <= 12_000);
+        assert_eq!(cms.rows(), 3);
+        assert_eq!(cms.width(), 1000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cms = CountMinSketch::new(2, 16);
+        cms.update(b"x", 9);
+        cms.clear();
+        assert_eq!(cms.query(b"x"), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Count Sketch (Charikar, Chen, Farach-Colton, 2002) — the building
+//! block of UnivMon.
+
+use flymon_rmt::hash::murmur3_32;
+
+/// A `d × w` Count Sketch: signed counters with ±1 sign hashes; point
+/// queries return the median row estimate (unbiased, two-sided error).
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    rows: usize,
+    width: usize,
+    counters: Vec<i64>,
+}
+
+impl CountSketch {
+    /// Creates a sketch with `rows` rows of `width` counters.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, width: usize) -> Self {
+        assert!(
+            rows > 0 && width > 0,
+            "CountSketch dimensions must be positive"
+        );
+        CountSketch {
+            rows,
+            width,
+            counters: vec![0; rows * width],
+        }
+    }
+
+    /// Memory footprint in bytes (32-bit counters in hardware; we store
+    /// i64 for headroom but account 4 bytes, matching the paper's
+    /// memory-sweep convention).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows * self.width * 4
+    }
+
+    fn slot_and_sign(&self, row: usize, key: &[u8]) -> (usize, i64) {
+        let h = murmur3_32(0xc500_0000 ^ row as u32, key);
+        let idx = (h >> 1) as usize % self.width;
+        let sign = if h & 1 == 1 { 1 } else { -1 };
+        (row * self.width + idx, sign)
+    }
+
+    /// Adds `delta` (signed by the row's sign hash).
+    pub fn update(&mut self, key: &[u8], delta: i64) {
+        for row in 0..self.rows {
+            let (slot, sign) = self.slot_and_sign(row, key);
+            self.counters[slot] += sign * delta;
+        }
+    }
+
+    /// Point query: median of the per-row signed estimates.
+    pub fn query(&self, key: &[u8]) -> i64 {
+        let mut ests: Vec<i64> = (0..self.rows)
+            .map(|row| {
+                let (slot, sign) = self.slot_and_sign(row, key);
+                sign * self.counters[slot]
+            })
+            .collect();
+        ests.sort_unstable();
+        let n = ests.len();
+        if n % 2 == 1 {
+            ests[n / 2]
+        } else {
+            (ests[n / 2 - 1] + ests[n / 2]) / 2
+        }
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cs = CountSketch::new(5, 1024);
+        cs.update(b"a", 10);
+        cs.update(b"b", 3);
+        assert_eq!(cs.query(b"a"), 10);
+        assert_eq!(cs.query(b"b"), 3);
+    }
+
+    #[test]
+    fn unbiased_under_load() {
+        let mut cs = CountSketch::new(5, 256);
+        for i in 0..5_000u32 {
+            cs.update(&i.to_be_bytes(), 1);
+        }
+        // The mean signed error over many keys should be near zero
+        // (Count Sketch is unbiased, unlike CMS).
+        let total_err: i64 = (0..5_000u32).map(|i| cs.query(&i.to_be_bytes()) - 1).sum();
+        let mean = total_err as f64 / 5_000.0;
+        assert!(mean.abs() < 2.0, "mean error {mean}");
+    }
+
+    #[test]
+    fn heavy_flow_recovered() {
+        let mut cs = CountSketch::new(5, 512);
+        for i in 0..3_000u32 {
+            cs.update(&i.to_be_bytes(), 1);
+        }
+        cs.update(b"elephant", 10_000);
+        let est = cs.query(b"elephant");
+        assert!((est - 10_000).abs() < 500, "estimate {est}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cs = CountSketch::new(3, 32);
+        cs.update(b"x", 42);
+        cs.clear();
+        assert_eq!(cs.query(b"x"), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Reference software implementations of the baseline sketch algorithms.
+//!
+//! These are the *comparators* of the paper's evaluation (UnivMon,
+//! original BeauCoup) and the *oracles* our CMU-hosted implementations are
+//! differentially tested against (CMS, Bloom filter, HyperLogLog, Linear
+//! Counting, MRAC, SuMax, TowerSketch, Counter Braids).
+//!
+//! Everything here is plain software — no RMT constraints — implemented
+//! from the original papers. Keys are byte slices (use
+//! [`flymon_packet::KeySpec::extract`] to produce them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beaucoup;
+pub mod bloom;
+pub mod braids;
+pub mod cms;
+pub mod count_sketch;
+pub mod hll;
+pub mod linear_counting;
+pub mod mrac;
+pub mod odd_sketch;
+pub mod spread_sketch;
+pub mod sumax;
+pub mod tower;
+pub mod univmon;
+
+pub use beaucoup::{BeauCoup, BeauCoupConfig};
+pub use bloom::BloomFilter;
+pub use braids::CounterBraids;
+pub use cms::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use hll::HyperLogLog;
+pub use linear_counting::LinearCounting;
+pub use mrac::Mrac;
+pub use odd_sketch::OddSketch;
+pub use spread_sketch::SpreadSketch;
+pub use sumax::{SuMax, SuMaxMode};
+pub use tower::TowerSketch;
+pub use univmon::UnivMon;

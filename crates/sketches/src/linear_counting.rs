@@ -1,0 +1,104 @@
+//! Linear Counting (Whang, Vander-Zanden, Taylor, 1990).
+
+use crate::bloom::BloomFilter;
+
+/// Linear (probabilistic) counting: a bitmap of `m` bits; each key sets
+/// one bit; the cardinality estimate is `m · ln(m / z)` where `z` is the
+/// number of zero bits.
+///
+/// The paper notes (Appendix D) that Linear Counting and the Bloom filter
+/// are "identical in the data plane and only differentiated in the
+/// control-plane analysis" — we make that literal by building LC on top of
+/// a 1-hash Bloom filter.
+#[derive(Debug, Clone)]
+pub struct LinearCounting {
+    bitmap: BloomFilter,
+}
+
+impl LinearCounting {
+    /// Creates a counter with an `m`-bit bitmap.
+    pub fn new(m: usize) -> Self {
+        LinearCounting {
+            bitmap: BloomFilter::new(m, 1),
+        }
+    }
+
+    /// Creates a counter using `bytes` of memory.
+    pub fn with_memory(bytes: usize) -> Self {
+        Self::new((bytes * 8).max(1))
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bitmap.memory_bytes()
+    }
+
+    /// Registers a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        self.bitmap.insert(key);
+    }
+
+    /// The cardinality estimate `m · ln(m / z)`. Returns `m · ln(m)`
+    /// (the saturation point) when every bit is set.
+    pub fn estimate(&self) -> f64 {
+        let m = self.bitmap.len_bits() as f64;
+        let zeros = (self.bitmap.len_bits() - self.bitmap.ones()) as f64;
+        if zeros == 0.0 {
+            m * m.ln()
+        } else {
+            m * (m / zeros).ln()
+        }
+    }
+
+    /// Resets the bitmap.
+    pub fn clear(&mut self) {
+        self.bitmap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_tracks_cardinality() {
+        let mut lc = LinearCounting::new(1 << 14);
+        let n = 3_000u32;
+        for i in 0..n {
+            lc.insert(&i.to_be_bytes());
+        }
+        let est = lc.estimate();
+        let err = (est - f64::from(n)).abs() / f64::from(n);
+        assert!(err < 0.05, "estimate {est}, err {err:.4}");
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut lc = LinearCounting::new(1 << 12);
+        for _ in 0..10 {
+            for i in 0..200u32 {
+                lc.insert(&i.to_be_bytes());
+            }
+        }
+        let est = lc.estimate();
+        assert!(
+            (est - 200.0).abs() < 30.0,
+            "estimate {est} for 200 distinct"
+        );
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let lc = LinearCounting::new(1024);
+        assert_eq!(lc.estimate(), 0.0);
+    }
+
+    #[test]
+    fn saturation_does_not_divide_by_zero() {
+        let mut lc = LinearCounting::new(8);
+        for i in 0..1_000u32 {
+            lc.insert(&i.to_be_bytes());
+        }
+        assert!(lc.estimate().is_finite());
+    }
+}

@@ -1,0 +1,172 @@
+//! SuMax (Zhao et al., LightGuardian, NSDI 2021).
+//!
+//! A `d × w` sketch with two modes:
+//! - **Sum**: an *approximate conservative update* — only counters equal
+//!   to the current row-wise minimum are incremented, so overestimation
+//!   error grows much slower than CMS under the same memory.
+//! - **Max**: each row tracks a maximum; queries return the row-wise
+//!   minimum of the maxima, shaving hash-collision overestimates.
+
+use flymon_rmt::hash::murmur3_32;
+
+/// Which aggregate a [`SuMax`] instance maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuMaxMode {
+    /// Conservative-update sum (frequency attribute).
+    Sum,
+    /// Per-row maxima (max attribute).
+    Max,
+}
+
+/// A `d × w` SuMax sketch.
+#[derive(Debug, Clone)]
+pub struct SuMax {
+    mode: SuMaxMode,
+    rows: usize,
+    width: usize,
+    counters: Vec<u64>,
+}
+
+impl SuMax {
+    /// Creates a sketch with `rows` rows of `width` counters.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(mode: SuMaxMode, rows: usize, width: usize) -> Self {
+        assert!(rows > 0 && width > 0, "SuMax dimensions must be positive");
+        SuMax {
+            mode,
+            rows,
+            width,
+            counters: vec![0; rows * width],
+        }
+    }
+
+    /// Creates a sketch of `rows` rows within `bytes` (32-bit counters).
+    pub fn with_memory(mode: SuMaxMode, rows: usize, bytes: usize) -> Self {
+        Self::new(mode, rows, (bytes / 4 / rows).max(1))
+    }
+
+    /// Memory footprint in bytes (32-bit counters).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows * self.width * 4
+    }
+
+    fn index(&self, row: usize, key: &[u8]) -> usize {
+        row * self.width + murmur3_32(0x50a0_0000 ^ row as u32, key) as usize % self.width
+    }
+
+    /// Feeds one observation of `value` for `key`.
+    pub fn update(&mut self, key: &[u8], value: u64) {
+        match self.mode {
+            SuMaxMode::Sum => {
+                let indices: Vec<usize> = (0..self.rows).map(|r| self.index(r, key)).collect();
+                let min = indices.iter().map(|&i| self.counters[i]).min().unwrap();
+                for &i in &indices {
+                    if self.counters[i] == min {
+                        self.counters[i] += value;
+                    }
+                }
+            }
+            SuMaxMode::Max => {
+                for row in 0..self.rows {
+                    let i = self.index(row, key);
+                    if self.counters[i] < value {
+                        self.counters[i] = value;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point query: row-wise minimum (for both modes).
+    pub fn query(&self, key: &[u8]) -> u64 {
+        (0..self.rows)
+            .map(|row| self.counters[self.index(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> SuMaxMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_never_underestimates() {
+        let mut s = SuMax::new(SuMaxMode::Sum, 3, 128);
+        for i in 0..1_000u32 {
+            s.update(&i.to_be_bytes(), 1);
+        }
+        for i in 0..1_000u32 {
+            assert!(s.query(&i.to_be_bytes()) >= 1);
+        }
+    }
+
+    #[test]
+    fn sum_beats_cms_overestimate() {
+        use crate::cms::CountMinSketch;
+        let mut sumax = SuMax::new(SuMaxMode::Sum, 3, 128);
+        let mut cms = CountMinSketch::new(3, 128);
+        for i in 0..5_000u32 {
+            sumax.update(&i.to_be_bytes(), 1);
+            cms.update(&i.to_be_bytes(), 1);
+        }
+        let err = |q: &dyn Fn(&[u8]) -> u64| -> u64 {
+            (0..5_000u32).map(|i| q(&i.to_be_bytes()) - 1).sum()
+        };
+        let su_err = err(&|k| sumax.query(k));
+        let cms_err = err(&|k| cms.query(k));
+        assert!(
+            su_err < cms_err,
+            "conservative update should help: sumax {su_err}, cms {cms_err}"
+        );
+    }
+
+    #[test]
+    fn sum_exact_when_sparse() {
+        let mut s = SuMax::new(SuMaxMode::Sum, 3, 4096);
+        for _ in 0..7 {
+            s.update(b"k", 2);
+        }
+        assert_eq!(s.query(b"k"), 14);
+    }
+
+    #[test]
+    fn max_tracks_maximum() {
+        let mut s = SuMax::new(SuMaxMode::Max, 3, 1024);
+        s.update(b"q", 5);
+        s.update(b"q", 17);
+        s.update(b"q", 3);
+        assert_eq!(s.query(b"q"), 17);
+        assert_eq!(s.query(b"other"), 0);
+    }
+
+    #[test]
+    fn max_never_underestimates_true_max() {
+        let mut s = SuMax::new(SuMaxMode::Max, 2, 64);
+        for i in 0..500u32 {
+            s.update(&i.to_be_bytes(), u64::from(i % 50));
+        }
+        for i in 0..500u32 {
+            assert!(s.query(&i.to_be_bytes()) >= u64::from(i % 50));
+        }
+    }
+
+    #[test]
+    fn with_memory_budget() {
+        let s = SuMax::with_memory(SuMaxMode::Sum, 3, 120_000);
+        assert!(s.memory_bytes() <= 120_000);
+        assert_eq!(s.width, 10_000);
+    }
+}

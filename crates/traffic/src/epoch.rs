@@ -1,0 +1,85 @@
+//! Epoch slicing: dividing a trace into measurement windows.
+//!
+//! FlyMon (like most sketch systems) measures in epochs: the control plane
+//! reads and resets the data plane at epoch boundaries (§5.1 divides a
+//! 20-second trace into 20 discrete epochs).
+
+use flymon_packet::Packet;
+
+/// Splits a time-sorted trace into consecutive epochs of `epoch_ns` each.
+///
+/// Returns one slice per epoch covering `[i*epoch_ns, (i+1)*epoch_ns)`;
+/// the last epoch may be partial. Empty leading/middle epochs are
+/// represented as empty slices so indices stay aligned with wall time.
+///
+/// # Panics
+/// Panics if `epoch_ns == 0` or the trace is not sorted by timestamp.
+pub fn split_epochs(trace: &[Packet], epoch_ns: u64) -> Vec<&[Packet]> {
+    assert!(epoch_ns > 0, "epoch duration must be positive");
+    assert!(
+        trace.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+        "trace must be sorted by timestamp"
+    );
+    let mut epochs = Vec::new();
+    if trace.is_empty() {
+        return epochs;
+    }
+    let last_epoch = trace.last().unwrap().ts_ns / epoch_ns;
+    let mut start = 0usize;
+    for e in 0..=last_epoch {
+        let end_ts = (e + 1) * epoch_ns;
+        let end = start + trace[start..].partition_point(|p| p.ts_ns < end_ts);
+        epochs.push(&trace[start..end]);
+        start = end;
+    }
+    epochs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flymon_packet::PacketBuilder;
+
+    fn at(ts: u64) -> Packet {
+        PacketBuilder::new().ts_ns(ts).build()
+    }
+
+    #[test]
+    fn splits_on_boundaries() {
+        let trace = vec![at(0), at(5), at(10), at(15), at(29)];
+        let epochs = split_epochs(&trace, 10);
+        assert_eq!(epochs.len(), 3);
+        assert_eq!(epochs[0].len(), 2);
+        assert_eq!(epochs[1].len(), 2);
+        assert_eq!(epochs[2].len(), 1);
+    }
+
+    #[test]
+    fn boundary_packet_goes_to_next_epoch() {
+        let trace = vec![at(9), at(10)];
+        let epochs = split_epochs(&trace, 10);
+        assert_eq!(epochs[0].len(), 1);
+        assert_eq!(epochs[1].len(), 1);
+    }
+
+    #[test]
+    fn empty_middle_epochs_preserved() {
+        let trace = vec![at(1), at(35)];
+        let epochs = split_epochs(&trace, 10);
+        assert_eq!(epochs.len(), 4);
+        assert!(epochs[1].is_empty());
+        assert!(epochs[2].is_empty());
+        assert_eq!(epochs[3].len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_gives_no_epochs() {
+        assert!(split_epochs(&[], 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_rejected() {
+        let _ = split_epochs(&[at(5), at(1)], 10);
+    }
+}

@@ -1,0 +1,405 @@
+//! Synthetic trace generators.
+//!
+//! Stand-ins for the WIDE 2020 backbone trace and the iPerf testbed of the
+//! paper's evaluation. Each generator is deterministic given its seed so
+//! experiments are reproducible.
+
+use flymon_packet::{Packet, PacketBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration of a WIDE-like mixed trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Number of distinct 5-tuple flows (§5.1 uses ~10K per epoch).
+    pub flows: usize,
+    /// Total packet budget; per-flow sizes are Zipf-distributed and scaled
+    /// to approximately this total.
+    pub packets: u64,
+    /// Zipf skew of flow sizes (backbone traces: ~1.0–1.3).
+    pub zipf_alpha: f64,
+    /// Trace duration in nanoseconds (§5.3 uses 15 s and 30 s windows).
+    pub duration_ns: u64,
+    /// RNG seed; same seed ⇒ identical trace.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            flows: 10_000,
+            packets: 500_000,
+            zipf_alpha: 1.1,
+            duration_ns: 15_000_000_000,
+            seed: 0xf17_4075,
+        }
+    }
+}
+
+/// Configuration of a DDoS-victim scenario layered over background
+/// traffic: `victims` destination addresses each receive packets from
+/// `sources_per_victim` distinct sources (the ground truth for the DDoS
+/// victim detection task, §4/§5.3).
+#[derive(Debug, Clone, Copy)]
+pub struct DdosConfig {
+    /// Background traffic.
+    pub background: TraceConfig,
+    /// Number of attacked destination addresses.
+    pub victims: usize,
+    /// Distinct attacking sources per victim (the detection threshold in
+    /// §5.3 is 512 distinct sources).
+    pub sources_per_victim: usize,
+    /// Packets sent by each attacking source (1 = pure spoofed SYN flood).
+    pub packets_per_source: u32,
+}
+
+impl Default for DdosConfig {
+    fn default() -> Self {
+        DdosConfig {
+            background: TraceConfig::default(),
+            victims: 20,
+            sources_per_victim: 2_000,
+            packets_per_source: 1,
+        }
+    }
+}
+
+/// Configuration of the Fig. 12b accuracy timeline: a sequence of epochs
+/// with a flow-count spike in the middle.
+#[derive(Debug, Clone, Copy)]
+pub struct SpikeConfig {
+    /// Total number of epochs (paper: 20).
+    pub epochs: usize,
+    /// Baseline distinct flows per epoch (paper: ~10K).
+    pub base_flows: usize,
+    /// Extra flows injected during the spike (paper: +30K).
+    pub spike_flows: usize,
+    /// First epoch (0-based, inclusive) of the spike (paper: epoch 6 of
+    /// 1..=20, i.e. index 5).
+    pub spike_start: usize,
+    /// Last epoch (0-based, inclusive) of the spike (paper: epoch 15,
+    /// i.e. index 14).
+    pub spike_end: usize,
+    /// Packets per epoch at baseline; scaled up proportionally during the
+    /// spike.
+    pub base_packets: u64,
+    /// Epoch duration in nanoseconds.
+    pub epoch_ns: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpikeConfig {
+    fn default() -> Self {
+        SpikeConfig {
+            epochs: 20,
+            base_flows: 10_000,
+            spike_flows: 30_000,
+            spike_start: 5,
+            spike_end: 14,
+            base_packets: 200_000,
+            epoch_ns: 1_000_000_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministic trace generator.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    rng: SmallRng,
+}
+
+impl TraceGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TraceGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn random_flow(&mut self) -> (u32, u32, u16, u16, u8) {
+        // Sources/destinations drawn from a handful of /8s so that
+        // prefix-keyed tasks (SrcIP/8, /16, /24) see realistic grouping.
+        let src_net: u32 = [10u32, 24, 59, 131, 172, 192][self.rng.gen_range(0..6)] << 24;
+        let dst_net: u32 = [10u32, 47, 88, 140, 192, 203][self.rng.gen_range(0..6)] << 24;
+        let src_ip = src_net | (self.rng.gen::<u32>() & 0x00ff_ffff);
+        let dst_ip = dst_net | (self.rng.gen::<u32>() & 0x00ff_ffff);
+        let src_port = self.rng.gen_range(1024..u16::MAX);
+        let dst_port = [80u16, 443, 53, 22, 8080, 3306][self.rng.gen_range(0..6)];
+        let proto = if self.rng.gen_bool(0.8) { 6 } else { 17 };
+        (src_ip, dst_ip, src_port, dst_port, proto)
+    }
+
+    fn packet_len(&mut self) -> u16 {
+        // Bimodal internet mix: small control packets and full frames.
+        match self.rng.gen_range(0..10) {
+            0..=4 => self.rng.gen_range(64..=128),
+            5..=6 => self.rng.gen_range(129..=576),
+            _ => self.rng.gen_range(1000..=1500),
+        }
+    }
+
+    /// Generates a WIDE-like trace: `cfg.flows` distinct 5-tuples with
+    /// Zipf-distributed sizes, packets uniformly spread over the duration,
+    /// sorted by timestamp, with queue metadata from a simple queue
+    /// simulation.
+    pub fn wide_like(&mut self, cfg: &TraceConfig) -> Vec<Packet> {
+        let zipf = Zipf::new(cfg.flows, cfg.zipf_alpha);
+        let sizes = zipf.expected_counts(cfg.packets);
+        let mut packets = Vec::with_capacity(sizes.iter().sum::<u64>() as usize);
+        for &count in &sizes {
+            let (src_ip, dst_ip, src_port, dst_port, proto) = self.random_flow();
+            for _ in 0..count {
+                let ts = self.rng.gen_range(0..cfg.duration_ns);
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(src_ip)
+                        .dst_ip(dst_ip)
+                        .src_port(src_port)
+                        .dst_port(dst_port)
+                        .protocol(proto)
+                        .len(self.packet_len())
+                        .ts_ns(ts)
+                        .build(),
+                );
+            }
+        }
+        finalize(&mut packets);
+        packets
+    }
+
+    /// Generates a DDoS scenario: background traffic plus `victims`
+    /// destinations each hit by `sources_per_victim` distinct sources.
+    /// Victim addresses are `203.0.113.x` (TEST-NET-3), disjoint from the
+    /// background destination pool's host structure so ground truth is
+    /// unambiguous. Returns `(trace, victim_addresses)`.
+    pub fn ddos(&mut self, cfg: &DdosConfig) -> (Vec<Packet>, Vec<u32>) {
+        let mut packets = self.wide_like(&cfg.background);
+        let mut victims = Vec::with_capacity(cfg.victims);
+        for v in 0..cfg.victims {
+            let victim = (203u32 << 24) | (113 << 8) | (v as u32 & 0xff) | ((v as u32 >> 8) << 16);
+            victims.push(victim);
+            for s in 0..cfg.sources_per_victim {
+                // Distinct spoofed sources per victim.
+                let src = (198u32 << 24) | ((v as u32 & 0xff) << 16) | (s as u32 & 0xffff);
+                for _ in 0..cfg.packets_per_source {
+                    let ts = self.rng.gen_range(0..cfg.background.duration_ns);
+                    packets.push(
+                        PacketBuilder::new()
+                            .src_ip(src)
+                            .dst_ip(victim)
+                            .src_port(self.rng.gen())
+                            .dst_port(80)
+                            .protocol(6)
+                            .len(64)
+                            .ts_ns(ts)
+                            .build(),
+                    );
+                }
+            }
+        }
+        finalize(&mut packets);
+        (packets, victims)
+    }
+
+    /// Generates a port-scan scenario: background plus one scanner probing
+    /// `ports` distinct destination ports on `target`. Returns the trace;
+    /// the scanner is `198.51.100.1` (TEST-NET-2).
+    pub fn port_scan(&mut self, cfg: &TraceConfig, target: u32, ports: u16) -> Vec<Packet> {
+        let mut packets = self.wide_like(cfg);
+        let scanner = (198u32 << 24) | (51 << 16) | (100 << 8) | 1;
+        for port in 0..ports {
+            let ts = self.rng.gen_range(0..cfg.duration_ns);
+            packets.push(
+                PacketBuilder::new()
+                    .src_ip(scanner)
+                    .dst_ip(target)
+                    .src_port(40_000)
+                    .dst_port(port)
+                    .protocol(6)
+                    .len(64)
+                    .ts_ns(ts)
+                    .build(),
+            );
+        }
+        finalize(&mut packets);
+        packets
+    }
+
+    /// Generates the Fig. 12b epoch timeline: one trace per epoch, flow
+    /// count spiking between `spike_start..=spike_end`. Timestamps are
+    /// absolute (epoch `i` occupies `[i*epoch_ns, (i+1)*epoch_ns)`).
+    pub fn spike_timeline(&mut self, cfg: &SpikeConfig) -> Vec<Vec<Packet>> {
+        let mut epochs = Vec::with_capacity(cfg.epochs);
+        for e in 0..cfg.epochs {
+            let spiking = (cfg.spike_start..=cfg.spike_end).contains(&e);
+            let flows = cfg.base_flows + if spiking { cfg.spike_flows } else { 0 };
+            let scale = flows as f64 / cfg.base_flows as f64;
+            let epoch_cfg = TraceConfig {
+                flows,
+                packets: (cfg.base_packets as f64 * scale) as u64,
+                zipf_alpha: 1.1,
+                duration_ns: cfg.epoch_ns,
+                seed: cfg.seed,
+            };
+            let mut trace = self.wide_like(&epoch_cfg);
+            let base_ts = e as u64 * cfg.epoch_ns;
+            for p in &mut trace {
+                p.ts_ns += base_ts;
+            }
+            epochs.push(trace);
+        }
+        epochs
+    }
+}
+
+/// Sorts by timestamp and fills queue metadata with a fluid-queue model:
+/// the queue drains at a constant rate; arrivals enqueue their bytes. This
+/// yields queue lengths/delays correlated with instantaneous load, which
+/// is all `Max(QueueLen)` / `Max(QueueDelay)` tasks need.
+fn finalize(packets: &mut [Packet]) {
+    packets.sort_by_key(|p| p.ts_ns);
+    const DRAIN_BYTES_PER_NS: f64 = 12.5; // 100 Gbps
+    const CELL_BYTES: f64 = 80.0;
+    let mut queue_bytes = 0.0f64;
+    let mut last_ts = 0u64;
+    for p in packets.iter_mut() {
+        let dt = (p.ts_ns - last_ts) as f64;
+        queue_bytes = (queue_bytes - dt * DRAIN_BYTES_PER_NS).max(0.0);
+        queue_bytes += f64::from(p.len);
+        last_ts = p.ts_ns;
+        p.queue_len = (queue_bytes / CELL_BYTES) as u32;
+        p.queue_delay_ns = (queue_bytes / DRAIN_BYTES_PER_NS) as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig {
+            flows: 500,
+            packets: 20_000,
+            zipf_alpha: 1.1,
+            duration_ns: 1_000_000_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn wide_like_is_deterministic() {
+        let a = TraceGenerator::new(9).wide_like(&small_cfg());
+        let b = TraceGenerator::new(9).wide_like(&small_cfg());
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(10).wide_like(&small_cfg());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wide_like_matches_config_scale() {
+        let cfg = small_cfg();
+        let trace = TraceGenerator::new(2).wide_like(&cfg);
+        let distinct: HashSet<_> = trace
+            .iter()
+            .map(|p| (p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.protocol))
+            .collect();
+        // expected_counts may merge a few colliding random 5-tuples, and
+        // rounding inflates the packet total slightly.
+        assert!(distinct.len() >= cfg.flows * 95 / 100);
+        assert!(trace.len() as u64 >= cfg.packets * 9 / 10);
+        assert!(trace.len() as u64 <= cfg.packets * 13 / 10);
+        assert!(trace.iter().all(|p| p.ts_ns < cfg.duration_ns));
+    }
+
+    #[test]
+    fn trace_is_time_sorted_with_queue_metadata() {
+        let trace = TraceGenerator::new(3).wide_like(&small_cfg());
+        assert!(trace.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // The fluid queue must register some occupancy somewhere.
+        assert!(trace.iter().any(|p| p.queue_len > 0));
+    }
+
+    #[test]
+    fn flow_sizes_are_skewed() {
+        let trace = TraceGenerator::new(4).wide_like(&small_cfg());
+        let mut counts = std::collections::HashMap::new();
+        for p in &trace {
+            *counts.entry((p.src_ip, p.src_port)).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let mean = trace.len() as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > 20.0 * mean,
+            "top flow ({max}) should dwarf the mean ({mean:.1})"
+        );
+    }
+
+    #[test]
+    fn ddos_victims_have_many_distinct_sources() {
+        let cfg = DdosConfig {
+            background: small_cfg(),
+            victims: 3,
+            sources_per_victim: 700,
+            packets_per_source: 1,
+        };
+        let (trace, victims) = TraceGenerator::new(5).ddos(&cfg);
+        assert_eq!(victims.len(), 3);
+        for &v in &victims {
+            let srcs: HashSet<_> = trace
+                .iter()
+                .filter(|p| p.dst_ip == v)
+                .map(|p| p.src_ip)
+                .collect();
+            assert!(srcs.len() >= 700, "victim has only {} sources", srcs.len());
+        }
+    }
+
+    #[test]
+    fn port_scan_touches_requested_ports() {
+        let target = 0x0a00_0001;
+        let trace = TraceGenerator::new(6).port_scan(&small_cfg(), target, 300);
+        let scanner = (198u32 << 24) | (51 << 16) | (100 << 8) | 1;
+        let ports: HashSet<_> = trace
+            .iter()
+            .filter(|p| p.src_ip == scanner && p.dst_ip == target)
+            .map(|p| p.dst_port)
+            .collect();
+        assert_eq!(ports.len(), 300);
+    }
+
+    #[test]
+    fn spike_timeline_shapes_flow_counts() {
+        let cfg = SpikeConfig {
+            epochs: 8,
+            base_flows: 300,
+            spike_flows: 900,
+            spike_start: 2,
+            spike_end: 4,
+            base_packets: 5_000,
+            epoch_ns: 1_000_000,
+            seed: 7,
+        };
+        let epochs = TraceGenerator::new(7).spike_timeline(&cfg);
+        assert_eq!(epochs.len(), 8);
+        let flows = |e: &Vec<Packet>| {
+            e.iter()
+                .map(|p| (p.src_ip, p.dst_ip, p.src_port, p.dst_port))
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        let quiet = flows(&epochs[0]);
+        let busy = flows(&epochs[3]);
+        assert!(
+            busy > quiet * 3,
+            "spike epoch should have ~4x flows: {busy} vs {quiet}"
+        );
+        // Epoch timestamps are disjoint and ordered.
+        assert!(epochs[1].first().unwrap().ts_ns >= cfg.epoch_ns);
+        assert!(epochs[0].last().unwrap().ts_ns < cfg.epoch_ns);
+    }
+}

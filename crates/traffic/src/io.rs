@@ -1,0 +1,171 @@
+//! Trace interchange: a plain CSV format for packet traces.
+//!
+//! Real deployments replay captured traces (the paper uses a WIDE
+//! backbone capture). This module defines a minimal, dependency-free
+//! textual format so externally-derived traces (e.g. exported from pcap
+//! with `tshark -T fields`) can drive the simulator, and synthetic
+//! traces can be persisted for exact reproduction:
+//!
+//! ```text
+//! # src_ip,dst_ip,src_port,dst_port,protocol,len,ts_ns[,queue_len,queue_delay_ns]
+//! 10.0.0.1,192.168.0.9,443,51234,6,1500,1200345
+//! ```
+//!
+//! Addresses are dotted decimal; lines starting with `#` are comments.
+
+use std::io::{BufRead, Write};
+
+use flymon_packet::{fmt_ipv4, parse_ipv4, Packet, PacketBuilder};
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the CSV format (with the optional queue columns).
+pub fn write_trace<W: Write>(mut w: W, trace: &[Packet]) -> Result<(), TraceIoError> {
+    writeln!(
+        w,
+        "# src_ip,dst_ip,src_port,dst_port,protocol,len,ts_ns,queue_len,queue_delay_ns"
+    )?;
+    for p in trace {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{}",
+            fmt_ipv4(p.src_ip),
+            fmt_ipv4(p.dst_ip),
+            p.src_port,
+            p.dst_port,
+            p.protocol,
+            p.len,
+            p.ts_ns,
+            p.queue_len,
+            p.queue_delay_ns
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from the CSV format. The queue columns are optional
+/// (defaulting to 0), so 7-column exports work directly.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<Packet>, TraceIoError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 7 && fields.len() != 9 {
+            return Err(TraceIoError::Parse {
+                line: line_no,
+                reason: format!("expected 7 or 9 fields, got {}", fields.len()),
+            });
+        }
+        let bad = |what: &str| TraceIoError::Parse {
+            line: line_no,
+            reason: format!("bad {what}"),
+        };
+        let src_ip = parse_ipv4(fields[0]).ok_or_else(|| bad("src_ip"))?;
+        let dst_ip = parse_ipv4(fields[1]).ok_or_else(|| bad("dst_ip"))?;
+        let src_port: u16 = fields[2].parse().map_err(|_| bad("src_port"))?;
+        let dst_port: u16 = fields[3].parse().map_err(|_| bad("dst_port"))?;
+        let protocol: u8 = fields[4].parse().map_err(|_| bad("protocol"))?;
+        let len: u16 = fields[5].parse().map_err(|_| bad("len"))?;
+        let ts_ns: u64 = fields[6].parse().map_err(|_| bad("ts_ns"))?;
+        let mut b = PacketBuilder::new()
+            .src_ip(src_ip)
+            .dst_ip(dst_ip)
+            .src_port(src_port)
+            .dst_port(dst_port)
+            .protocol(protocol)
+            .len(len)
+            .ts_ns(ts_ns);
+        if fields.len() == 9 {
+            let queue_len: u32 = fields[7].parse().map_err(|_| bad("queue_len"))?;
+            let queue_delay: u32 = fields[8].parse().map_err(|_| bad("queue_delay_ns"))?;
+            b = b.queue_len(queue_len).queue_delay_ns(queue_delay);
+        }
+        out.push(b.build());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TraceConfig, TraceGenerator};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = TraceGenerator::new(3).wide_like(&TraceConfig {
+            flows: 100,
+            packets: 2_000,
+            ..TraceConfig::default()
+        });
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn seven_column_form_parses_with_zero_queues() {
+        let csv = "# comment\n10.0.0.1,192.168.0.9,443,51234,6,1500,1200345\n";
+        let t = read_trace(csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].src_port, 443);
+        assert_eq!(t[0].queue_len, 0);
+        assert_eq!(t[0].ts_ns, 1_200_345);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let csv = "\n# header\n\n1.2.3.4,5.6.7.8,1,2,17,64,0\n\n";
+        assert_eq!(read_trace(csv.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let csv = "1.2.3.4,5.6.7.8,1,2,17,64,0\nnot,a,packet\n";
+        match read_trace(csv.as_bytes()) {
+            Err(TraceIoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_ip = "1.2.3.999,5.6.7.8,1,2,17,64,0\n";
+        assert!(matches!(
+            read_trace(bad_ip.as_bytes()),
+            Err(TraceIoError::Parse { line: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! Accuracy metrics, exactly as defined in Appendix C of the paper.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// ARE (Average Relative Error): `1/n · Σ |f_i − f̂_i| / f_i` over the
+/// *true* flow set (items the estimator missed contribute `|f_i − 0|/f_i`).
+///
+/// # Panics
+/// Panics if any true value is zero (the metric is undefined there).
+pub fn average_relative_error<K: Eq + Hash>(
+    truth: impl IntoIterator<Item = (K, u64)>,
+    estimate: impl Fn(&K) -> f64,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (k, t) in truth {
+        assert!(t > 0, "ARE undefined for zero ground truth");
+        let e = estimate(&k);
+        sum += (t as f64 - e).abs() / t as f64;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// RE (Relative Error): `|x − x̂| / x` for a scalar statistic.
+///
+/// # Panics
+/// Panics if the true value is zero.
+pub fn relative_error(truth: f64, estimate: f64) -> f64 {
+    assert!(truth != 0.0, "RE undefined for zero ground truth");
+    (truth - estimate).abs() / truth.abs()
+}
+
+/// F1 score with its precision/recall components:
+/// `PR` = fraction of reported instances that are true,
+/// `RR` = fraction of true instances that were reported,
+/// `F1 = 2·PR·RR / (PR + RR)`.
+///
+/// Both-empty sets score a perfect 1.0 (nothing to find, nothing
+/// reported); an empty intersection scores 0.0.
+pub fn f1_score<K: Eq + Hash>(reported: &HashSet<K>, truth: &HashSet<K>) -> F1 {
+    if reported.is_empty() && truth.is_empty() {
+        return F1 {
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
+    }
+    let tp = reported.intersection(truth).count() as f64;
+    let precision = if reported.is_empty() {
+        0.0
+    } else {
+        tp / reported.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        tp / truth.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    F1 {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1 {
+    /// Fraction of reported instances that are true (PR).
+    pub precision: f64,
+    /// Fraction of true instances that were reported (RR).
+    pub recall: f64,
+    /// Harmonic mean of the two.
+    pub f1: f64,
+}
+
+/// WMRE (Weighted Mean Relative Error) between two flow-size
+/// distributions `n` and `n̂` (indexed by flow size):
+/// `Σ|n_i − n̂_i| / Σ((n_i + n̂_i)/2)` — the standard metric for MRAC-style
+/// distribution estimates (Kumar et al., SIGMETRICS 2004).
+pub fn wmre(truth: &[f64], estimate: &[f64]) -> f64 {
+    let len = truth.len().max(estimate.len());
+    let at = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..len {
+        let (t, e) = (at(truth, i), at(estimate, i));
+        num += (t - e).abs();
+        den += (t + e) / 2.0;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// FP (False Positive rate): `N_fp / (N_fp + N_tn)` — the fraction of
+/// negatives wrongly categorized as positive.
+pub fn false_positive_rate(false_positives: usize, true_negatives: usize) -> f64 {
+    let denom = false_positives + true_negatives;
+    if denom == 0 {
+        0.0
+    } else {
+        false_positives as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn are_basic() {
+        let truth = vec![("a", 10u64), ("b", 100u64)];
+        // a estimated 12 (RE 0.2), b estimated 90 (RE 0.1) -> ARE 0.15.
+        let are = average_relative_error(truth, |k| if *k == "a" { 12.0 } else { 90.0 });
+        assert!((are - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn are_counts_missed_flows_fully() {
+        let truth = vec![("a", 10u64)];
+        let are = average_relative_error(truth, |_| 0.0);
+        assert!((are - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn are_of_empty_truth_is_zero() {
+        let are = average_relative_error(Vec::<((), u64)>::new(), |_| 0.0);
+        assert_eq!(are, 0.0);
+    }
+
+    #[test]
+    fn re_basic() {
+        assert!((relative_error(200.0, 180.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn f1_perfect_and_degenerate() {
+        let t: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        let perfect = f1_score(&t, &t);
+        assert_eq!(perfect.f1, 1.0);
+
+        let empty: HashSet<u32> = HashSet::new();
+        assert_eq!(f1_score(&empty, &empty).f1, 1.0);
+        assert_eq!(f1_score(&empty, &t).f1, 0.0);
+        assert_eq!(f1_score(&t, &empty).f1, 0.0);
+    }
+
+    #[test]
+    fn f1_partial_overlap() {
+        let truth: HashSet<u32> = [1, 2, 3, 4].into_iter().collect();
+        let reported: HashSet<u32> = [3, 4, 5, 6, 7, 8].into_iter().collect();
+        let r = f1_score(&reported, &truth);
+        assert!((r.precision - 2.0 / 6.0).abs() < 1e-12);
+        assert!((r.recall - 0.5).abs() < 1e-12);
+        let expect = 2.0 * r.precision * r.recall / (r.precision + r.recall);
+        assert!((r.f1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wmre_basics() {
+        // Identical distributions score 0.
+        assert_eq!(wmre(&[0.0, 10.0, 5.0], &[0.0, 10.0, 5.0]), 0.0);
+        // Completely disjoint mass scores 2 (the metric's maximum).
+        assert!((wmre(&[0.0, 10.0], &[10.0, 0.0]) - 2.0).abs() < 1e-12);
+        // Length mismatch treats missing entries as zero.
+        assert!(wmre(&[5.0], &[5.0, 1.0]) > 0.0);
+        assert_eq!(wmre(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn fp_rate() {
+        assert_eq!(false_positive_rate(0, 100), 0.0);
+        assert!((false_positive_rate(5, 95) - 0.05).abs() < 1e-12);
+        assert_eq!(false_positive_rate(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! A from-scratch Zipf(α) sampler over ranks `1..=n`.
+//!
+//! Implemented in-repo (rather than pulling `rand_distr`) to stay within
+//! the approved dependency set. Sampling uses a precomputed CDF and binary
+//! search: O(n) setup, O(log n) per sample, exact distribution.
+
+use rand::Rng;
+
+/// Zipf distribution over `1..=n` with exponent `alpha`:
+/// `P(rank = k) ∝ k^(-alpha)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of cdf entries < u, i.e. the
+        // 0-based index of the first entry >= u; ranks are 1-based.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        let hi = self.cdf[k - 1];
+        let lo = if k >= 2 { self.cdf[k - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// Expected flow sizes for a population of `total` samples: the exact
+    /// expectation `total * pmf(k)` per rank, useful for deterministic
+    /// flow-size assignment (avoids sampling noise in ground-truth-heavy
+    /// experiments).
+    pub fn expected_counts(&self, total: u64) -> Vec<u64> {
+        (1..=self.cdf.len())
+            .map(|k| ((total as f64) * self.pmf(k)).round().max(1.0) as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let sum: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates_with_high_alpha() {
+        let z = Zipf::new(1000, 2.0);
+        assert!(z.pmf(1) > 0.6);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(10));
+    }
+
+    #[test]
+    fn samples_follow_the_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        // Compare empirical vs theoretical frequency of the head ranks.
+        for k in 1..=5 {
+            let expect = z.pmf(k);
+            let got = f64::from(counts[k - 1]) / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "rank {k}: got {got}, expect {expect}"
+            );
+        }
+        // Every sampled rank is in range (indexing above would have
+        // panicked otherwise), and the tail is nonempty.
+        assert!(counts[49] < counts[0]);
+    }
+
+    #[test]
+    fn expected_counts_are_monotone_and_positive() {
+        let z = Zipf::new(20, 1.3);
+        let c = z.expected_counts(10_000);
+        assert_eq!(c.len(), 20);
+        for w in c.windows(2) {
+            assert!(w[0] >= w[1], "expected counts must be non-increasing");
+        }
+        assert!(c.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_support_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

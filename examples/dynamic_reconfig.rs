@@ -1,0 +1,82 @@
+//! On-the-fly reconfiguration under a traffic spike (the Fig. 12b
+//! system experiment, at reduced scale).
+//!
+//! ```sh
+//! cargo run --release --example dynamic_reconfig
+//! ```
+//!
+//! Runs the 20-epoch accuracy timeline: task B churn in the middle of
+//! task A's life, memory grown to ride a 4× flow spike and shrunk
+//! afterwards — against a statically provisioned baseline that cannot
+//! adapt.
+
+use flymon_netsim::epochs::{run_accuracy_timeline, EpochTimelineConfig};
+use flymon_traffic::gen::SpikeConfig;
+
+fn main() {
+    let config = EpochTimelineConfig {
+        traffic: SpikeConfig {
+            epochs: 20,
+            base_flows: 2_500,
+            spike_flows: 7_500,
+            spike_start: 5,
+            spike_end: 14,
+            base_packets: 60_000,
+            epoch_ns: 1_000_000_000,
+            seed: 42,
+        },
+        base_buckets: 4096,
+        grown_buckets: 16384,
+        insert_b_at: 2,
+        remove_b_at: 9,
+        grow_at: 5,
+        shrink_at: 15,
+        buckets_per_cmu: 16384,
+    };
+
+    println!("== dynamic reconfiguration timeline (Fig. 12b, reduced scale) ==");
+    println!(
+        "{} epochs, {} flows/epoch baseline, +{} during the spike\n",
+        config.traffic.epochs, config.traffic.base_flows, config.traffic.spike_flows
+    );
+    println!(
+        "{:>5} {:>7} {:>10} {:>12} {:>12}  events",
+        "epoch", "flows", "A buckets", "FlyMon ARE", "Static ARE"
+    );
+
+    let points = run_accuracy_timeline(&config);
+    for p in &points {
+        println!(
+            "{:>5} {:>7} {:>10} {:>12.4} {:>12.4}  {}",
+            p.epoch + 1,
+            p.flows,
+            p.flymon_buckets,
+            p.flymon_are,
+            p.static_are,
+            p.events.join(", ")
+        );
+    }
+
+    let spike_range = config.traffic.spike_start..=config.traffic.spike_end;
+    let avg = |f: &dyn Fn(&flymon_netsim::AccuracyPoint) -> f64, spike: bool| {
+        let pts: Vec<f64> = points
+            .iter()
+            .filter(|p| spike_range.contains(&p.epoch) == spike)
+            .map(|p| f(p))
+            .collect();
+        pts.iter().sum::<f64>() / pts.len() as f64
+    };
+    let fly_spike = avg(&|p| p.flymon_are, true);
+    let static_spike = avg(&|p| p.static_are, true);
+    println!(
+        "\nspike-epoch ARE: FlyMon {:.4} vs Static {:.4} ({:.1}x worse without reallocation)",
+        fly_spike,
+        static_spike,
+        static_spike / fly_spike
+    );
+    println!(
+        "calm-epoch ARE:  FlyMon {:.4} vs Static {:.4}",
+        avg(&|p| p.flymon_are, false),
+        avg(&|p| p.static_are, false)
+    );
+}

@@ -1,0 +1,78 @@
+//! Network-wide measurement over a fleet of FlyMon switches.
+//!
+//! ```sh
+//! cargo run --release --example network_wide
+//! ```
+//!
+//! §3.4 positions FlyMon under software-defined-measurement controllers
+//! that run network-wide queries. This example deploys the same task on
+//! four simulated switches, splits the traffic across ingresses, and
+//! merges the readouts — exactly (counter sketches are linear) for
+//! frequency, by register max for cardinality.
+
+use flymon::prelude::*;
+use flymon_netsim::SwitchFleet;
+use flymon_packet::{fmt_ipv4, KeySpec};
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+use flymon_traffic::ground_truth::GroundTruth;
+
+fn main() {
+    let trace = TraceGenerator::new(99).wide_like(&TraceConfig {
+        flows: 20_000,
+        packets: 500_000,
+        zipf_alpha: 1.15,
+        ..TraceConfig::default()
+    });
+    let config = FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 65536,
+        ..FlyMonConfig::default()
+    };
+
+    // --- Network-wide heavy hitters ----------------------------------
+    let freq_task = TaskDefinition::builder("nw-frequency")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 3 })
+        .memory(16384)
+        .build();
+    let mut fleet = SwitchFleet::deploy(4, config, &freq_task).expect("fleet deploys");
+    fleet.process_trace(&trace);
+    println!("== network-wide heavy hitters (4 switches, merged registers) ==");
+
+    let truth = GroundTruth::packet_counts(&trace, KeySpec::SRC_IP);
+    let mut top: Vec<_> = truth.frequency.iter().collect();
+    top.sort_by_key(|&(_, c)| std::cmp::Reverse(*c));
+    let mut reps = std::collections::HashMap::new();
+    for p in &trace {
+        reps.entry(KeySpec::SRC_IP.extract(p)).or_insert(*p);
+    }
+    for (key, &true_count) in top.iter().take(5) {
+        let pkt = reps[*key];
+        let merged = fleet.merged_frequency(&pkt).expect("merges");
+        let (sw0, h0) = fleet.switch(0);
+        let local = sw0.query_frequency(h0, &pkt);
+        println!(
+            "  {:>15}: true {true_count:>6}  merged {merged:>6}  (switch 0 alone saw {local})",
+            fmt_ipv4(pkt.src_ip)
+        );
+    }
+
+    // --- Network-wide cardinality ------------------------------------
+    let card_task = TaskDefinition::builder("nw-cardinality")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+        .algorithm(Algorithm::Hll)
+        .memory(4096)
+        .build();
+    let mut fleet = SwitchFleet::deploy(4, config, &card_task).expect("fleet deploys");
+    fleet.process_trace(&trace);
+    let truth_card = GroundTruth::packet_counts(&trace, KeySpec::FIVE_TUPLE).cardinality();
+    let merged = fleet.merged_cardinality().expect("merges");
+    let (sw0, h0) = fleet.switch(0);
+    println!("\n== network-wide cardinality (HLL registers merged by max) ==");
+    println!(
+        "  true {truth_card}  merged {merged:.0}  (switch 0 alone estimated {:.0})",
+        sw0.cardinality(h0)
+    );
+}
