@@ -1,21 +1,23 @@
 //! Raw CMU-Group pipeline cost: compression + initialization +
 //! preparation + operation for one packet, as task load grows.
+//!
+//! ```sh
+//! cargo bench -p flymon-bench --bench group_pipeline
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use flymon::prelude::*;
+use flymon_bench::bench;
 use flymon_packet::{KeySpec, TaskFilter};
 use flymon_traffic::gen::{TraceConfig, TraceGenerator};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let trace = TraceGenerator::new(9).wide_like(&TraceConfig {
         flows: 2_000,
         packets: 20_000,
         ..TraceConfig::default()
     });
 
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-
+    println!("== pipeline: {} packets per run ==", trace.len());
     for (label, groups, tasks) in [("1group_1task", 1usize, 1u32), ("4groups_12tasks", 4, 12)] {
         let mut fm = FlyMon::new(FlyMonConfig {
             groups,
@@ -32,19 +34,9 @@ fn bench_pipeline(c: &mut Criterion) {
                 .build();
             fm.deploy(&def).expect("deploys");
         }
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                fm.process_trace(&trace);
-                fm.packets_processed()
-            });
+        bench(label, 10, Some(trace.len() as u64), || {
+            fm.process_trace(&trace);
+            fm.packets_processed()
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
-}
-criterion_main!(benches);

@@ -1,13 +1,17 @@
 //! Control-plane reconfiguration cost: wall-clock deploy/remove cycles
 //! (the modeled rule-install latency is Table 3; this measures the
 //! software control plane itself).
+//!
+//! ```sh
+//! cargo bench -p flymon-bench --bench reconfiguration
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flymon::prelude::*;
+use flymon_bench::bench;
 use flymon_packet::KeySpec;
 
-fn bench_reconfig(c: &mut Criterion) {
-    c.bench_function("deploy_remove_cms_d3", |b| {
+fn main() {
+    {
         let mut fm = FlyMon::new(FlyMonConfig::default());
         let def = TaskDefinition::builder("t")
             .key(KeySpec::SRC_IP)
@@ -15,13 +19,13 @@ fn bench_reconfig(c: &mut Criterion) {
             .algorithm(Algorithm::Cms { d: 3 })
             .memory(16384)
             .build();
-        b.iter(|| {
+        bench("deploy_remove_cms_d3", 20, None, || {
             let h = fm.deploy(&def).expect("deploys");
             fm.remove(h).expect("removes");
         });
-    });
+    }
 
-    c.bench_function("reallocate_memory", |b| {
+    {
         let mut fm = FlyMon::new(FlyMonConfig::default());
         let def = TaskDefinition::builder("t")
             .key(KeySpec::SRC_IP)
@@ -31,18 +35,11 @@ fn bench_reconfig(c: &mut Criterion) {
             .build();
         let mut h = fm.deploy(&def).expect("deploys");
         let mut big = false;
-        b.iter(|| {
+        bench("reallocate_memory", 20, None, || {
             big = !big;
             h = fm
                 .reallocate_memory(h, if big { 16384 } else { 2048 })
                 .expect("reallocates");
         });
-    });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_reconfig
-}
-criterion_main!(benches);

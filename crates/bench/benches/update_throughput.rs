@@ -1,11 +1,15 @@
 //! Per-packet update cost of each built-in algorithm hosted on CMUs.
+//!
+//! ```sh
+//! cargo bench -p flymon-bench --bench update_throughput
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use flymon::prelude::*;
+use flymon_bench::bench;
 use flymon_packet::KeySpec;
 use flymon_traffic::gen::{TraceConfig, TraceGenerator};
 
-fn bench_algorithms(c: &mut Criterion) {
+fn main() {
     let trace = TraceGenerator::new(7).wide_like(&TraceConfig {
         flows: 5_000,
         packets: 50_000,
@@ -83,30 +87,13 @@ fn bench_algorithms(c: &mut Criterion) {
         ),
     ];
 
-    let mut group = c.benchmark_group("cmu_update");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    println!("== cmu_update: per-packet cost over {} packets ==", trace.len());
     for (name, def, cfg) in cases {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let mut fm = FlyMon::new(cfg);
-                    fm.deploy(&def).expect("deploys");
-                    fm
-                },
-                |mut fm| {
-                    fm.process_trace(&trace);
-                    fm
-                },
-                BatchSize::LargeInput,
-            );
+        bench(name, 10, Some(trace.len() as u64), || {
+            let mut fm = FlyMon::new(cfg);
+            fm.deploy(&def).expect("deploys");
+            fm.process_trace(&trace);
+            fm.packets_processed()
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_algorithms
-}
-criterion_main!(benches);

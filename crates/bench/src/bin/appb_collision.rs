@@ -11,22 +11,25 @@
 use std::collections::HashMap;
 
 use flymon_bench::print_table;
-use flymon_packet::{KeySpec, Packet};
+use flymon_packet::{KeySpec, Packet, SplitMix64};
 use flymon_rmt::hash::HashUnit;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut unit = HashUnit::new(0);
     unit.set_mask(KeySpec::FIVE_TUPLE);
-    let mut rng = SmallRng::seed_from_u64(0xAB);
+    let mut rng = SplitMix64::new(0xAB);
 
     let mut rows = Vec::new();
     for &(n, bits) in &[(100_000u32, 24u32), (400_000, 24), (400_000, 20), (400_000, 28)] {
         let m = 1u64 << bits;
         let mut buckets: HashMap<u32, u32> = HashMap::new();
         for _ in 0..n {
-            let pkt = Packet::tcp(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+            let pkt = Packet::tcp(
+                rng.next_u32(),
+                rng.next_u32(),
+                rng.next_u16(),
+                rng.next_u16(),
+            );
             let digest = unit.compute(&pkt) & ((m - 1) as u32);
             *buckets.entry(digest).or_insert(0) += 1;
         }

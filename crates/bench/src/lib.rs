@@ -87,6 +87,34 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!();
 }
 
+/// A minimal wall-clock micro-benchmark harness.
+///
+/// Replaces the external `criterion` dependency so `cargo bench` works
+/// fully offline: each measured function is warmed up once, timed over
+/// `samples` runs, and summarized as min/median wall time (min is the
+/// most noise-robust point estimate for short deterministic kernels).
+/// `elements` adds a throughput line in Melem/s based on the median.
+pub fn bench<R>(name: &str, samples: usize, elements: Option<u64>, mut f: impl FnMut() -> R) {
+    assert!(samples > 0, "need at least one sample");
+    std::hint::black_box(f()); // warm-up: faults pages, fills caches
+    let mut times: Vec<std::time::Duration> = (0..samples)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    print!("{name:<28} min {min:>12.3?}  median {median:>12.3?}");
+    if let Some(n) = elements {
+        let melems = n as f64 / median.as_secs_f64() / 1e6;
+        print!("  {melems:>8.2} Melem/s");
+    }
+    println!();
+}
+
 /// Formats a byte count the way the paper labels its x-axes.
 pub fn fmt_bytes(bytes: usize) -> String {
     if bytes >= 1024 * 1024 {

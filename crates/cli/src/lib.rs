@@ -267,7 +267,8 @@ impl Session {
     /// masks and each CMU's partitions.
     fn cmd_map(&self) -> String {
         // Reverse map: (group, cmu) -> [(name, offset, size)].
-        let mut partitions: HashMap<(usize, usize), Vec<(String, usize, usize)>> = HashMap::new();
+        type PartitionMap = HashMap<(usize, usize), Vec<(String, usize, usize)>>;
+        let mut partitions: PartitionMap = HashMap::new();
         for (name, &h) in &self.tasks {
             if let Ok(t) = self.switch.task(h) {
                 for row in &t.rows {

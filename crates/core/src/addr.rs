@@ -136,9 +136,10 @@ mod tests {
         let mut seen = vec![false; m];
         for idx in 0..8u32 {
             let t = AddrTranslation::new(p, idx, TranslationMethod::ShiftBased);
-            for b in t.base(m)..t.base(m) + t.sub_range_len(m) {
-                assert!(!seen[b], "bucket {b} owned twice");
-                seen[b] = true;
+            let (base, len) = (t.base(m), t.sub_range_len(m));
+            for (b, s) in seen.iter_mut().enumerate().skip(base).take(len) {
+                assert!(!*s, "bucket {b} owned twice");
+                *s = true;
             }
         }
         assert!(seen.iter().all(|&s| s));
@@ -154,8 +155,9 @@ mod tests {
         for addr in 0..(m as u32) {
             hits[t.translate(addr, m)] += 1;
         }
-        for b in t.base(m)..t.base(m) + t.sub_range_len(m) {
-            assert_eq!(hits[b], 4, "bucket {b} hit {} times", hits[b]);
+        let (base, len) = (t.base(m), t.sub_range_len(m));
+        for (b, &n) in hits.iter().enumerate().skip(base).take(len) {
+            assert_eq!(n, 4, "bucket {b} hit {n} times");
         }
     }
 

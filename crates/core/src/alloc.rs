@@ -147,6 +147,13 @@ impl BuddyAllocator {
         self.total - self.free_buckets()
     }
 
+    /// Live allocations as `(offset, size)` pairs, in no particular
+    /// order — the control plane's auditor reconciles these against the
+    /// partitions task records claim to own.
+    pub fn allocations(&self) -> &[(usize, usize)] {
+        &self.allocated
+    }
+
     /// Largest block that could be allocated right now.
     pub fn largest_free(&self) -> usize {
         self.free

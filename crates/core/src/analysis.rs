@@ -28,8 +28,7 @@ pub fn query_frequency(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<u64, 
         Algorithm::Tower { d } => {
             let mut best: Option<u64> = None;
             let mut top_cap = 0u64;
-            for i in 0..d {
-                let bits = TOWER_LEVEL_BITS[i];
+            for (i, &bits) in TOWER_LEVEL_BITS.iter().enumerate().take(d) {
                 let count = u64::from(fm.row_value(h, i, pkt)?) >> (16 - bits);
                 let cap = (1u64 << bits) - 1;
                 top_cap = top_cap.max(cap);

@@ -433,6 +433,7 @@ pub fn install_plan(bindings: &[(usize, CmuBinding)], new_hash_masks: usize) -> 
         hash_mask_rules: new_hash_masks,
         sync_table_rules: usize::from(table_rules > 0),
         batched_table_rules: table_rules.saturating_sub(1),
+        ..InstallPlan::default()
     }
 }
 

@@ -11,13 +11,23 @@
 //!   preferring groups that already own the needed compressed keys, and
 //!   the accurate/efficient allocation modes.
 //!
+//! Every mutating operation is **transactional**: it executes its
+//! install-time operations (rule installs, partition writes, register
+//! writes) through an optional armed [`FaultPlan`] with a bounded
+//! [`RetryPolicy`], records an undo log as it stages state, and on any
+//! failure replays the log to return the system bit-for-bit to its
+//! pre-call state. [`FlyMon::audit`] (see [`crate::audit`]) reconciles
+//! the control plane's shadow state against the data plane after the
+//! fact.
+//!
 //! Queries replay the data-plane addressing path over the readout, so
 //! control-plane estimates see exactly the buckets the hardware updated.
 
 use std::collections::HashMap;
 
 use flymon_packet::{KeySpec, Packet};
-use flymon_rmt::rules::InstallPlan;
+use flymon_rmt::fault::{FaultPlan, InstallOpKind, RetryPolicy};
+use flymon_rmt::rules::{InstallPlan, RuleKind};
 
 use crate::addr::{AddrTranslation, TranslationMethod};
 use crate::alloc::{AllocMode, BuddyAllocator};
@@ -92,34 +102,70 @@ pub struct DeployedTask {
     pub bindings: Vec<CmuBinding>,
     /// Rule counts / modeled deployment latency.
     pub install: InstallPlan,
+    /// Hash-unit references this task holds, as `(group, unit)` pairs
+    /// with multiplicity — the exact refcounts `remove` gives back and
+    /// the auditor recomputes.
+    pub unit_refs: Vec<(usize, usize)>,
 }
 
 impl DeployedTask {
     /// Allocated sketch memory in bytes across all rows.
     pub fn memory_bytes(&self, bucket_bits: u8) -> usize {
-        self.rows.len() * self.rows[0].size * usize::from(bucket_bits) / 8
+        self.rows.iter().map(|r| r.size).sum::<usize>() * usize::from(bucket_bits) / 8
     }
 }
 
 #[derive(Debug, Clone, Default)]
-struct UnitState {
-    spec: Option<KeySpec>,
-    refs: usize,
+pub(crate) struct UnitState {
+    pub(crate) spec: Option<KeySpec>,
+    pub(crate) refs: usize,
+}
+
+/// One staged mutation of a deploy, recorded so a failed install can be
+/// reverted precisely. Rollback replays the log in reverse.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    /// A reference was added to an already-configured hash unit.
+    UnitRef { group: usize, unit: usize },
+    /// A previously free hash unit was configured (refs went 0 → 1).
+    FreshUnit { group: usize, unit: usize },
+    /// A register partition was allocated.
+    Partition {
+        group: usize,
+        cmu: usize,
+        offset: usize,
+        size: usize,
+    },
+    /// A binding was installed on a CMU.
+    Binding {
+        group: usize,
+        cmu: usize,
+        task: TaskId,
+    },
+}
+
+/// Retry accounting for one transaction's executed install ops.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExecStats {
+    retried_ops: usize,
+    backoff_ms: f64,
 }
 
 /// The FlyMon system: data plane + control plane.
 #[derive(Debug)]
 pub struct FlyMon {
-    config: FlyMonConfig,
-    groups: Vec<CmuGroup>,
-    allocators: Vec<Vec<BuddyAllocator>>,
-    units: Vec<Vec<UnitState>>,
-    tasks: HashMap<TaskId, DeployedTask>,
+    pub(crate) config: FlyMonConfig,
+    pub(crate) groups: Vec<CmuGroup>,
+    pub(crate) allocators: Vec<Vec<BuddyAllocator>>,
+    pub(crate) units: Vec<Vec<UnitState>>,
+    pub(crate) tasks: HashMap<TaskId, DeployedTask>,
     next_id: u32,
     ctx: PacketContext,
     packets_processed: u64,
     recirculated_packets: u64,
     total_install_ms: f64,
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl FlyMon {
@@ -168,6 +214,8 @@ impl FlyMon {
             packets_processed: 0,
             recirculated_packets: 0,
             total_install_ms: 0.0,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -192,9 +240,37 @@ impl FlyMon {
         self.recirculated_packets
     }
 
-    /// Cumulative modeled rule-install latency (ms).
+    /// Cumulative modeled rule-install latency (ms), including retry
+    /// backoff.
     pub fn total_install_ms(&self) -> f64 {
         self.total_install_ms
+    }
+
+    /// Arms a fault plan: until disarmed, every install-time operation
+    /// of `deploy`/`remove`/`reallocate_memory`/`reset_task` is judged
+    /// by it. The plan's op counter persists across calls while armed.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Disarms fault injection, returning the plan (and its op counter).
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The armed fault plan, if any (e.g. to revive a dead group).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault.as_mut()
+    }
+
+    /// Sets the retry policy applied to every install-time operation.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The deployed task record for a handle.
@@ -250,6 +326,12 @@ impl FlyMon {
     /// Deploys a task: picks groups/CMUs/partitions, configures hash
     /// units, installs bindings, and returns the handle. Pure runtime
     /// reconfiguration — no running packet is disturbed.
+    ///
+    /// Deployment is a transaction: every staged mutation is recorded in
+    /// an undo log, and if any install-time operation fails (an armed
+    /// [`FaultPlan`], a capacity race, a substrate error) the log is
+    /// replayed in reverse, restoring the system exactly to its pre-call
+    /// state before the error is returned.
     pub fn deploy(&mut self, def: &TaskDefinition) -> Result<TaskHandle, FlymonError> {
         def.validate()?;
         let alg = def.effective_algorithm();
@@ -274,23 +356,61 @@ impl FlyMon {
         let placement = self.place(def, &needs, &stage_rows, size)?;
         let id = TaskId(self.next_id);
 
-        // Commit: configure units, allocate partitions, build rows.
+        let mut undo: Vec<UndoOp> = Vec::new();
+        let mut exec = ExecStats::default();
+        match self.deploy_commit(def, alg, &needs, &placement, size, id, &mut undo, &mut exec) {
+            Ok(handle) => Ok(handle),
+            Err(e) => {
+                self.rollback(undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible staging half of [`FlyMon::deploy`]. Every mutation
+    /// is mirrored into `undo`; the caller rolls back on `Err`.
+    #[allow(clippy::too_many_arguments)]
+    fn deploy_commit(
+        &mut self,
+        def: &TaskDefinition,
+        alg: Algorithm,
+        needs: &compiler::KeyNeeds,
+        placement: &[PlacedSlot],
+        size: usize,
+        id: TaskId,
+        undo: &mut Vec<UndoOp>,
+        exec: &mut ExecStats,
+    ) -> Result<TaskHandle, FlymonError> {
         let mut new_masks: std::collections::HashSet<KeySpec> = Default::default();
         let mut rows: Vec<PlacedRow> = Vec::new();
-        for slot in &placement {
+        for slot in placement {
             let g = slot.group;
             let key_source = match needs.key {
-                Some(spec) => Some(self.acquire_key(g, spec, &mut new_masks)?),
+                Some(spec) => Some(self.acquire_key(g, spec, &mut new_masks, undo, exec)?),
                 None => None,
             };
             let param_source = match needs.param {
-                Some(spec) => Some(self.acquire_key(g, spec, &mut new_masks)?),
+                Some(spec) => Some(self.acquire_key(g, spec, &mut new_masks, undo, exec)?),
                 None => None,
             };
             for (i, &cmu) in slot.cmus.iter().enumerate() {
-                let offset = self.allocators[g][cmu]
-                    .alloc(size)
-                    .expect("placement verified capacity");
+                self.exec_op(InstallOpKind::BuddyWrite, g, exec)?;
+                // Placement verified capacity, but verify-then-commit is
+                // a race window: surface it as a typed error, never a
+                // panic mid-commit.
+                let offset = self.allocators[g][cmu].alloc(size).ok_or(
+                    FlymonError::PlacementRace {
+                        group: g,
+                        cmu,
+                        buckets: size,
+                    },
+                )?;
+                undo.push(UndoOp::Partition {
+                    group: g,
+                    cmu,
+                    offset,
+                    size,
+                });
                 let partitions_log2 =
                     (self.config.buckets_per_cmu / size).ilog2() as u8;
                 let translation = AddrTranslation::new(
@@ -331,16 +451,33 @@ impl FlyMon {
         }
 
         let bindings = compiler::build_bindings(def, id, alg, &rows)?;
-        let install = compiler::install_plan(&bindings, new_masks.len());
+        let mut install = compiler::install_plan(&bindings, new_masks.len());
         for (row_idx, binding) in &bindings {
             let row = &rows[*row_idx];
+            self.exec_op(InstallOpKind::Rule(RuleKind::TableEntry), row.group, exec)?;
             self.groups[row.group].install(row.cmu, binding.clone())?;
+            undo.push(UndoOp::Binding {
+                group: row.group,
+                cmu: row.cmu,
+                task: id,
+            });
         }
 
         let mut ordered_bindings = vec![None; rows.len()];
         for (row_idx, binding) in bindings {
             ordered_bindings[row_idx] = Some(binding);
         }
+        install.retried_ops = exec.retried_ops;
+        install.retry_backoff_ms = exec.backoff_ms;
+        let unit_refs: Vec<(usize, usize)> = undo
+            .iter()
+            .filter_map(|op| match op {
+                UndoOp::UnitRef { group, unit } | UndoOp::FreshUnit { group, unit } => {
+                    Some((*group, *unit))
+                }
+                _ => None,
+            })
+            .collect();
         self.total_install_ms += install.latency_ms();
         self.tasks.insert(
             id,
@@ -353,42 +490,133 @@ impl FlyMon {
                     .map(|b| b.expect("every row bound"))
                     .collect(),
                 install,
+                unit_refs,
             },
         );
         self.next_id += 1;
         Ok(TaskHandle(id))
     }
 
+    /// Executes one modeled install op against the armed fault plan (if
+    /// any), folding retry costs into `exec`.
+    fn exec_op(
+        &mut self,
+        kind: InstallOpKind,
+        group: usize,
+        exec: &mut ExecStats,
+    ) -> Result<(), FlymonError> {
+        if let Some(plan) = &mut self.fault {
+            let cost = plan
+                .execute(kind, group, &self.retry)
+                .map_err(FlymonError::Install)?;
+            if cost.attempts > 1 {
+                exec.retried_ops += 1;
+                exec.backoff_ms += cost.backoff_ms;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays an undo log in reverse, returning the system to the state
+    /// it had before the failed transaction started staging.
+    fn rollback(&mut self, undo: Vec<UndoOp>) {
+        for op in undo.into_iter().rev() {
+            match op {
+                UndoOp::UnitRef { group, unit } => {
+                    let u = &mut self.units[group][unit];
+                    u.refs = u.refs.saturating_sub(1);
+                }
+                UndoOp::FreshUnit { group, unit } => {
+                    self.units[group][unit] = UnitState::default();
+                    self.groups[group].unit_mut(unit).clear_mask();
+                }
+                UndoOp::Partition {
+                    group,
+                    cmu,
+                    offset,
+                    size,
+                } => {
+                    self.allocators[group][cmu].free(offset, size);
+                }
+                UndoOp::Binding { group, cmu, task } => {
+                    self.groups[group].uninstall(cmu, task);
+                }
+            }
+        }
+    }
+
     /// Removes a task: uninstalls bindings, frees partitions and releases
     /// hash-unit references.
+    ///
+    /// Removal is transactional too: the fallible data-plane phase
+    /// (register clears and rule deletions, both judged by an armed
+    /// [`FaultPlan`]) runs first with register snapshots, and any failure
+    /// restores the cleared partitions bit-for-bit and leaves the task
+    /// deployed. Only once every op has succeeded does the infallible
+    /// bookkeeping phase retire the task.
     pub fn remove(&mut self, h: TaskHandle) -> Result<(), FlymonError> {
-        let task = self.tasks.remove(&h.0).ok_or(FlymonError::NoSuchTask)?;
+        let rows: Vec<(usize, usize, usize, usize)> = self
+            .tasks
+            .get(&h.0)
+            .ok_or(FlymonError::NoSuchTask)?
+            .rows
+            .iter()
+            .map(|r| (r.group, r.cmu, r.offset, r.size))
+            .collect();
+
+        // Phase 1 (fallible): clear partitions, then delete rules.
+        let mut exec = ExecStats::default();
+        let mut snapshots: Vec<(usize, usize, usize, Vec<u32>)> = Vec::new();
+        let mut failure: Option<FlymonError> = None;
+        for &(g, c, off, size) in &rows {
+            if let Err(e) = self.exec_op(InstallOpKind::RegisterWrite, g, &mut exec) {
+                failure = Some(e);
+                break;
+            }
+            let snap = self.groups[g].cmus()[c]
+                .register()
+                .read_range(off, off + size)?
+                .to_vec();
+            self.groups[g]
+                .cmu_mut(c)
+                .register_mut()
+                .clear_range(off, off + size)?;
+            snapshots.push((g, c, off, snap));
+        }
+        if failure.is_none() {
+            for &(g, _, _, _) in &rows {
+                if let Err(e) = self.exec_op(InstallOpKind::Rule(RuleKind::TableEntry), g, &mut exec)
+                {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // Restore every partition we cleared; the task stays live.
+            for (g, c, off, snap) in snapshots {
+                let reg = self.groups[g].cmu_mut(c).register_mut();
+                for (i, v) in snap.iter().enumerate() {
+                    // Indices and values came from this register.
+                    let _ = reg.write(off + i, *v);
+                }
+            }
+            return Err(e);
+        }
+
+        // Phase 2 (infallible): bookkeeping.
+        let task = self
+            .tasks
+            .remove(&h.0)
+            .expect("task existed at phase 1 and nothing removed it since");
         for group in &mut self.groups {
             group.remove_task(h.0);
         }
         for row in &task.rows {
             self.allocators[row.group][row.cmu].free(row.offset, row.size);
-            // Clear the partition so a future tenant starts clean.
-            self.groups[row.group]
-                .cmu_mut(row.cmu)
-                .register_mut()
-                .clear_range(row.offset, row.offset + row.size)?;
         }
-        let needs = compiler::required_keys(&task.def, task.algorithm);
-        let slots: Vec<usize> = task
-            .rows
-            .iter()
-            .map(|r| r.group)
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        for g in slots {
-            if let Some(spec) = needs.key {
-                self.release_key(g, spec);
-            }
-            if let Some(spec) = needs.param {
-                self.release_key(g, spec);
-            }
+        for &(g, u) in &task.unit_refs {
+            self.release_unit_ref(g, u);
         }
         Ok(())
     }
@@ -403,23 +631,44 @@ impl FlyMon {
         h: TaskHandle,
         new_buckets: usize,
     ) -> Result<TaskHandle, FlymonError> {
-        let mut def = self.task(h)?.def.clone();
+        let old_def = self.task(h)?.def.clone();
+        let mut def = old_def.clone();
         def.memory = new_buckets;
         // Deploy-first so the task never goes dark; if capacity is tight
         // fall back to remove-then-deploy.
         match self.deploy(&def) {
-            Ok(new_h) => {
+            Ok(new_h) => match self.remove(h) {
+                Ok(()) => Ok(new_h),
+                Err(e) => {
+                    // The old instance survived its failed removal;
+                    // retire the new one so the call is a no-op.
+                    let _ = self.remove(new_h);
+                    Err(e)
+                }
+            },
+            Err(first) => {
                 self.remove(h)?;
-                Ok(new_h)
-            }
-            Err(_) => {
-                self.remove(h)?;
-                self.deploy(&def)
+                match self.deploy(&def) {
+                    Ok(new_h) => Ok(new_h),
+                    Err(_) => match self.deploy(&old_def) {
+                        // The new geometry lost its race; re-deploying
+                        // the old definition keeps the task alive
+                        // (counts are lost either way, §6
+                        // freeze-and-divert).
+                        Ok(restored) => {
+                            Err(FlymonError::ReallocationReverted { restored })
+                        }
+                        Err(_) => Err(first),
+                    },
+                }
             }
         }
     }
 
     /// Clears a task's buckets (epoch boundary readout-and-reset).
+    ///
+    /// All-or-nothing: each clear is a fault-judged register write, and
+    /// a failure restores the partitions already cleared.
     pub fn reset_task(&mut self, h: TaskHandle) -> Result<(), FlymonError> {
         let rows: Vec<(usize, usize, usize, usize)> = self
             .task(h)?
@@ -427,11 +676,27 @@ impl FlyMon {
             .iter()
             .map(|r| (r.group, r.cmu, r.offset, r.size))
             .collect();
+        let mut exec = ExecStats::default();
+        let mut snapshots: Vec<(usize, usize, usize, Vec<u32>)> = Vec::new();
         for (g, c, off, size) in rows {
+            if let Err(e) = self.exec_op(InstallOpKind::RegisterWrite, g, &mut exec) {
+                for (sg, sc, soff, snap) in snapshots {
+                    let reg = self.groups[sg].cmu_mut(sc).register_mut();
+                    for (i, v) in snap.iter().enumerate() {
+                        let _ = reg.write(soff + i, *v);
+                    }
+                }
+                return Err(e);
+            }
+            let snap = self.groups[g].cmus()[c]
+                .register()
+                .read_range(off, off + size)?
+                .to_vec();
             self.groups[g]
                 .cmu_mut(c)
                 .register_mut()
                 .clear_range(off, off + size)?;
+            snapshots.push((g, c, off, snap));
         }
         Ok(())
     }
@@ -636,12 +901,17 @@ impl FlyMon {
     }
 
     /// Acquires a key source in group `g`, configuring a fresh unit if
-    /// needed. Bumps refcounts.
+    /// needed. Every refcount bump is mirrored into the undo log, so a
+    /// later failure in the same transaction releases exactly what was
+    /// acquired — including a key acquired for `key_source` before a
+    /// failed `param_source` acquisition (the historical leak).
     fn acquire_key(
         &mut self,
         g: usize,
         spec: KeySpec,
         new_masks: &mut std::collections::HashSet<KeySpec>,
+        undo: &mut Vec<UndoOp>,
+        exec: &mut ExecStats,
     ) -> Result<KeySource, FlymonError> {
         // Exact reuse.
         if let Some(i) = self.units[g]
@@ -649,6 +919,7 @@ impl FlyMon {
             .position(|u| u.spec == Some(spec))
         {
             self.units[g][i].refs += 1;
+            undo.push(UndoOp::UnitRef { group: g, unit: i });
             return Ok(KeySource::Unit(i));
         }
         // XOR composition.
@@ -659,19 +930,24 @@ impl FlyMon {
                     if a.merge_disjoint(b) == Some(spec) {
                         self.units[g][i].refs += 1;
                         self.units[g][j].refs += 1;
+                        undo.push(UndoOp::UnitRef { group: g, unit: i });
+                        undo.push(UndoOp::UnitRef { group: g, unit: j });
                         return Ok(KeySource::Xor(i, j));
                     }
                 }
             }
         }
-        // Configure a fresh unit (a hash-mask rule install).
+        // Configure a fresh unit (a hash-mask rule install, judged by
+        // the fault plan before any state changes).
         if let Some(i) = self.units[g].iter().position(|u| u.spec.is_none()) {
+            self.exec_op(InstallOpKind::Rule(RuleKind::HashMask), g, exec)?;
             self.units[g][i] = UnitState {
                 spec: Some(spec),
                 refs: 1,
             };
             self.groups[g].unit_mut(i).set_mask(spec);
             new_masks.insert(spec);
+            undo.push(UndoOp::FreshUnit { group: g, unit: i });
             return Ok(KeySource::Unit(i));
         }
         Err(FlymonError::NoCapacity(format!(
@@ -680,46 +956,19 @@ impl FlyMon {
         )))
     }
 
-    /// Releases one reference on the units serving `spec` in group `g`;
-    /// frees the unit when unreferenced (the standing 5-tuple mask is
-    /// kept).
-    fn release_key(&mut self, g: usize, spec: KeySpec) {
-        if let Some(i) = self.units[g].iter().position(|u| u.spec == Some(spec)) {
-            if self.units[g][i].refs > 0 {
-                self.units[g][i].refs -= 1;
-            }
-            let keep_standing =
-                self.config.preconfigure_five_tuple && i == 0 && spec == KeySpec::FIVE_TUPLE;
-            if self.units[g][i].refs == 0 && !keep_standing {
-                self.units[g][i] = UnitState::default();
-                self.groups[g].unit_mut(i).clear_mask();
-            }
-            return;
-        }
-        // XOR composition: decrement both parts.
-        let n = self.units[g].len();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let merged = match (&self.units[g][i].spec, &self.units[g][j].spec) {
-                    (Some(a), Some(b)) => a.merge_disjoint(b),
-                    _ => None,
-                };
-                if merged == Some(spec) {
-                    for k in [i, j] {
-                        if self.units[g][k].refs > 0 {
-                            self.units[g][k].refs -= 1;
-                        }
-                        let keep = self.config.preconfigure_five_tuple
-                            && k == 0
-                            && self.units[g][k].spec == Some(KeySpec::FIVE_TUPLE);
-                        if self.units[g][k].refs == 0 && !keep {
-                            self.units[g][k] = UnitState::default();
-                            self.groups[g].unit_mut(k).clear_mask();
-                        }
-                    }
-                    return;
-                }
-            }
+    /// Releases one reference on unit `u` of group `g`, clearing the
+    /// unit when unreferenced (the standing 5-tuple mask is kept). The
+    /// `(g, u)` pairs come from the owning task's `unit_refs`, making
+    /// removal the exact inverse of deployment.
+    fn release_unit_ref(&mut self, g: usize, u: usize) {
+        let state = &mut self.units[g][u];
+        state.refs = state.refs.saturating_sub(1);
+        let keep_standing = self.config.preconfigure_five_tuple
+            && u == 0
+            && state.spec == Some(KeySpec::FIVE_TUPLE);
+        if state.refs == 0 && !keep_standing {
+            *state = UnitState::default();
+            self.groups[g].unit_mut(u).clear_mask();
         }
     }
 

@@ -1,6 +1,9 @@
 //! Error type of the FlyMon control plane.
 
+use flymon_rmt::fault::InstallError;
 use flymon_rmt::RmtError;
+
+use crate::control::TaskHandle;
 
 /// Errors surfaced by task deployment and management.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,11 +27,37 @@ pub enum FlymonError {
     NoSuchTask,
     /// An error bubbled up from the RMT substrate.
     Rmt(RmtError),
+    /// An install-time operation failed (fault injection, a dead group,
+    /// or an exhausted retry budget); the transaction was rolled back.
+    Install(InstallError),
+    /// A partition that placement verified was gone by commit time —
+    /// the allocator mutated between verify and commit.
+    PlacementRace {
+        /// The group whose allocator lost the race.
+        group: usize,
+        /// The CMU within the group.
+        cmu: usize,
+        /// The partition size (buckets) that could not be allocated.
+        buckets: usize,
+    },
+    /// A memory reallocation failed after the old instance was removed,
+    /// but the task was restored with its original geometry under a
+    /// fresh handle (counts are lost, as in any reallocation).
+    ReallocationReverted {
+        /// Handle of the restored original-geometry instance.
+        restored: TaskHandle,
+    },
 }
 
 impl From<RmtError> for FlymonError {
     fn from(e: RmtError) -> Self {
         FlymonError::Rmt(e)
+    }
+}
+
+impl From<InstallError> for FlymonError {
+    fn from(e: InstallError) -> Self {
+        FlymonError::Install(e)
     }
 }
 
@@ -43,6 +72,16 @@ impl std::fmt::Display for FlymonError {
             FlymonError::BadTask(msg) => write!(f, "bad task definition: {msg}"),
             FlymonError::NoSuchTask => write!(f, "no such task"),
             FlymonError::Rmt(e) => write!(f, "substrate error: {e}"),
+            FlymonError::Install(e) => write!(f, "install failed (rolled back): {e}"),
+            FlymonError::PlacementRace { group, cmu, buckets } => write!(
+                f,
+                "placement race: {buckets} buckets vanished from group {group} CMU {cmu} \
+                 between verify and commit"
+            ),
+            FlymonError::ReallocationReverted { restored } => write!(
+                f,
+                "reallocation failed; task restored at original size as {restored:?}"
+            ),
         }
     }
 }

@@ -264,6 +264,23 @@ impl CmuGroup {
         Ok(())
     }
 
+    /// Removes the most recently installed binding of `task` on CMU
+    /// `cmu` — the precise inverse of one [`CmuGroup::install`], used by
+    /// transactional rollback. Returns whether a binding was removed.
+    pub fn uninstall(&mut self, cmu: usize, task: TaskId) -> bool {
+        let Some(c) = self.cmus.get_mut(cmu) else {
+            return false;
+        };
+        match c.bindings.iter().rposition(|b| b.task == task) {
+            Some(pos) => {
+                c.bindings.remove(pos);
+                c.hits.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Removes every binding of `task` from every CMU; returns how many
     /// were removed.
     pub fn remove_task(&mut self, task: TaskId) -> usize {

@@ -27,7 +27,10 @@
 //! - [`compiler`]: lowers a task definition onto concrete CMUs and counts
 //!   rules/resources (Table 3 deployment delays, Figure 2/13 footprints).
 //! - [`control`]: the control plane — [`control::FlyMon`], the top-level
-//!   handle applications use.
+//!   handle applications use. Deploy/remove/reallocate are transactional:
+//!   failed installs roll back via an undo log.
+//! - [`audit`]: the control/data-plane state auditor — reconciles shadow
+//!   state against the data plane after reconfiguration.
 //! - [`analysis`]: control-plane estimators (readout → statistics).
 //!
 //! # Quickstart
@@ -67,6 +70,7 @@
 pub mod addr;
 pub mod alloc;
 pub mod analysis;
+pub mod audit;
 pub mod compiler;
 pub mod control;
 pub mod group;
@@ -81,7 +85,9 @@ pub use error::FlymonError;
 
 /// Convenient glob import for applications.
 pub mod prelude {
+    pub use crate::audit::Divergence;
     pub use crate::control::{FlyMon, FlyMonConfig, TaskHandle};
     pub use crate::task::{Algorithm, Attribute, FreqParam, MaxParam, TaskDefinition};
     pub use crate::FlymonError;
+    pub use flymon_rmt::fault::{FaultPlan, InstallOpKind, RetryPolicy};
 }

@@ -1,97 +1,119 @@
 //! Property tests for FlyMon's dynamic memory management and address
 //! translation invariants.
+//!
+//! Randomized with the in-repo [`SplitMix64`] generator (fixed seeds ⇒
+//! identical case set every run) — no external property-testing framework,
+//! so the workspace builds fully offline.
 
 use flymon::addr::{AddrTranslation, TranslationMethod};
 use flymon::alloc::{AllocMode, BuddyAllocator};
-use proptest::prelude::*;
+use flymon_packet::SplitMix64;
 
-proptest! {
-    /// Random alloc/free interleavings: live blocks never overlap, the
-    /// allocator conserves buckets, and a drained allocator recoalesces
-    /// to one maximal block.
-    #[test]
-    fn buddy_allocator_invariants(ops in prop::collection::vec((0u8..4, 0u8..6), 1..200)) {
+/// Random alloc/free interleavings: live blocks never overlap, the
+/// allocator conserves buckets, and a drained allocator recoalesces to
+/// one maximal block.
+#[test]
+fn buddy_allocator_invariants() {
+    let mut r = SplitMix64::new(0xB1);
+    for _ in 0..64 {
         let total = 1024usize;
         let min = 32usize;
         let mut b = BuddyAllocator::new(total, min);
         let mut live: Vec<(usize, usize)> = Vec::new();
-        for (op, size_sel) in ops {
+        for _ in 0..r.range_usize(1, 200) {
+            let op = r.range_u64(0, 4);
+            let size_sel = r.range_u64(0, 6) as usize;
             if op < 3 {
                 // Allocate a random power-of-two size in [min, total].
                 let size = (min << (size_sel % 6)).min(total);
                 if let Some(off) = b.alloc(size) {
                     // No overlap with any live block.
                     for &(o, s) in &live {
-                        prop_assert!(off + size <= o || o + s <= off,
-                            "overlap: new ({off},{size}) vs live ({o},{s})");
+                        assert!(
+                            off + size <= o || o + s <= off,
+                            "overlap: new ({off},{size}) vs live ({o},{s})"
+                        );
                     }
-                    prop_assert_eq!(off % size, 0, "misaligned block");
+                    assert_eq!(off % size, 0, "misaligned block");
                     live.push((off, size));
                 }
             } else if let Some((off, size)) = live.pop() {
                 b.free(off, size);
             }
             let used: usize = live.iter().map(|&(_, s)| s).sum();
-            prop_assert_eq!(b.used_buckets(), used, "bucket conservation");
+            assert_eq!(b.used_buckets(), used, "bucket conservation");
         }
         for (off, size) in live.drain(..) {
             b.free(off, size);
         }
-        prop_assert_eq!(b.largest_free(), total, "full coalescing after drain");
-    }
-
-    /// Address translation confines every address to the owned
-    /// partition, covers the whole partition, and is balanced: hashing
-    /// the full range uniformly lands `sub_len` addresses per bucket.
-    #[test]
-    fn translation_confinement(p in 0u8..=5, index_sel in any::<u32>()) {
-        let m = 1024usize;
-        let parts = 1u32 << p;
-        let index = index_sel % parts;
-        let t = AddrTranslation::new(p, index, TranslationMethod::TcamBased);
-        let base = t.base(m);
-        let len = t.sub_range_len(m);
-        let mut hits = vec![0u32; m];
-        for addr in 0..m as u32 {
-            let out = t.translate(addr, m);
-            prop_assert!((base..base + len).contains(&out));
-            hits[out] += 1;
-        }
-        for b in base..base + len {
-            prop_assert_eq!(hits[b], parts, "unbalanced bucket {}", b);
-        }
-    }
-
-    /// Accurate mode never under-allocates; efficient mode never strays
-    /// more than 2x in either direction; both return powers of two.
-    #[test]
-    fn alloc_mode_rounding_bounds(request in 1usize..1_000_000) {
-        let acc = AllocMode::Accurate.round(request);
-        let eff = AllocMode::Efficient.round(request);
-        prop_assert!(acc.is_power_of_two() && eff.is_power_of_two());
-        prop_assert!(acc >= request);
-        prop_assert!(acc < request * 2);
-        prop_assert!(eff * 2 > request && eff <= request * 2);
-        // Efficient picks the closer of the two neighbors.
-        let up = request.next_power_of_two();
-        let down = up / 2;
-        let closer = if down >= 1 && request - down < up - request { down } else { up };
-        prop_assert_eq!(eff, closer);
+        assert_eq!(b.largest_free(), total, "full coalescing after drain");
     }
 }
 
-proptest! {
-    /// Conservation law of the one-access-per-packet constraint: an
-    /// unconditional-ADD task sees every matching packet exactly once,
-    /// so the sum over its partition equals the number of matching
-    /// packets — for any traffic.
-    #[test]
-    fn counter_mass_equals_matching_packets(
-        srcs in prop::collection::vec(any::<u32>(), 1..300),
-    ) {
-        use flymon::prelude::*;
-        use flymon_packet::{KeySpec, Packet, TaskFilter};
+/// Address translation confines every address to the owned partition,
+/// covers the whole partition, and is balanced: hashing the full range
+/// uniformly lands `sub_len` addresses per bucket.
+#[test]
+fn translation_confinement() {
+    let mut r = SplitMix64::new(0xB2);
+    for p in 0u8..=5 {
+        for _ in 0..4 {
+            let m = 1024usize;
+            let parts = 1u32 << p;
+            let index = r.next_u32() % parts;
+            let t = AddrTranslation::new(p, index, TranslationMethod::TcamBased);
+            let base = t.base(m);
+            let len = t.sub_range_len(m);
+            let mut hits = vec![0u32; m];
+            for addr in 0..m as u32 {
+                let out = t.translate(addr, m);
+                assert!((base..base + len).contains(&out));
+                hits[out] += 1;
+            }
+            for (b, &n) in hits.iter().enumerate().skip(base).take(len) {
+                assert_eq!(n, parts, "unbalanced bucket {}", b);
+            }
+        }
+    }
+}
 
+/// Accurate mode never under-allocates; efficient mode never strays
+/// more than 2x in either direction; both return powers of two.
+#[test]
+fn alloc_mode_rounding_bounds() {
+    let mut r = SplitMix64::new(0xB3);
+    for _ in 0..2_000 {
+        let request = r.range_usize(1, 1_000_000);
+        let acc = AllocMode::Accurate.round(request);
+        let eff = AllocMode::Efficient.round(request);
+        assert!(acc.is_power_of_two() && eff.is_power_of_two());
+        assert!(acc >= request);
+        assert!(acc < request * 2);
+        assert!(eff * 2 > request && eff <= request * 2);
+        // Efficient picks the closer of the two neighbors.
+        let up = request.next_power_of_two();
+        let down = up / 2;
+        let closer = if down >= 1 && request - down < up - request {
+            down
+        } else {
+            up
+        };
+        assert_eq!(eff, closer);
+    }
+}
+
+/// Conservation law of the one-access-per-packet constraint: an
+/// unconditional-ADD task sees every matching packet exactly once, so
+/// the sum over its partition equals the number of matching packets —
+/// for any traffic.
+#[test]
+fn counter_mass_equals_matching_packets() {
+    use flymon::prelude::*;
+    use flymon_packet::{KeySpec, Packet, TaskFilter};
+
+    let mut r = SplitMix64::new(0xB4);
+    for _ in 0..24 {
+        let srcs: Vec<u32> = (0..r.range_usize(1, 300)).map(|_| r.next_u32()).collect();
         let mut fm = FlyMon::new(FlyMonConfig {
             groups: 1,
             buckets_per_cmu: 256,
@@ -118,18 +140,22 @@ proptest! {
             .iter()
             .map(|&v| u64::from(v))
             .sum();
-        prop_assert_eq!(mass, matching);
+        assert_eq!(mass, matching);
     }
+}
 
-    /// Determinism: the same trace through two identically configured
-    /// switches produces identical registers and identical queries.
-    #[test]
-    fn processing_is_deterministic(
-        pkts in prop::collection::vec((any::<u32>(), any::<u32>()), 1..200),
-    ) {
-        use flymon::prelude::*;
-        use flymon_packet::{KeySpec, Packet};
+/// Determinism: the same trace through two identically configured
+/// switches produces identical registers and identical queries.
+#[test]
+fn processing_is_deterministic() {
+    use flymon::prelude::*;
+    use flymon_packet::{KeySpec, Packet};
 
+    let mut r = SplitMix64::new(0xB5);
+    for _ in 0..16 {
+        let pkts: Vec<(u32, u32)> = (0..r.range_usize(1, 200))
+            .map(|_| (r.next_u32(), r.next_u32()))
+            .collect();
         let config = FlyMonConfig {
             groups: 2,
             buckets_per_cmu: 512,
@@ -151,22 +177,22 @@ proptest! {
             b.process(&p);
         }
         for row in 0..3 {
-            prop_assert_eq!(a.read_row(ha, row).unwrap(), b.read_row(hb, row).unwrap());
+            assert_eq!(a.read_row(ha, row).unwrap(), b.read_row(hb, row).unwrap());
         }
     }
 }
 
-proptest! {
-    /// Control-plane fuzz: random sequences of deploy/remove/realloc
-    /// with random geometries never panic, never leak buckets, and
-    /// always leave the switch consistent.
-    #[test]
-    fn control_plane_survives_random_churn(
-        ops in prop::collection::vec((0u8..4, 0u8..6, any::<u8>(), 0u8..4), 1..60),
-    ) {
-        use flymon::prelude::*;
-        use flymon_packet::{KeySpec, Packet, TaskFilter};
+/// Control-plane fuzz: random sequences of deploy/remove/realloc with
+/// random geometries never panic, never leak buckets, and always leave
+/// the switch consistent — verified both by bucket accounting and by
+/// the full state auditor after every operation.
+#[test]
+fn control_plane_survives_random_churn() {
+    use flymon::prelude::*;
+    use flymon_packet::{KeySpec, Packet, TaskFilter};
 
+    let mut r = SplitMix64::new(0xB6);
+    for _ in 0..24 {
         let mut fm = FlyMon::new(FlyMonConfig {
             groups: 2,
             buckets_per_cmu: 1024,
@@ -175,7 +201,11 @@ proptest! {
         let total = 2 * 3 * 1024;
         let mut live: Vec<TaskHandle> = Vec::new();
         let mut next_net = 0u32;
-        for (op, size_sel, pkt_sel, alg_sel) in ops {
+        for _ in 0..r.range_usize(1, 60) {
+            let op = r.range_u64(0, 4);
+            let size_sel = r.range_u64(0, 6) as usize;
+            let pkt_sel = r.next_u64() as u8;
+            let alg_sel = r.range_u64(0, 4);
             match op {
                 0 | 1 => {
                     // Deploy with a fresh /16 filter so tasks never
@@ -214,31 +244,35 @@ proptest! {
                         let new_size = 32usize << (size_sel % 6);
                         match fm.reallocate_memory(h, new_size) {
                             Ok(nh) => live.push(nh),
-                            Err(_) => {} // capacity race: task is gone
+                            // Capacity-tight revert: the task survived
+                            // at its old geometry under a fresh handle.
+                            Err(FlymonError::ReallocationReverted { restored }) => {
+                                live.push(restored)
+                            }
+                            Err(_) => {} // no capacity at all: task is gone
                         }
                     }
                 }
             }
             // The data plane never panics on traffic.
-            fm.process(&Packet::tcp(
-                (10 << 24) | u32::from(pkt_sel) << 12,
-                1,
-                2,
-                3,
-            ));
+            fm.process(&Packet::tcp((10 << 24) | u32::from(pkt_sel) << 12, 1, 2, 3));
             // Accounting stays conserved.
             let used: usize = live
                 .iter()
                 .filter_map(|&h| fm.task(h).ok())
                 .map(|t| t.rows.iter().map(|r| r.size).sum::<usize>())
                 .sum();
-            prop_assert_eq!(fm.free_buckets(), total - used);
+            assert_eq!(fm.free_buckets(), total - used);
+            // Shadow state and data plane agree after every op.
+            let divergences = fm.audit();
+            assert!(divergences.is_empty(), "audit failed: {divergences:?}");
         }
         for h in live {
             fm.remove(h).unwrap();
         }
-        prop_assert_eq!(fm.free_buckets(), total);
-        prop_assert_eq!(fm.task_count(), 0);
+        assert_eq!(fm.free_buckets(), total);
+        assert_eq!(fm.task_count(), 0);
+        assert!(fm.audit().is_empty());
     }
 }
 

@@ -35,6 +35,10 @@ pub struct EpochTimelineConfig {
     pub shrink_at: usize,
     /// Buckets per CMU register of the simulated switch.
     pub buckets_per_cmu: usize,
+    /// Optional fault plan armed on the FlyMon switch for the duration
+    /// of the timeline. Reconfigurations that fail under it roll back
+    /// and are reported as events; the timeline (and task A) carries on.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EpochTimelineConfig {
@@ -48,6 +52,7 @@ impl Default for EpochTimelineConfig {
             grow_at: 5,
             shrink_at: 15,
             buckets_per_cmu: 65536,
+            faults: None,
         }
     }
 }
@@ -104,42 +109,100 @@ pub fn run_accuracy_timeline(config: &EpochTimelineConfig) -> Vec<AccuracyPoint>
     let mut flymon = FlyMon::new(fm_config);
     let mut static_dep = FlyMon::new(fm_config);
 
+    // Task A must land before faults are armed — it is the measurement
+    // under test; the faults exercise the *reconfigurations* around it.
     let mut a_fly = flymon.deploy(&task_a(config.base_buckets)).expect("deploy A");
     let a_static = static_dep
         .deploy(&task_a(config.base_buckets))
         .expect("deploy static A");
+    if let Some(plan) = config.faults.clone() {
+        flymon.arm_faults(plan);
+    }
     let mut b_fly = None;
     let mut fly_buckets = config.base_buckets;
+
+    // Attempts a memory reallocation, degrading gracefully: a failed
+    // call either leaves the task at its old geometry (possibly under a
+    // restored handle) or — in the pathological double-failure — loses
+    // it; either way the timeline continues.
+    let realloc = |fm: &mut FlyMon,
+                       handle: &mut TaskHandle,
+                       buckets: usize,
+                       ok: &'static str,
+                       failed: &'static str|
+     -> Option<&'static str> {
+        match fm.reallocate_memory(*handle, buckets) {
+            Ok(h) => {
+                *handle = h;
+                Some(ok)
+            }
+            Err(FlymonError::ReallocationReverted { restored }) => {
+                *handle = restored;
+                Some(failed)
+            }
+            Err(_) => Some(failed),
+        }
+    };
 
     let mut points = Vec::with_capacity(timeline.len());
     for (e, trace) in timeline.iter().enumerate() {
         let mut events = Vec::new();
         // Reconfiguration events fire at epoch boundaries, before the
-        // epoch's traffic, and only on FlyMon.
+        // epoch's traffic, and only on FlyMon. Under an armed fault
+        // plan any of them may fail; failures roll back cleanly and
+        // become events instead of panics.
         if e == config.insert_b_at {
-            b_fly = Some(flymon.deploy(&task_b(config.base_buckets)).expect("deploy B"));
-            events.push("insert task B");
+            match flymon.deploy(&task_b(config.base_buckets)) {
+                Ok(h) => {
+                    b_fly = Some(h);
+                    events.push("insert task B");
+                }
+                Err(_) => events.push("insert task B failed (rolled back)"),
+            }
         }
         if e == config.remove_b_at {
             if let Some(b) = b_fly.take() {
-                flymon.remove(b).expect("remove B");
-                events.push("remove task B");
+                match flymon.remove(b) {
+                    Ok(()) => events.push("remove task B"),
+                    Err(_) => {
+                        // Removal failed; the task is still deployed.
+                        b_fly = Some(b);
+                        events.push("remove task B failed (still deployed)");
+                    }
+                }
             }
         }
         if e == config.grow_at {
-            a_fly = flymon
-                .reallocate_memory(a_fly, config.grown_buckets)
-                .expect("grow A");
-            fly_buckets = config.grown_buckets;
-            events.push("grow task A memory");
+            if let Some(ev) = realloc(
+                &mut flymon,
+                &mut a_fly,
+                config.grown_buckets,
+                "grow task A memory",
+                "grow task A failed (reverted)",
+            ) {
+                if ev == "grow task A memory" {
+                    fly_buckets = config.grown_buckets;
+                }
+                events.push(ev);
+            }
         }
         if e == config.shrink_at {
-            a_fly = flymon
-                .reallocate_memory(a_fly, config.base_buckets)
-                .expect("shrink A");
-            fly_buckets = config.base_buckets;
-            events.push("shrink task A memory");
+            if let Some(ev) = realloc(
+                &mut flymon,
+                &mut a_fly,
+                config.base_buckets,
+                "shrink task A memory",
+                "shrink task A failed (reverted)",
+            ) {
+                if ev == "shrink task A memory" {
+                    fly_buckets = config.base_buckets;
+                }
+                events.push(ev);
+            }
         }
+        // The control plane's shadow state must mirror the data plane
+        // after every reconfiguration wave, faults or not.
+        debug_assert!(flymon.audit().is_empty(), "audit: {:?}", flymon.audit());
 
         flymon.process_trace(trace);
         static_dep.process_trace(trace);
@@ -166,10 +229,12 @@ pub fn run_accuracy_timeline(config: &EpochTimelineConfig) -> Vec<AccuracyPoint>
             events,
         });
 
-        // Epoch boundary: read out and reset.
-        flymon.reset_task(a_fly).expect("reset A");
+        // Epoch boundary: read out and reset. A fault-failed reset
+        // restores the partitions it touched; the counts then simply
+        // carry into the next epoch.
+        let _ = flymon.reset_task(a_fly);
         if let Some(b) = b_fly {
-            flymon.reset_task(b).expect("reset B");
+            let _ = flymon.reset_task(b);
         }
         static_dep.reset_task(a_static).expect("reset static A");
     }
@@ -199,6 +264,7 @@ mod tests {
             grow_at: 3,
             shrink_at: 7,
             buckets_per_cmu: 4096,
+            faults: None,
         }
     }
 
@@ -239,6 +305,31 @@ mod tests {
         }
         assert!(points[1].events.contains(&"insert task B"));
         assert!(points[6].events.contains(&"remove task B"));
+    }
+
+    #[test]
+    fn faulted_insert_rolls_back_and_timeline_survives() {
+        // Ops 1–2 are epoch 0's boundary reset of task A (two register
+        // writes, d=2); op 3 is the first install op of task B's deploy
+        // at epoch 1. B never lands, the failure surfaces as an event,
+        // and task A keeps measuring accurately through the timeline.
+        let mut config = tiny_config();
+        config.faults = Some(FaultPlan::new(3).fail_nth(3));
+        let points = run_accuracy_timeline(&config);
+        assert_eq!(points.len(), 8);
+        assert!(points[1]
+            .events
+            .contains(&"insert task B failed (rolled back)"));
+        // B was never deployed, so there is nothing to remove.
+        assert!(points[6].events.is_empty(), "{:?}", points[6].events);
+        // Later reconfigurations are past the Nth op and still land.
+        assert!(points[3].events.contains(&"grow task A memory"));
+        // Task A rides the spike exactly as in the fault-free run.
+        assert!(
+            points[4].flymon_are < 0.6,
+            "spike ARE {:.3}",
+            points[4].flymon_are
+        );
     }
 
     #[test]

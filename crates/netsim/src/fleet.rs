@@ -14,6 +14,13 @@
 //!   configurations for the same deployment;
 //! - HLL registers merge by per-bucket max;
 //! - Bloom filters merge by per-bucket OR.
+//!
+//! The fleet degrades gracefully: switches can fail mid-epoch
+//! ([`SwitchFleet::fail_switch`]) or refuse a deployment outright
+//! (per-switch [`FaultPlan`]s in [`SwitchFleet::deploy_with_faults`],
+//! which roll back cleanly). Ingress traffic reroutes to survivors and
+//! merged readouts skip the dead — estimates continue from whatever
+//! subset is still standing.
 
 use flymon::prelude::*;
 use flymon::FlymonError;
@@ -25,8 +32,14 @@ use flymon_sketches::hll::estimate_from_registers;
 #[derive(Debug)]
 pub struct SwitchFleet {
     switches: Vec<FlyMon>,
-    handles: Vec<TaskHandle>,
+    /// One handle per switch; `None` on switches whose deployment
+    /// failed (and was rolled back).
+    handles: Vec<Option<TaskHandle>>,
+    /// Liveness per switch; dead switches receive no traffic and are
+    /// skipped by merged readouts.
+    alive: Vec<bool>,
     algorithm: Algorithm,
+    dropped_packets: u64,
 }
 
 impl SwitchFleet {
@@ -35,21 +48,62 @@ impl SwitchFleet {
     /// with identical hash configurations and partition layouts — the
     /// precondition for exact register merging.
     pub fn deploy(n: usize, config: FlyMonConfig, task: &TaskDefinition) -> Result<Self, FlymonError> {
+        Self::deploy_with_faults(n, config, task, &mut [])
+    }
+
+    /// Like [`SwitchFleet::deploy`], but switch `i` executes its install
+    /// ops through `faults[i]` (when provided). A switch whose
+    /// deployment fails is left running with the deployment rolled back
+    /// and is marked dead for fleet purposes; the fleet survives as long
+    /// as at least one deployment lands. Fails only if every switch's
+    /// deployment fails, returning the first error.
+    pub fn deploy_with_faults(
+        n: usize,
+        config: FlyMonConfig,
+        task: &TaskDefinition,
+        faults: &mut [Option<FaultPlan>],
+    ) -> Result<Self, FlymonError> {
         assert!(n > 0, "a fleet needs at least one switch");
         let mut switches = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
+        let mut alive = Vec::with_capacity(n);
         let mut algorithm = None;
-        for _ in 0..n {
+        let mut first_err = None;
+        for i in 0..n {
             let mut fm = FlyMon::new(config);
-            let h = fm.deploy(task)?;
-            algorithm = Some(fm.task(h)?.algorithm);
+            if let Some(plan) = faults.get_mut(i).and_then(Option::take) {
+                fm.arm_faults(plan);
+            }
+            match fm.deploy(task) {
+                Ok(h) => {
+                    algorithm = Some(fm.task(h)?.algorithm);
+                    handles.push(Some(h));
+                    alive.push(true);
+                }
+                Err(e) => {
+                    // Rolled back: the switch is pristine but hosts no
+                    // task, so it cannot serve this fleet's measurement.
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    handles.push(None);
+                    alive.push(false);
+                }
+            }
+            if let (Some(slot), Some(plan)) = (faults.get_mut(i), fm.disarm_faults()) {
+                *slot = Some(plan);
+            }
             switches.push(fm);
-            handles.push(h);
         }
+        let Some(algorithm) = algorithm else {
+            return Err(first_err.expect("n > 0 deployments all failed"));
+        };
         Ok(SwitchFleet {
             switches,
             handles,
-            algorithm: algorithm.expect("n > 0"),
+            alive,
+            algorithm,
+            dropped_packets: 0,
         })
     }
 
@@ -63,12 +117,55 @@ impl SwitchFleet {
         self.switches.is_empty()
     }
 
-    /// Feeds a packet to the switch at `ingress`.
+    /// Switches currently alive (deployed and not failed).
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether switch `i` is alive.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Marks switch `i` failed: it stops receiving traffic and merged
+    /// readouts skip it. The traffic it already absorbed is lost with it
+    /// — the surviving estimate covers the remaining ingresses.
+    pub fn fail_switch(&mut self, i: usize) {
+        self.alive[i] = false;
+    }
+
+    /// Revives a previously failed switch (its task must still be
+    /// deployed, i.e. it was failed with [`SwitchFleet::fail_switch`],
+    /// not a rolled-back deployment).
+    pub fn revive_switch(&mut self, i: usize) {
+        if self.handles[i].is_some() {
+            self.alive[i] = true;
+        }
+    }
+
+    /// Packets dropped because no alive switch could take them.
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
+    }
+
+    /// Feeds a packet to the switch at `ingress`, rerouting to the next
+    /// alive switch if that one is dead (deterministic linear probe, a
+    /// stand-in for the fabric's failover). Drops the packet if the
+    /// whole fleet is dead.
     ///
     /// # Panics
     /// Panics if `ingress` is out of range.
     pub fn process(&mut self, ingress: usize, pkt: &Packet) {
-        self.switches[ingress].process(pkt);
+        let n = self.switches.len();
+        assert!(ingress < n, "ingress {ingress} out of range ({n} switches)");
+        for probe in 0..n {
+            let i = (ingress + probe) % n;
+            if self.alive[i] {
+                self.switches[i].process(pkt);
+                return;
+            }
+        }
+        self.dropped_packets += 1;
     }
 
     /// Splits a trace across ingresses by source address (a stand-in
@@ -77,14 +174,28 @@ impl SwitchFleet {
         let n = self.switches.len();
         for p in trace {
             let ingress = flymon_rmt::hash::murmur3_32(0xf1ee7, &p.src_ip.to_be_bytes()) as usize % n;
-            self.switches[ingress].process(p);
+            self.process(ingress, p);
         }
     }
 
-    /// Per-bucket merged readout of one row across the fleet.
+    /// Alive switches paired with their task handles.
+    fn alive_members(&self) -> impl Iterator<Item = (&FlyMon, TaskHandle)> {
+        self.switches
+            .iter()
+            .zip(&self.handles)
+            .zip(&self.alive)
+            .filter(|&(_, &alive)| alive)
+            .filter_map(|((fm, h), _)| h.map(|h| (fm, h)))
+    }
+
+    /// Per-bucket merged readout of one row across the alive fleet.
     fn merged_row(&self, row: usize, merge: impl Fn(u32, u32) -> u32) -> Result<Vec<u32>, FlymonError> {
-        let mut acc = self.switches[0].read_row(self.handles[0], row)?;
-        for (fm, &h) in self.switches.iter().zip(&self.handles).skip(1) {
+        let mut members = self.alive_members();
+        let (first, first_h) = members.next().ok_or_else(|| {
+            FlymonError::NoCapacity("every switch in the fleet has failed".into())
+        })?;
+        let mut acc = first.read_row(first_h, row)?;
+        for (fm, h) in members {
             for (a, v) in acc.iter_mut().zip(fm.read_row(h, row)?) {
                 *a = merge(*a, v);
             }
@@ -94,7 +205,8 @@ impl SwitchFleet {
 
     /// Network-wide frequency estimate for a flow: per-bucket sums of
     /// the fleet's registers, then the row-wise minimum (linearity of
-    /// counter sketches).
+    /// counter sketches). Dead switches are skipped — the estimate
+    /// covers the surviving traffic.
     pub fn merged_frequency(&self, pkt: &Packet) -> Result<u64, FlymonError> {
         let d = match self.algorithm {
             Algorithm::Cms { d } => d,
@@ -106,11 +218,15 @@ impl SwitchFleet {
                 )))
             }
         };
+        let (locator, locator_h) = self.alive_members().next().ok_or_else(|| {
+            FlymonError::NoCapacity("every switch in the fleet has failed".into())
+        })?;
         let mut best = u64::MAX;
         for row in 0..d {
             let merged = self.merged_row(row, |a, b| a.saturating_add(b))?;
-            // Locate the bucket through any switch (identical layouts).
-            let idx = self.switches[0].locate(self.handles[0], row, pkt)?;
+            // Locate the bucket through any alive switch (identical
+            // layouts across the fleet).
+            let idx = locator.locate(locator_h, row, pkt)?;
             best = best.min(u64::from(merged[idx]));
         }
         Ok(best)
@@ -140,14 +256,14 @@ impl SwitchFleet {
             ));
         }
         Ok(self
-            .switches
-            .iter()
-            .zip(&self.handles)
-            .any(|(fm, &h)| fm.query_exists(h, pkt)))
+            .alive_members()
+            .any(|(fm, h)| fm.query_exists(h, pkt)))
     }
 
-    /// Access one switch (diagnostics, per-ingress queries).
-    pub fn switch(&self, i: usize) -> (&FlyMon, TaskHandle) {
+    /// Access one switch (diagnostics, per-ingress queries, audits).
+    /// Returns `None` for the handle on switches whose deployment was
+    /// rolled back.
+    pub fn switch(&self, i: usize) -> (&FlyMon, Option<TaskHandle>) {
         (&self.switches[i], self.handles[i])
     }
 }
@@ -176,17 +292,21 @@ mod tests {
         })
     }
 
+    fn cms_def(d: usize) -> TaskDefinition {
+        TaskDefinition::builder("freq")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d })
+            .memory(8192)
+            .build()
+    }
+
     #[test]
     fn merged_frequency_equals_single_switch_exactly() {
         // Linearity: a 4-switch fleet over a split trace must produce
         // byte-identical merged registers to one switch over the whole
         // trace.
-        let def = TaskDefinition::builder("freq")
-            .key(KeySpec::SRC_IP)
-            .attribute(Attribute::frequency_packets())
-            .algorithm(Algorithm::Cms { d: 3 })
-            .memory(8192)
-            .build();
+        let def = cms_def(3);
         let t = trace();
 
         let mut fleet = SwitchFleet::deploy(4, config(), &def).unwrap();
@@ -232,7 +352,7 @@ mod tests {
         assert!(err < 0.1, "merged estimate {est:.0} (err {err:.3})");
         // Each single switch saw only a third.
         let (fm, h) = fleet.switch(0);
-        assert!(fm.cardinality(h) < est * 0.5);
+        assert!(fm.cardinality(h.unwrap()) < est * 0.5);
     }
 
     #[test]
@@ -254,14 +374,74 @@ mod tests {
 
     #[test]
     fn mismatched_queries_are_rejected() {
-        let def = TaskDefinition::builder("freq")
-            .key(KeySpec::SRC_IP)
-            .attribute(Attribute::frequency_packets())
-            .algorithm(Algorithm::Cms { d: 1 })
-            .memory(1024)
-            .build();
+        let def = cms_def(1);
         let fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
         assert!(fleet.merged_cardinality().is_err());
         assert!(fleet.merged_exists(&Packet::tcp(1, 2, 3, 4)).is_err());
+    }
+
+    #[test]
+    fn failed_switch_reroutes_and_survivors_keep_estimating() {
+        let def = cms_def(2);
+        let mut fleet = SwitchFleet::deploy(3, config(), &def).unwrap();
+        let flow = Packet::tcp(0x0a000001, 5, 80, 80);
+        for _ in 0..10 {
+            fleet.process(0, &flow);
+        }
+        fleet.fail_switch(0);
+        assert_eq!(fleet.alive_count(), 2);
+        // Ingress 0 now reroutes to switch 1; nothing is dropped.
+        for _ in 0..4 {
+            fleet.process(0, &flow);
+        }
+        assert_eq!(fleet.dropped_packets(), 0);
+        // Switch 0's ten packets died with it; the rerouted four live on.
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 4);
+        // Revival brings its counts back.
+        fleet.revive_switch(0);
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 14);
+        // A fully dead fleet reports failure, not garbage.
+        for i in 0..3 {
+            fleet.fail_switch(i);
+        }
+        assert!(fleet.merged_frequency(&flow).is_err());
+        fleet.process(0, &flow);
+        assert_eq!(fleet.dropped_packets(), 1);
+    }
+
+    #[test]
+    fn failed_deployment_rolls_back_and_fleet_degrades() {
+        let def = cms_def(2);
+        // Switch 1's very first install op fails; its deployment must
+        // roll back cleanly while switches 0 and 2 carry the task.
+        let mut faults = vec![None, Some(FaultPlan::new(9).fail_nth(1)), None];
+        let mut fleet = SwitchFleet::deploy_with_faults(3, config(), &def, &mut faults).unwrap();
+        assert_eq!(fleet.alive_count(), 2);
+        assert!(!fleet.is_alive(1));
+
+        // The failed switch is bit-for-bit pristine: zero divergences,
+        // no leaked partitions or refcounts, no task record.
+        let (dead, handle) = fleet.switch(1);
+        assert!(handle.is_none());
+        assert!(dead.audit().is_empty(), "{:?}", dead.audit());
+        assert_eq!(dead.task_count(), 0);
+
+        // Survivors still measure; traffic for ingress 1 reroutes.
+        let flow = Packet::tcp(0x0a000001, 5, 80, 80);
+        for ingress in [0, 1, 2] {
+            fleet.process(ingress, &flow);
+        }
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 3);
+        assert_eq!(fleet.dropped_packets(), 0);
+
+        // A fleet whose every deployment fails refuses construction.
+        let mut all_bad = vec![
+            Some(FaultPlan::new(1).fail_nth(1)),
+            Some(FaultPlan::new(2).fail_nth(1)),
+        ];
+        assert!(matches!(
+            SwitchFleet::deploy_with_faults(2, config(), &def, &mut all_bad),
+            Err(FlymonError::Install(_))
+        ));
     }
 }

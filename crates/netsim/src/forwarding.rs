@@ -13,8 +13,7 @@
 //!   critical events are batched into a single reload.
 //! - **Bare** runs no measurement at all (the control curve).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flymon_packet::SplitMix64;
 
 /// The three data planes Figure 12a compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,7 +99,7 @@ pub struct ThroughputSample {
 
 /// Runs the forwarding simulation for one deployment style.
 pub fn run_forwarding(style: DeploymentStyle, config: &ForwardingConfig) -> Vec<ThroughputSample> {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::new(config.seed);
     // Outage windows for the static baseline: 4-8 s per critical
     // reload, with consecutive critical events batched when their
     // windows would overlap.
@@ -117,7 +116,7 @@ pub fn run_forwarding(style: DeploymentStyle, config: &ForwardingConfig) -> Vec<
             .collect();
         for pair in critical.chunks(2) {
             let t = *pair.last().unwrap();
-            let len = rng.gen_range(4.0..8.0);
+            let len = rng.range_f64(4.0, 8.0);
             match outages.last_mut() {
                 // Still merge if a previous outage runs into this one.
                 Some((_, end)) if *end >= t => {
@@ -133,7 +132,7 @@ pub fn run_forwarding(style: DeploymentStyle, config: &ForwardingConfig) -> Vec<
     let mut t = 0.0;
     while t <= config.duration_s {
         // Bounded random walk inside the TCP band.
-        level += rng.gen_range(-2.0..2.0);
+        level += rng.range_f64(-2.0, 2.0);
         level = level.clamp(config.min_gbps, config.max_gbps);
         let mut gbps = level;
 

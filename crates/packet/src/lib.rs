@@ -27,11 +27,13 @@ mod fields;
 mod filter;
 mod key;
 mod packet;
+pub mod rng;
 
 pub use fields::HeaderField;
 pub use filter::{PrefixFilter, TaskFilter};
 pub use key::{FlowKeyBytes, KeySpec, MAX_KEY_BYTES};
 pub use packet::{Packet, PacketBuilder};
+pub use rng::SplitMix64;
 
 /// Convenience alias for an IPv4 address in host byte order.
 ///

@@ -31,12 +31,17 @@
 //!   (§3.2 Figure 8), including the Appendix E mirror/recirculate splicing.
 //! - [`rules`]: runtime rule kinds and the measured install-latency model
 //!   the control plane uses for Table 3's deployment delays.
+//! - [`fault`]: deterministic fault injection for install-time operations
+//!   (failed rule installs, dead groups, flaky channels) plus bounded
+//!   retry-with-backoff — the adversary the control plane's transactional
+//!   reconfiguration is tested against.
 //!
 //! Nothing here knows about sketches or tasks: this crate is "hardware".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod hash;
 pub mod phv;
 pub mod pipeline;

@@ -33,7 +33,13 @@ pub const HASH_MASK_RULE_MS: f64 = 16.0;
 pub const BATCHED_RULE_MS: f64 = 0.1;
 
 /// The rules one task deployment must install, classified for latency.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Beyond the static rule counts, a plan records what actually happened
+/// when the install sequence was *executed* against a possibly-faulty
+/// substrate: how many ops needed retries and how much modeled backoff
+/// those retries cost (see [`crate::fault`]). The backoff is part of the
+/// deployment latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InstallPlan {
     /// Hash-mask rules (new compressed-key configurations).
     pub hash_mask_rules: usize,
@@ -41,6 +47,11 @@ pub struct InstallPlan {
     pub sync_table_rules: usize,
     /// Table rules folded into batches.
     pub batched_table_rules: usize,
+    /// Install ops that needed more than one attempt.
+    pub retried_ops: usize,
+    /// Modeled retry backoff spent by the executed install sequence, in
+    /// milliseconds.
+    pub retry_backoff_ms: f64,
 }
 
 impl InstallPlan {
@@ -49,11 +60,13 @@ impl InstallPlan {
         self.hash_mask_rules + self.sync_table_rules + self.batched_table_rules
     }
 
-    /// Deployment latency in milliseconds under the §5.1 constants.
+    /// Deployment latency in milliseconds under the §5.1 constants,
+    /// including any modeled retry backoff.
     pub fn latency_ms(&self) -> f64 {
         self.hash_mask_rules as f64 * HASH_MASK_RULE_MS
             + self.sync_table_rules as f64 * TABLE_RULE_MS
             + self.batched_table_rules as f64 * BATCHED_RULE_MS
+            + self.retry_backoff_ms
     }
 
     /// Merges two plans (e.g. a multi-CMU-Group deployment).
@@ -62,6 +75,8 @@ impl InstallPlan {
             hash_mask_rules: self.hash_mask_rules + other.hash_mask_rules,
             sync_table_rules: self.sync_table_rules + other.sync_table_rules,
             batched_table_rules: self.batched_table_rules + other.batched_table_rules,
+            retried_ops: self.retried_ops + other.retried_ops,
+            retry_backoff_ms: self.retry_backoff_ms + other.retry_backoff_ms,
         }
     }
 }
@@ -76,10 +91,23 @@ mod tests {
             hash_mask_rules: 1,
             sync_table_rules: 2,
             batched_table_rules: 10,
+            ..InstallPlan::default()
         };
         let expect = 16.0 + 6.0 + 1.0;
         assert!((plan.latency_ms() - expect).abs() < 1e-9);
         assert_eq!(plan.total_rules(), 13);
+    }
+
+    #[test]
+    fn retry_backoff_counts_toward_latency_but_not_rules() {
+        let plan = InstallPlan {
+            sync_table_rules: 1,
+            retried_ops: 2,
+            retry_backoff_ms: 5.5,
+            ..InstallPlan::default()
+        };
+        assert_eq!(plan.total_rules(), 1);
+        assert!((plan.latency_ms() - 8.5).abs() < 1e-9);
     }
 
     #[test]
@@ -93,11 +121,14 @@ mod tests {
             hash_mask_rules: 1,
             sync_table_rules: 1,
             batched_table_rules: 2,
+            retried_ops: 1,
+            retry_backoff_ms: 0.5,
         };
         let b = a.merge(&a);
         assert_eq!(b.hash_mask_rules, 2);
         assert_eq!(b.sync_table_rules, 2);
         assert_eq!(b.batched_table_rules, 4);
+        assert_eq!(b.retried_ops, 2);
         assert!((b.latency_ms() - 2.0 * a.latency_ms()).abs() < 1e-9);
     }
 
@@ -110,6 +141,7 @@ mod tests {
             hash_mask_rules: 1,
             sync_table_rules: 8,
             batched_table_rules: 1,
+            ..InstallPlan::default()
         };
         assert!(beaucoup.latency_ms() < 100.0);
         assert!((beaucoup.latency_ms() - 40.1).abs() < 0.01);

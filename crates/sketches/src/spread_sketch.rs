@@ -161,7 +161,7 @@ mod tests {
         let keys: HashSet<Vec<u8>> = reported.into_iter().map(|(k, _)| k).collect();
         for k in 0..5u32 {
             assert!(
-                keys.contains(&(0xAAAA_0000u32 | k).to_be_bytes().to_vec()),
+                keys.contains((0xAAAA_0000u32 | k).to_be_bytes().as_slice()),
                 "missed spreader {k}"
             );
         }

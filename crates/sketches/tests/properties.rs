@@ -1,8 +1,12 @@
 //! Property tests for the sketch invariants the paper's algorithms rely
 //! on.
+//!
+//! Randomized with the in-repo [`SplitMix64`] generator (fixed seeds ⇒
+//! identical case set every run) — no external property-testing framework,
+//! so the workspace builds fully offline.
 
+use flymon_packet::SplitMix64;
 use flymon_sketches::{BloomFilter, CountMinSketch, SuMax, SuMaxMode, TowerSketch};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn count_truth(keys: &[u16]) -> HashMap<u16, u64> {
@@ -13,93 +17,122 @@ fn count_truth(keys: &[u16]) -> HashMap<u16, u64> {
     m
 }
 
-proptest! {
-    /// CMS one-sided error: point queries never underestimate, for any
-    /// workload and any geometry.
-    #[test]
-    fn cms_never_underestimates(
-        keys in prop::collection::vec(any::<u16>(), 1..500),
-        rows in 1usize..5,
-        width in 4usize..64,
-    ) {
+/// CMS one-sided error: point queries never underestimate, for any
+/// workload and any geometry.
+#[test]
+fn cms_never_underestimates() {
+    let mut r = SplitMix64::new(0xC1);
+    for _ in 0..48 {
+        let keys: Vec<u16> = (0..r.range_usize(1, 500)).map(|_| r.next_u16()).collect();
+        let rows = r.range_usize(1, 5);
+        let width = r.range_usize(4, 64);
         let mut cms = CountMinSketch::new(rows, width);
         for &k in &keys {
             cms.update(&k.to_be_bytes(), 1);
         }
         for (k, &c) in count_truth(&keys).iter() {
-            prop_assert!(cms.query(&k.to_be_bytes()) >= c);
+            assert!(cms.query(&k.to_be_bytes()) >= c);
         }
     }
+}
 
-    /// Bloom filters have no false negatives, ever.
-    #[test]
-    fn bloom_no_false_negatives(
-        keys in prop::collection::vec(any::<u32>(), 1..300),
-        m_sel in 6u32..14,
-        k in 1usize..5,
-    ) {
+/// Bloom filters have no false negatives, ever.
+#[test]
+fn bloom_no_false_negatives() {
+    let mut r = SplitMix64::new(0xC2);
+    for _ in 0..48 {
+        let keys: Vec<u32> = (0..r.range_usize(1, 300)).map(|_| r.next_u32()).collect();
+        let m_sel = r.range_u64(6, 14) as u32;
+        let k = r.range_usize(1, 5);
         let mut bf = BloomFilter::new(1 << m_sel, k);
         for key in &keys {
             bf.insert(&key.to_be_bytes());
         }
         for key in &keys {
-            prop_assert!(bf.contains(&key.to_be_bytes()));
+            assert!(bf.contains(&key.to_be_bytes()));
         }
     }
+}
 
-    /// SuMax(Max) never under-reports a key's true maximum.
-    #[test]
-    fn sumax_max_upper_bounds(
-        pairs in prop::collection::vec((any::<u8>(), any::<u16>()), 1..400),
-    ) {
+/// SuMax(Max) never under-reports a key's true maximum.
+#[test]
+fn sumax_max_upper_bounds() {
+    let mut r = SplitMix64::new(0xC3);
+    for _ in 0..48 {
+        let pairs: Vec<(u8, u16)> = (0..r.range_usize(1, 400))
+            .map(|_| (r.next_u64() as u8, r.next_u16()))
+            .collect();
         let mut s = SuMax::new(SuMaxMode::Max, 3, 32);
         let mut truth: HashMap<u8, u64> = HashMap::new();
         for &(k, v) in &pairs {
             s.update(&[k], u64::from(v));
-            truth.entry(k).and_modify(|m| *m = (*m).max(u64::from(v))).or_insert(u64::from(v));
+            truth
+                .entry(k)
+                .and_modify(|m| *m = (*m).max(u64::from(v)))
+                .or_insert(u64::from(v));
         }
         for (k, &m) in &truth {
-            prop_assert!(s.query(&[*k]) >= m);
+            assert!(s.query(&[*k]) >= m);
         }
     }
+}
 
-    /// SuMax(Sum) keeps the one-sided error guarantee: every arrival of
-    /// a key raises the key's *minimum* counter by the increment, so the
-    /// min-query never underestimates — conservative update only shaves
-    /// overestimation.
-    #[test]
-    fn sumax_sum_never_underestimates(
-        keys in prop::collection::vec(any::<u8>(), 1..400),
-        width in 4usize..32,
-    ) {
+/// SuMax(Sum) keeps the one-sided error guarantee: every arrival of a
+/// key raises the key's *minimum* counter by the increment, so the
+/// min-query never underestimates — conservative update only shaves
+/// overestimation.
+#[test]
+fn sumax_sum_never_underestimates() {
+    let mut r = SplitMix64::new(0xC4);
+    for _ in 0..48 {
+        let keys: Vec<u8> = (0..r.range_usize(1, 400))
+            .map(|_| r.next_u64() as u8)
+            .collect();
+        let width = r.range_usize(4, 32);
         let mut su = SuMax::new(SuMaxMode::Sum, 3, width);
         for &k in &keys {
             su.update(&[k], 1);
         }
-        for (k, &c) in count_truth(&keys.iter().map(|&k| u16::from(k)).collect::<Vec<_>>()).iter() {
+        let wide: Vec<u16> = keys.iter().map(|&k| u16::from(k)).collect();
+        for (k, &c) in count_truth(&wide).iter() {
             let kb = [(*k & 0xff) as u8];
-            prop_assert!(su.query(&kb) >= c, "underestimated key {k}: {} < {c}", su.query(&kb));
+            assert!(
+                su.query(&kb) >= c,
+                "underestimated key {k}: {} < {c}",
+                su.query(&kb)
+            );
         }
     }
+}
 
-    /// TowerSketch never underestimates below its top-level cap.
-    #[test]
-    fn tower_lower_bounded(keys in prop::collection::vec(any::<u8>(), 1..400)) {
+/// TowerSketch never underestimates below its top-level cap.
+#[test]
+fn tower_lower_bounded() {
+    let mut r = SplitMix64::new(0xC5);
+    for _ in 0..48 {
+        let keys: Vec<u8> = (0..r.range_usize(1, 400))
+            .map(|_| r.next_u64() as u8)
+            .collect();
         let mut t = TowerSketch::new(1 << 10);
         for &k in &keys {
             t.update(&[k]);
         }
-        for (k, &c) in count_truth(&keys.iter().map(|&k| u16::from(k)).collect::<Vec<_>>()).iter() {
+        let wide: Vec<u16> = keys.iter().map(|&k| u16::from(k)).collect();
+        for (k, &c) in count_truth(&wide).iter() {
             let kb = [(*k & 0xff) as u8];
-            prop_assert!(t.query(&kb) >= c.min(65_535));
+            assert!(t.query(&kb) >= c.min(65_535));
         }
     }
+}
 
-    /// HyperLogLog is insensitive to duplicates: inserting the same keys
-    /// again never changes the estimate.
-    #[test]
-    fn hll_duplicate_insensitive(keys in prop::collection::vec(any::<u32>(), 1..300)) {
-        use flymon_sketches::HyperLogLog;
+/// HyperLogLog is insensitive to duplicates: inserting the same keys
+/// again never changes the estimate.
+#[test]
+fn hll_duplicate_insensitive() {
+    use flymon_sketches::HyperLogLog;
+    let mut r = SplitMix64::new(0xC6);
+    for _ in 0..48 {
+        let keys: Vec<u32> = (0..r.range_usize(1, 300)).map(|_| r.next_u32()).collect();
         let mut h = HyperLogLog::new(8);
         for k in &keys {
             h.insert(&k.to_be_bytes());
@@ -108,6 +141,6 @@ proptest! {
         for k in &keys {
             h.insert(&k.to_be_bytes());
         }
-        prop_assert_eq!(h.estimate(), first);
+        assert_eq!(h.estimate(), first);
     }
 }

@@ -4,9 +4,7 @@
 //! paper's evaluation. Each generator is deterministic given its seed so
 //! experiments are reproducible.
 
-use flymon_packet::{Packet, PacketBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flymon_packet::{Packet, PacketBuilder, SplitMix64};
 
 use crate::zipf::Zipf;
 
@@ -109,36 +107,36 @@ impl Default for SpikeConfig {
 /// Deterministic trace generator.
 #[derive(Debug)]
 pub struct TraceGenerator {
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl TraceGenerator {
     /// Creates a generator with the given seed.
     pub fn new(seed: u64) -> Self {
         TraceGenerator {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 
     fn random_flow(&mut self) -> (u32, u32, u16, u16, u8) {
         // Sources/destinations drawn from a handful of /8s so that
         // prefix-keyed tasks (SrcIP/8, /16, /24) see realistic grouping.
-        let src_net: u32 = [10u32, 24, 59, 131, 172, 192][self.rng.gen_range(0..6)] << 24;
-        let dst_net: u32 = [10u32, 47, 88, 140, 192, 203][self.rng.gen_range(0..6)] << 24;
-        let src_ip = src_net | (self.rng.gen::<u32>() & 0x00ff_ffff);
-        let dst_ip = dst_net | (self.rng.gen::<u32>() & 0x00ff_ffff);
-        let src_port = self.rng.gen_range(1024..u16::MAX);
-        let dst_port = [80u16, 443, 53, 22, 8080, 3306][self.rng.gen_range(0..6)];
-        let proto = if self.rng.gen_bool(0.8) { 6 } else { 17 };
+        let src_net: u32 = [10u32, 24, 59, 131, 172, 192][self.rng.range_usize(0, 6)] << 24;
+        let dst_net: u32 = [10u32, 47, 88, 140, 192, 203][self.rng.range_usize(0, 6)] << 24;
+        let src_ip = src_net | (self.rng.next_u32() & 0x00ff_ffff);
+        let dst_ip = dst_net | (self.rng.next_u32() & 0x00ff_ffff);
+        let src_port = self.rng.range_u64(1024, u64::from(u16::MAX)) as u16;
+        let dst_port = [80u16, 443, 53, 22, 8080, 3306][self.rng.range_usize(0, 6)];
+        let proto = if self.rng.chance(0.8) { 6 } else { 17 };
         (src_ip, dst_ip, src_port, dst_port, proto)
     }
 
     fn packet_len(&mut self) -> u16 {
         // Bimodal internet mix: small control packets and full frames.
-        match self.rng.gen_range(0..10) {
-            0..=4 => self.rng.gen_range(64..=128),
-            5..=6 => self.rng.gen_range(129..=576),
-            _ => self.rng.gen_range(1000..=1500),
+        match self.rng.range_u64(0, 10) {
+            0..=4 => self.rng.range_u64(64, 129) as u16,
+            5..=6 => self.rng.range_u64(129, 577) as u16,
+            _ => self.rng.range_u64(1000, 1501) as u16,
         }
     }
 
@@ -153,7 +151,7 @@ impl TraceGenerator {
         for &count in &sizes {
             let (src_ip, dst_ip, src_port, dst_port, proto) = self.random_flow();
             for _ in 0..count {
-                let ts = self.rng.gen_range(0..cfg.duration_ns);
+                let ts = self.rng.range_u64(0, cfg.duration_ns);
                 packets.push(
                     PacketBuilder::new()
                         .src_ip(src_ip)
@@ -186,12 +184,12 @@ impl TraceGenerator {
                 // Distinct spoofed sources per victim.
                 let src = (198u32 << 24) | ((v as u32 & 0xff) << 16) | (s as u32 & 0xffff);
                 for _ in 0..cfg.packets_per_source {
-                    let ts = self.rng.gen_range(0..cfg.background.duration_ns);
+                    let ts = self.rng.range_u64(0, cfg.background.duration_ns);
                     packets.push(
                         PacketBuilder::new()
                             .src_ip(src)
                             .dst_ip(victim)
-                            .src_port(self.rng.gen())
+                            .src_port(self.rng.next_u16())
                             .dst_port(80)
                             .protocol(6)
                             .len(64)
@@ -212,7 +210,7 @@ impl TraceGenerator {
         let mut packets = self.wide_like(cfg);
         let scanner = (198u32 << 24) | (51 << 16) | (100 << 8) | 1;
         for port in 0..ports {
-            let ts = self.rng.gen_range(0..cfg.duration_ns);
+            let ts = self.rng.range_u64(0, cfg.duration_ns);
             packets.push(
                 PacketBuilder::new()
                     .src_ip(scanner)

@@ -1,10 +1,10 @@
 //! A from-scratch Zipf(α) sampler over ranks `1..=n`.
 //!
-//! Implemented in-repo (rather than pulling `rand_distr`) to stay within
-//! the approved dependency set. Sampling uses a precomputed CDF and binary
-//! search: O(n) setup, O(log n) per sample, exact distribution.
+//! Implemented in-repo (rather than pulling `rand_distr`) so the
+//! workspace builds fully offline. Sampling uses a precomputed CDF and
+//! binary search: O(n) setup, O(log n) per sample, exact distribution.
 
-use rand::Rng;
+use flymon_packet::SplitMix64;
 
 /// Zipf distribution over `1..=n` with exponent `alpha`:
 /// `P(rank = k) ∝ k^(-alpha)`.
@@ -44,8 +44,8 @@ impl Zipf {
     }
 
     /// Draws a rank in `1..=n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u: f64 = rng.next_f64();
         // partition_point returns the count of cdf entries < u, i.e. the
         // 0-based index of the first entry >= u; ranks are 1-based.
         self.cdf.partition_point(|&c| c < u) + 1
@@ -73,8 +73,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pmf_sums_to_one() {
@@ -102,8 +100,8 @@ mod tests {
     #[test]
     fn samples_follow_the_pmf() {
         let z = Zipf::new(50, 1.0);
-        let mut rng = SmallRng::seed_from_u64(7);
-        let mut counts = vec![0u32; 50];
+        let mut rng = SplitMix64::new(7);
+        let mut counts = [0u32; 50];
         let n = 200_000;
         for _ in 0..n {
             counts[z.sample(&mut rng) - 1] += 1;

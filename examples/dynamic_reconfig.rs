@@ -32,6 +32,7 @@ fn main() {
         grow_at: 5,
         shrink_at: 15,
         buckets_per_cmu: 16384,
+        faults: None,
     };
 
     println!("== dynamic reconfiguration timeline (Fig. 12b, reduced scale) ==");
@@ -62,7 +63,7 @@ fn main() {
         let pts: Vec<f64> = points
             .iter()
             .filter(|p| spike_range.contains(&p.epoch) == spike)
-            .map(|p| f(p))
+            .map(f)
             .collect();
         pts.iter().sum::<f64>() / pts.len() as f64
     };

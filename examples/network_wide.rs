@@ -51,7 +51,7 @@ fn main() {
         let pkt = reps[*key];
         let merged = fleet.merged_frequency(&pkt).expect("merges");
         let (sw0, h0) = fleet.switch(0);
-        let local = sw0.query_frequency(h0, &pkt);
+        let local = sw0.query_frequency(h0.expect("deployed"), &pkt);
         println!(
             "  {:>15}: true {true_count:>6}  merged {merged:>6}  (switch 0 alone saw {local})",
             fmt_ipv4(pkt.src_ip)
@@ -73,6 +73,6 @@ fn main() {
     println!("\n== network-wide cardinality (HLL registers merged by max) ==");
     println!(
         "  true {truth_card}  merged {merged:.0}  (switch 0 alone estimated {:.0})",
-        sw0.cardinality(h0)
+        sw0.cardinality(h0.expect("deployed"))
     );
 }

@@ -1,0 +1,371 @@
+//! Transactional reconfiguration under injected faults.
+//!
+//! These tests drive the control plane's two-phase deploy/remove through
+//! a deterministic [`FaultPlan`] and verify — with full data-plane
+//! snapshots plus the state auditor — that every failed operation rolls
+//! back to the exact pre-call state: no leaked hash-unit references, no
+//! orphaned partitions, no stray bindings, no dirty registers.
+
+use flymon::control::DeployedTask;
+use flymon::prelude::*;
+use flymon_packet::{KeySpec, Packet, TaskFilter};
+use flymon_rmt::rules::RuleKind;
+
+/// A complete, publicly observable image of a switch's data plane:
+/// hash masks, installed bindings (task ids), and full register
+/// contents, plus the control plane's aggregate accounting. Two equal
+/// snapshots + two empty audits ⇒ identical system state.
+#[derive(Debug, Clone, PartialEq)]
+struct Snapshot {
+    task_count: usize,
+    free_buckets: usize,
+    masks: Vec<Vec<Option<KeySpec>>>,
+    bindings: Vec<Vec<Vec<flymon::task::TaskId>>>,
+    registers: Vec<Vec<Vec<u32>>>,
+}
+
+fn snapshot(fm: &FlyMon) -> Snapshot {
+    let total = fm.config().buckets_per_cmu;
+    Snapshot {
+        task_count: fm.task_count(),
+        free_buckets: fm.free_buckets(),
+        masks: fm
+            .groups()
+            .iter()
+            .map(|g| g.units().iter().map(|u| u.mask().copied()).collect())
+            .collect(),
+        bindings: fm
+            .groups()
+            .iter()
+            .map(|g| {
+                g.cmus()
+                    .iter()
+                    .map(|c| c.bindings().iter().map(|b| b.task).collect())
+                    .collect()
+            })
+            .collect(),
+        registers: fm
+            .groups()
+            .iter()
+            .map(|g| {
+                g.cmus()
+                    .iter()
+                    .map(|c| c.register().read_range(0, total).unwrap().to_vec())
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn small() -> FlyMon {
+    FlyMon::new(FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 1024,
+        ..FlyMonConfig::default()
+    })
+}
+
+fn cms(name: &str, d: usize, mem: usize) -> TaskDefinition {
+    TaskDefinition::builder(name)
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d })
+        .memory(mem)
+        .build()
+}
+
+fn assert_clean(fm: &FlyMon) {
+    let divergences = fm.audit();
+    assert!(divergences.is_empty(), "audit: {divergences:?}");
+}
+
+/// The acceptance sweep: fail the install at EVERY possible op position
+/// of a multi-row deploy and verify, position by position, that the
+/// rollback restores the exact pre-deploy state — zero divergences,
+/// zero leaked refcounts or partitions, registers bit-for-bit equal.
+#[test]
+fn every_nth_op_failure_rolls_back_to_pristine_state() {
+    // A co-tenant makes the pre-state non-trivial (occupied partitions,
+    // live counters) so a sloppy rollback has something to corrupt.
+    let mut fm = small();
+    let mut tenant_def = cms("tenant", 1, 128);
+    tenant_def.filter = TaskFilter::src(0x14000000, 8);
+    let tenant = fm.deploy(&tenant_def).unwrap();
+    for _ in 0..9 {
+        fm.process(&Packet::tcp(0x14000001, 2, 3, 4));
+    }
+    let pre = snapshot(&fm);
+    assert_clean(&fm);
+
+    // The deployment under test: 3 rows + a fresh hash mask + a fresh
+    // param-free key — at least 1 HashMask + 3 BuddyWrite + 3 TableEntry
+    // ops, every one of which gets its turn to fail.
+    let def = cms("victim", 3, 64);
+    let mut failures = 0u64;
+    let handle = loop {
+        let n = failures + 1;
+        fm.arm_faults(FaultPlan::new(0).fail_nth(n));
+        match fm.deploy(&def) {
+            Err(FlymonError::Install(e)) => {
+                assert_eq!(e.op_index, n, "the Nth op must be the one that failed");
+                assert_eq!(snapshot(&fm), pre, "rollback of op #{n} left residue");
+                assert_clean(&fm);
+                failures += 1;
+            }
+            Err(other) => panic!("unexpected error at op {n}: {other}"),
+            Ok(h) => break h, // n exceeded the op count: deploy landed
+        }
+    };
+    // CMS d=3 on a fresh group: 1 hash-mask + 3 buddy + 3 table ops.
+    assert_eq!(failures, 7, "expected to sweep exactly 7 install ops");
+    fm.disarm_faults();
+    assert_clean(&fm);
+
+    // The eventual success is fully functional, and the tenant's counts
+    // survived every one of the failed attempts.
+    for _ in 0..5 {
+        fm.process(&Packet::tcp(0x0a000001, 2, 3, 4));
+    }
+    assert_eq!(fm.query_frequency(handle, &Packet::tcp(0x0a000001, 9, 9, 9)), 5);
+    assert_eq!(fm.query_frequency(tenant, &Packet::tcp(0x14000001, 9, 9, 9)), 9);
+}
+
+/// Regression for the historical partial-failure leak: a key source
+/// acquired for `key` stayed refcounted forever when the subsequent
+/// `param` acquisition failed. With fault injection the second hash-mask
+/// install is made to fail after the first succeeded.
+#[test]
+fn param_failure_after_key_acquisition_leaks_nothing() {
+    let mut fm = FlyMon::new(FlyMonConfig {
+        groups: 1,
+        buckets_per_cmu: 1024,
+        ..FlyMonConfig::default()
+    });
+    let pre = snapshot(&fm);
+
+    // key = SrcIP (fresh mask, HashMask op #1), param = DstIP (fresh
+    // mask, HashMask op #2 — the one that fails).
+    let def = TaskDefinition::builder("distinct")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::Distinct(KeySpec::DST_IP))
+        .algorithm(Algorithm::BeauCoup { d: 1 })
+        .memory(256)
+        .build();
+    fm.arm_faults(FaultPlan::new(0).fail_nth(2));
+    let err = fm.deploy(&def).unwrap_err();
+    assert!(matches!(err, FlymonError::Install(_)), "{err}");
+
+    // Pre-fix, the SrcIP unit kept a phantom reference and its mask.
+    assert_eq!(snapshot(&fm), pre, "key acquisition leaked through the failure");
+    assert_clean(&fm);
+
+    // With faults gone the same definition deploys and removes cleanly.
+    fm.disarm_faults();
+    let h = fm.deploy(&def).unwrap();
+    assert_clean(&fm);
+    fm.remove(h).unwrap();
+    assert_eq!(snapshot(&fm), pre);
+    assert_clean(&fm);
+}
+
+/// Any set of successful deploys followed by removes — in any order —
+/// restores auditor-verified pristine state. Sweeps every removal
+/// permutation of three heterogeneous tasks.
+#[test]
+fn deploys_then_removes_in_any_order_restore_pristine_state() {
+    let defs = [
+        cms("a", 2, 128),
+        {
+            let mut d = cms("b", 1, 64);
+            d.filter = TaskFilter::src(0x14000000, 8);
+            d.key = KeySpec::DST_IP;
+            d
+        },
+        {
+            let mut d = cms("c", 1, 256);
+            d.filter = TaskFilter::src(0x28000000, 8);
+            d
+        },
+    ];
+    let orders: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for order in orders {
+        let mut fm = small();
+        let pre = snapshot(&fm);
+        let handles: Vec<TaskHandle> = defs.iter().map(|d| {
+            let h = fm.deploy(d).unwrap();
+            assert_clean(&fm);
+            h
+        }).collect();
+        // Traffic dirties the registers; removal must scrub them.
+        for i in 0..20u32 {
+            fm.process(&Packet::tcp((10 << 24) | i, 1, 2, 3));
+            fm.process(&Packet::tcp((20 << 24) | i, 1, 2, 3));
+        }
+        for &i in &order {
+            fm.remove(handles[i]).unwrap();
+            assert_clean(&fm);
+        }
+        assert_eq!(snapshot(&fm), pre, "removal order {order:?} left residue");
+    }
+}
+
+/// A faulted removal restores the cleared partitions bit-for-bit and
+/// leaves the task deployed and queryable.
+#[test]
+fn failed_remove_restores_registers_and_keeps_task() {
+    let mut fm = small();
+    let h = fm.deploy(&cms("t", 2, 128)).unwrap();
+    for _ in 0..6 {
+        fm.process(&Packet::tcp(0x0a000001, 2, 3, 4));
+    }
+    let pre = snapshot(&fm);
+
+    // The second register-write op fails: row 0 is already cleared and
+    // must be restored from its snapshot.
+    fm.arm_faults(FaultPlan::new(0).fail_nth(2));
+    assert!(matches!(fm.remove(h), Err(FlymonError::Install(_))));
+    assert_eq!(snapshot(&fm), pre, "failed remove corrupted registers");
+    assert_clean(&fm);
+    assert_eq!(fm.query_frequency(h, &Packet::tcp(0x0a000001, 9, 9, 9)), 6);
+
+    // Disarmed, the removal completes and scrubs everything.
+    fm.disarm_faults();
+    fm.remove(h).unwrap();
+    assert_eq!(fm.task_count(), 0);
+    assert_clean(&fm);
+}
+
+/// Transient faults are absorbed by retry-with-backoff: the deploy
+/// succeeds, and the modeled backoff shows up in the install latency.
+#[test]
+fn transient_faults_are_retried_with_modeled_backoff() {
+    let mut fm = small();
+    fm.set_retry_policy(RetryPolicy {
+        max_attempts: 3,
+        backoff_ms: 1.0,
+        multiplier: 2.0,
+    });
+    // Every op fails its first attempt, succeeds on the second (one
+    // 1 ms backoff per op).
+    fm.arm_faults(FaultPlan::new(0).transient(1));
+    let h = fm.deploy(&cms("t", 3, 64)).unwrap();
+    assert_clean(&fm);
+    let install = fm.task(h).unwrap().install;
+    assert_eq!(install.retried_ops, 7, "all 7 ops needed a retry");
+    assert!((install.retry_backoff_ms - 7.0).abs() < 1e-9);
+    // Backoff is part of the modeled deployment latency.
+    let base = install.latency_ms() - install.retry_backoff_ms;
+    assert!(base > 0.0);
+    assert!((fm.total_install_ms() - install.latency_ms()).abs() < 1e-9);
+
+    // With retries exhausted by a deeper transient, the deploy fails
+    // and rolls back.
+    let pre = snapshot(&fm);
+    fm.arm_faults(FaultPlan::new(0).transient(3));
+    let err = fm.deploy(&cms("u", 1, 64)).unwrap_err();
+    match err {
+        FlymonError::Install(e) => assert_eq!(e.attempts, 3),
+        other => panic!("expected install error, got {other}"),
+    }
+    assert_eq!(snapshot(&fm), pre);
+    assert_clean(&fm);
+}
+
+/// A dead CMU group refuses every install touching it; the deployment
+/// rolls back and the system stays clean. Reviving the group heals it.
+#[test]
+fn dead_group_fails_deploys_until_revived() {
+    let mut fm = FlyMon::new(FlyMonConfig {
+        groups: 1,
+        buckets_per_cmu: 1024,
+        ..FlyMonConfig::default()
+    });
+    let pre = snapshot(&fm);
+    fm.arm_faults(FaultPlan::new(0).kill_group(0));
+    let err = fm.deploy(&cms("t", 2, 128)).unwrap_err();
+    assert!(matches!(err, FlymonError::Install(_)), "{err}");
+    assert_eq!(snapshot(&fm), pre);
+    assert_clean(&fm);
+
+    fm.fault_plan_mut().unwrap().revive_group(0);
+    let h = fm.deploy(&cms("t", 2, 128)).unwrap();
+    assert_clean(&fm);
+    fm.remove(h).unwrap();
+    assert_eq!(snapshot(&fm), pre);
+}
+
+/// Failing every rule of one kind hits exactly the expected op class:
+/// hash-mask faults block only deployments that need a fresh mask.
+#[test]
+fn hash_mask_faults_spare_mask_reusing_deployments() {
+    let mut fm = small();
+    // First deployment installs the SrcIP mask fault-free.
+    let mut first = cms("first", 1, 64);
+    first.filter = TaskFilter::src(0x0a000000, 8);
+    fm.deploy(&first).unwrap();
+
+    fm.arm_faults(FaultPlan::new(0).fail_kind(InstallOpKind::Rule(RuleKind::HashMask)));
+    // Reusing the standing mask: no HashMask op, so it sails through.
+    let mut reuse = cms("reuse", 1, 64);
+    reuse.filter = TaskFilter::src(0x14000000, 8);
+    fm.deploy(&reuse).unwrap();
+    assert_clean(&fm);
+
+    // Needing a fresh DstIP mask: blocked by the armed fault.
+    let pre = snapshot(&fm);
+    let mut fresh = cms("fresh", 1, 64);
+    fresh.key = KeySpec::DST_IP;
+    fresh.filter = TaskFilter::src(0x28000000, 8);
+    let err = fm.deploy(&fresh).unwrap_err();
+    assert!(matches!(err, FlymonError::Install(_)), "{err}");
+    assert_eq!(snapshot(&fm), pre);
+    assert_clean(&fm);
+}
+
+/// `DeployedTask::memory_bytes` on a rows-less record returns zero
+/// instead of panicking (regression for the unchecked `rows[0]`).
+#[test]
+fn memory_bytes_handles_empty_rows() {
+    let mut fm = small();
+    let h = fm.deploy(&cms("t", 2, 128)).unwrap();
+    let t = fm.task(h).unwrap();
+    assert_eq!(t.memory_bytes(16), 2 * 128 * 16 / 8);
+    let empty = DeployedTask {
+        def: t.def.clone(),
+        algorithm: t.algorithm,
+        rows: Vec::new(),
+        bindings: Vec::new(),
+        install: t.install,
+        unit_refs: Vec::new(),
+    };
+    assert_eq!(empty.memory_bytes(16), 0);
+}
+
+/// The fault plan's op counter persists across calls while armed, so a
+/// later call's ops keep advancing toward the Nth-op trigger.
+#[test]
+fn op_counter_spans_operations_while_armed() {
+    let mut fm = small();
+    // 7 ops for the first deploy; op #9 is the second deploy's 2nd op.
+    fm.arm_faults(FaultPlan::new(0).fail_nth(9));
+    fm.deploy(&cms("a", 3, 64)).unwrap();
+    let pre = snapshot(&fm);
+    let mut b = cms("b", 3, 64);
+    b.filter = TaskFilter::src(0x14000000, 8);
+    let err = fm.deploy(&b).unwrap_err();
+    match err {
+        FlymonError::Install(e) => assert_eq!(e.op_index, 9),
+        other => panic!("expected install error, got {other}"),
+    }
+    assert_eq!(snapshot(&fm), pre);
+    assert_clean(&fm);
+    let plan = fm.disarm_faults().unwrap();
+    assert!(plan.ops_seen() >= 9);
+}
