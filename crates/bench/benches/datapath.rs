@@ -1,0 +1,121 @@
+//! Serial vs. sharded-parallel trace replay.
+//!
+//! Replays the canonical ≥1M-packet evaluation trace through one switch
+//! serially, then through a [`ShardedDatapath`] at several worker
+//! counts, verifying the merged registers stay bit-identical and
+//! recording packets/sec for each mode into
+//! `results/BENCH_datapath.json` — the perf trajectory every later
+//! datapath change is measured against.
+//!
+//! Run with `cargo bench --bench datapath`.
+
+use std::time::Instant;
+
+use flymon::prelude::*;
+use flymon_bench::{emit_results_file, eval_trace, print_table};
+use flymon_netsim::ShardedDatapath;
+use flymon_packet::KeySpec;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn task() -> TaskDefinition {
+    TaskDefinition::builder("bench-freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 3 })
+        .memory(8192)
+        .build()
+}
+
+fn main() {
+    let trace = eval_trace();
+    let n = trace.len();
+    assert!(n >= 1_000_000, "the evaluation trace must be ≥1M packets");
+    println!("replaying {n} packets, serial vs sharded\n");
+
+    // Serial baseline.
+    let mut serial = FlyMon::new(config());
+    let h = serial.deploy(&task()).expect("serial deploy");
+    let started = Instant::now();
+    serial.process_trace(&trace);
+    let serial_secs = started.elapsed().as_secs_f64();
+    let serial_pps = n as f64 / serial_secs;
+
+    let mut rows = vec![vec![
+        "serial".to_string(),
+        format!("{serial_secs:.3}"),
+        format!("{serial_pps:.0}"),
+        "1.00".to_string(),
+    ]];
+    let mut parallel_json = Vec::new();
+
+    for workers in WORKER_COUNTS {
+        let mut dp =
+            ShardedDatapath::deploy(workers, config(), &task()).expect("sharded deploy");
+        let stats = dp.process_trace(&trace);
+        let secs = stats.elapsed.as_secs_f64();
+        let pps = stats.packets_per_sec();
+
+        // The merged registers must be bit-identical to the serial
+        // replay — a sharded datapath that is fast but wrong is useless.
+        for row in 0..3 {
+            assert_eq!(
+                dp.merged_row(row).expect("merged row"),
+                serial.read_row(h, row).expect("serial row"),
+                "row {row} diverged at {workers} workers"
+            );
+        }
+
+        let worker_json: Vec<String> = dp
+            .worker_stats()
+            .iter()
+            .map(|w| {
+                format!(
+                    r#"{{"worker":{},"packets":{},"packets_per_sec":{:.0},"recirculated":{},"dropped":{}}}"#,
+                    w.worker,
+                    w.packets,
+                    w.packets_per_sec(),
+                    w.recirculated,
+                    w.dropped
+                )
+            })
+            .collect();
+        parallel_json.push(format!(
+            r#"{{"workers":{},"seconds":{:.6},"packets_per_sec":{:.0},"speedup":{:.3},"recirculated":{},"dropped":{},"per_worker":[{}]}}"#,
+            workers,
+            secs,
+            pps,
+            serial_secs / secs,
+            stats.recirculated,
+            stats.dropped,
+            worker_json.join(",")
+        ));
+        rows.push(vec![
+            format!("sharded x{workers}"),
+            format!("{secs:.3}"),
+            format!("{pps:.0}"),
+            format!("{:.2}", serial_secs / secs),
+        ]);
+    }
+
+    print_table(
+        "Datapath replay throughput",
+        &["mode", "seconds", "pkts/s", "speedup"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"trace_packets\": {n},\n  \"serial\": {{\"seconds\": {serial_secs:.6}, \"packets_per_sec\": {serial_pps:.0}}},\n  \"parallel\": [\n    {}\n  ]\n}}\n",
+        parallel_json.join(",\n    ")
+    );
+    let path = emit_results_file("BENCH_datapath.json", &json);
+    println!("wrote {}", path.display());
+}

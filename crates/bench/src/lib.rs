@@ -115,6 +115,19 @@ pub fn bench<R>(name: &str, samples: usize, elements: Option<u64>, mut f: impl F
     println!();
 }
 
+/// Writes a benchmark artifact into the repo's `results/` directory
+/// (next to the committed figure regenerations) and returns its path.
+/// Benchmarks use this to leave machine-readable perf trajectories
+/// (e.g. `BENCH_datapath.json`) that later PRs can compare against.
+pub fn emit_results_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
 /// Formats a byte count the way the paper labels its x-axes.
 pub fn fmt_bytes(bytes: usize) -> String {
     if bytes >= 1024 * 1024 {

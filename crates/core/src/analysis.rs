@@ -88,8 +88,9 @@ pub fn query_exists(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<bool, Fl
         let binding = &task.bindings[i];
         let bucket = fm.row_value(h, i, pkt)?;
         if bit_optimized {
-            let compressed = fm.groups()[row.group].compressed_keys(pkt);
-            let p1 = binding.p1.resolve(pkt, &compressed, &ctx);
+            let mut scratch = flymon_rmt::hash::HashScratch::default();
+            fm.groups()[row.group].compress_into(pkt, &mut scratch);
+            let p1 = binding.p1.resolve(pkt, scratch.as_slice(), &ctx);
             let (bit, _) = binding.prep.apply(p1, 0, &ctx);
             if bucket & bit == 0 {
                 return Ok(false);

@@ -88,6 +88,15 @@ impl Default for FlyMonConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskHandle(pub TaskId);
 
+/// What one [`FlyMon::process_batch`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Packets processed in the batch.
+    pub packets: u64,
+    /// Packets mirrored to the recirculation port by the batch.
+    pub recirculated: u64,
+}
+
 /// A deployed task's record.
 #[derive(Debug)]
 pub struct DeployedTask {
@@ -314,8 +323,21 @@ impl FlyMon {
 
     /// Processes a whole trace.
     pub fn process_trace(&mut self, trace: &[Packet]) {
-        for pkt in trace {
+        self.process_batch(trace);
+    }
+
+    /// Processes a batch of packets and reports what the batch did —
+    /// the worker-facing entry point of the sharded datapath
+    /// (`flymon_netsim::datapath`), which partitions a trace across
+    /// per-worker replicas and calls this on each shard.
+    pub fn process_batch(&mut self, pkts: &[Packet]) -> BatchStats {
+        let recirc_before = self.recirculated_packets;
+        for pkt in pkts {
             self.process(pkt);
+        }
+        BatchStats {
+            packets: pkts.len() as u64,
+            recirculated: self.recirculated_packets - recirc_before,
         }
     }
 
@@ -724,10 +746,11 @@ impl FlyMon {
         let task = self.task(h)?;
         let r = &task.rows[row];
         let binding = &task.bindings[row];
-        let compressed = self.groups[r.group].compressed_keys(pkt);
+        let mut scratch = flymon_rmt::hash::HashScratch::default();
+        self.groups[r.group].compress_into(pkt, &mut scratch);
         let raw = binding
             .key
-            .address(&compressed, self.groups[r.group].addr_bits());
+            .address(scratch.as_slice(), self.groups[r.group].addr_bits());
         let abs = binding
             .translation
             .translate(raw, self.config.buckets_per_cmu);

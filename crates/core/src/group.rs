@@ -15,7 +15,7 @@
 //! memory once), which is exactly the hardware constraint of §3.3.
 
 use flymon_packet::{Packet, TaskFilter};
-use flymon_rmt::hash::{murmur3_32, HashUnit};
+use flymon_rmt::hash::{murmur3_32, HashScratch, HashUnit, MAX_HASH_UNITS};
 use flymon_rmt::salu::{Salu, StatefulOp};
 use flymon_rmt::RmtError;
 
@@ -90,6 +90,12 @@ pub struct CmuBinding {
     pub forward: Forward,
 }
 
+/// Largest accepted sampling exponent: `prob_log2 = 32` admits a packet
+/// only when all 32 coin bits are zero (p = 2⁻³², effectively
+/// never-sample). Larger exponents are rejected at install time — a
+/// 32-bit coin cannot express them.
+pub const MAX_PROB_LOG2: u8 = 32;
+
 impl CmuBinding {
     /// Decides the sampling coin for this packet: a hash over the
     /// 5-tuple, timestamp and task id, so distinct tasks flip independent
@@ -106,7 +112,12 @@ impl CmuBinding {
         seed_bytes[12..20].copy_from_slice(&pkt.ts_ns.to_be_bytes());
         seed_bytes[20..24].copy_from_slice(&self.task.0.to_be_bytes());
         let coin = murmur3_32(0xc011_f11b, &seed_bytes);
-        coin & ((1u32 << self.prob_log2) - 1) == 0
+        // The mask is computed in u64: `1u32 << 32` would overflow (panic
+        // in debug, wrap to a coin that always passes in release).
+        // Install-time validation bounds prob_log2 at MAX_PROB_LOG2; the
+        // min() keeps the shift in range even for a hand-built binding.
+        let mask = (1u64 << u32::from(self.prob_log2.min(63))) - 1;
+        u64::from(coin) & mask == 0
     }
 }
 
@@ -181,9 +192,28 @@ impl CmuGroup {
     ///
     /// # Panics
     /// Panics if the bucket count is not a power of two (register
-    /// constraint) or any dimension is zero.
+    /// constraint) or any dimension is zero. A zero or non-power-of-two
+    /// bucket count would otherwise panic later in [`CmuGroup::addr_bits`]
+    /// (`ilog2` of 0) or silently alias buckets through a floored address
+    /// width, so the whole invariant is enforced here.
     pub fn new(index: usize, config: GroupConfig) -> Self {
-        assert!(config.compression_units > 0 && config.cmus > 0);
+        assert!(
+            config.compression_units > 0,
+            "group {index}: compression_units must be nonzero"
+        );
+        assert!(
+            config.compression_units <= MAX_HASH_UNITS,
+            "group {index}: {} compression units exceed the {MAX_HASH_UNITS} \
+             independent hash polynomials a stage offers",
+            config.compression_units
+        );
+        assert!(config.cmus > 0, "group {index}: cmus must be nonzero");
+        assert!(
+            config.buckets_per_cmu.is_power_of_two(),
+            "group {index}: buckets_per_cmu must be a nonzero power of two \
+             (register constraint), got {}",
+            config.buckets_per_cmu
+        );
         CmuGroup {
             index,
             config,
@@ -238,16 +268,36 @@ impl CmuGroup {
     /// derives for `pkt`. Exposed so the control plane can replay the
     /// addressing path at query time.
     pub fn compressed_keys(&self, pkt: &Packet) -> Vec<u32> {
-        self.units.iter().map(|u| u.compute(pkt)).collect()
+        let mut scratch = HashScratch::default();
+        self.compress_into(pkt, &mut scratch);
+        scratch.as_slice().to_vec()
+    }
+
+    /// Allocation-free compression stage: fills `out` with this group's
+    /// compressed keys for `pkt`. This is the per-packet path; callers
+    /// reuse one [`HashScratch`] across packets.
+    pub fn compress_into(&self, pkt: &Packet, out: &mut HashScratch) {
+        flymon_rmt::hash::compute_all(&self.units, pkt, out);
     }
 
     /// Installs a binding on CMU `cmu`.
+    ///
+    /// Rejects bindings whose `prob_log2` exceeds [`MAX_PROB_LOG2`]: the
+    /// 32-bit sampling coin cannot express rates below 2⁻³², and an
+    /// unchecked exponent would overflow the coin mask shift.
     pub fn install(&mut self, cmu: usize, binding: CmuBinding) -> Result<(), RmtError> {
         if cmu >= self.cmus.len() {
             return Err(RmtError::IndexOutOfRange {
                 what: "CMU",
                 index: cmu,
                 limit: self.cmus.len(),
+            });
+        }
+        if binding.prob_log2 > MAX_PROB_LOG2 {
+            return Err(RmtError::IndexOutOfRange {
+                what: "sampling exponent prob_log2",
+                index: usize::from(binding.prob_log2),
+                limit: usize::from(MAX_PROB_LOG2) + 1,
             });
         }
         for src in binding.key.source.units() {
@@ -299,8 +349,13 @@ impl CmuGroup {
     /// PHV-resident results between groups; the caller processes groups
     /// in pipeline order.
     pub fn process(&mut self, pkt: &Packet, ctx: &mut PacketContext) {
-        // Stage 1: compression.
-        let compressed: Vec<u32> = self.units.iter().map(|u| u.compute(pkt)).collect();
+        // Stage 1: compression, into a stack-resident scratch — the
+        // per-packet path performs no heap allocation (the PHV scratch
+        // convention; geometry is bounded by MAX_HASH_UNITS at
+        // construction).
+        let mut scratch = HashScratch::default();
+        self.compress_into(pkt, &mut scratch);
+        let compressed = scratch.as_slice();
         let addr_bits = self.addr_bits();
         let buckets = self.config.buckets_per_cmu;
         let group_index = self.index;
@@ -316,9 +371,9 @@ impl CmuGroup {
             };
             cmu.hits[bi] += 1;
             let binding = &cmu.bindings[bi];
-            let raw_addr = binding.key.address(&compressed, addr_bits);
-            let p1 = binding.p1.resolve(pkt, &compressed, ctx);
-            let p2 = binding.p2.resolve(pkt, &compressed, ctx);
+            let raw_addr = binding.key.address(compressed, addr_bits);
+            let p1 = binding.p1.resolve(pkt, compressed, ctx);
+            let p2 = binding.p2.resolve(pkt, compressed, ctx);
 
             // Stage 3: preparation.
             let addr = binding.translation.translate(raw_addr, buckets);
@@ -469,6 +524,67 @@ mod tests {
             (rate - 0.25).abs() < 0.05,
             "sampling rate {rate} should be ~0.25"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn zero_bucket_geometry_rejected() {
+        // Regression: this used to slip past construction and panic later
+        // in addr_bits() (ilog2 of 0).
+        CmuGroup::new(0, GroupConfig {
+            buckets_per_cmu: 0,
+            ..GroupConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_geometry_rejected() {
+        // Regression: 300 buckets used to be accepted and silently alias
+        // buckets through the floored address width (ilog2(300) = 8).
+        CmuGroup::new(0, GroupConfig {
+            buckets_per_cmu: 300,
+            ..GroupConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "compression_units")]
+    fn zero_unit_geometry_rejected() {
+        CmuGroup::new(0, GroupConfig {
+            compression_units: 0,
+            ..GroupConfig::default()
+        });
+    }
+
+    #[test]
+    fn oversized_prob_log2_rejected_at_install() {
+        // Regression: prob_log2 >= 32 used to overflow `1u32 << prob_log2`
+        // in coin_passes (wrap in release → the coin always passed).
+        let mut g = small_group();
+        let mut b = count_binding(1);
+        b.prob_log2 = MAX_PROB_LOG2 + 1;
+        assert!(g.install(0, b).is_err());
+    }
+
+    #[test]
+    fn prob_log2_32_behaves_as_never_sample() {
+        let mut g = small_group();
+        let mut b = count_binding(1);
+        b.prob_log2 = MAX_PROB_LOG2;
+        g.install(0, b).unwrap();
+        let mut ctx = PacketContext::default();
+        for i in 0..10_000u32 {
+            let pkt = flymon_packet::PacketBuilder::new()
+                .src_ip(i)
+                .ts_ns(u64::from(i))
+                .build();
+            g.process(&pkt, &mut ctx);
+        }
+        // p = 2^-32: admitting any of 10k packets is a ~2e-6 event, and
+        // the coin is deterministic, so this asserts exact behavior.
+        let total: u32 = g.cmus()[0].register().read_range(0, 256).unwrap().iter().sum();
+        assert_eq!(total, 0, "prob_log2 = 32 must behave as never-sample");
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub use error::FlymonError;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::audit::Divergence;
-    pub use crate::control::{FlyMon, FlyMonConfig, TaskHandle};
+    pub use crate::control::{BatchStats, FlyMon, FlyMonConfig, TaskHandle};
     pub use crate::task::{Algorithm, Attribute, FreqParam, MaxParam, TaskDefinition};
     pub use crate::FlymonError;
     pub use flymon_rmt::fault::{FaultPlan, InstallOpKind, RetryPolicy};

@@ -264,6 +264,13 @@ impl TaskDefinition {
         if self.memory == 0 {
             return Err(crate::FlymonError::BadMemory("zero buckets".into()));
         }
+        if self.prob_log2 > crate::group::MAX_PROB_LOG2 {
+            return Err(BadTask(format!(
+                "prob_log2 = {} exceeds the 32-bit sampling coin (max {})",
+                self.prob_log2,
+                crate::group::MAX_PROB_LOG2
+            )));
+        }
         match (&self.attribute, self.effective_algorithm()) {
             (Attribute::Frequency(_), a)
                 if !matches!(

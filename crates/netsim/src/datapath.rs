@@ -1,0 +1,419 @@
+//! Sharded parallel datapath: multi-core trace replay for one switch.
+//!
+//! The software pipeline is single-threaded per [`FlyMon`] instance —
+//! faithful to the hardware, where one pipeline processes one packet per
+//! clock, but far too slow to replay the multi-million-packet traces the
+//! experiments in `results/` feed it. This module recovers multi-core
+//! throughput without giving up single-switch semantics:
+//!
+//! 1. the trace is partitioned into `workers` shards by the same ingress
+//!    hash [`SwitchFleet`](crate::SwitchFleet) uses (`murmur3` over the
+//!    source address), preserving per-shard packet order;
+//! 2. each shard runs on its own `std::thread` against a private
+//!    [`FlyMon`] *replica* of the switch — deployments are deterministic,
+//!    so every replica derives identical hash configurations, partition
+//!    layouts and bindings;
+//! 3. readouts are merged per the deployed sketch's merge law, exactly as
+//!    fleet readouts are: per-bucket **sum** for linear frequency rows
+//!    (CMS/MRAC), per-bucket **max** for HLL cardinality registers,
+//!    per-bucket **OR** / any-replica for Bloom existence rows.
+//!
+//! For those laws the merged registers are *bit-identical* to a serial
+//! replay of the whole trace on one switch (each packet updates exactly
+//! one replica, and the per-bucket operation is associative and
+//! commutative across packets). Non-linear recipes — max-inter-arrival,
+//! which differences consecutive timestamps *of the same flow* inside one
+//! register — are only shard-equivalent because the shard hash keys on the
+//! source address, so a flow's packets never split across replicas; see
+//! `DESIGN.md` § "Sharded datapath".
+//!
+//! No external thread-pool or channel dependency is used: shards are
+//! materialized up front and `std::thread::scope` joins the workers.
+
+use std::time::{Duration, Instant};
+
+use flymon::prelude::*;
+use flymon::FlymonError;
+use flymon_packet::Packet;
+use flymon_sketches::hll::estimate_from_registers;
+
+/// Seed of the ingress/shard hash. Shared with
+/// [`SwitchFleet::process_trace`](crate::SwitchFleet::process_trace) so a
+/// fleet replay and a sharded replay split a trace identically.
+pub const INGRESS_HASH_SEED: u32 = 0xf1ee7;
+
+/// The shard (or fleet ingress) among `n` that `pkt` belongs to.
+///
+/// # Panics
+/// Panics if `n` is zero — an empty datapath has no shards.
+pub fn shard_of(pkt: &Packet, n: usize) -> usize {
+    assert!(n > 0, "cannot shard across zero workers");
+    flymon_rmt::hash::murmur3_32(INGRESS_HASH_SEED, &pkt.src_ip.to_be_bytes()) as usize % n
+}
+
+/// Partitions `trace` into `n` shards by [`shard_of`], preserving the
+/// original packet order within each shard.
+pub fn shard_trace(trace: &[Packet], n: usize) -> Vec<Vec<Packet>> {
+    let mut shards: Vec<Vec<Packet>> = vec![Vec::new(); n];
+    for p in trace {
+        shards[shard_of(p, n)].push(*p);
+    }
+    shards
+}
+
+/// Per-worker accounting of one parallel replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index (= shard index = replica index).
+    pub worker: usize,
+    /// Packets this worker processed.
+    pub packets: u64,
+    /// Packets this worker mirrored to the recirculation port.
+    pub recirculated: u64,
+    /// Packets routed to this worker's ingress that no one could take
+    /// (always 0 for a [`ShardedDatapath`]; nonzero on an all-dead fleet).
+    pub dropped: u64,
+    /// Wall-clock time the worker spent in its shard.
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// This worker's throughput in packets per second.
+    pub fn packets_per_sec(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs > 0.0 {
+            self.packets as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregates per-worker stats into whole-replay numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayStats {
+    /// Packets processed across all workers.
+    pub packets: u64,
+    /// Recirculated packets across all workers.
+    pub recirculated: u64,
+    /// Dropped packets across all workers.
+    pub dropped: u64,
+    /// Wall-clock time of the replay (spawn to last join).
+    pub elapsed: Duration,
+}
+
+impl ReplayStats {
+    /// Whole-replay throughput in packets per second.
+    pub fn packets_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.packets as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds a worker report into the aggregate.
+    pub fn absorb(&mut self, w: &WorkerStats) {
+        self.packets += w.packets;
+        self.recirculated += w.recirculated;
+        self.dropped += w.dropped;
+    }
+}
+
+/// Runs `shards[i]` on `replicas[i]`, one `std::thread` each, and returns
+/// the per-worker stats plus the wall-clock time of the whole fan-out.
+///
+/// Shared by [`ShardedDatapath::process_trace`] and
+/// [`SwitchFleet::process_trace_parallel`](crate::SwitchFleet::process_trace_parallel):
+/// both reduce parallel replay to "disjoint packet sets on disjoint
+/// `FlyMon` instances", which needs no locking at all.
+pub(crate) fn replay_sharded(
+    replicas: &mut [FlyMon],
+    shards: Vec<Vec<Packet>>,
+    stats: &mut Vec<WorkerStats>,
+) -> ReplayStats {
+    assert_eq!(replicas.len(), shards.len(), "one shard per replica");
+    let started = Instant::now();
+    let reports: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = replicas
+            .iter_mut()
+            .zip(shards)
+            .enumerate()
+            .map(|(worker, (fm, shard))| {
+                scope.spawn(move || {
+                    let begun = Instant::now();
+                    let batch = fm.process_batch(&shard);
+                    WorkerStats {
+                        worker,
+                        packets: batch.packets,
+                        recirculated: batch.recirculated,
+                        dropped: 0,
+                        busy: begun.elapsed(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("datapath worker panicked"))
+            .collect()
+    });
+    let mut total = ReplayStats {
+        elapsed: started.elapsed(),
+        ..ReplayStats::default()
+    };
+    for report in reports {
+        total.absorb(&report);
+        match stats.iter_mut().find(|s| s.worker == report.worker) {
+            Some(s) => {
+                s.packets += report.packets;
+                s.recirculated += report.recirculated;
+                s.busy += report.busy;
+            }
+            None => stats.push(report),
+        }
+    }
+    stats.sort_by_key(|s| s.worker);
+    total
+}
+
+/// A sharded, multi-threaded datapath for **one logical switch**: a set
+/// of per-worker [`FlyMon`] replicas that together replay a trace and
+/// answer queries as if a single switch had processed it serially.
+#[derive(Debug)]
+pub struct ShardedDatapath {
+    replicas: Vec<FlyMon>,
+    handles: Vec<TaskHandle>,
+    algorithm: Algorithm,
+    stats: Vec<WorkerStats>,
+    last_replay: ReplayStats,
+}
+
+impl ShardedDatapath {
+    /// Builds `workers` replicas of a switch with `config` and deploys
+    /// `task` on each. Deployment is deterministic, so the replicas end
+    /// up with identical layouts — the precondition for exact merging.
+    pub fn deploy(
+        workers: usize,
+        config: FlyMonConfig,
+        task: &TaskDefinition,
+    ) -> Result<Self, FlymonError> {
+        if workers == 0 {
+            return Err(FlymonError::BadTask(
+                "a sharded datapath needs at least one worker".into(),
+            ));
+        }
+        let mut replicas = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        let mut algorithm = None;
+        for _ in 0..workers {
+            let mut fm = FlyMon::new(config);
+            let h = fm.deploy(task)?;
+            algorithm = Some(fm.task(h)?.algorithm);
+            replicas.push(fm);
+            handles.push(h);
+        }
+        Ok(ShardedDatapath {
+            replicas,
+            handles,
+            algorithm: algorithm.expect("workers > 0"),
+            stats: Vec::new(),
+            last_replay: ReplayStats::default(),
+        })
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Cumulative per-worker throughput counters.
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.stats
+    }
+
+    /// Stats of the most recent [`ShardedDatapath::process_trace`] call.
+    pub fn last_replay(&self) -> ReplayStats {
+        self.last_replay
+    }
+
+    /// One replica and its task handle (diagnostics, per-shard queries).
+    pub fn replica(&self, worker: usize) -> (&FlyMon, TaskHandle) {
+        (&self.replicas[worker], self.handles[worker])
+    }
+
+    /// Replays `trace`: shards it by the ingress hash and runs every
+    /// shard on its own thread. Returns the aggregate stats; per-worker
+    /// counters accumulate in [`ShardedDatapath::worker_stats`].
+    pub fn process_trace(&mut self, trace: &[Packet]) -> ReplayStats {
+        let shards = shard_trace(trace, self.replicas.len());
+        let total = replay_sharded(&mut self.replicas, shards, &mut self.stats);
+        self.last_replay = total;
+        total
+    }
+
+    /// Per-bucket merged readout of one row across the replicas.
+    fn merged_row_with(
+        &self,
+        row: usize,
+        merge: impl Fn(u32, u32) -> u32,
+    ) -> Result<Vec<u32>, FlymonError> {
+        let mut acc = self.replicas[0].read_row(self.handles[0], row)?;
+        for (fm, h) in self.replicas.iter().zip(&self.handles).skip(1) {
+            for (a, v) in acc.iter_mut().zip(fm.read_row(*h, row)?) {
+                *a = merge(*a, v);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// The hosting register's cell ceiling for `row`. Cond-ADD saturates
+    /// there (its `p2` threshold, the Appendix D overflow guard), so a
+    /// summed merge must clamp to it too — otherwise a bucket that
+    /// saturated in the serial replay reads higher in the merged one.
+    fn row_cap(&self, row: usize) -> u32 {
+        self.replicas[0]
+            .task(self.handles[0])
+            .ok()
+            .and_then(|t| t.rows.get(row))
+            .map_or(u32::MAX, |r| r.bucket_max)
+    }
+
+    /// One row's merged register, per the deployed algorithm's merge law
+    /// (cap-clamped sum for counter rows, max for MAX-op rows, OR for
+    /// bitmap rows). For sum/max/OR-law algorithms this is bit-identical
+    /// to the row a serial replay of the same trace would have produced;
+    /// for [`Algorithm::MaxInterval`] it is only an approximation (the
+    /// arrival-time state is not mergeable — see DESIGN.md).
+    pub fn merged_row(&self, row: usize) -> Result<Vec<u32>, FlymonError> {
+        match self.algorithm {
+            Algorithm::Hll | Algorithm::SuMaxMax { .. } | Algorithm::MaxInterval { .. } => {
+                self.merged_row_with(row, u32::max)
+            }
+            Algorithm::Bloom { .. } | Algorithm::LinearCounting | Algorithm::BeauCoup { .. } => {
+                self.merged_row_with(row, |a, b| a | b)
+            }
+            _ => {
+                let cap = u64::from(self.row_cap(row));
+                self.merged_row_with(row, move |a, b| {
+                    (u64::from(a) + u64::from(b)).min(cap) as u32
+                })
+            }
+        }
+    }
+
+    /// Merged frequency estimate: per-bucket sums, then the row-wise
+    /// minimum — identical to the serial estimate by linearity.
+    pub fn merged_frequency(&self, pkt: &Packet) -> Result<u64, FlymonError> {
+        let d = match self.algorithm {
+            Algorithm::Cms { d } => d,
+            Algorithm::Mrac => 1,
+            other => {
+                return Err(FlymonError::BadTask(format!(
+                    "{} readouts do not merge by summation",
+                    other.name()
+                )))
+            }
+        };
+        let mut best = u64::MAX;
+        for row in 0..d {
+            let merged = self.merged_row(row)?;
+            // Replica layouts are identical; locate through any one.
+            let idx = self.replicas[0].locate(self.handles[0], row, pkt)?;
+            best = best.min(u64::from(merged[idx]));
+        }
+        Ok(best)
+    }
+
+    /// Merged cardinality estimate: HLL registers merge by max.
+    pub fn merged_cardinality(&self) -> Result<f64, FlymonError> {
+        if !matches!(self.algorithm, Algorithm::Hll) {
+            return Err(FlymonError::BadTask(
+                "merged cardinality needs an HLL task".into(),
+            ));
+        }
+        let merged = self.merged_row_with(0, u32::max)?;
+        let regs: Vec<u8> = merged.into_iter().map(|v| v.min(255) as u8).collect();
+        Ok(estimate_from_registers(&regs))
+    }
+
+    /// Merged existence check: a key inserted anywhere was inserted on
+    /// exactly one replica (its shard), so union membership is the OR of
+    /// the per-replica checks.
+    pub fn merged_exists(&self, pkt: &Packet) -> Result<bool, FlymonError> {
+        if !matches!(self.algorithm, Algorithm::Bloom { .. }) {
+            return Err(FlymonError::BadTask(
+                "merged existence needs a Bloom task".into(),
+            ));
+        }
+        Ok(self
+            .replicas
+            .iter()
+            .zip(&self.handles)
+            .any(|(fm, h)| fm.query_exists(*h, pkt)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flymon_packet::KeySpec;
+
+    fn config() -> FlyMonConfig {
+        FlyMonConfig {
+            groups: 2,
+            buckets_per_cmu: 4096,
+            ..FlyMonConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharding_covers_and_preserves_order() {
+        let trace: Vec<Packet> = (0..1000u32).map(|i| Packet::tcp(i % 37, i, 1, 2)).collect();
+        let shards = shard_trace(&trace, 4);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), trace.len());
+        for (s, shard) in shards.iter().enumerate() {
+            // Every packet landed on its hash shard…
+            assert!(shard.iter().all(|p| shard_of(p, 4) == s));
+            // …and same-source packets keep their relative order.
+            let mut per_src: std::collections::HashMap<u32, Vec<u64>> = Default::default();
+            for p in shard {
+                per_src.entry(p.src_ip).or_default().push(p.ts_ns);
+            }
+            for seq in per_src.values() {
+                assert!(seq.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_worker_datapath_is_refused() {
+        let def = TaskDefinition::builder("f")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .memory(256)
+            .build();
+        assert!(ShardedDatapath::deploy(0, config(), &def).is_err());
+    }
+
+    #[test]
+    fn worker_stats_accumulate() {
+        let def = TaskDefinition::builder("f")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .memory(256)
+            .build();
+        let mut dp = ShardedDatapath::deploy(2, config(), &def).unwrap();
+        let trace: Vec<Packet> = (0..500u32).map(|i| Packet::tcp(i, 1, 2, 3)).collect();
+        let total = dp.process_trace(&trace);
+        assert_eq!(total.packets, 500);
+        assert_eq!(total.dropped, 0);
+        let per_worker: u64 = dp.worker_stats().iter().map(|s| s.packets).sum();
+        assert_eq!(per_worker, 500);
+        // A second replay accumulates rather than resets.
+        dp.process_trace(&trace);
+        let per_worker: u64 = dp.worker_stats().iter().map(|s| s.packets).sum();
+        assert_eq!(per_worker, 1000);
+    }
+}

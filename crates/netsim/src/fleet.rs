@@ -27,6 +27,8 @@ use flymon::FlymonError;
 use flymon_packet::Packet;
 use flymon_sketches::hll::estimate_from_registers;
 
+use crate::datapath::{self, WorkerStats};
+
 /// A fleet of identically configured FlyMon switches running one shared
 /// measurement task.
 #[derive(Debug)]
@@ -38,7 +40,8 @@ pub struct SwitchFleet {
     /// Liveness per switch; dead switches receive no traffic and are
     /// skipped by merged readouts.
     alive: Vec<bool>,
-    algorithm: Algorithm,
+    /// `None` only on a zero-switch fleet, which hosts no task at all.
+    algorithm: Option<Algorithm>,
     dropped_packets: u64,
 }
 
@@ -47,6 +50,10 @@ impl SwitchFleet {
     /// every one. Deployments are deterministic, so every switch ends up
     /// with identical hash configurations and partition layouts — the
     /// precondition for exact register merging.
+    ///
+    /// A zero-switch fleet is valid (a region whose last switch was
+    /// decommissioned): it hosts no task, drops every packet, and its
+    /// merged readouts return errors rather than panicking.
     pub fn deploy(n: usize, config: FlyMonConfig, task: &TaskDefinition) -> Result<Self, FlymonError> {
         Self::deploy_with_faults(n, config, task, &mut [])
     }
@@ -63,7 +70,6 @@ impl SwitchFleet {
         task: &TaskDefinition,
         faults: &mut [Option<FaultPlan>],
     ) -> Result<Self, FlymonError> {
-        assert!(n > 0, "a fleet needs at least one switch");
         let mut switches = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         let mut alive = Vec::with_capacity(n);
@@ -95,9 +101,9 @@ impl SwitchFleet {
             }
             switches.push(fm);
         }
-        let Some(algorithm) = algorithm else {
+        if algorithm.is_none() && n > 0 {
             return Err(first_err.expect("n > 0 deployments all failed"));
-        };
+        }
         Ok(SwitchFleet {
             switches,
             handles,
@@ -112,7 +118,7 @@ impl SwitchFleet {
         self.switches.len()
     }
 
-    /// True when the fleet is empty (never after construction).
+    /// True when the fleet has no switches at all.
     pub fn is_empty(&self) -> bool {
         self.switches.is_empty()
     }
@@ -151,31 +157,83 @@ impl SwitchFleet {
     /// Feeds a packet to the switch at `ingress`, rerouting to the next
     /// alive switch if that one is dead (deterministic linear probe, a
     /// stand-in for the fabric's failover). Drops the packet if the
-    /// whole fleet is dead.
+    /// whole fleet is dead — or empty.
     ///
     /// # Panics
-    /// Panics if `ingress` is out of range.
+    /// Panics if `ingress` is out of range on a non-empty fleet.
     pub fn process(&mut self, ingress: usize, pkt: &Packet) {
         let n = self.switches.len();
-        assert!(ingress < n, "ingress {ingress} out of range ({n} switches)");
-        for probe in 0..n {
-            let i = (ingress + probe) % n;
-            if self.alive[i] {
-                self.switches[i].process(pkt);
-                return;
-            }
+        if n == 0 {
+            // Regression guard: a zero-switch fleet drops, it does not
+            // panic on the `ingress < n` bound.
+            self.dropped_packets += 1;
+            return;
         }
-        self.dropped_packets += 1;
+        assert!(ingress < n, "ingress {ingress} out of range ({n} switches)");
+        match self.route(ingress) {
+            Some(i) => self.switches[i].process(pkt),
+            None => self.dropped_packets += 1,
+        }
+    }
+
+    /// The switch that actually takes traffic entering at `ingress`:
+    /// `ingress` itself if alive, else the next alive switch in the
+    /// deterministic linear probe. `None` when the whole fleet is dead.
+    fn route(&self, ingress: usize) -> Option<usize> {
+        let n = self.switches.len();
+        (0..n)
+            .map(|probe| (ingress + probe) % n)
+            .find(|&i| self.alive[i])
     }
 
     /// Splits a trace across ingresses by source address (a stand-in
-    /// for topology-based ingress assignment).
+    /// for topology-based ingress assignment). An empty fleet records
+    /// every packet as dropped instead of panicking on the ingress
+    /// modulus.
     pub fn process_trace(&mut self, trace: &[Packet]) {
         let n = self.switches.len();
-        for p in trace {
-            let ingress = flymon_rmt::hash::murmur3_32(0xf1ee7, &p.src_ip.to_be_bytes()) as usize % n;
-            self.process(ingress, p);
+        if n == 0 {
+            self.dropped_packets += trace.len() as u64;
+            return;
         }
+        for p in trace {
+            self.process(datapath::shard_of(p, n), p);
+        }
+    }
+
+    /// Parallel [`SwitchFleet::process_trace`]: routes every packet to
+    /// the switch the serial path would pick (ingress hash + failover
+    /// probe, with liveness frozen for the replay), then runs each
+    /// switch's sub-trace on its own thread. Switches are disjoint state,
+    /// so the resulting registers — and therefore every merged readout —
+    /// are bit-identical to the serial replay.
+    ///
+    /// Returns per-worker throughput stats; fleet-level
+    /// [`SwitchFleet::dropped_packets`] accounting is updated as usual,
+    /// with each drop attributed to the dead ingress switch's stats row.
+    pub fn process_trace_parallel(&mut self, trace: &[Packet]) -> Vec<WorkerStats> {
+        let n = self.switches.len();
+        if n == 0 {
+            self.dropped_packets += trace.len() as u64;
+            return Vec::new();
+        }
+        let mut shards: Vec<Vec<Packet>> = vec![Vec::new(); n];
+        let mut drops_at: Vec<u64> = vec![0; n];
+        for p in trace {
+            let ingress = datapath::shard_of(p, n);
+            match self.route(ingress) {
+                Some(i) => shards[i].push(*p),
+                None => drops_at[ingress] += 1,
+            }
+        }
+        let mut stats = Vec::new();
+        datapath::replay_sharded(&mut self.switches, shards, &mut stats);
+        debug_assert_eq!(stats.len(), n, "one stats row per switch");
+        for (s, &d) in stats.iter_mut().zip(&drops_at) {
+            s.dropped += d;
+            self.dropped_packets += d;
+        }
+        stats
     }
 
     /// Alive switches paired with their task handles.
@@ -209,13 +267,18 @@ impl SwitchFleet {
     /// covers the surviving traffic.
     pub fn merged_frequency(&self, pkt: &Packet) -> Result<u64, FlymonError> {
         let d = match self.algorithm {
-            Algorithm::Cms { d } => d,
-            Algorithm::Mrac => 1,
-            other => {
+            Some(Algorithm::Cms { d }) => d,
+            Some(Algorithm::Mrac) => 1,
+            Some(other) => {
                 return Err(FlymonError::BadTask(format!(
                     "{} readouts do not merge by summation",
                     other.name()
                 )))
+            }
+            None => {
+                return Err(FlymonError::NoCapacity(
+                    "the fleet has no switches".into(),
+                ))
             }
         };
         let (locator, locator_h) = self.alive_members().next().ok_or_else(|| {
@@ -223,7 +286,16 @@ impl SwitchFleet {
         })?;
         let mut best = u64::MAX;
         for row in 0..d {
-            let merged = self.merged_row(row, |a, b| a.saturating_add(b))?;
+            // Cond-ADD saturates each bucket at the register ceiling, so
+            // the summed merge clamps there too (see ShardedDatapath).
+            let cap = locator
+                .task(locator_h)?
+                .rows
+                .get(row)
+                .map_or(u64::MAX, |r| u64::from(r.bucket_max));
+            let merged = self.merged_row(row, move |a, b| {
+                (u64::from(a) + u64::from(b)).min(cap) as u32
+            })?;
             // Locate the bucket through any alive switch (identical
             // layouts across the fleet).
             let idx = locator.locate(locator_h, row, pkt)?;
@@ -234,7 +306,7 @@ impl SwitchFleet {
 
     /// Network-wide cardinality estimate: HLL registers merge by max.
     pub fn merged_cardinality(&self) -> Result<f64, FlymonError> {
-        if !matches!(self.algorithm, Algorithm::Hll) {
+        if !matches!(self.algorithm, Some(Algorithm::Hll)) {
             return Err(FlymonError::BadTask(
                 "merged cardinality needs an HLL task".into(),
             ));
@@ -250,7 +322,7 @@ impl SwitchFleet {
     /// checks: no false negatives, and at most the sum of the per-switch
     /// false-positive rates.
     pub fn merged_exists(&self, pkt: &Packet) -> Result<bool, FlymonError> {
-        if !matches!(self.algorithm, Algorithm::Bloom { .. }) {
+        if !matches!(self.algorithm, Some(Algorithm::Bloom { .. })) {
             return Err(FlymonError::BadTask(
                 "merged existence needs a Bloom task".into(),
             ));
@@ -331,6 +403,54 @@ mod tests {
             if checked > 500 {
                 break;
             }
+        }
+    }
+
+    #[test]
+    fn empty_fleet_drops_instead_of_panicking() {
+        // Regression: `process_trace` computed `hash % 0` and `process`
+        // asserted `ingress < 0` — both panicked on a zero-switch fleet.
+        let def = cms_def(1);
+        let mut fleet = SwitchFleet::deploy(0, config(), &def).unwrap();
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.alive_count(), 0);
+        let flow = Packet::tcp(1, 2, 3, 4);
+        let t = vec![flow; 5];
+        fleet.process_trace(&t);
+        fleet.process(0, &flow);
+        assert_eq!(fleet.dropped_packets(), 6);
+        assert!(fleet.process_trace_parallel(&t).is_empty());
+        assert_eq!(fleet.dropped_packets(), 11);
+        // Readouts fail cleanly rather than returning garbage.
+        assert!(fleet.merged_frequency(&flow).is_err());
+        assert!(fleet.merged_cardinality().is_err());
+        assert!(fleet.merged_exists(&flow).is_err());
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_through_failover() {
+        // One dead switch forces the failover probe; the parallel path
+        // must route identically and count the same drops.
+        let def = cms_def(2);
+        let t = trace();
+
+        let mut serial = SwitchFleet::deploy(3, config(), &def).unwrap();
+        serial.fail_switch(1);
+        serial.process_trace(&t);
+
+        let mut parallel = SwitchFleet::deploy(3, config(), &def).unwrap();
+        parallel.fail_switch(1);
+        let stats = parallel.process_trace_parallel(&t);
+        assert_eq!(stats.iter().map(|s| s.packets).sum::<u64>(), t.len() as u64);
+        assert_eq!(stats[1].packets, 0, "dead switch takes no traffic");
+        assert_eq!(parallel.dropped_packets(), serial.dropped_packets());
+
+        for row in 0..2 {
+            assert_eq!(
+                serial.merged_row(row, |a, b| a.saturating_add(b)).unwrap(),
+                parallel.merged_row(row, |a, b| a.saturating_add(b)).unwrap(),
+                "row {row} diverged between serial and parallel replay"
+            );
         }
     }
 

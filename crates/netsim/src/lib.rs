@@ -12,15 +12,21 @@
 //!   timeline with a flow spike, task insertion/removal and on-the-fly
 //!   memory reallocation, comparing FlyMon against a statically
 //!   provisioned sketch.
+//!
+//! [`datapath`] is the substrate both lean on for scale: a sharded,
+//! multi-threaded trace replay whose merged readouts are bit-identical
+//! to a serial single-switch replay for linear/max/OR-mergeable sketches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod datapath;
 pub mod epochs;
 pub mod fleet;
 pub mod forwarding;
 pub mod runner;
 
+pub use datapath::{ReplayStats, ShardedDatapath, WorkerStats};
 pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};
 pub use fleet::SwitchFleet;
 pub use runner::run_epochs;

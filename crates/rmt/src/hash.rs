@@ -136,6 +136,67 @@ pub fn murmur3_32(seed: u32, bytes: &[u8]) -> u32 {
     h
 }
 
+/// Upper bound on hash units per compression stage: one per available
+/// polynomial, so every unit of a stage hashes independently.
+pub const MAX_HASH_UNITS: usize = CRC32_POLYNOMIALS.len();
+
+/// Fixed-capacity scratch buffer for one compression stage's digests.
+///
+/// The per-packet hot path must not allocate: a `HashScratch` lives on
+/// the stack (or embedded in a reusable context) and is refilled for
+/// every packet. Capacity is [`MAX_HASH_UNITS`], the most units a stage
+/// can hold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashScratch {
+    buf: [u32; MAX_HASH_UNITS],
+    len: u8,
+}
+
+impl HashScratch {
+    /// Empties the scratch for a new packet.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends one unit's digest.
+    ///
+    /// # Panics
+    /// Panics if the scratch is full — stages are validated against
+    /// [`MAX_HASH_UNITS`] at construction, so this is a pipeline bug.
+    pub fn push(&mut self, digest: u32) {
+        assert!(
+            (self.len as usize) < MAX_HASH_UNITS,
+            "hash scratch overflow: a stage holds at most {MAX_HASH_UNITS} units"
+        );
+        self.buf[self.len as usize] = digest;
+        self.len += 1;
+    }
+
+    /// The digests computed so far, in unit order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Number of digests held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no digest has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Computes every unit's digest for `pkt` into `out`, allocation-free.
+/// The scratch is cleared first, so it can be reused across packets.
+pub fn compute_all(units: &[HashUnit], pkt: &Packet, out: &mut HashScratch) {
+    out.clear();
+    for u in units {
+        out.push(u.compute(pkt));
+    }
+}
+
 /// A hash distribution unit with a runtime-programmable input mask.
 ///
 /// The polynomial identifies the unit and is fixed at construction (like
@@ -310,6 +371,33 @@ mod tests {
     }
 
     use flymon_packet::Packet;
+
+    #[test]
+    fn scratch_matches_per_unit_compute() {
+        let pkt = PacketBuilder::new().src_ip(0x0a000001).build();
+        let mut units: Vec<HashUnit> = (0..3).map(HashUnit::new).collect();
+        for u in &mut units {
+            u.set_mask(KeySpec::SRC_IP);
+        }
+        let mut scratch = HashScratch::default();
+        compute_all(&units, &pkt, &mut scratch);
+        assert_eq!(scratch.len(), 3);
+        for (i, u) in units.iter().enumerate() {
+            assert_eq!(scratch.as_slice()[i], u.compute(&pkt));
+        }
+        // Reuse clears the previous packet's digests.
+        compute_all(&units[..2], &pkt, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash scratch overflow")]
+    fn scratch_rejects_overflow() {
+        let mut scratch = HashScratch::default();
+        for i in 0..=MAX_HASH_UNITS as u32 {
+            scratch.push(i);
+        }
+    }
 
     #[test]
     fn digest_spreads_over_range() {

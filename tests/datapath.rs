@@ -1,0 +1,206 @@
+//! Determinism of the sharded parallel datapath: merged readouts must be
+//! bit-identical to a serial single-switch replay of the same trace, for
+//! every merge law (sum / max / OR), at every worker count.
+
+use flymon::prelude::*;
+use flymon_netsim::ShardedDatapath;
+use flymon_packet::{KeySpec, Packet};
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn trace() -> Vec<Packet> {
+    TraceGenerator::new(0xDA7A).wide_like(&TraceConfig {
+        flows: 5_000,
+        packets: 120_000,
+        zipf_alpha: 1.1,
+        duration_ns: 2_000_000_000,
+        seed: 0xDA7A,
+    })
+}
+
+fn serial_switch(def: &TaskDefinition, t: &[Packet]) -> (FlyMon, TaskHandle) {
+    let mut fm = FlyMon::new(config());
+    let h = fm.deploy(def).unwrap();
+    fm.process_trace(t);
+    (fm, h)
+}
+
+#[test]
+fn sharded_cms_rows_are_bit_identical_to_serial() {
+    let d = 3;
+    let def = TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d })
+        .memory(8192)
+        .build();
+    let t = trace();
+    let (serial, h) = serial_switch(&def, &t);
+
+    for workers in [1, 2, 4] {
+        let mut dp = ShardedDatapath::deploy(workers, config(), &def).unwrap();
+        let stats = dp.process_trace(&t);
+        assert_eq!(stats.packets, t.len() as u64);
+        assert_eq!(stats.dropped, 0);
+        for row in 0..d {
+            assert_eq!(
+                dp.merged_row(row).unwrap(),
+                serial.read_row(h, row).unwrap(),
+                "{workers}-worker merged row {row} diverged from serial"
+            );
+        }
+        // Spot-check the query path too (min over summed rows).
+        for p in t.iter().step_by(997) {
+            assert_eq!(
+                dp.merged_frequency(p).unwrap(),
+                serial.query_frequency(h, p),
+                "frequency estimate diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_hll_registers_merge_by_max_to_serial() {
+    let def = TaskDefinition::builder("card")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+        .algorithm(Algorithm::Hll)
+        .memory(2048)
+        .build();
+    let t = trace();
+    let (serial, h) = serial_switch(&def, &t);
+
+    let mut dp = ShardedDatapath::deploy(4, config(), &def).unwrap();
+    dp.process_trace(&t);
+    assert_eq!(
+        dp.merged_row(0).unwrap(),
+        serial.read_row(h, 0).unwrap(),
+        "merged HLL registers diverged from serial"
+    );
+    let serial_est = serial.cardinality(h);
+    let merged_est = dp.merged_cardinality().unwrap();
+    assert!(
+        (serial_est - merged_est).abs() < 1e-9,
+        "estimates diverged: serial {serial_est}, merged {merged_est}"
+    );
+}
+
+#[test]
+fn sharded_bloom_rows_merge_by_or_to_serial() {
+    let def = TaskDefinition::builder("exists")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(8192)
+        .build();
+    let t = trace();
+    let (serial, h) = serial_switch(&def, &t);
+
+    let mut dp = ShardedDatapath::deploy(4, config(), &def).unwrap();
+    dp.process_trace(&t);
+    let rows = serial.task(h).unwrap().rows.len();
+    for row in 0..rows {
+        assert_eq!(
+            dp.merged_row(row).unwrap(),
+            serial.read_row(h, row).unwrap(),
+            "merged Bloom row {row} diverged from serial"
+        );
+    }
+    for p in t.iter().step_by(1993) {
+        assert_eq!(
+            dp.merged_exists(p).unwrap(),
+            serial.query_exists(h, p),
+            "existence check diverged"
+        );
+    }
+    // A never-seen key agrees too (both sides share the same layouts, so
+    // even false positives are identical).
+    let unseen = Packet::tcp(0xdead_0001, 0xdead_0002, 9999, 9999);
+    assert_eq!(
+        dp.merged_exists(&unseen).unwrap(),
+        serial.query_exists(h, &unseen)
+    );
+}
+
+#[test]
+fn summed_merge_clamps_at_the_register_ceiling() {
+    // Cond-ADD saturates each bucket at the register's cell ceiling
+    // (65535 on 16-bit buckets). Two flows living on *different* shards
+    // but hashing to the *same* bucket must not merge past that cap:
+    // the serial replay holds 65535, and so must the merged readout.
+    let def = TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 1 })
+        .memory(1024)
+        .build();
+    let mut probe = FlyMon::new(config());
+    let ph = probe.deploy(&def).unwrap();
+
+    // Find a cross-shard pair sharing a bucket in row 0.
+    let mut by_bucket: std::collections::HashMap<usize, [Option<Packet>; 2]> =
+        std::collections::HashMap::new();
+    let mut pair = None;
+    for ip in 0u32..4096 {
+        let p = Packet::tcp(0x0a00_0000 + ip, 1, 1, 1);
+        let shard = flymon_netsim::datapath::shard_of(&p, 2);
+        let bucket = probe.locate(ph, 0, &p).unwrap();
+        let slot = by_bucket.entry(bucket).or_default();
+        slot[shard].get_or_insert(p);
+        if let [Some(a), Some(b)] = *slot {
+            pair = Some((a, b));
+            break;
+        }
+    }
+    let (pa, pb) = pair.expect("no cross-shard bucket collision in probe range");
+
+    let mut t = Vec::with_capacity(80_000);
+    for _ in 0..40_000 {
+        t.push(pa);
+        t.push(pb);
+    }
+    let (serial, h) = serial_switch(&def, &t);
+    let idx = serial.locate(h, 0, &pa).unwrap();
+    assert_eq!(
+        serial.read_row(h, 0).unwrap()[idx],
+        65535,
+        "the shared bucket must saturate serially for this test to bite"
+    );
+
+    let mut dp = ShardedDatapath::deploy(2, config(), &def).unwrap();
+    dp.process_trace(&t);
+    assert_eq!(
+        dp.merged_row(0).unwrap(),
+        serial.read_row(h, 0).unwrap(),
+        "merged row must clamp at the cell ceiling like the serial replay"
+    );
+    assert_eq!(dp.merged_frequency(&pa).unwrap(), 65535);
+}
+
+#[test]
+fn replay_is_deterministic_across_repeated_runs() {
+    // The same trace replayed twice on fresh datapaths must produce the
+    // same merged rows — thread scheduling must not leak into results.
+    let def = TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(4096)
+        .build();
+    let t = trace();
+    let rows = |dp: &ShardedDatapath| -> Vec<Vec<u32>> {
+        (0..2).map(|r| dp.merged_row(r).unwrap()).collect()
+    };
+    let mut a = ShardedDatapath::deploy(4, config(), &def).unwrap();
+    a.process_trace(&t);
+    let mut b = ShardedDatapath::deploy(4, config(), &def).unwrap();
+    b.process_trace(&t);
+    assert_eq!(rows(&a), rows(&b));
+}
