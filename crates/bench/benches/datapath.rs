@@ -1,22 +1,33 @@
-//! Serial vs. sharded-parallel trace replay.
+//! Serial vs. sharded-parallel trace replay, plus the CRC kernel duel.
 //!
 //! Replays the canonical ≥1M-packet evaluation trace through one switch
 //! serially, then through a [`ShardedDatapath`] at several worker
-//! counts, verifying the merged registers stay bit-identical and
-//! recording packets/sec for each mode into
-//! `results/BENCH_datapath.json` — the perf trajectory every later
-//! datapath change is measured against.
+//! counts, verifying the merged registers stay bit-identical and the
+//! per-worker packet accounting covers the trace exactly. A kernel
+//! microbench races the old byte-at-a-time CRC32 against the
+//! slicing-by-8 kernel on realistic key sizes. Everything lands in
+//! `results/BENCH_datapath.json` together with the host CPU count and
+//! git revision — the perf trajectory every later datapath change is
+//! measured against, comparable across PRs and machines.
 //!
-//! Run with `cargo bench --bench datapath`.
+//! Run with `cargo bench --bench datapath`; CI runs
+//! `cargo bench --bench datapath -- --smoke` on a ~100k-packet trace
+//! (schema check only, numbers not recorded).
 
 use std::time::Instant;
 
 use flymon::prelude::*;
-use flymon_bench::{emit_results_file, eval_trace, print_table};
+use flymon_bench::{emit_results_file, eval_trace, print_table, smoke_trace};
 use flymon_netsim::ShardedDatapath;
 use flymon_packet::KeySpec;
+use flymon_rmt::hash::{crc32_slice8, crc32_with_table, tables8_for, CRC32_POLYNOMIALS};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// PR-2 numbers from `results/BENCH_datapath.json` at commit a945bad —
+/// the baseline this PR's acceptance bar is measured against.
+const PR2_SERIAL_PPS: f64 = 5_066_717.0;
+const PR2_SPEEDUP_4W: f64 = 0.958;
 
 fn config() -> FlyMonConfig {
     FlyMonConfig {
@@ -35,11 +46,66 @@ fn task() -> TaskDefinition {
         .build()
 }
 
+/// Races the old byte-at-a-time kernel against slicing-by-8 on 13-byte
+/// inputs (the serialized 5-tuple — the longest key the standing masks
+/// produce). Returns (old Mkeys/s, new Mkeys/s).
+fn kernel_duel() -> (f64, f64) {
+    const KEYS: usize = 1 << 14;
+    const ROUNDS: usize = 8;
+    let tables = tables8_for(CRC32_POLYNOMIALS[0]).expect("family tables");
+    let mut keys = vec![[0u8; 13]; KEYS];
+    let mut rng = flymon_packet::SplitMix64::new(0xbe7c);
+    for k in &mut keys {
+        for b in k.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+    }
+    let time = |f: &dyn Fn(&[u8]) -> u32| {
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let begun = Instant::now();
+            let mut acc = 0u32;
+            for k in &keys {
+                acc ^= f(k);
+            }
+            std::hint::black_box(acc);
+            best = best.min(begun.elapsed().as_secs_f64());
+        }
+        KEYS as f64 / best / 1e6
+    };
+    let old = time(&|k| crc32_with_table(&tables[0], 0x5eed, k));
+    let new = time(&|k| crc32_slice8(tables, 0x5eed, k));
+    (old, new)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
-    let trace = eval_trace();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace = if smoke { smoke_trace() } else { eval_trace() };
     let n = trace.len();
-    assert!(n >= 1_000_000, "the evaluation trace must be ≥1M packets");
-    println!("replaying {n} packets, serial vs sharded\n");
+    if !smoke {
+        assert!(n >= 1_000_000, "the evaluation trace must be ≥1M packets");
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let rev = git_rev();
+    println!("replaying {n} packets, serial vs sharded ({cpus} CPUs, rev {rev})\n");
+
+    let (kernel_old, kernel_new) = kernel_duel();
+    println!(
+        "CRC32 kernel, 13-byte keys: bytewise {kernel_old:.1} Mkeys/s, \
+         slice8 {kernel_new:.1} Mkeys/s ({:.2}x)\n",
+        kernel_new / kernel_old
+    );
 
     // Serial baseline.
     let mut serial = FlyMon::new(config());
@@ -73,6 +139,14 @@ fn main() {
                 "row {row} diverged at {workers} workers"
             );
         }
+        // Accounting must cover the trace exactly: with the busy/elapsed
+        // skew fixed, a claimed-twice or never-claimed packet shows up
+        // here rather than as a quietly wrong throughput number.
+        let claimed: u64 = dp.worker_stats().iter().map(|w| w.packets).sum();
+        assert_eq!(
+            claimed, n as u64,
+            "workers must claim every packet exactly once at {workers} workers"
+        );
 
         let worker_json: Vec<String> = dp
             .worker_stats()
@@ -111,9 +185,23 @@ fn main() {
         &["mode", "seconds", "pkts/s", "speedup"],
         &rows,
     );
+    if cpus < *WORKER_COUNTS.iter().max().unwrap() {
+        println!(
+            "note: only {cpus} CPU(s) visible — parallel speedups are \
+             bounded by the host, not the datapath"
+        );
+    }
 
     let json = format!(
-        "{{\n  \"trace_packets\": {n},\n  \"serial\": {{\"seconds\": {serial_secs:.6}, \"packets_per_sec\": {serial_pps:.0}}},\n  \"parallel\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"trace_packets\": {n},\n  \"smoke\": {smoke},\n  \"cpus\": {cpus},\n  \"git_rev\": \"{rev}\",\n  \
+         \"kernel\": {{\"name\": \"crc32-slice8\", \"bytewise_mkeys_per_sec\": {kernel_old:.1}, \
+         \"slice8_mkeys_per_sec\": {kernel_new:.1}, \"speedup\": {:.3}}},\n  \
+         \"baseline\": {{\"source\": \"PR-2 (a945bad)\", \"serial_packets_per_sec\": {PR2_SERIAL_PPS:.0}, \
+         \"speedup_4_workers\": {PR2_SPEEDUP_4W}}},\n  \
+         \"serial\": {{\"seconds\": {serial_secs:.6}, \"packets_per_sec\": {serial_pps:.0}, \
+         \"speedup_vs_baseline\": {:.3}}},\n  \"parallel\": [\n    {}\n  ]\n}}\n",
+        kernel_new / kernel_old,
+        serial_pps / PR2_SERIAL_PPS,
         parallel_json.join(",\n    ")
     );
     let path = emit_results_file("BENCH_datapath.json", &json);

@@ -38,6 +38,19 @@ pub fn small_trace() -> Vec<Packet> {
     })
 }
 
+/// A ~100k-packet trace for CI smoke runs of the datapath bench: big
+/// enough to exercise sharding and the merge laws, small enough that a
+/// cold CI runner finishes in seconds. Never used for recorded numbers.
+pub fn smoke_trace() -> Vec<Packet> {
+    TraceGenerator::new(0x51DE).wide_like(&TraceConfig {
+        flows: 10_000,
+        packets: 100_000,
+        zipf_alpha: 1.1,
+        duration_ns: 1_000_000_000,
+        seed: 0x51DE,
+    })
+}
+
 /// One representative packet per flow of `key` — queries replay the
 /// data-plane path, so they need a packet, not just key bytes.
 pub fn representatives(trace: &[Packet], key: KeySpec) -> HashMap<FlowKeyBytes, Packet> {

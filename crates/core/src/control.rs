@@ -36,6 +36,7 @@ use crate::compiler::{self, CmuCouponConfig, PlacedRow};
 use crate::group::{CmuBinding, CmuGroup, GroupConfig};
 use crate::keysel::KeySource;
 use crate::params::PacketContext;
+use crate::scratch::PacketScratch;
 use crate::task::{Algorithm, TaskDefinition, TaskId};
 use crate::FlymonError;
 
@@ -170,6 +171,7 @@ pub struct FlyMon {
     pub(crate) tasks: HashMap<TaskId, DeployedTask>,
     next_id: u32,
     ctx: PacketContext,
+    scratch: PacketScratch,
     packets_processed: u64,
     recirculated_packets: u64,
     total_install_ms: f64,
@@ -220,6 +222,7 @@ impl FlyMon {
             tasks: HashMap::new(),
             next_id: 1,
             ctx: PacketContext::default(),
+            scratch: PacketScratch::default(),
             packets_processed: 0,
             recirculated_packets: 0,
             total_install_ms: 0.0,
@@ -306,11 +309,14 @@ impl FlyMon {
     /// spliced CMU Groups will incur additional bandwidth overhead").
     pub fn process(&mut self, pkt: &Packet) {
         self.ctx.reset();
+        // One scratch per FlyMon instance — i.e. per worker thread in a
+        // sharded replay — reset (not reallocated) at packet boundaries.
+        self.scratch.begin_packet();
         let first_spliced = self.config.groups - self.config.spliced_groups.min(self.config.groups);
         let mut recirculated = false;
         for (g, group) in self.groups.iter_mut().enumerate() {
             let before = self.ctx.len();
-            group.process(pkt, &mut self.ctx);
+            group.process_with_scratch(pkt, &mut self.ctx, &mut self.scratch);
             if g >= first_spliced && self.ctx.len() > before {
                 recirculated = true;
             }
@@ -337,6 +343,30 @@ impl FlyMon {
         }
         BatchStats {
             packets: pkts.len() as u64,
+            recirculated: self.recirculated_packets - recirc_before,
+        }
+    }
+
+    /// Processes the packets of `pkts` that `keep` accepts, in order —
+    /// the zero-copy sharded datapath's entry point: every worker scans
+    /// the *shared* trace slice in fixed-size chunks and claims its own
+    /// packets here, so no per-shard packet vectors are ever built.
+    /// Returns the stats of the packets actually processed.
+    pub fn process_batch_if(
+        &mut self,
+        pkts: &[Packet],
+        mut keep: impl FnMut(&Packet) -> bool,
+    ) -> BatchStats {
+        let recirc_before = self.recirculated_packets;
+        let mut packets = 0u64;
+        for pkt in pkts {
+            if keep(pkt) {
+                self.process(pkt);
+                packets += 1;
+            }
+        }
+        BatchStats {
+            packets,
             recirculated: self.recirculated_packets - recirc_before,
         }
     }

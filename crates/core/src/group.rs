@@ -15,7 +15,7 @@
 //! memory once), which is exactly the hardware constraint of §3.3.
 
 use flymon_packet::{Packet, TaskFilter};
-use flymon_rmt::hash::{murmur3_32, HashScratch, HashUnit, MAX_HASH_UNITS};
+use flymon_rmt::hash::{HashScratch, HashUnit, MAX_HASH_UNITS};
 use flymon_rmt::salu::{Salu, StatefulOp};
 use flymon_rmt::RmtError;
 
@@ -23,6 +23,7 @@ use crate::addr::AddrTranslation;
 use crate::keysel::KeySelect;
 use crate::params::{PacketContext, ParamSource};
 use crate::prep::PrepAction;
+use crate::scratch::{CoinScratch, PacketScratch};
 use crate::task::TaskId;
 
 /// Geometry of one CMU Group.
@@ -99,19 +100,14 @@ pub const MAX_PROB_LOG2: u8 = 32;
 impl CmuBinding {
     /// Decides the sampling coin for this packet: a hash over the
     /// 5-tuple, timestamp and task id, so distinct tasks flip independent
-    /// coins (§5.3 probabilistic execution).
-    fn coin_passes(&self, pkt: &Packet) -> bool {
+    /// coins (§5.3 probabilistic execution). The seed's 20 packet bytes
+    /// are built once per packet in `coin` and reused across bindings;
+    /// only the task id is patched in here.
+    fn coin_passes(&self, pkt: &Packet, coin: &mut CoinScratch) -> bool {
         if self.prob_log2 == 0 {
             return true;
         }
-        let mut seed_bytes = [0u8; 24];
-        seed_bytes[0..4].copy_from_slice(&pkt.src_ip.to_be_bytes());
-        seed_bytes[4..8].copy_from_slice(&pkt.dst_ip.to_be_bytes());
-        seed_bytes[8..10].copy_from_slice(&pkt.src_port.to_be_bytes());
-        seed_bytes[10..12].copy_from_slice(&pkt.dst_port.to_be_bytes());
-        seed_bytes[12..20].copy_from_slice(&pkt.ts_ns.to_be_bytes());
-        seed_bytes[20..24].copy_from_slice(&self.task.0.to_be_bytes());
-        let coin = murmur3_32(0xc011_f11b, &seed_bytes);
+        let coin = coin.coin(pkt, self.task);
         // The mask is computed in u64: `1u32 << 32` would overflow (panic
         // in debug, wrap to a coin that always passes in release).
         // Install-time validation bounds prob_log2 at MAX_PROB_LOG2; the
@@ -185,6 +181,12 @@ pub struct CmuGroup {
     config: GroupConfig,
     units: Vec<HashUnit>,
     cmus: Vec<Cmu>,
+    /// `unit_used[i]` ⇔ some installed binding reads unit `i`'s digest
+    /// (via its key source or a compressed-key parameter). Maintained on
+    /// install/uninstall so the per-packet path skips digests nothing
+    /// consumes — the hardware hashes unconditionally (wires are free),
+    /// but the digests are pure, so skipping unread ones is unobservable.
+    unit_used: [bool; MAX_HASH_UNITS],
 }
 
 impl CmuGroup {
@@ -226,6 +228,28 @@ impl CmuGroup {
             cmus: (0..config.cmus)
                 .map(|_| Cmu::new(config.buckets_per_cmu, config.bucket_bits))
                 .collect(),
+            unit_used: [false; MAX_HASH_UNITS],
+        }
+    }
+
+    /// Recomputes [`CmuGroup::unit_used`] from the installed bindings.
+    /// Called on every binding mutation; install-time cost, not
+    /// per-packet.
+    fn rebuild_unit_usage(&mut self) {
+        self.unit_used = [false; MAX_HASH_UNITS];
+        for cmu in &self.cmus {
+            for b in &cmu.bindings {
+                for u in b.key.source.units() {
+                    self.unit_used[u] = true;
+                }
+                for p in [&b.p1, &b.p2] {
+                    if let ParamSource::CompressedKey(src) = p {
+                        for u in src.units() {
+                            self.unit_used[u] = true;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -311,6 +335,7 @@ impl CmuGroup {
         }
         self.cmus[cmu].bindings.push(binding);
         self.cmus[cmu].hits.push(0);
+        self.rebuild_unit_usage();
         Ok(())
     }
 
@@ -325,6 +350,7 @@ impl CmuGroup {
             Some(pos) => {
                 c.bindings.remove(pos);
                 c.hits.remove(pos);
+                self.rebuild_unit_usage();
                 true
             }
             None => false,
@@ -342,33 +368,71 @@ impl CmuGroup {
             cmu.bindings.retain(|b| b.task != task);
             removed += before - cmu.bindings.len();
         }
+        if removed > 0 {
+            self.rebuild_unit_usage();
+        }
         removed
     }
 
     /// Processes one packet through the four stages. `ctx` carries
     /// PHV-resident results between groups; the caller processes groups
     /// in pipeline order.
+    ///
+    /// Convenience wrapper over [`CmuGroup::process_with_scratch`] with a
+    /// throwaway scratch — fine for tests and one-off packets; trace
+    /// replay goes through `FlyMon`, which owns one scratch per worker.
     pub fn process(&mut self, pkt: &Packet, ctx: &mut PacketContext) {
-        // Stage 1: compression, into a stack-resident scratch — the
-        // per-packet path performs no heap allocation (the PHV scratch
-        // convention; geometry is bounded by MAX_HASH_UNITS at
-        // construction).
-        let mut scratch = HashScratch::default();
-        self.compress_into(pkt, &mut scratch);
-        let compressed = scratch.as_slice();
+        let mut scratch = PacketScratch::default();
+        self.process_with_scratch(pkt, ctx, &mut scratch);
+    }
+
+    /// [`CmuGroup::process`] against caller-owned per-packet scratch —
+    /// the trace-replay hot path. The caller must have called
+    /// [`PacketScratch::begin_packet`] at the packet boundary (shared
+    /// scratch state spans groups; stale entries would alias the
+    /// previous packet's keys).
+    pub fn process_with_scratch(
+        &mut self,
+        pkt: &Packet,
+        ctx: &mut PacketContext,
+        scratch: &mut PacketScratch,
+    ) {
         let addr_bits = self.addr_bits();
         let buckets = self.config.buckets_per_cmu;
         let group_index = self.index;
+        // Destructured so the compression borrow (units) and the CMU
+        // iteration (cmus) are visibly disjoint.
+        let CmuGroup {
+            units,
+            cmus,
+            unit_used,
+            ..
+        } = self;
+        let PacketScratch { hash, keys, coin } = scratch;
 
-        for (ci, cmu) in self.cmus.iter_mut().enumerate() {
+        // Stage 1 (compression) runs lazily: digests are pure functions
+        // of the packet, and only packets that match some binding consume
+        // them, so a group whose bindings all miss does zero hash work.
+        // Units no binding reads contribute a constant 0 slot — same as
+        // an unconfigured unit — keeping slice indices aligned.
+        let mut compressed_ready = false;
+        for (ci, cmu) in cmus.iter_mut().enumerate() {
             // Stage 2: initialization — first matching task wins.
             let Some(bi) = cmu
                 .bindings
                 .iter()
-                .position(|b| b.filter.matches(pkt) && b.coin_passes(pkt))
+                .position(|b| b.filter.matches(pkt) && b.coin_passes(pkt, coin))
             else {
                 continue;
             };
+            if !compressed_ready {
+                hash.clear();
+                for (u, used) in units.iter().zip(unit_used.iter()) {
+                    hash.push(if *used { u.compute_cached(pkt, keys) } else { 0 });
+                }
+                compressed_ready = true;
+            }
+            let compressed = hash.as_slice();
             cmu.hits[bi] += 1;
             let binding = &cmu.bindings[bi];
             let raw_addr = binding.key.address(compressed, addr_bits);

@@ -77,6 +77,7 @@ pub mod group;
 pub mod keysel;
 pub mod params;
 pub mod prep;
+pub mod scratch;
 pub mod task;
 
 mod error;
@@ -87,6 +88,7 @@ pub use error::FlymonError;
 pub mod prelude {
     pub use crate::audit::Divergence;
     pub use crate::control::{BatchStats, FlyMon, FlyMonConfig, TaskHandle};
+    pub use crate::scratch::PacketScratch;
     pub use crate::task::{Algorithm, Attribute, FreqParam, MaxParam, TaskDefinition};
     pub use crate::FlymonError;
     pub use flymon_rmt::fault::{FaultPlan, InstallOpKind, RetryPolicy};

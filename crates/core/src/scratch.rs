@@ -1,0 +1,146 @@
+//! Per-packet scratch state, owned once per worker.
+//!
+//! The datapath's allocation-free convention (DESIGN.md § "Sharded
+//! datapath") says every per-packet buffer must be a fixed-capacity
+//! stack object. This module goes one step further: the scratch is not
+//! even *stack-per-packet* — it lives inside each
+//! [`FlyMon`](crate::control::FlyMon) instance (one instance per worker
+//! thread), and every packet merely resets it. That removes three
+//! per-packet costs the profiler attributed to the PR-2 hot loop:
+//!
+//! - a fresh `HashScratch` constructed in every `CmuGroup::process` call
+//!   (once per group per packet);
+//! - re-serializing the same flow key for every hash unit sharing a
+//!   `KeySpec` (the standing 5-tuple mask on unit 0 of *every* group);
+//! - rebuilding the 24-byte sampling-coin seed for every binding probed
+//!   on every CMU, when 20 of those bytes depend only on the packet.
+
+use flymon_packet::{ExtractionCache, Packet};
+use flymon_rmt::hash::{murmur3_32, HashScratch};
+
+use crate::task::TaskId;
+
+/// Seed of the per-task sampling coin (§5.3 probabilistic execution).
+pub(crate) const COIN_SEED: u32 = 0xc011_f11b;
+
+/// The sampling-coin seed bytes, built once per packet.
+///
+/// The coin hashes 24 bytes: the 5-tuple-ish packet part (src/dst
+/// address, ports, timestamp — bytes 0..20) and the task id (bytes
+/// 20..24), so distinct tasks flip independent coins. The packet part is
+/// filled lazily on the first coin of a packet and reused for every
+/// further binding; only the 4 task-id bytes are re-patched per binding.
+/// The hashed bytes are identical to building the seed from scratch, so
+/// coin decisions are bit-identical to the PR-2 path.
+#[derive(Debug, Clone, Default)]
+pub struct CoinScratch {
+    base: [u8; 24],
+    ready: bool,
+}
+
+impl CoinScratch {
+    /// Marks the packet part stale. Call at each packet boundary.
+    pub fn invalidate(&mut self) {
+        self.ready = false;
+    }
+
+    /// The 32-bit sampling coin for (`pkt`, `task`).
+    pub fn coin(&mut self, pkt: &Packet, task: TaskId) -> u32 {
+        if !self.ready {
+            self.base[0..4].copy_from_slice(&pkt.src_ip.to_be_bytes());
+            self.base[4..8].copy_from_slice(&pkt.dst_ip.to_be_bytes());
+            self.base[8..10].copy_from_slice(&pkt.src_port.to_be_bytes());
+            self.base[10..12].copy_from_slice(&pkt.dst_port.to_be_bytes());
+            self.base[12..20].copy_from_slice(&pkt.ts_ns.to_be_bytes());
+            self.ready = true;
+        }
+        self.base[20..24].copy_from_slice(&task.0.to_be_bytes());
+        murmur3_32(COIN_SEED, &self.base)
+    }
+}
+
+/// Everything the per-packet hot path scribbles on, aggregated so one
+/// `&mut PacketScratch` threads through
+/// [`FlyMon::process`](crate::control::FlyMon::process) into every
+/// [`CmuGroup::process_with_scratch`](crate::group::CmuGroup::process_with_scratch).
+///
+/// The extraction cache and coin scratch deliberately live *across* CMU
+/// groups: key specs repeat between groups (the standing 5-tuple), and
+/// the coin's packet bytes are group-independent.
+#[derive(Debug, Clone, Default)]
+pub struct PacketScratch {
+    /// Compression-stage digest buffer, refilled per group.
+    pub hash: HashScratch,
+    /// Per-packet flow-key extraction memo, shared by all groups.
+    pub keys: ExtractionCache,
+    /// Per-packet sampling-coin seed bytes.
+    pub coin: CoinScratch,
+}
+
+impl PacketScratch {
+    /// Resets the per-packet state. Call once per packet, before the
+    /// first group processes it. (`hash` needs no reset here — each
+    /// group's compression clears it before filling.)
+    pub fn begin_packet(&mut self) {
+        self.keys.clear();
+        self.coin.invalidate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flymon_packet::PacketBuilder;
+
+    #[test]
+    fn coin_matches_from_scratch_seed() {
+        // The incremental seed (packet part cached, task id patched) must
+        // hash the exact bytes the PR-2 code built per binding.
+        let pkt = PacketBuilder::new()
+            .src_ip(0x0a00_0001)
+            .dst_ip(0xc0a8_0001)
+            .src_port(1234)
+            .dst_port(443)
+            .ts_ns(987_654_321)
+            .build();
+        let reference = |task: u32| {
+            let mut b = [0u8; 24];
+            b[0..4].copy_from_slice(&pkt.src_ip.to_be_bytes());
+            b[4..8].copy_from_slice(&pkt.dst_ip.to_be_bytes());
+            b[8..10].copy_from_slice(&pkt.src_port.to_be_bytes());
+            b[10..12].copy_from_slice(&pkt.dst_port.to_be_bytes());
+            b[12..20].copy_from_slice(&pkt.ts_ns.to_be_bytes());
+            b[20..24].copy_from_slice(&task.to_be_bytes());
+            murmur3_32(COIN_SEED, &b)
+        };
+        let mut coin = CoinScratch::default();
+        // Several tasks against one cached packet part, in both orders.
+        for task in [1u32, 7, 7, 0xffff_ffff, 1] {
+            assert_eq!(coin.coin(&pkt, TaskId(task)), reference(task));
+        }
+        // A new packet must not reuse the old packet part.
+        coin.invalidate();
+        let other = PacketBuilder::new().src_ip(9).build();
+        let mut b = [0u8; 24];
+        b[0..4].copy_from_slice(&other.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&other.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&other.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&other.dst_port.to_be_bytes());
+        b[12..20].copy_from_slice(&other.ts_ns.to_be_bytes());
+        b[20..24].copy_from_slice(&3u32.to_be_bytes());
+        assert_eq!(coin.coin(&other, TaskId(3)), murmur3_32(COIN_SEED, &b));
+    }
+
+    #[test]
+    fn begin_packet_resets_shared_state() {
+        let mut scratch = PacketScratch::default();
+        let pkt = PacketBuilder::new().src_ip(1).build();
+        scratch
+            .keys
+            .get_or_extract(&flymon_packet::KeySpec::SRC_IP, &pkt);
+        scratch.coin.coin(&pkt, TaskId(1));
+        scratch.begin_packet();
+        assert!(scratch.keys.is_empty());
+        assert!(!scratch.coin.ready);
+    }
+}

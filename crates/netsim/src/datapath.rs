@@ -6,13 +6,16 @@
 //! experiments in `results/` feed it. This module recovers multi-core
 //! throughput without giving up single-switch semantics:
 //!
-//! 1. the trace is partitioned into `workers` shards by the same ingress
-//!    hash [`SwitchFleet`](crate::SwitchFleet) uses (`murmur3` over the
-//!    source address), preserving per-shard packet order;
-//! 2. each shard runs on its own `std::thread` against a private
-//!    [`FlyMon`] *replica* of the switch — deployments are deterministic,
-//!    so every replica derives identical hash configurations, partition
-//!    layouts and bindings;
+//! 1. every worker thread scans the **shared** `&[Packet]` trace slice
+//!    directly and *claims* the packets whose ingress hash ([`shard_of`]:
+//!    `murmur3` over the source address, the same hash
+//!    [`SwitchFleet`](crate::SwitchFleet) routes by) lands on it — no
+//!    serial partitioning prologue, no per-shard `Vec<Packet>` copies,
+//!    and per-shard packet order is trace order by construction;
+//! 2. each worker's claims run against a private [`FlyMon`] *replica* of
+//!    the switch — deployments are deterministic, so every replica
+//!    derives identical hash configurations, partition layouts and
+//!    bindings;
 //! 3. readouts are merged per the deployed sketch's merge law, exactly as
 //!    fleet readouts are: per-bucket **sum** for linear frequency rows
 //!    (CMS/MRAC), per-bucket **max** for HLL cardinality registers,
@@ -25,10 +28,13 @@
 //! which differences consecutive timestamps *of the same flow* inside one
 //! register — are only shard-equivalent because the shard hash keys on the
 //! source address, so a flow's packets never split across replicas; see
-//! `DESIGN.md` § "Sharded datapath".
+//! `DESIGN.md` § "Sharded datapath" (including "Why PR 2 didn't scale"
+//! for what the claim-scan model replaced and its memory-bandwidth
+//! tradeoff).
 //!
-//! No external thread-pool or channel dependency is used: shards are
-//! materialized up front and `std::thread::scope` joins the workers.
+//! No external thread-pool or channel dependency is used:
+//! `std::thread::scope` spawns and joins the workers over the borrowed
+//! trace.
 
 use std::time::{Duration, Instant};
 
@@ -53,12 +59,34 @@ pub fn shard_of(pkt: &Packet, n: usize) -> usize {
 
 /// Partitions `trace` into `n` shards by [`shard_of`], preserving the
 /// original packet order within each shard.
+///
+/// This is the *reference* partitioner: the replay path no longer
+/// materializes shards (workers claim packets straight off the shared
+/// trace — see [`ShardedDatapath::process_trace`]), but tests pin the
+/// claim sets against this function, and offline tooling that genuinely
+/// wants per-shard vectors can still build them.
 pub fn shard_trace(trace: &[Packet], n: usize) -> Vec<Vec<Packet>> {
     let mut shards: Vec<Vec<Packet>> = vec![Vec::new(); n];
     for p in trace {
         shards[shard_of(p, n)].push(*p);
     }
     shards
+}
+
+/// Packets a worker pulls off the shared trace per
+/// [`FlyMon::process_batch_if`] call. Chunking amortizes per-batch
+/// dispatch and recirculation bookkeeping while keeping the scanned
+/// window cache-resident; the value is not semantically meaningful (any
+/// chunking yields identical state — claims are per-packet).
+pub const CLAIM_CHUNK: usize = 4096;
+
+/// Where one packet goes in a zero-copy replay.
+pub(crate) struct Assignment {
+    /// The ingress the shard hash picked (drop accounting lands here).
+    pub ingress: usize,
+    /// The worker that must process the packet, or `None` to drop it
+    /// (fleet replays with dead switches).
+    pub to: Option<usize>,
 }
 
 /// Per-worker accounting of one parallel replay.
@@ -73,7 +101,12 @@ pub struct WorkerStats {
     /// Packets routed to this worker's ingress that no one could take
     /// (always 0 for a [`ShardedDatapath`]; nonzero on an all-dead fleet).
     pub dropped: u64,
-    /// Wall-clock time the worker spent in its shard.
+    /// Wall-clock time of the worker's whole scan-and-claim loop — the
+    /// same span [`ReplayStats::elapsed`] measures (minus spawn/join), so
+    /// [`WorkerStats::packets_per_sec`] is comparable to the aggregate
+    /// number. (PR 2 measured only shard processing here, while `elapsed`
+    /// also covered the serial shard materialization; per-worker pkt/s
+    /// overstated the replay.)
     pub busy: Duration,
 }
 
@@ -121,36 +154,64 @@ impl ReplayStats {
     }
 }
 
-/// Runs `shards[i]` on `replicas[i]`, one `std::thread` each, and returns
-/// the per-worker stats plus the wall-clock time of the whole fan-out.
+/// Zero-copy parallel replay: every worker thread scans the whole shared
+/// `trace` slice in [`CLAIM_CHUNK`]-sized windows and claims the packets
+/// `assign` routes to it — no serial partitioning prologue, no per-shard
+/// packet copies. A packet whose assignment is `to: None` is counted as
+/// dropped by the worker matching its `ingress` (and processed by no
+/// one).
 ///
 /// Shared by [`ShardedDatapath::process_trace`] and
 /// [`SwitchFleet::process_trace_parallel`](crate::SwitchFleet::process_trace_parallel):
 /// both reduce parallel replay to "disjoint packet sets on disjoint
-/// `FlyMon` instances", which needs no locking at all.
-pub(crate) fn replay_sharded(
+/// `FlyMon` instances", which needs no locking at all. The redundant
+/// work is the claim scan itself — every worker hashes every packet's
+/// 4-byte source address — which is cheap next to pipeline processing
+/// and, unlike the old materialization, embarrassingly parallel.
+///
+/// Per-worker `busy` spans the worker's whole scan-and-process loop, the
+/// same work [`ReplayStats::elapsed`] brackets (modulo spawn/join), so
+/// per-worker and aggregate packets/sec are finally comparable.
+pub(crate) fn replay_zero_copy<A>(
     replicas: &mut [FlyMon],
-    shards: Vec<Vec<Packet>>,
+    trace: &[Packet],
+    assign: A,
     stats: &mut Vec<WorkerStats>,
-) -> ReplayStats {
-    assert_eq!(replicas.len(), shards.len(), "one shard per replica");
+) -> ReplayStats
+where
+    A: Fn(&Packet) -> Assignment + Sync,
+{
+    let assign = &assign;
     let started = Instant::now();
     let reports: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = replicas
             .iter_mut()
-            .zip(shards)
             .enumerate()
-            .map(|(worker, (fm, shard))| {
+            .map(|(worker, fm)| {
                 scope.spawn(move || {
                     let begun = Instant::now();
-                    let batch = fm.process_batch(&shard);
-                    WorkerStats {
+                    let mut report = WorkerStats {
                         worker,
-                        packets: batch.packets,
-                        recirculated: batch.recirculated,
-                        dropped: 0,
-                        busy: begun.elapsed(),
+                        ..WorkerStats::default()
+                    };
+                    for chunk in trace.chunks(CLAIM_CHUNK) {
+                        let batch = fm.process_batch_if(chunk, |p| {
+                            let a = assign(p);
+                            match a.to {
+                                Some(w) => w == worker,
+                                None => {
+                                    if a.ingress == worker {
+                                        report.dropped += 1;
+                                    }
+                                    false
+                                }
+                            }
+                        });
+                        report.packets += batch.packets;
+                        report.recirculated += batch.recirculated;
                     }
+                    report.busy = begun.elapsed();
+                    report
                 })
             })
             .collect();
@@ -169,6 +230,7 @@ pub(crate) fn replay_sharded(
             Some(s) => {
                 s.packets += report.packets;
                 s.recirculated += report.recirculated;
+                s.dropped += report.dropped;
                 s.busy += report.busy;
             }
             None => stats.push(report),
@@ -243,12 +305,25 @@ impl ShardedDatapath {
         (&self.replicas[worker], self.handles[worker])
     }
 
-    /// Replays `trace`: shards it by the ingress hash and runs every
-    /// shard on its own thread. Returns the aggregate stats; per-worker
-    /// counters accumulate in [`ShardedDatapath::worker_stats`].
+    /// Replays `trace`: every worker scans the shared slice and claims
+    /// the packets whose ingress hash lands on it (zero-copy — the trace
+    /// is never partitioned or duplicated). Returns the aggregate stats;
+    /// per-worker counters accumulate in
+    /// [`ShardedDatapath::worker_stats`].
     pub fn process_trace(&mut self, trace: &[Packet]) -> ReplayStats {
-        let shards = shard_trace(trace, self.replicas.len());
-        let total = replay_sharded(&mut self.replicas, shards, &mut self.stats);
+        let n = self.replicas.len();
+        let total = replay_zero_copy(
+            &mut self.replicas,
+            trace,
+            |p| {
+                let ingress = shard_of(p, n);
+                Assignment {
+                    ingress,
+                    to: Some(ingress),
+                }
+            },
+            &mut self.stats,
+        );
         self.last_replay = total;
         total
     }
@@ -395,6 +470,47 @@ mod tests {
             .memory(256)
             .build();
         assert!(ShardedDatapath::deploy(0, config(), &def).is_err());
+    }
+
+    #[test]
+    fn zero_copy_claims_match_shard_trace() {
+        // Satellite regression: the claim scan must assign every packet
+        // to exactly the shard the old serial partitioner chose (same
+        // INGRESS_HASH_SEED, same `% n`). Per-replica register state is
+        // the strongest witness: replica w must equal a solo switch fed
+        // precisely shard_trace(trace, n)[w], in order.
+        let def = TaskDefinition::builder("f")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 3 })
+            .memory(1024)
+            .build();
+        let trace: Vec<Packet> = (0..5000u32)
+            .map(|i| Packet::tcp(i.wrapping_mul(0x9e37_79b9) % 1000, i, 1, 2))
+            .collect();
+        let workers = 3;
+        let shards = shard_trace(&trace, workers);
+        let mut dp = ShardedDatapath::deploy(workers, config(), &def).unwrap();
+        let total = dp.process_trace(&trace);
+        assert_eq!(total.packets as usize, trace.len(), "every packet claimed");
+        for (w, shard) in shards.iter().enumerate() {
+            assert_eq!(
+                dp.worker_stats()[w].packets as usize,
+                shard.len(),
+                "worker {w} claimed a different shard than shard_trace"
+            );
+            let mut solo = FlyMon::new(config());
+            let h = solo.deploy(&def).unwrap();
+            solo.process_trace(shard);
+            let (replica, rh) = dp.replica(w);
+            for row in 0..3 {
+                assert_eq!(
+                    replica.read_row(rh, row).unwrap(),
+                    solo.read_row(h, row).unwrap(),
+                    "worker {w} row {row} diverged from its reference shard"
+                );
+            }
+        }
     }
 
     #[test]

@@ -217,22 +217,26 @@ impl SwitchFleet {
             self.dropped_packets += trace.len() as u64;
             return Vec::new();
         }
-        let mut shards: Vec<Vec<Packet>> = vec![Vec::new(); n];
-        let mut drops_at: Vec<u64> = vec![0; n];
-        for p in trace {
-            let ingress = datapath::shard_of(p, n);
-            match self.route(ingress) {
-                Some(i) => shards[i].push(*p),
-                None => drops_at[ingress] += 1,
-            }
-        }
+        // Freeze liveness for the replay: the routing closure runs on
+        // every worker thread concurrently with (immutable) switch state,
+        // so it probes a snapshot of `alive` — the same semantics the old
+        // serial prologue had, without the prologue.
+        let alive = self.alive.clone();
         let mut stats = Vec::new();
-        datapath::replay_sharded(&mut self.switches, shards, &mut stats);
+        let total = datapath::replay_zero_copy(
+            &mut self.switches,
+            trace,
+            |p| {
+                let ingress = datapath::shard_of(p, n);
+                let to = (0..n)
+                    .map(|probe| (ingress + probe) % n)
+                    .find(|&i| alive[i]);
+                datapath::Assignment { ingress, to }
+            },
+            &mut stats,
+        );
         debug_assert_eq!(stats.len(), n, "one stats row per switch");
-        for (s, &d) in stats.iter_mut().zip(&drops_at) {
-            s.dropped += d;
-            self.dropped_packets += d;
-        }
+        self.dropped_packets += total.dropped;
         stats
     }
 

@@ -31,7 +31,7 @@ pub mod rng;
 
 pub use fields::HeaderField;
 pub use filter::{PrefixFilter, TaskFilter};
-pub use key::{FlowKeyBytes, KeySpec, MAX_KEY_BYTES};
+pub use key::{ExtractionCache, FlowKeyBytes, KeySpec, MAX_CACHED_KEYS, MAX_KEY_BYTES};
 pub use packet::{Packet, PacketBuilder};
 pub use rng::SplitMix64;
 

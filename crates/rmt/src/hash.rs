@@ -13,7 +13,7 @@
 //! The module also provides the free functions [`crc32`] and [`murmur3_32`]
 //! used as seed-separated hash families by the reference sketches.
 
-use flymon_packet::{KeySpec, Packet};
+use flymon_packet::{ExtractionCache, KeySpec, Packet};
 
 /// Well-known 32-bit CRC polynomials (reflected form), one per hash unit,
 /// so distinct units behave as (approximately) independent hash functions.
@@ -73,7 +73,10 @@ pub const fn crc32_table(poly: u32) -> [u32; 256] {
 }
 
 /// Computes a reflected CRC-32 of `bytes` using a caller-provided table
-/// (from [`crc32_table`]). This is what [`HashUnit`] runs per packet.
+/// (from [`crc32_table`]), one byte per iteration. Kept as the simple
+/// mid-tier kernel: the differential tests sandwich it between
+/// [`crc32_bitwise`] and [`crc32_slice8`], and the bench reports its
+/// throughput as the "old kernel" number.
 pub fn crc32_with_table(table: &[u32; 256], seed: u32, bytes: &[u8]) -> u32 {
     let mut crc = !seed;
     for &b in bytes {
@@ -82,11 +85,86 @@ pub fn crc32_with_table(table: &[u32; 256], seed: u32, bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Computes a reflected CRC-32 of `bytes`, building the table on the fly.
-/// Convenient for one-off digests; hot paths should hold a [`HashUnit`]
-/// (which caches its table).
+/// Builds the slicing-by-8 table set for a reflected polynomial: 8 KiB,
+/// where `tables[0]` is the byte-at-a-time table and `tables[k][b]`
+/// advances the effect of byte `b` through `k` further zero bytes. An
+/// 8-byte block then reduces to eight *independent* lookups XORed
+/// together ([`crc32_slice8`]), instead of eight serially dependent ones.
+pub const fn crc32_tables8(poly: u32) -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = crc32_table(poly);
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+/// Const-built slicing-by-8 tables for every polynomial in
+/// [`CRC32_POLYNOMIALS`] (64 KiB total). Hash units borrow these; no
+/// table is ever constructed at runtime for the well-known family.
+static CRC32_TABLES8: [[[u32; 256]; 8]; 8] = [
+    crc32_tables8(CRC32_POLYNOMIALS[0]),
+    crc32_tables8(CRC32_POLYNOMIALS[1]),
+    crc32_tables8(CRC32_POLYNOMIALS[2]),
+    crc32_tables8(CRC32_POLYNOMIALS[3]),
+    crc32_tables8(CRC32_POLYNOMIALS[4]),
+    crc32_tables8(CRC32_POLYNOMIALS[5]),
+    crc32_tables8(CRC32_POLYNOMIALS[6]),
+    crc32_tables8(CRC32_POLYNOMIALS[7]),
+];
+
+/// The precomputed slicing-by-8 tables of a well-known polynomial, or
+/// `None` for a polynomial outside [`CRC32_POLYNOMIALS`].
+pub fn tables8_for(poly: u32) -> Option<&'static [[u32; 256]; 8]> {
+    CRC32_POLYNOMIALS
+        .iter()
+        .position(|&p| p == poly)
+        .map(|i| &CRC32_TABLES8[i])
+}
+
+/// Computes a reflected CRC-32 of `bytes` eight bytes per iteration
+/// (slicing-by-8), bit-identical to [`crc32_bitwise`] by construction of
+/// the tables. The whole-block lookups are independent, so the CPU
+/// overlaps them; the byte-at-a-time kernel is a serial chain of
+/// load-XOR dependencies instead. This is the per-packet kernel behind
+/// [`HashUnit::digest_bytes`].
+pub fn crc32_slice8(tables: &[[u32; 256]; 8], seed: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !seed;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = tables[7][(lo & 0xff) as usize]
+            ^ tables[6][((lo >> 8) & 0xff) as usize]
+            ^ tables[5][((lo >> 16) & 0xff) as usize]
+            ^ tables[4][(lo >> 24) as usize]
+            ^ tables[3][(hi & 0xff) as usize]
+            ^ tables[2][((hi >> 8) & 0xff) as usize]
+            ^ tables[1][((hi >> 16) & 0xff) as usize]
+            ^ tables[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ tables[0][((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Computes a reflected CRC-32 of `bytes`. Polynomials of the well-known
+/// family dispatch to their precomputed [`crc32_slice8`] tables; anything
+/// else falls back to building a byte table on the fly (one-off callers
+/// of exotic polynomials pay construction, per-packet paths never do).
 pub fn crc32(poly: u32, seed: u32, bytes: &[u8]) -> u32 {
-    crc32_with_table(&crc32_table(poly), seed, bytes)
+    match tables8_for(poly) {
+        Some(tables) => crc32_slice8(tables, seed, bytes),
+        None => crc32_with_table(&crc32_table(poly), seed, bytes),
+    }
 }
 
 /// The murmur3 32-bit finalizer: a full-avalanche bit mix.
@@ -207,7 +285,7 @@ pub fn compute_all(units: &[HashUnit], pkt: &Packet, out: &mut HashScratch) {
 pub struct HashUnit {
     poly: u32,
     seed: u32,
-    table: Box<[u32; 256]>,
+    tables: &'static [[u32; 256]; 8],
     mask: Option<KeySpec>,
 }
 
@@ -219,7 +297,7 @@ impl HashUnit {
         HashUnit {
             poly,
             seed: 0x9e37_79b9u32.wrapping_mul(index as u32 + 1),
-            table: Box::new(crc32_table(poly)),
+            tables: tables8_for(poly).expect("every family polynomial has static tables"),
             mask: None,
         }
     }
@@ -264,13 +342,24 @@ impl HashUnit {
         self.digest_bytes(key.as_bytes())
     }
 
-    /// Hashes raw bytes with this unit's polynomial/seed: a CRC32 core
-    /// followed by the [`fmix32`] whitening step (see its docs for why
-    /// the raw CRC is not enough). The operation stage's SALU addressing
-    /// path uses this too (Tofino always routes SALU addresses through a
-    /// hash distribution unit, §5 "Setting").
+    /// [`HashUnit::compute`] through a per-packet [`ExtractionCache`]:
+    /// units (anywhere in the pipeline) that share a `KeySpec` serialize
+    /// the flow key once per packet instead of once per unit. Identical
+    /// digests to `compute` — only the extraction is memoized.
+    pub fn compute_cached(&self, pkt: &Packet, cache: &mut ExtractionCache) -> u32 {
+        match &self.mask {
+            None => 0,
+            Some(mask) => self.digest_bytes(cache.get_or_extract(mask, pkt).as_bytes()),
+        }
+    }
+
+    /// Hashes raw bytes with this unit's polynomial/seed: a slicing-by-8
+    /// CRC32 core followed by the [`fmix32`] whitening step (see its docs
+    /// for why the raw CRC is not enough). The operation stage's SALU
+    /// addressing path uses this too (Tofino always routes SALU addresses
+    /// through a hash distribution unit, §5 "Setting").
     pub fn digest_bytes(&self, bytes: &[u8]) -> u32 {
-        fmix32(crc32_with_table(&self.table, self.seed, bytes))
+        fmix32(crc32_slice8(self.tables, self.seed, bytes))
     }
 
     /// The unit's fixed polynomial (diagnostics).
@@ -313,6 +402,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn slice8_matches_bitwise_reference_differentially() {
+        // The tentpole kernel: random inputs of every length in 0..64,
+        // all 8 family polynomials, random seeds — slicing-by-8 must be
+        // bit-identical to the bit-at-a-time reference.
+        let mut rng = flymon_packet::SplitMix64::new(0x0051_1ce8);
+        for &poly in &CRC32_POLYNOMIALS {
+            let tables = tables8_for(poly).expect("family polynomial");
+            for len in 0..64usize {
+                let seed = rng.next_u32();
+                let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                let reference = crc32_bitwise(poly, seed, &bytes);
+                assert_eq!(
+                    crc32_slice8(tables, seed, &bytes),
+                    reference,
+                    "slice8 diverged: poly {poly:#x}, len {len}"
+                );
+                assert_eq!(
+                    crc32_with_table(&tables[0], seed, &bytes),
+                    reference,
+                    "tables[0] must be the plain byte table: poly {poly:#x}, len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_falls_back_for_exotic_polynomials() {
+        // A polynomial outside the family has no static tables; crc32()
+        // must still agree with the bitwise reference.
+        let poly = 0x741B_8CD7; // CRC-32K/4.2, not in CRC32_POLYNOMIALS
+        assert!(tables8_for(poly).is_none());
+        assert_eq!(
+            crc32(poly, 0xdead_beef, b"123456789"),
+            crc32_bitwise(poly, 0xdead_beef, b"123456789")
+        );
+    }
+
+    #[test]
+    fn cached_compute_matches_uncached() {
+        let pkt = PacketBuilder::new().src_ip(0x0a000001).dst_ip(9).build();
+        let mut cache = ExtractionCache::default();
+        let mut units: Vec<HashUnit> = (0..4).map(HashUnit::new).collect();
+        units[0].set_mask(KeySpec::FIVE_TUPLE);
+        units[1].set_mask(KeySpec::FIVE_TUPLE); // shares unit 0's extraction
+        units[2].set_mask(KeySpec::SRC_IP);
+        // units[3] stays free.
+        for u in &units {
+            assert_eq!(u.compute_cached(&pkt, &mut cache), u.compute(&pkt));
+        }
+        assert_eq!(cache.len(), 2, "two distinct specs, one extraction each");
     }
 
     #[test]
