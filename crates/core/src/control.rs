@@ -38,6 +38,7 @@ use crate::keysel::KeySource;
 use crate::params::PacketContext;
 use crate::scratch::PacketScratch;
 use crate::task::{Algorithm, TaskDefinition, TaskId};
+use crate::wal::{WalIntent, WriteAheadLog};
 use crate::FlymonError;
 
 /// Configuration of a FlyMon data plane.
@@ -99,7 +100,7 @@ pub struct BatchStats {
 }
 
 /// A deployed task's record.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DeployedTask {
     /// The definition as submitted.
     pub def: TaskDefinition,
@@ -169,14 +170,15 @@ pub struct FlyMon {
     pub(crate) allocators: Vec<Vec<BuddyAllocator>>,
     pub(crate) units: Vec<Vec<UnitState>>,
     pub(crate) tasks: HashMap<TaskId, DeployedTask>,
-    next_id: u32,
+    pub(crate) next_id: u32,
     ctx: PacketContext,
     scratch: PacketScratch,
-    packets_processed: u64,
-    recirculated_packets: u64,
-    total_install_ms: f64,
+    pub(crate) packets_processed: u64,
+    pub(crate) recirculated_packets: u64,
+    pub(crate) total_install_ms: f64,
     fault: Option<FaultPlan>,
     retry: RetryPolicy,
+    wal: Option<WriteAheadLog>,
 }
 
 impl FlyMon {
@@ -228,6 +230,7 @@ impl FlyMon {
             total_install_ms: 0.0,
             fault: None,
             retry: RetryPolicy::default(),
+            wal: None,
         }
     }
 
@@ -283,6 +286,24 @@ impl FlyMon {
     /// The current retry policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Attaches a write-ahead log: until detached, every mutating
+    /// task-management call appends an intent record before touching
+    /// state and resolves it when the transaction finishes (see
+    /// [`crate::wal`]). Replaces any previously attached log.
+    pub fn attach_wal(&mut self, wal: WriteAheadLog) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches and returns the write-ahead log, if one is attached.
+    pub fn detach_wal(&mut self) -> Option<WriteAheadLog> {
+        self.wal.take()
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&WriteAheadLog> {
+        self.wal.as_ref()
     }
 
     /// The deployed task record for a handle.
@@ -384,7 +405,32 @@ impl FlyMon {
     /// [`FaultPlan`], a capacity race, a substrate error) the log is
     /// replayed in reverse, restoring the system exactly to its pre-call
     /// state before the error is returned.
+    ///
+    /// With a write-ahead log attached, the intent is appended before
+    /// any mutation and resolved committed/aborted afterwards.
     pub fn deploy(&mut self, def: &TaskDefinition) -> Result<TaskHandle, FlymonError> {
+        let Some(mut wal) = self.wal.take() else {
+            return self.deploy_unlogged(def);
+        };
+        let seq = wal.append(WalIntent::Deploy(Box::new(def.clone())));
+        let result = self.deploy_unlogged(def);
+        match &result {
+            Ok(h) => {
+                let size = self.tasks[&h.0].rows.first().map(|r| r.size).unwrap_or(0);
+                wal.commit(seq, None, Some((h.0, size)));
+            }
+            Err(_) => wal.abort(seq),
+        }
+        self.wal = Some(wal);
+        result
+    }
+
+    /// [`FlyMon::deploy`] without write-ahead logging — the body the
+    /// logged wrapper and WAL replay both run.
+    pub(crate) fn deploy_unlogged(
+        &mut self,
+        def: &TaskDefinition,
+    ) -> Result<TaskHandle, FlymonError> {
         def.validate()?;
         let alg = def.effective_algorithm();
         if matches!(alg, Algorithm::MaxInterval { .. }) && self.config.bucket_bits < 32 {
@@ -606,7 +652,26 @@ impl FlyMon {
     /// restores the cleared partitions bit-for-bit and leaves the task
     /// deployed. Only once every op has succeeded does the infallible
     /// bookkeeping phase retire the task.
+    ///
+    /// With a write-ahead log attached, the intent is appended before
+    /// any mutation and resolved committed/aborted afterwards.
     pub fn remove(&mut self, h: TaskHandle) -> Result<(), FlymonError> {
+        let Some(mut wal) = self.wal.take() else {
+            return self.remove_unlogged(h);
+        };
+        let seq = wal.append(WalIntent::Remove(h.0));
+        let result = self.remove_unlogged(h);
+        match &result {
+            Ok(()) => wal.commit(seq, Some(h.0), None),
+            Err(_) => wal.abort(seq),
+        }
+        self.wal = Some(wal);
+        result
+    }
+
+    /// [`FlyMon::remove`] without write-ahead logging — the body the
+    /// logged wrapper and WAL replay both run.
+    pub(crate) fn remove_unlogged(&mut self, h: TaskHandle) -> Result<(), FlymonError> {
         let rows: Vec<(usize, usize, usize, usize)> = self
             .tasks
             .get(&h.0)
@@ -678,7 +743,48 @@ impl FlyMon {
     /// and reclaims the old one. Counts do not carry over — the paper's
     /// built-ins cannot resize without accuracy interference, so the old
     /// instance is frozen and retired. Returns the new handle.
+    ///
+    /// With a write-ahead log attached, the intent is appended before
+    /// any mutation; the resolution records the *net effect* (which task
+    /// was retired, which was created at what rounded geometry) because
+    /// a reallocation can land in several states — moved, reverted under
+    /// a fresh handle, or untouched — and replay must reproduce the one
+    /// that actually happened.
     pub fn reallocate_memory(
+        &mut self,
+        h: TaskHandle,
+        new_buckets: usize,
+    ) -> Result<TaskHandle, FlymonError> {
+        let Some(mut wal) = self.wal.take() else {
+            return self.reallocate_unlogged(h, new_buckets);
+        };
+        let seq = wal.append(WalIntent::Reallocate {
+            task: h.0,
+            new_buckets,
+        });
+        let before: Vec<TaskId> = self.tasks.keys().copied().collect();
+        let result = self.reallocate_unlogged(h, new_buckets);
+        // Diff the task set rather than trusting Ok/Err: some failure
+        // paths still change state (e.g. ReallocationReverted).
+        let removed = (!self.tasks.contains_key(&h.0)).then_some(h.0);
+        let deployed = self
+            .tasks
+            .iter()
+            .find(|(id, _)| !before.contains(id))
+            .map(|(id, t)| (*id, t.rows.first().map(|r| r.size).unwrap_or(0)));
+        if removed.is_none() && deployed.is_none() {
+            wal.abort(seq);
+        } else {
+            wal.commit(seq, removed, deployed);
+        }
+        self.wal = Some(wal);
+        result
+    }
+
+    /// [`FlyMon::reallocate_memory`] without write-ahead logging — the
+    /// body the logged wrapper runs (replay re-executes the recorded
+    /// net effect instead, see [`FlyMon::recover`]).
+    pub(crate) fn reallocate_unlogged(
         &mut self,
         h: TaskHandle,
         new_buckets: usize,
@@ -721,7 +827,28 @@ impl FlyMon {
     ///
     /// All-or-nothing: each clear is a fault-judged register write, and
     /// a failure restores the partitions already cleared.
+    ///
+    /// With a write-ahead log attached, the intent is appended before
+    /// any mutation and resolved committed/aborted afterwards — a reset
+    /// is a control-plane mutation a recovered instance must replay, or
+    /// it would resurrect pre-reset counts from the checkpoint.
     pub fn reset_task(&mut self, h: TaskHandle) -> Result<(), FlymonError> {
+        let Some(mut wal) = self.wal.take() else {
+            return self.reset_unlogged(h);
+        };
+        let seq = wal.append(WalIntent::Reset(h.0));
+        let result = self.reset_unlogged(h);
+        match &result {
+            Ok(()) => wal.commit(seq, None, None),
+            Err(_) => wal.abort(seq),
+        }
+        self.wal = Some(wal);
+        result
+    }
+
+    /// [`FlyMon::reset_task`] without write-ahead logging — the body the
+    /// logged wrapper and WAL replay both run.
+    pub(crate) fn reset_unlogged(&mut self, h: TaskHandle) -> Result<(), FlymonError> {
         let rows: Vec<(usize, usize, usize, usize)> = self
             .task(h)?
             .rows

@@ -40,6 +40,17 @@ pub enum FlymonError {
         /// The partition size (buckets) that could not be allocated.
         buckets: usize,
     },
+    /// A checkpoint could not be restored (wrong version, mismatched
+    /// geometry, or a delta image where a full one is required).
+    Checkpoint(&'static str),
+    /// WAL replay during recovery produced a different state than the
+    /// log recorded — the recovered switch must not be trusted.
+    RecoveryDivergence {
+        /// Sequence number of the diverging record.
+        seq: u64,
+        /// What disagreed.
+        detail: String,
+    },
     /// A memory reallocation failed after the old instance was removed,
     /// but the task was restored with its original geometry under a
     /// fresh handle (counts are lost, as in any reallocation).
@@ -77,6 +88,11 @@ impl std::fmt::Display for FlymonError {
                 f,
                 "placement race: {buckets} buckets vanished from group {group} CMU {cmu} \
                  between verify and commit"
+            ),
+            FlymonError::Checkpoint(what) => write!(f, "checkpoint rejected: {what}"),
+            FlymonError::RecoveryDivergence { seq, detail } => write!(
+                f,
+                "recovery diverged from WAL record {seq}: {detail}"
             ),
             FlymonError::ReallocationReverted { restored } => write!(
                 f,

@@ -163,6 +163,13 @@ impl Cmu {
         &self.bindings
     }
 
+    /// Overwrites the per-binding hit counters — checkpoint restore,
+    /// after the bindings themselves have been reinstalled in order.
+    pub(crate) fn restore_hits(&mut self, hits: &[u64]) {
+        debug_assert_eq!(hits.len(), self.bindings.len());
+        self.hits = hits.to_vec();
+    }
+
     /// Read-only register access (control-plane readout).
     pub fn register(&self) -> &flymon_rmt::register::Register {
         self.salu.register()
@@ -281,6 +288,12 @@ impl CmuGroup {
     /// Mutable access to one CMU.
     pub fn cmu_mut(&mut self, idx: usize) -> &mut Cmu {
         &mut self.cmus[idx]
+    }
+
+    /// Mutable iteration over the CMUs in index order — checkpoint
+    /// capture/restore walks every register in canonical order.
+    pub(crate) fn cmus_mut(&mut self) -> impl Iterator<Item = &mut Cmu> {
+        self.cmus.iter_mut()
     }
 
     /// `log2` of the register bucket count (the address width).

@@ -31,6 +31,10 @@
 //!   failed installs roll back via an undo log.
 //! - [`audit`]: the control/data-plane state auditor — reconciles shadow
 //!   state against the data plane after reconfiguration.
+//! - [`wal`]: the control-plane write-ahead log — every mutating call
+//!   appends an intent before touching state.
+//! - [`checkpoint`]: whole-switch checkpoints and checkpoint+WAL
+//!   recovery ([`control::FlyMon::recover`]).
 //! - [`analysis`]: control-plane estimators (readout → statistics).
 //!
 //! # Quickstart
@@ -71,6 +75,7 @@ pub mod addr;
 pub mod alloc;
 pub mod analysis;
 pub mod audit;
+pub mod checkpoint;
 pub mod compiler;
 pub mod control;
 pub mod group;
@@ -79,6 +84,7 @@ pub mod params;
 pub mod prep;
 pub mod scratch;
 pub mod task;
+pub mod wal;
 
 mod error;
 
@@ -87,7 +93,10 @@ pub use error::FlymonError;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::audit::Divergence;
+    pub use crate::checkpoint::SwitchCheckpoint;
     pub use crate::control::{BatchStats, FlyMon, FlyMonConfig, TaskHandle};
+    pub use crate::wal::WriteAheadLog;
+    pub use flymon_rmt::checkpoint::CaptureMode;
     pub use crate::scratch::PacketScratch;
     pub use crate::task::{Algorithm, Attribute, FreqParam, MaxParam, TaskDefinition};
     pub use crate::FlymonError;

@@ -1,0 +1,200 @@
+//! Control-plane write-ahead log.
+//!
+//! Every mutating task-management call ([`FlyMon::deploy`],
+//! [`FlyMon::remove`], [`FlyMon::reallocate_memory`],
+//! [`FlyMon::reset_task`]) on a switch with an attached log appends an
+//! *intent* record **before** touching any state, then marks the record
+//! committed or aborted once the transaction resolves. Recovery
+//! ([`FlyMon::recover`]) replays the committed suffix after a
+//! checkpoint's `wal_seq` onto the restored image; aborted and pending
+//! records are skipped — the transactional machinery guarantees they
+//! left no state behind.
+//!
+//! The log is logical, not physical: a committed record carries the
+//! *effect* (which task id was retired, which was created and at what
+//! rounded geometry) rather than raw register writes, so replay
+//! re-executes the operation deterministically and cross-checks the
+//! recorded effect. Any disagreement is surfaced as
+//! [`crate::FlymonError::RecoveryDivergence`] instead of silently
+//! reconverging to a different state.
+//!
+//! Durability is modeled, not implemented: the log lives in memory and
+//! stands in for an append-only file on the controller's disk. What
+//! matters for the recovery semantics — append-before-mutate ordering,
+//! commit/abort resolution, checkpoint-anchored truncation — is all
+//! here.
+//!
+//! [`FlyMon::deploy`]: crate::control::FlyMon::deploy
+//! [`FlyMon::remove`]: crate::control::FlyMon::remove
+//! [`FlyMon::reallocate_memory`]: crate::control::FlyMon::reallocate_memory
+//! [`FlyMon::reset_task`]: crate::control::FlyMon::reset_task
+//! [`FlyMon::recover`]: crate::control::FlyMon::recover
+
+use crate::task::{TaskDefinition, TaskId};
+
+/// What a logged operation set out to do, recorded before any mutation.
+#[derive(Debug, Clone)]
+pub enum WalIntent {
+    /// Deploy this definition.
+    Deploy(Box<TaskDefinition>),
+    /// Remove this task.
+    Remove(TaskId),
+    /// Re-home this task at a new bucket count.
+    Reallocate {
+        /// The task whose memory is being reallocated.
+        task: TaskId,
+        /// Requested bucket count (pre-rounding).
+        new_buckets: usize,
+    },
+    /// Clear this task's buckets (epoch boundary).
+    Reset(TaskId),
+}
+
+/// How a logged operation resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOutcome {
+    /// Appended but not yet resolved. A recovery that finds a pending
+    /// record treats it as aborted: the transaction either never ran or
+    /// rolled back with the crash.
+    Pending,
+    /// The operation changed no state (rolled back or rejected);
+    /// recovery skips it.
+    Aborted,
+    /// The operation changed state; recovery must reproduce exactly
+    /// this effect.
+    Committed {
+        /// Task retired by the operation, if any.
+        removed: Option<TaskId>,
+        /// Task created by the operation, with its rounded per-row
+        /// bucket count (replay re-deploys at exactly this geometry).
+        deployed: Option<(TaskId, usize)>,
+    },
+}
+
+/// One log record.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// Monotonic sequence number (1-based; 0 means "before any record").
+    pub seq: u64,
+    /// The intent, appended before the mutation started.
+    pub intent: WalIntent,
+    /// Resolution, patched in when the transaction finishes.
+    pub outcome: WalOutcome,
+}
+
+/// An in-memory write-ahead log (modeled durable storage).
+#[derive(Debug, Clone, Default)]
+pub struct WriteAheadLog {
+    records: Vec<WalRecord>,
+    next_seq: u64,
+}
+
+impl WriteAheadLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        WriteAheadLog {
+            records: Vec::new(),
+            next_seq: 1,
+        }
+    }
+
+    /// Appends an intent record and returns its sequence number. Called
+    /// *before* the operation mutates anything.
+    pub fn append(&mut self, intent: WalIntent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(WalRecord {
+            seq,
+            intent,
+            outcome: WalOutcome::Pending,
+        });
+        seq
+    }
+
+    /// Resolves record `seq` as committed with the given effect.
+    pub fn commit(&mut self, seq: u64, removed: Option<TaskId>, deployed: Option<(TaskId, usize)>) {
+        self.resolve(seq, WalOutcome::Committed { removed, deployed });
+    }
+
+    /// Resolves record `seq` as aborted (no state change happened).
+    pub fn abort(&mut self, seq: u64) {
+        self.resolve(seq, WalOutcome::Aborted);
+    }
+
+    fn resolve(&mut self, seq: u64, outcome: WalOutcome) {
+        if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+            debug_assert_eq!(rec.outcome, WalOutcome::Pending, "record resolved twice");
+            rec.outcome = outcome;
+        }
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    /// The highest sequence number appended so far (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Committed records with `seq > after`, oldest first — the replay
+    /// suffix for a checkpoint anchored at `after`.
+    pub fn committed_after(&self, after: u64) -> impl Iterator<Item = &WalRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.seq > after && matches!(r.outcome, WalOutcome::Committed { .. }))
+    }
+
+    /// Drops records with `seq <= through` — safe once a checkpoint
+    /// anchored at `through` is durable, because recovery never reads
+    /// below its anchor. Sequence numbers keep rising.
+    pub fn compact(&mut self, through: u64) {
+        self.records.retain(|r| r.seq > through);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_commit_abort_lifecycle() {
+        let mut wal = WriteAheadLog::new();
+        assert_eq!(wal.last_seq(), 0);
+        let a = wal.append(WalIntent::Remove(TaskId(1)));
+        let b = wal.append(WalIntent::Remove(TaskId(2)));
+        assert_eq!((a, b), (1, 2));
+        wal.commit(a, Some(TaskId(1)), None);
+        wal.abort(b);
+        assert_eq!(wal.records()[0].outcome, WalOutcome::Committed {
+            removed: Some(TaskId(1)),
+            deployed: None,
+        });
+        assert_eq!(wal.records()[1].outcome, WalOutcome::Aborted);
+        // Only the committed record replays.
+        assert_eq!(wal.committed_after(0).count(), 1);
+        assert_eq!(wal.committed_after(a).count(), 0);
+    }
+
+    #[test]
+    fn pending_records_do_not_replay() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(WalIntent::Reset(TaskId(3)));
+        assert_eq!(wal.committed_after(0).count(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_sequence_numbers() {
+        let mut wal = WriteAheadLog::new();
+        for i in 0..5 {
+            let s = wal.append(WalIntent::Remove(TaskId(i)));
+            wal.commit(s, Some(TaskId(i)), None);
+        }
+        wal.compact(3);
+        assert_eq!(wal.records().len(), 2);
+        assert_eq!(wal.records()[0].seq, 4);
+        let s = wal.append(WalIntent::Remove(TaskId(9)));
+        assert_eq!(s, 6, "sequence numbers keep rising after compaction");
+    }
+}

@@ -1,0 +1,404 @@
+//! Chaos soak harness: randomized seeded fault schedules against a
+//! [`SwitchFleet`] with a warm standby.
+//!
+//! Each schedule is fully determined by its seed: a [`SplitMix64`]
+//! stream picks every event (traffic slices — serial or parallel —
+//! standby syncs, kills, promotions, revivals, and control-plane
+//! reconfigurations, some through armed [`FaultPlan`]s) and every
+//! packet. After *every* event the harness asserts the robustness
+//! invariants:
+//!
+//! 1. **Audit clean** — every switch, dead or alive, reconciles its
+//!    shadow state against its data plane with zero divergences (this
+//!    covers balanced refcounts and leaked partitions).
+//! 2. **Ledger conserved** — `fed == represented + lost + dropped`
+//!    ([`PacketLedger::balanced`]).
+//! 3. **Loss window bound** — the merged estimate of a sentinel flow
+//!    plus the explicit loss bound covers every sentinel packet ever
+//!    fed: `estimate + loss_bound >= true_count`.
+//! 4. **No panic** — [`run_soak`] converts a panicking schedule into a
+//!    reported violation instead of tearing down the harness.
+//!
+//! Violations carry the seed, the event index and what went wrong, so
+//! any soak failure replays exactly with `run_schedule(seed, &cfg)`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use flymon::prelude::*;
+use flymon_packet::{KeySpec, Packet, SplitMix64};
+
+use crate::fleet::SwitchFleet;
+
+/// Shape of one chaos schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Fleet size.
+    pub switches: usize,
+    /// Events per schedule.
+    pub events: usize,
+    /// Packets per traffic slice.
+    pub slice_packets: usize,
+    /// Switch geometry.
+    pub config: FlyMonConfig,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            switches: 4,
+            events: 40,
+            slice_packets: 2_000,
+            config: FlyMonConfig {
+                groups: 2,
+                buckets_per_cmu: 16384,
+                ..FlyMonConfig::default()
+            },
+        }
+    }
+}
+
+/// One event drawn from the seeded schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Feed a slice of generated traffic, serially or in parallel.
+    Traffic {
+        /// Whether the slice went through the parallel datapath.
+        parallel: bool,
+        /// Packets in the slice.
+        packets: usize,
+    },
+    /// Ship checkpoints to the warm standby.
+    Sync,
+    /// Fail a switch.
+    Kill(usize),
+    /// Promote the standby in place of a dead switch.
+    Promote(usize),
+    /// Revive a dead switch (clearing its registers).
+    Revive(usize),
+    /// Deploy an ephemeral secondary task on a switch — sometimes
+    /// through an armed fault plan, sometimes left deployed — then
+    /// usually remove it.
+    Reconfigure(usize),
+}
+
+/// An invariant that failed after an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the event in the schedule (usize::MAX for a panic).
+    pub event_index: usize,
+    /// The event that was applied (or a description of the panic).
+    pub event: String,
+    /// What broke.
+    pub detail: String,
+}
+
+/// Outcome of one seeded schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosReport {
+    /// The schedule's seed.
+    pub seed: u64,
+    /// Events applied.
+    pub events: usize,
+    /// Kills applied.
+    pub kills: usize,
+    /// Successful standby promotions.
+    pub promotes: usize,
+    /// Revivals applied.
+    pub revives: usize,
+    /// Reconfiguration attempts (including faulted ones).
+    pub reconfigs: usize,
+    /// Packets fed across all traffic slices.
+    pub packets: u64,
+    /// Packets explicitly lost by the end of the schedule.
+    pub lost: u64,
+    /// Every invariant failure, in schedule order.
+    pub violations: Vec<Violation>,
+}
+
+impl ChaosReport {
+    /// True when the schedule completed with zero violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The sentinel heavy flow whose true count anchors invariant 3.
+fn sentinel() -> Packet {
+    Packet::tcp(0x0a00_00fe, 0x0a00_0001, 443, 50_000)
+}
+
+/// Deterministic traffic slice: ~25% sentinel packets, the rest spread
+/// over a seeded flow population.
+fn gen_slice(rng: &mut SplitMix64, packets: usize, true_sentinel: &mut u64) -> Vec<Packet> {
+    let mut out = Vec::with_capacity(packets);
+    for _ in 0..packets {
+        if rng.next_u64().is_multiple_of(4) {
+            *true_sentinel += 1;
+            out.push(sentinel());
+        } else {
+            let src = 0xc0a8_0000 | (rng.next_u32() & 0x3ff);
+            out.push(Packet::udp(src, 0x0a00_0001, rng.next_u16(), 53));
+        }
+    }
+    out
+}
+
+fn ephemeral_def(tag: u64) -> TaskDefinition {
+    TaskDefinition::builder(format!("chaos-ephemeral-{tag}"))
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(1024)
+        .build()
+}
+
+/// Indices matching a liveness predicate.
+fn pick(fleet: &SwitchFleet, rng: &mut SplitMix64, want_alive: bool) -> Option<usize> {
+    let candidates: Vec<usize> = (0..fleet.len())
+        .filter(|&i| fleet.is_alive(i) == want_alive)
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[(rng.next_u64() % candidates.len() as u64) as usize])
+    }
+}
+
+fn check_invariants(
+    fleet: &SwitchFleet,
+    true_sentinel: u64,
+    event_index: usize,
+    event: &ChaosEvent,
+    violations: &mut Vec<Violation>,
+) {
+    let mut fail = |detail: String| {
+        violations.push(Violation {
+            event_index,
+            event: format!("{event:?}"),
+            detail,
+        })
+    };
+    for i in 0..fleet.len() {
+        let divergences = fleet.switch(i).0.audit();
+        if !divergences.is_empty() {
+            fail(format!(
+                "switch {i} audit found {} divergence(s): {:?}",
+                divergences.len(),
+                divergences[0]
+            ));
+        }
+    }
+    let ledger = fleet.ledger();
+    if !ledger.balanced() {
+        fail(format!("packet ledger out of balance: {ledger:?}"));
+    }
+    if fleet.alive_count() > 0 {
+        match fleet.merged_frequency_bounded(&sentinel()) {
+            Ok(b) if b.estimate + b.loss_bound < true_sentinel => fail(format!(
+                "loss window bound broken: estimate {} + bound {} < true count {}",
+                b.estimate, b.loss_bound, true_sentinel
+            )),
+            Ok(_) => {}
+            Err(e) => fail(format!("merged readout failed with survivors alive: {e}")),
+        }
+    }
+}
+
+/// Runs one seeded schedule to completion and reports every violation.
+/// Identical `(seed, cfg)` always produces the identical schedule,
+/// traffic and report.
+pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
+    let mut rng = SplitMix64::new(seed);
+    let def = TaskDefinition::builder("chaos-main")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(8192)
+        .build();
+    let mut fleet = SwitchFleet::deploy(cfg.switches, cfg.config, &def)
+        .expect("chaos fleet deploys cleanly");
+    fleet.enable_standby();
+
+    let mut report = ChaosReport {
+        seed,
+        ..ChaosReport::default()
+    };
+    let mut true_sentinel = 0u64;
+
+    for event_index in 0..cfg.events {
+        let roll = rng.next_u64() % 100;
+        let event = match roll {
+            0..=34 => ChaosEvent::Traffic {
+                parallel: rng.next_u64().is_multiple_of(2),
+                packets: cfg.slice_packets,
+            },
+            35..=49 => ChaosEvent::Sync,
+            50..=64 => match pick(&fleet, &mut rng, true) {
+                Some(i) => ChaosEvent::Kill(i),
+                None => ChaosEvent::Sync,
+            },
+            65..=79 => match pick(&fleet, &mut rng, false) {
+                Some(i) => ChaosEvent::Promote(i),
+                None => ChaosEvent::Sync,
+            },
+            80..=89 => match pick(&fleet, &mut rng, false) {
+                Some(i) => ChaosEvent::Revive(i),
+                None => ChaosEvent::Sync,
+            },
+            _ => match pick(&fleet, &mut rng, true) {
+                Some(i) => ChaosEvent::Reconfigure(i),
+                None => ChaosEvent::Sync,
+            },
+        };
+
+        match &event {
+            ChaosEvent::Traffic { parallel, packets } => {
+                let slice = gen_slice(&mut rng, *packets, &mut true_sentinel);
+                report.packets += slice.len() as u64;
+                if *parallel {
+                    fleet.process_trace_parallel(&slice);
+                } else {
+                    fleet.process_trace(&slice);
+                }
+            }
+            ChaosEvent::Sync => {
+                fleet.sync_standby();
+            }
+            ChaosEvent::Kill(i) => {
+                fleet.fail_switch(*i);
+                report.kills += 1;
+            }
+            ChaosEvent::Promote(i) => match fleet.promote_standby(*i) {
+                Ok(_) => report.promotes += 1,
+                Err(e) => report.violations.push(Violation {
+                    event_index,
+                    event: format!("{event:?}"),
+                    detail: format!("promotion of a synced switch failed: {e}"),
+                }),
+            },
+            ChaosEvent::Revive(i) => match fleet.revive_switch(*i) {
+                Ok(()) => report.revives += 1,
+                Err(e) => report.violations.push(Violation {
+                    event_index,
+                    event: format!("{event:?}"),
+                    detail: format!("revival of a deployed switch failed: {e}"),
+                }),
+            },
+            ChaosEvent::Reconfigure(i) => {
+                report.reconfigs += 1;
+                let faulted = rng.next_u64().is_multiple_of(3);
+                let keep = rng.next_u64().is_multiple_of(4);
+                let def = ephemeral_def(rng.next_u64() % 1_000_000);
+                let fm = fleet.switch_mut(*i);
+                if faulted {
+                    fm.arm_faults(FaultPlan::new(rng.next_u64()).fail_probability(0.5));
+                }
+                let deployed = fm.deploy(&def);
+                fm.disarm_faults();
+                if let Ok(h) = deployed {
+                    if !keep {
+                        let _ = fleet.switch_mut(*i).remove(h);
+                    }
+                }
+                // A failed (faulted or capacity-starved) deploy rolled
+                // back; the invariant check below proves it left no
+                // trace.
+            }
+        }
+
+        check_invariants(
+            &fleet,
+            true_sentinel,
+            event_index,
+            &event,
+            &mut report.violations,
+        );
+        report.events += 1;
+    }
+
+    // Settle: one final sync + promotion sweep over the dead, then a
+    // last full check so no schedule ends in an unexamined state.
+    fleet.sync_standby();
+    for i in 0..fleet.len() {
+        if !fleet.is_alive(i) && fleet.promote_standby(i).is_ok() {
+            report.promotes += 1;
+        }
+    }
+    check_invariants(
+        &fleet,
+        true_sentinel,
+        cfg.events,
+        &ChaosEvent::Sync,
+        &mut report.violations,
+    );
+    report.lost = fleet.lost_packets();
+    report
+}
+
+/// Runs many seeded schedules, converting panics into violations (a
+/// panicking schedule is a bug, not a reason to stop soaking).
+pub fn run_soak(seeds: impl IntoIterator<Item = u64>, cfg: &ChaosConfig) -> Vec<ChaosReport> {
+    seeds
+        .into_iter()
+        .map(|seed| {
+            catch_unwind(AssertUnwindSafe(|| run_schedule(seed, cfg))).unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                ChaosReport {
+                    seed,
+                    violations: vec![Violation {
+                        event_index: usize::MAX,
+                        event: "panic".into(),
+                        detail: msg,
+                    }],
+                    ..ChaosReport::default()
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChaosConfig {
+        ChaosConfig {
+            switches: 3,
+            events: 15,
+            slice_packets: 500,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_schedule_is_clean_and_eventful() {
+        let report = run_schedule(0xC0FFEE, &quick());
+        assert!(report.is_clean(), "{:#?}", report.violations);
+        assert_eq!(report.events, 15);
+        assert!(report.packets > 0, "schedule fed no traffic");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run_schedule(7, &quick());
+        let b = run_schedule(7, &quick());
+        assert_eq!(a, b, "chaos schedules must be seed-deterministic");
+    }
+
+    #[test]
+    fn soak_over_several_seeds_is_clean() {
+        let reports = run_soak(1..=4u64, &quick());
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.is_clean(), "seed {}: {:#?}", r.seed, r.violations);
+        }
+        // Across a few seeds the soak must actually exercise failover.
+        let kills: usize = reports.iter().map(|r| r.kills).sum();
+        let promotes: usize = reports.iter().map(|r| r.promotes).sum();
+        assert!(kills > 0, "no schedule killed a switch");
+        assert!(promotes > 0, "no schedule promoted the standby");
+    }
+}

@@ -21,6 +21,25 @@
 //! which roll back cleanly). Ingress traffic reroutes to survivors and
 //! merged readouts skip the dead — estimates continue from whatever
 //! subset is still standing.
+//!
+//! # Failure & recovery model
+//!
+//! Every switch carries a control-plane [`WriteAheadLog`] from birth, so
+//! each deploy/remove/reallocate/reset is durably intended before it
+//! mutates state. A warm standby ([`SwitchFleet::enable_standby`])
+//! ingests per-switch checkpoints — full once, then cheap dirty-range
+//! deltas on each [`SwitchFleet::sync_standby`]. When a failed switch is
+//! promoted ([`SwitchFleet::promote_standby`]), the standby replays the
+//! WAL suffix onto the last image, the probe routing retargets the
+//! recovered instance, and the packets absorbed *after* the last sync
+//! barrier — the bounded loss window — are moved to the explicit
+//! [`SwitchFleet::lost_packets`] counter instead of silently vanishing
+//! from merged readouts. [`SwitchFleet::revive_switch`] is the cheaper
+//! alternative that resets the switch instead of recovering it: its
+//! whole absorbed count becomes loss. Either way the packet ledger
+//! ([`SwitchFleet::ledger`]) stays conserved: every packet ever fed is
+//! represented in some alive register file, explicitly lost, held by a
+//! dead switch, or dropped.
 
 use flymon::prelude::*;
 use flymon::FlymonError;
@@ -28,6 +47,52 @@ use flymon_packet::Packet;
 use flymon_sketches::hll::estimate_from_registers;
 
 use crate::datapath::{self, WorkerStats};
+
+/// A merged estimate paired with an explicit bound on what it can miss.
+///
+/// For frequency tasks the true network-wide count `t` satisfies
+/// `t <= estimate + loss_bound`: counter sketches never undercount the
+/// traffic they represent, and every packet *not* represented is in the
+/// bound. (The usual CMS overcount from hash collisions still applies
+/// on the other side.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedEstimate {
+    /// The merged readout over the alive fleet.
+    pub estimate: u64,
+    /// Packets the readout cannot see: explicitly lost to failures,
+    /// held by currently dead switches, or dropped by a dead fabric.
+    pub loss_bound: u64,
+}
+
+/// Where every packet ever fed to the fleet currently stands.
+///
+/// Conservation is the fleet's core accounting invariant:
+/// `fed == represented + lost + dropped` after every event (note
+/// `unavailable` is a subset of `represented`, not a separate term).
+/// The chaos harness asserts it after each fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketLedger {
+    /// Packets ever fed through [`SwitchFleet::process`] and friends.
+    pub fed: u64,
+    /// Packets whose register updates live in some switch's registers
+    /// (alive or dead).
+    pub represented: u64,
+    /// The subset of `represented` held by dead switches — invisible to
+    /// merged readouts until revival or promotion settles them.
+    pub unavailable: u64,
+    /// Packets permanently lost to failures: a revived switch's cleared
+    /// registers, or a promotion's post-checkpoint loss window.
+    pub lost: u64,
+    /// Packets dropped because no alive switch could take them.
+    pub dropped: u64,
+}
+
+impl PacketLedger {
+    /// True when every fed packet is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.fed == self.represented + self.lost + self.dropped
+    }
+}
 
 /// A fleet of identically configured FlyMon switches running one shared
 /// measurement task.
@@ -43,6 +108,18 @@ pub struct SwitchFleet {
     /// `None` only on a zero-switch fleet, which hosts no task at all.
     algorithm: Option<Algorithm>,
     dropped_packets: u64,
+    /// Packets whose updates live in each switch's current registers.
+    represented: Vec<u64>,
+    /// `represented[i]` at switch `i`'s last standby sync barrier —
+    /// what a promotion recovers; the difference is the loss window.
+    checkpoint_represented: Vec<u64>,
+    /// Warm-standby images, one slot per switch; `None` until
+    /// [`SwitchFleet::enable_standby`].
+    standby: Option<Vec<Option<SwitchCheckpoint>>>,
+    /// Packets permanently lost to failures (see [`PacketLedger::lost`]).
+    lost_packets: u64,
+    /// Packets ever fed to the fleet.
+    total_fed: u64,
 }
 
 impl SwitchFleet {
@@ -77,6 +154,10 @@ impl SwitchFleet {
         let mut first_err = None;
         for i in 0..n {
             let mut fm = FlyMon::new(config);
+            // WAL from birth: the initial deployment itself is logged,
+            // so a standby image plus the log reconstructs the whole
+            // control-plane history.
+            fm.attach_wal(WriteAheadLog::new());
             if let Some(plan) = faults.get_mut(i).and_then(Option::take) {
                 fm.arm_faults(plan);
             }
@@ -110,6 +191,11 @@ impl SwitchFleet {
             alive,
             algorithm,
             dropped_packets: 0,
+            represented: vec![0; n],
+            checkpoint_represented: vec![0; n],
+            standby: None,
+            lost_packets: 0,
+            total_fed: 0,
         })
     }
 
@@ -134,24 +220,176 @@ impl SwitchFleet {
     }
 
     /// Marks switch `i` failed: it stops receiving traffic and merged
-    /// readouts skip it. The traffic it already absorbed is lost with it
-    /// — the surviving estimate covers the remaining ingresses.
+    /// readouts skip it. The traffic it already absorbed becomes
+    /// *unavailable* (held hostage by the dead registers) until the
+    /// switch is revived — which forfeits it — or promoted from the
+    /// standby — which recovers everything up to the last sync barrier.
     pub fn fail_switch(&mut self, i: usize) {
         self.alive[i] = false;
     }
 
-    /// Revives a previously failed switch (its task must still be
-    /// deployed, i.e. it was failed with [`SwitchFleet::fail_switch`],
-    /// not a rolled-back deployment).
-    pub fn revive_switch(&mut self, i: usize) {
-        if self.handles[i].is_some() {
-            self.alive[i] = true;
+    /// Revives a previously failed switch as a *fresh* member: its task
+    /// registers are reset (through the logged control plane) before it
+    /// rejoins, and every packet it had absorbed moves to
+    /// [`SwitchFleet::lost_packets`].
+    ///
+    /// Clearing is deliberate. The pre-failure registers are stale
+    /// relative to the traffic that rerouted around the outage; merging
+    /// them back would silently resurrect counts the operator already
+    /// accounted as lost, making estimates jump backward in time. A
+    /// revival that should *not* forfeit the absorbed traffic is a
+    /// promotion — see [`SwitchFleet::promote_standby`].
+    ///
+    /// Errors if the switch never hosted the task (a rolled-back
+    /// deployment cannot serve the fleet). Reviving an alive switch is
+    /// a no-op.
+    pub fn revive_switch(&mut self, i: usize) -> Result<(), FlymonError> {
+        if self.alive[i] {
+            return Ok(());
         }
+        let h = self.handles[i].ok_or(FlymonError::NoSuchTask)?;
+        // Logged reset: a later promotion replays it, so the standby
+        // recovers to the same cleared registers this switch rejoins
+        // with — which is why the sync barrier drops to zero too.
+        self.switches[i].reset_task(h)?;
+        self.alive[i] = true;
+        self.lost_packets += self.represented[i];
+        self.represented[i] = 0;
+        self.checkpoint_represented[i] = 0;
+        Ok(())
+    }
+
+    /// Turns on the warm standby and takes the initial full checkpoint
+    /// of every alive switch. Subsequent [`SwitchFleet::sync_standby`]
+    /// calls ship only dirty-range deltas.
+    pub fn enable_standby(&mut self) -> usize {
+        if self.standby.is_none() {
+            self.standby = Some(vec![None; self.switches.len()]);
+        }
+        self.sync_standby()
+    }
+
+    /// Ships a checkpoint of every alive switch to the standby — full
+    /// for switches it has never seen, dirty-range deltas otherwise —
+    /// and advances each switch's loss-window barrier. Dead switches
+    /// are skipped (they are unreachable); their images simply age,
+    /// which is exactly what the loss window measures. Each switch's
+    /// WAL is compacted up to its new barrier, so log growth is bounded
+    /// by the sync cadence.
+    ///
+    /// Returns the register buckets shipped (the sync's payload cost);
+    /// 0 when the standby is not enabled.
+    pub fn sync_standby(&mut self) -> usize {
+        let Some(images) = self.standby.as_mut() else {
+            return 0;
+        };
+        let mut shipped = 0;
+        for (i, image) in images.iter_mut().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            let barrier = match image {
+                Some(base) => {
+                    let delta = self.switches[i].checkpoint(CaptureMode::Delta);
+                    shipped += delta.payload_buckets();
+                    base.overlay(&delta)
+                        .expect("a delta always composes onto its own base");
+                    base.wal_seq
+                }
+                slot @ None => {
+                    let full = self.switches[i].checkpoint(CaptureMode::Full);
+                    shipped += full.payload_buckets();
+                    let barrier = full.wal_seq;
+                    *slot = Some(full);
+                    barrier
+                }
+            };
+            if let Some(mut wal) = self.switches[i].detach_wal() {
+                wal.compact(barrier);
+                self.switches[i].attach_wal(wal);
+            }
+            self.checkpoint_represented[i] = self.represented[i];
+        }
+        shipped
+    }
+
+    /// Promotes the standby in place of failed switch `i`: recovers the
+    /// last synced image plus the WAL suffix ([`FlyMon::recover`], which
+    /// audits the result), swaps the recovered instance in, and retargets
+    /// the probe routing back at slot `i` by marking it alive. The task
+    /// handle is unchanged — recovery reproduces task ids exactly.
+    ///
+    /// Packets absorbed after the last sync barrier are gone — that is
+    /// the bounded loss window; they move to
+    /// [`SwitchFleet::lost_packets`] and the count is returned.
+    ///
+    /// Errors if the standby is not enabled, holds no image for this
+    /// switch, the switch is still alive, or recovery diverges (in
+    /// which case the fleet is unchanged and the switch stays dead).
+    pub fn promote_standby(&mut self, i: usize) -> Result<u64, FlymonError> {
+        let images = self
+            .standby
+            .as_ref()
+            .ok_or(FlymonError::Checkpoint("standby not enabled"))?;
+        if self.alive[i] {
+            return Err(FlymonError::Checkpoint(
+                "only failed switches are promoted",
+            ));
+        }
+        let image = images[i]
+            .as_ref()
+            .ok_or(FlymonError::Checkpoint("standby holds no image for this switch"))?;
+        let wal = self.switches[i]
+            .detach_wal()
+            .ok_or(FlymonError::Checkpoint("failed switch has no WAL"))?;
+        let recovered = match FlyMon::recover(&wal, image) {
+            Ok(fm) => fm,
+            Err(e) => {
+                self.switches[i].attach_wal(wal);
+                return Err(e);
+            }
+        };
+        self.switches[i] = recovered;
+        self.switches[i].attach_wal(wal);
+        self.alive[i] = true;
+        let loss = self.represented[i] - self.checkpoint_represented[i];
+        self.lost_packets += loss;
+        self.represented[i] = self.checkpoint_represented[i];
+        Ok(loss)
     }
 
     /// Packets dropped because no alive switch could take them.
     pub fn dropped_packets(&self) -> u64 {
         self.dropped_packets
+    }
+
+    /// Packets permanently lost to failures (cleared by revivals,
+    /// forfeited by promotion loss windows).
+    pub fn lost_packets(&self) -> u64 {
+        self.lost_packets
+    }
+
+    /// Packets held in dead switches' registers — invisible to merged
+    /// readouts but not (yet) lost.
+    pub fn unavailable_packets(&self) -> u64 {
+        self.represented
+            .iter()
+            .zip(&self.alive)
+            .filter(|&(_, &alive)| !alive)
+            .map(|(&r, _)| r)
+            .sum()
+    }
+
+    /// The full packet ledger; [`PacketLedger::balanced`] must hold
+    /// after every fleet operation.
+    pub fn ledger(&self) -> PacketLedger {
+        PacketLedger {
+            fed: self.total_fed,
+            represented: self.represented.iter().sum(),
+            unavailable: self.unavailable_packets(),
+            lost: self.lost_packets,
+            dropped: self.dropped_packets,
+        }
     }
 
     /// Feeds a packet to the switch at `ingress`, rerouting to the next
@@ -163,6 +401,7 @@ impl SwitchFleet {
     /// Panics if `ingress` is out of range on a non-empty fleet.
     pub fn process(&mut self, ingress: usize, pkt: &Packet) {
         let n = self.switches.len();
+        self.total_fed += 1;
         if n == 0 {
             // Regression guard: a zero-switch fleet drops, it does not
             // panic on the `ingress < n` bound.
@@ -171,7 +410,10 @@ impl SwitchFleet {
         }
         assert!(ingress < n, "ingress {ingress} out of range ({n} switches)");
         match self.route(ingress) {
-            Some(i) => self.switches[i].process(pkt),
+            Some(i) => {
+                self.switches[i].process(pkt);
+                self.represented[i] += 1;
+            }
             None => self.dropped_packets += 1,
         }
     }
@@ -193,6 +435,7 @@ impl SwitchFleet {
     pub fn process_trace(&mut self, trace: &[Packet]) {
         let n = self.switches.len();
         if n == 0 {
+            self.total_fed += trace.len() as u64;
             self.dropped_packets += trace.len() as u64;
             return;
         }
@@ -213,6 +456,7 @@ impl SwitchFleet {
     /// with each drop attributed to the dead ingress switch's stats row.
     pub fn process_trace_parallel(&mut self, trace: &[Packet]) -> Vec<WorkerStats> {
         let n = self.switches.len();
+        self.total_fed += trace.len() as u64;
         if n == 0 {
             self.dropped_packets += trace.len() as u64;
             return Vec::new();
@@ -236,6 +480,9 @@ impl SwitchFleet {
             &mut stats,
         );
         debug_assert_eq!(stats.len(), n, "one stats row per switch");
+        for s in &stats {
+            self.represented[s.worker] += s.packets;
+        }
         self.dropped_packets += total.dropped;
         stats
     }
@@ -308,6 +555,19 @@ impl SwitchFleet {
         Ok(best)
     }
 
+    /// [`SwitchFleet::merged_frequency`] plus the explicit loss window:
+    /// the bound collects everything the alive registers cannot see —
+    /// permanently lost packets, dead switches' unavailable counts, and
+    /// fabric drops. The true network-wide count never exceeds
+    /// `estimate + loss_bound`.
+    pub fn merged_frequency_bounded(&self, pkt: &Packet) -> Result<BoundedEstimate, FlymonError> {
+        let estimate = self.merged_frequency(pkt)?;
+        Ok(BoundedEstimate {
+            estimate,
+            loss_bound: self.lost_packets + self.unavailable_packets() + self.dropped_packets,
+        })
+    }
+
     /// Network-wide cardinality estimate: HLL registers merge by max.
     pub fn merged_cardinality(&self) -> Result<f64, FlymonError> {
         if !matches!(self.algorithm, Some(Algorithm::Hll)) {
@@ -341,6 +601,14 @@ impl SwitchFleet {
     /// rolled back.
     pub fn switch(&self, i: usize) -> (&FlyMon, Option<TaskHandle>) {
         (&self.switches[i], self.handles[i])
+    }
+
+    /// Mutable access to one switch's control plane (secondary
+    /// deployments, chaos reconfiguration). The escape hatch is for
+    /// *control-plane* operations: feeding packets or resetting the
+    /// fleet task through it bypasses the packet ledger.
+    pub fn switch_mut(&mut self, i: usize) -> &mut FlyMon {
+        &mut self.switches[i]
     }
 }
 
@@ -519,11 +787,26 @@ mod tests {
             fleet.process(0, &flow);
         }
         assert_eq!(fleet.dropped_packets(), 0);
-        // Switch 0's ten packets died with it; the rerouted four live on.
+        // Switch 0's ten packets died with it; the rerouted four live on,
+        // and the dead counts are explicitly unavailable, not hidden.
         assert_eq!(fleet.merged_frequency(&flow).unwrap(), 4);
-        // Revival brings its counts back.
-        fleet.revive_switch(0);
-        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 14);
+        assert_eq!(fleet.unavailable_packets(), 10);
+        let bounded = fleet.merged_frequency_bounded(&flow).unwrap();
+        assert!(bounded.estimate + bounded.loss_bound >= 14);
+
+        // Regression: revival must NOT merge the stale pre-failure
+        // registers back in — the ten packets were already accounted as
+        // gone, and resurrecting them would make the estimate jump.
+        fleet.revive_switch(0).unwrap();
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 4);
+        assert_eq!(fleet.lost_packets(), 10);
+        assert_eq!(fleet.unavailable_packets(), 0);
+        assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+        // The revived switch rejoins routing and is audit-clean.
+        fleet.process(0, &flow);
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 5);
+        assert!(fleet.switch(0).0.audit().is_empty());
+
         // A fully dead fleet reports failure, not garbage.
         for i in 0..3 {
             fleet.fail_switch(i);
@@ -531,6 +814,122 @@ mod tests {
         assert!(fleet.merged_frequency(&flow).is_err());
         fleet.process(0, &flow);
         assert_eq!(fleet.dropped_packets(), 1);
+        assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+    }
+
+    #[test]
+    fn promotion_recovers_checkpoint_state_and_bounds_the_loss_window() {
+        let def = cms_def(2);
+        let mut fleet = SwitchFleet::deploy(3, config(), &def).unwrap();
+        let flow = Packet::tcp(0x0a000001, 5, 80, 80);
+        // 10 packets land on switch 0, then the standby syncs.
+        for _ in 0..10 {
+            fleet.process(0, &flow);
+        }
+        assert!(fleet.enable_standby() > 0, "initial sync ships a full image");
+        // 6 more packets arrive after the barrier — the loss window.
+        for _ in 0..6 {
+            fleet.process(0, &flow);
+        }
+        fleet.fail_switch(0);
+
+        let loss = fleet.promote_standby(0).unwrap();
+        assert_eq!(loss, 6, "exactly the post-barrier packets are lost");
+        assert_eq!(fleet.lost_packets(), 6);
+        assert_eq!(fleet.alive_count(), 3, "routing retargets the standby");
+        // The promoted instance carries the checkpoint-era counts and a
+        // clean control plane.
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 10);
+        assert!(fleet.switch(0).0.audit().is_empty());
+        assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+        let bounded = fleet.merged_frequency_bounded(&flow).unwrap();
+        assert!(
+            bounded.estimate + bounded.loss_bound >= 16,
+            "true count 16 must stay within the documented bound {bounded:?}"
+        );
+        // The promoted switch keeps measuring under the same handle.
+        fleet.process(0, &flow);
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 11);
+    }
+
+    #[test]
+    fn delta_syncs_compose_and_compact_the_wal() {
+        let def = cms_def(1);
+        let mut fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
+        let flow = Packet::tcp(7, 7, 7, 7);
+        fleet.enable_standby();
+        for _ in 0..5 {
+            fleet.process(datapath::shard_of(&flow, 2), &flow);
+        }
+        // A delta sync ships only the touched buckets, far fewer than
+        // the full register file.
+        let full = fleet.switch(0).0.task(fleet.switch(0).1.unwrap()).unwrap().rows[0].size;
+        let shipped = fleet.sync_standby();
+        assert!(
+            shipped < full,
+            "delta shipped {shipped} buckets, full image is {full}+"
+        );
+        // The WAL is compacted at the sync barrier: the initial deploy
+        // record (seq 1) is gone once the image covers it.
+        let wal = fleet.switch(0).0.wal().unwrap();
+        assert!(wal.records().is_empty(), "{:?}", wal.records());
+
+        // Promotion from a delta-composed image still recovers exactly.
+        for _ in 0..3 {
+            fleet.process(datapath::shard_of(&flow, 2), &flow);
+        }
+        let target = datapath::shard_of(&flow, 2);
+        fleet.fail_switch(target);
+        assert_eq!(fleet.promote_standby(target).unwrap(), 3);
+        assert_eq!(fleet.merged_frequency(&flow).unwrap(), 5);
+    }
+
+    #[test]
+    fn promotion_error_paths_leave_the_fleet_unchanged() {
+        let def = cms_def(1);
+        let mut fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
+        // No standby yet.
+        fleet.fail_switch(0);
+        assert!(matches!(
+            fleet.promote_standby(0),
+            Err(FlymonError::Checkpoint("standby not enabled"))
+        ));
+        fleet.revive_switch(0).unwrap();
+        fleet.enable_standby();
+        // Alive switches are not promoted.
+        assert!(fleet.promote_standby(0).is_err());
+        // A switch that never deployed has no image and cannot revive.
+        let mut faults = vec![Some(FaultPlan::new(3).fail_nth(1)), None];
+        let mut degraded =
+            SwitchFleet::deploy_with_faults(2, config(), &def, &mut faults).unwrap();
+        degraded.enable_standby();
+        assert!(matches!(
+            degraded.promote_standby(0),
+            Err(FlymonError::Checkpoint("standby holds no image for this switch"))
+        ));
+        assert!(degraded.revive_switch(0).is_err());
+        assert!(!degraded.is_alive(0));
+    }
+
+    #[test]
+    fn ledger_conserves_packets_across_paths_and_failures() {
+        let def = cms_def(2);
+        let t = trace();
+        let mut fleet = SwitchFleet::deploy(4, config(), &def).unwrap();
+        fleet.enable_standby();
+        fleet.process_trace(&t[..20_000]);
+        fleet.fail_switch(2);
+        fleet.process_trace_parallel(&t[20_000..40_000]);
+        fleet.sync_standby();
+        fleet.promote_standby(2).unwrap();
+        fleet.fail_switch(0);
+        fleet.process_trace(&t[40_000..]);
+        fleet.revive_switch(0).unwrap();
+        let ledger = fleet.ledger();
+        assert_eq!(ledger.fed, t.len() as u64);
+        assert!(ledger.balanced(), "{ledger:?}");
+        assert_eq!(ledger.dropped, 0, "survivors absorbed every reroute");
+        assert!(ledger.lost > 0, "switch 0 forfeited its packets on revival");
     }
 
     #[test]

@@ -16,19 +16,24 @@
 //! [`datapath`] is the substrate both lean on for scale: a sharded,
 //! multi-threaded trace replay whose merged readouts are bit-identical
 //! to a serial single-switch replay for linear/max/OR-mergeable sketches.
+//! [`fleet`] layers network-wide measurement (merged readouts, WAL-backed
+//! switches, warm-standby failover) on top, and [`chaos`] soaks that
+//! machinery under randomized seeded fault schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod datapath;
 pub mod epochs;
 pub mod fleet;
 pub mod forwarding;
 pub mod runner;
 
+pub use chaos::{run_schedule, run_soak, ChaosConfig, ChaosReport};
 pub use datapath::{ReplayStats, ShardedDatapath, WorkerStats};
 pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};
-pub use fleet::SwitchFleet;
+pub use fleet::{BoundedEstimate, PacketLedger, SwitchFleet};
 pub use runner::run_epochs;
 pub use forwarding::{
     run_forwarding, DeploymentStyle, ForwardingConfig, ReconfigEvent, ThroughputSample,

@@ -1,0 +1,406 @@
+//! Versioned register-file checkpoints with full and dirty-delta capture.
+//!
+//! The control plane periodically snapshots SALU register files so a
+//! warm standby can reconstruct a failed switch's sketch state. Two
+//! capture modes exist:
+//!
+//! - **Full**: copies every bucket. Taken once when a standby attaches.
+//! - **Delta**: copies only the [`crate::register::Register::dirty_range`]
+//!   watermark written since the previous capture, so periodic snapshots
+//!   of a mostly-idle register cost O(touched SRAM), not O(all SRAM).
+//!
+//! Capture is a *barrier*: it clears the dirty watermark, so consecutive
+//! deltas compose — applying a full snapshot and then every delta taken
+//! after it, in order, reproduces the live register bit-identically.
+//! [`RegisterCheckpoint`] bundles one snapshot per register in a pipeline
+//! in canonical order; [`RegisterCheckpoint::overlay`] folds a delta
+//! checkpoint onto a full base so the standby always holds a single
+//! restorable image.
+
+use crate::register::Register;
+use crate::RmtError;
+
+/// Format version stamped into every snapshot. Restore refuses a
+/// version it does not understand rather than misinterpreting payload.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// How much of a register a capture copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureMode {
+    /// Copy every bucket regardless of dirty state.
+    Full,
+    /// Copy only the dirty watermark since the previous capture.
+    Delta,
+}
+
+/// A contiguous run of captured buckets starting at `start`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtySpan {
+    /// First bucket index covered by `data`.
+    pub start: usize,
+    /// Captured bucket values for `[start, start + data.len())`.
+    pub data: Vec<u32>,
+}
+
+/// Snapshot payload: either the whole register file or the dirty spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotData {
+    /// Every bucket, in address order.
+    Full(Vec<u32>),
+    /// Only buckets written since the previous capture barrier. Empty
+    /// when the register was untouched.
+    Delta(Vec<DirtySpan>),
+}
+
+/// A versioned snapshot of one register's state plus enough geometry to
+/// refuse restoring onto a mismatched register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterSnapshot {
+    /// Format version ([`CHECKPOINT_VERSION`] at capture time).
+    pub version: u16,
+    /// Bucket bit width of the source register.
+    pub width_bits: u8,
+    /// Bucket count of the source register.
+    pub len: usize,
+    /// Captured payload.
+    pub data: SnapshotData,
+}
+
+impl RegisterSnapshot {
+    /// Captures `reg` and clears its dirty watermark (the snapshot
+    /// barrier: the next delta covers only writes after this call).
+    pub fn capture(reg: &mut Register, mode: CaptureMode) -> Self {
+        let data = match mode {
+            CaptureMode::Full => {
+                SnapshotData::Full(reg.read_range(0, reg.len()).expect("full range").to_vec())
+            }
+            CaptureMode::Delta => {
+                let spans = match reg.dirty_range() {
+                    Some((start, end)) => vec![DirtySpan {
+                        start,
+                        data: reg.read_range(start, end).expect("dirty range").to_vec(),
+                    }],
+                    None => Vec::new(),
+                };
+                SnapshotData::Delta(spans)
+            }
+        };
+        reg.clear_dirty();
+        RegisterSnapshot {
+            version: CHECKPOINT_VERSION,
+            width_bits: reg.width_bits(),
+            len: reg.len(),
+            data,
+        }
+    }
+
+    /// Number of bucket values this snapshot actually carries — the
+    /// cheapness metric for delta mode.
+    pub fn payload_buckets(&self) -> usize {
+        match &self.data {
+            SnapshotData::Full(data) => data.len(),
+            SnapshotData::Delta(spans) => spans.iter().map(|s| s.data.len()).sum(),
+        }
+    }
+
+    /// True when the payload is a full image (restorable on its own).
+    pub fn is_full(&self) -> bool {
+        matches!(self.data, SnapshotData::Full(_))
+    }
+
+    fn check_geometry(&self, reg: &Register) -> Result<(), RmtError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(RmtError::CheckpointMismatch("snapshot version"));
+        }
+        if self.width_bits != reg.width_bits() {
+            return Err(RmtError::CheckpointMismatch("register width"));
+        }
+        if self.len != reg.len() {
+            return Err(RmtError::CheckpointMismatch("register length"));
+        }
+        Ok(())
+    }
+
+    /// Writes the snapshot into `reg`. A full snapshot overwrites every
+    /// bucket; a delta overwrites only its spans (the caller must have
+    /// applied the base image first). Restored writes dirty `reg` like
+    /// any other write; the restoring control plane decides when to
+    /// place the next barrier.
+    pub fn apply(&self, reg: &mut Register) -> Result<(), RmtError> {
+        self.check_geometry(reg)?;
+        match &self.data {
+            SnapshotData::Full(data) => {
+                for (addr, &value) in data.iter().enumerate() {
+                    reg.write(addr, value)?;
+                }
+            }
+            SnapshotData::Delta(spans) => {
+                for span in spans {
+                    if span.start + span.data.len() > reg.len() {
+                        return Err(RmtError::CheckpointMismatch("delta span range"));
+                    }
+                    for (i, &value) in span.data.iter().enumerate() {
+                        reg.write(span.start + i, value)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds a delta snapshot of the same register onto this full
+    /// snapshot, producing the image a restore would yield after
+    /// applying both in order.
+    pub fn merge_delta(&mut self, delta: &RegisterSnapshot) -> Result<(), RmtError> {
+        if self.version != delta.version {
+            return Err(RmtError::CheckpointMismatch("snapshot version"));
+        }
+        if self.width_bits != delta.width_bits || self.len != delta.len {
+            return Err(RmtError::CheckpointMismatch("register geometry"));
+        }
+        let base = match &mut self.data {
+            SnapshotData::Full(data) => data,
+            SnapshotData::Delta(_) => {
+                return Err(RmtError::CheckpointMismatch("merge base must be full"))
+            }
+        };
+        let spans = match &delta.data {
+            SnapshotData::Delta(spans) => spans,
+            SnapshotData::Full(_) => {
+                // A full snapshot supersedes the base outright.
+                self.data = delta.data.clone();
+                return Ok(());
+            }
+        };
+        for span in spans {
+            let end = span.start + span.data.len();
+            if end > base.len() {
+                return Err(RmtError::CheckpointMismatch("delta span range"));
+            }
+            base[span.start..end].copy_from_slice(&span.data);
+        }
+        Ok(())
+    }
+}
+
+/// A checkpoint over a whole pipeline's register files, one snapshot per
+/// register in a canonical order fixed by the capturing control plane
+/// (group-major, CMU-minor). Restore and overlay require the same order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`] at capture time).
+    pub version: u16,
+    /// Per-register snapshots in canonical order.
+    pub snapshots: Vec<RegisterSnapshot>,
+}
+
+impl RegisterCheckpoint {
+    /// Captures every register in `regs` (in the order given) and places
+    /// the snapshot barrier on each.
+    pub fn capture<'a, I>(regs: I, mode: CaptureMode) -> Self
+    where
+        I: IntoIterator<Item = &'a mut Register>,
+    {
+        RegisterCheckpoint {
+            version: CHECKPOINT_VERSION,
+            snapshots: regs
+                .into_iter()
+                .map(|r| RegisterSnapshot::capture(r, mode))
+                .collect(),
+        }
+    }
+
+    /// True when every snapshot is a full image (restorable on its own).
+    pub fn is_full(&self) -> bool {
+        self.snapshots.iter().all(RegisterSnapshot::is_full)
+    }
+
+    /// Total bucket values carried across all snapshots.
+    pub fn payload_buckets(&self) -> usize {
+        self.snapshots.iter().map(|s| s.payload_buckets()).sum()
+    }
+
+    /// Applies each snapshot to the corresponding register in `regs`
+    /// (same canonical order as capture). Register count must match.
+    pub fn restore<'a, I>(&self, regs: I) -> Result<(), RmtError>
+    where
+        I: IntoIterator<Item = &'a mut Register>,
+    {
+        let mut applied = 0;
+        let mut iter = regs.into_iter();
+        for snapshot in &self.snapshots {
+            let reg = iter
+                .next()
+                .ok_or(RmtError::CheckpointMismatch("register count"))?;
+            snapshot.apply(reg)?;
+            applied += 1;
+        }
+        if iter.next().is_some() {
+            return Err(RmtError::CheckpointMismatch("register count"));
+        }
+        debug_assert_eq!(applied, self.snapshots.len());
+        Ok(())
+    }
+
+    /// Folds a delta checkpoint onto this full base, register by
+    /// register. After the overlay this base equals the live pipeline at
+    /// the delta's capture barrier.
+    pub fn overlay(&mut self, delta: &RegisterCheckpoint) -> Result<(), RmtError> {
+        if self.version != delta.version {
+            return Err(RmtError::CheckpointMismatch("checkpoint version"));
+        }
+        if self.snapshots.len() != delta.snapshots.len() {
+            return Err(RmtError::CheckpointMismatch("register count"));
+        }
+        for (base, d) in self.snapshots.iter_mut().zip(&delta.snapshots) {
+            base.merge_delta(d)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(buckets: usize, width: u8, stride: usize) -> Register {
+        let mut r = Register::new(buckets, width);
+        for i in (0..buckets).step_by(stride) {
+            r.write(i, (i as u32).wrapping_mul(2654435761) & r.max_value())
+                .unwrap();
+        }
+        r
+    }
+
+    fn contents(r: &Register) -> Vec<u32> {
+        r.read_range(0, r.len()).unwrap().to_vec()
+    }
+
+    #[test]
+    fn full_round_trip_is_bit_identical() {
+        let mut src = filled(256, 16, 3);
+        let snap = RegisterSnapshot::capture(&mut src, CaptureMode::Full);
+        assert_eq!(snap.payload_buckets(), 256);
+        assert!(snap.is_full());
+        let mut dst = Register::new(256, 16);
+        snap.apply(&mut dst).unwrap();
+        assert_eq!(contents(&src), contents(&dst));
+    }
+
+    #[test]
+    fn delta_captures_only_touched_sram() {
+        let mut src = filled(1024, 32, 1);
+        // Barrier: everything before this is "already checkpointed".
+        let mut base = RegisterSnapshot::capture(&mut src, CaptureMode::Full);
+        // Touch a narrow window.
+        src.write(100, 7).unwrap();
+        src.write(110, 9).unwrap();
+        let delta = RegisterSnapshot::capture(&mut src, CaptureMode::Delta);
+        assert_eq!(delta.payload_buckets(), 11, "watermark spans [100, 111)");
+        assert!(delta.payload_buckets() < 1024 / 8, "delta must be cheap");
+        // base + delta == live register.
+        base.merge_delta(&delta).unwrap();
+        let mut dst = Register::new(1024, 32);
+        base.apply(&mut dst).unwrap();
+        assert_eq!(contents(&src), contents(&dst));
+        // Untouched register yields an empty delta.
+        let empty = RegisterSnapshot::capture(&mut src, CaptureMode::Delta);
+        assert_eq!(empty.payload_buckets(), 0);
+    }
+
+    #[test]
+    fn capture_is_a_barrier() {
+        let mut src = Register::new(64, 16);
+        src.write(5, 1).unwrap();
+        let _ = RegisterSnapshot::capture(&mut src, CaptureMode::Delta);
+        src.write(40, 2).unwrap();
+        let second = RegisterSnapshot::capture(&mut src, CaptureMode::Delta);
+        // Only the post-barrier write appears.
+        assert_eq!(second.payload_buckets(), 1);
+        match &second.data {
+            SnapshotData::Delta(spans) => assert_eq!(spans[0].start, 40),
+            _ => panic!("expected delta"),
+        }
+    }
+
+    #[test]
+    fn geometry_and_version_mismatches_are_rejected() {
+        let mut src = Register::new(64, 16);
+        let mut snap = RegisterSnapshot::capture(&mut src, CaptureMode::Full);
+        let mut wrong_len = Register::new(128, 16);
+        assert!(matches!(
+            snap.apply(&mut wrong_len),
+            Err(RmtError::CheckpointMismatch("register length"))
+        ));
+        let mut wrong_width = Register::new(64, 8);
+        assert!(matches!(
+            snap.apply(&mut wrong_width),
+            Err(RmtError::CheckpointMismatch("register width"))
+        ));
+        snap.version = CHECKPOINT_VERSION + 1;
+        let mut ok = Register::new(64, 16);
+        assert!(matches!(
+            snap.apply(&mut ok),
+            Err(RmtError::CheckpointMismatch("snapshot version"))
+        ));
+    }
+
+    #[test]
+    fn pipeline_checkpoint_restores_in_order() {
+        let mut a = filled(32, 16, 2);
+        let mut b = filled(64, 8, 5);
+        let chk =
+            RegisterCheckpoint::capture(vec![&mut a, &mut b], CaptureMode::Full);
+        assert!(chk.is_full());
+        assert_eq!(chk.payload_buckets(), 96);
+        let mut a2 = Register::new(32, 16);
+        let mut b2 = Register::new(64, 8);
+        chk.restore(vec![&mut a2, &mut b2]).unwrap();
+        assert_eq!(contents(&a), contents(&a2));
+        assert_eq!(contents(&b), contents(&b2));
+        // Register-count mismatch in either direction is rejected.
+        let mut only = Register::new(32, 16);
+        assert!(chk.restore(vec![&mut only]).is_err());
+        let mut c = Register::new(16, 4);
+        assert!(chk
+            .restore(vec![&mut a2, &mut b2, &mut c])
+            .is_err());
+    }
+
+    #[test]
+    fn overlay_folds_deltas_onto_full_base() {
+        let mut a = filled(32, 16, 1);
+        let mut b = filled(32, 16, 4);
+        let mut base =
+            RegisterCheckpoint::capture(vec![&mut a, &mut b], CaptureMode::Full);
+        a.write(3, 999).unwrap();
+        b.clear_range(8, 12).unwrap();
+        let delta =
+            RegisterCheckpoint::capture(vec![&mut a, &mut b], CaptureMode::Delta);
+        assert!(!delta.is_full());
+        base.overlay(&delta).unwrap();
+        let mut a2 = Register::new(32, 16);
+        let mut b2 = Register::new(32, 16);
+        base.restore(vec![&mut a2, &mut b2]).unwrap();
+        assert_eq!(contents(&a), contents(&a2));
+        assert_eq!(contents(&b), contents(&b2));
+    }
+
+    #[test]
+    fn overlay_rejects_shape_mismatch() {
+        let mut a = Register::new(32, 16);
+        let mut base = RegisterCheckpoint::capture(vec![&mut a], CaptureMode::Full);
+        let mut b = Register::new(32, 16);
+        let mut c = Register::new(32, 16);
+        let delta =
+            RegisterCheckpoint::capture(vec![&mut b, &mut c], CaptureMode::Delta);
+        assert!(matches!(
+            base.overlay(&delta),
+            Err(RmtError::CheckpointMismatch("register count"))
+        ));
+        // A delta base cannot absorb anything.
+        let mut delta_base = RegisterCheckpoint::capture(vec![&mut b], CaptureMode::Delta);
+        let d2 = RegisterCheckpoint::capture(vec![&mut c], CaptureMode::Delta);
+        assert!(delta_base.overlay(&d2).is_err());
+    }
+}

@@ -31,6 +31,9 @@
 //!   (§3.2 Figure 8), including the Appendix E mirror/recirculate splicing.
 //! - [`rules`]: runtime rule kinds and the measured install-latency model
 //!   the control plane uses for Table 3's deployment delays.
+//! - [`checkpoint`]: versioned register-file snapshots (full and
+//!   dirty-delta) with restore-to-bit-identical semantics — the state
+//!   capture half of the control plane's recovery story.
 //! - [`fault`]: deterministic fault injection for install-time operations
 //!   (failed rule installs, dead groups, flaky channels) plus bounded
 //!   retry-with-backoff — the adversary the control plane's transactional
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod fault;
 pub mod hash;
 pub mod phv;
@@ -80,6 +84,9 @@ pub enum RmtError {
     },
     /// A rule referenced an entity that does not exist.
     NoSuchEntity(&'static str),
+    /// A checkpoint snapshot did not match the target register's
+    /// geometry, format version, or count (what was mismatched).
+    CheckpointMismatch(&'static str),
 }
 
 impl std::fmt::Display for RmtError {
@@ -100,6 +107,9 @@ impl std::fmt::Display for RmtError {
                 write!(f, "{what} index {index} out of range (limit {limit})")
             }
             RmtError::NoSuchEntity(what) => write!(f, "no such {what}"),
+            RmtError::CheckpointMismatch(what) => {
+                write!(f, "checkpoint mismatch: {what}")
+            }
         }
     }
 }

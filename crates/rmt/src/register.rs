@@ -16,6 +16,11 @@ use crate::RmtError;
 pub struct Register {
     width_bits: u8,
     buckets: Vec<u32>,
+    /// Half-open bucket range written since the last
+    /// [`Register::clear_dirty`] (`None` = untouched). Checkpoint delta
+    /// capture reads this so periodic snapshots copy only the SRAM that
+    /// actually changed.
+    dirty: Option<(usize, usize)>,
 }
 
 impl Register {
@@ -33,7 +38,33 @@ impl Register {
         Register {
             width_bits,
             buckets: vec![0; buckets],
+            dirty: None,
         }
+    }
+
+    /// Extends the dirty watermark to cover `[start, end)`.
+    fn mark_dirty(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        self.dirty = Some(match self.dirty {
+            Some((lo, hi)) => (lo.min(start), hi.max(end)),
+            None => (start, end),
+        });
+    }
+
+    /// The half-open bucket range written since the last
+    /// [`Register::clear_dirty`] (or construction), if any. A single
+    /// watermark range, not an exact set: it may cover untouched buckets
+    /// between two distant writes, but never misses a written one.
+    pub fn dirty_range(&self) -> Option<(usize, usize)> {
+        self.dirty
+    }
+
+    /// Resets dirty tracking — the snapshot barrier a checkpoint capture
+    /// places after copying the dirty range.
+    pub fn clear_dirty(&mut self) {
+        self.dirty = None;
     }
 
     /// Bucket bit width.
@@ -88,6 +119,7 @@ impl Register {
             limit,
         })?;
         *slot = value & max;
+        self.mark_dirty(addr, addr + 1);
         Ok(())
     }
 
@@ -102,6 +134,7 @@ impl Register {
             });
         }
         self.buckets[start..end].fill(0);
+        self.mark_dirty(start, end);
         Ok(())
     }
 
@@ -172,6 +205,26 @@ mod tests {
         assert!(r.write(17, 1).is_err());
         assert!(r.clear_range(0, 5).is_err());
         assert!(r.read_range(3, 2).is_err());
+    }
+
+    #[test]
+    fn dirty_watermark_tracks_writes() {
+        let mut r = Register::new(64, 16);
+        assert_eq!(r.dirty_range(), None, "fresh register is clean");
+        r.write(10, 1).unwrap();
+        assert_eq!(r.dirty_range(), Some((10, 11)));
+        r.write(3, 1).unwrap();
+        r.write(20, 1).unwrap();
+        assert_eq!(r.dirty_range(), Some((3, 21)), "watermark spans all writes");
+        r.clear_dirty();
+        assert_eq!(r.dirty_range(), None);
+        // clear_range dirties too (a reset must reach the next delta).
+        r.clear_range(8, 16).unwrap();
+        assert_eq!(r.dirty_range(), Some((8, 16)));
+        // Out-of-range writes leave the watermark untouched.
+        r.clear_dirty();
+        assert!(r.write(99, 1).is_err());
+        assert_eq!(r.dirty_range(), None);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Chaos soak: ≥ 20 seeded fault schedules with zero violations, plus
+//! determinism of the schedules themselves and of fault plans across
+//! call sites.
+
+use flymon::prelude::*;
+use flymon_netsim::chaos::{run_schedule, run_soak, ChaosConfig};
+use flymon_netsim::SwitchFleet;
+use flymon_packet::KeySpec;
+
+fn soak_config() -> ChaosConfig {
+    ChaosConfig {
+        switches: 4,
+        events: 25,
+        slice_packets: 1_000,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn twenty_seeded_schedules_run_clean() {
+    let reports = run_soak(1..=20u64, &soak_config());
+    assert_eq!(reports.len(), 20);
+    for r in &reports {
+        assert!(
+            r.is_clean(),
+            "seed {} violated invariants: {:#?}",
+            r.seed,
+            r.violations
+        );
+        assert_eq!(r.events, 25, "seed {} ended early", r.seed);
+    }
+    // The soak must actually exercise the machinery it claims to test.
+    let kills: usize = reports.iter().map(|r| r.kills).sum();
+    let promotes: usize = reports.iter().map(|r| r.promotes).sum();
+    let revives: usize = reports.iter().map(|r| r.revives).sum();
+    let reconfigs: usize = reports.iter().map(|r| r.reconfigs).sum();
+    let packets: u64 = reports.iter().map(|r| r.packets).sum();
+    assert!(kills >= 20, "only {kills} kills across 20 seeds");
+    assert!(promotes > 0, "no promotion ever ran");
+    assert!(revives > 0, "no revival ever ran");
+    assert!(reconfigs > 0, "no reconfiguration ever ran");
+    assert!(packets > 100_000, "only {packets} packets fed");
+}
+
+#[test]
+fn chaos_schedules_are_seed_deterministic() {
+    let cfg = ChaosConfig {
+        switches: 3,
+        events: 18,
+        slice_packets: 600,
+        ..ChaosConfig::default()
+    };
+    for seed in [3u64, 0xDEAD, 91] {
+        assert_eq!(
+            run_schedule(seed, &cfg),
+            run_schedule(seed, &cfg),
+            "seed {seed} replayed differently"
+        );
+    }
+    assert_ne!(
+        run_schedule(3, &cfg).packets,
+        0,
+        "schedules must do real work"
+    );
+}
+
+#[test]
+fn fault_plans_agree_across_deploy_call_sites() {
+    // The same seeded plan must produce the same verdict stream whether
+    // it is armed directly on a FlyMon or threaded through
+    // SwitchFleet::deploy_with_faults — the op sequence of a fresh
+    // deploy is identical, so the outcomes and op counts must be too.
+    let config = FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    };
+    let def = TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(8192)
+        .build();
+
+    for seed in [5u64, 6, 7, 8] {
+        let plan = FaultPlan::new(seed).fail_probability(0.2);
+
+        let mut direct = FlyMon::new(config);
+        direct.arm_faults(plan.clone());
+        let direct_ok = direct.deploy(&def).is_ok();
+        let direct_plan = direct.disarm_faults().unwrap();
+
+        let mut faults = vec![Some(plan.clone()), Some(plan.clone())];
+        match SwitchFleet::deploy_with_faults(2, config, &def, &mut faults) {
+            Ok(fleet) => {
+                for i in 0..2 {
+                    assert_eq!(
+                        fleet.is_alive(i),
+                        direct_ok,
+                        "seed {seed}: switch {i} disagrees with the direct deploy"
+                    );
+                }
+            }
+            Err(_) => assert!(
+                !direct_ok,
+                "seed {seed}: fleet-wide failure but the direct deploy succeeded"
+            ),
+        }
+        for slot in &faults {
+            assert_eq!(
+                slot.as_ref().unwrap().ops_seen(),
+                direct_plan.ops_seen(),
+                "seed {seed}: op streams diverged between call sites"
+            );
+        }
+    }
+}

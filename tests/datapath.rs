@@ -204,3 +204,66 @@ fn replay_is_deterministic_across_repeated_runs() {
     b.process_trace(&t);
     assert_eq!(rows(&a), rows(&b));
 }
+
+#[test]
+fn fleet_drop_accounting_agrees_between_serial_and_parallel_replay() {
+    // Satellite invariant: under mid-fleet failures, `dropped_packets`
+    // totals and per-worker drop attribution must agree between
+    // `process_trace` and `process_trace_parallel`.
+    use flymon_netsim::{datapath, SwitchFleet};
+
+    let def = TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(8192)
+        .build();
+    let t = trace();
+    let n = 4;
+
+    // Phase 1: partial failure — survivors absorb every reroute, so
+    // both paths must drop exactly nothing and keep dead rows idle.
+    let mut serial = SwitchFleet::deploy(n, config(), &def).unwrap();
+    let mut parallel = SwitchFleet::deploy(n, config(), &def).unwrap();
+    for i in [1, 3] {
+        serial.fail_switch(i);
+        parallel.fail_switch(i);
+    }
+    serial.process_trace(&t);
+    let stats = parallel.process_trace_parallel(&t);
+    assert_eq!(parallel.dropped_packets(), serial.dropped_packets());
+    assert_eq!(serial.dropped_packets(), 0, "survivors must absorb reroutes");
+    for i in [1, 3] {
+        assert_eq!(stats[i].packets, 0, "dead switch {i} processed traffic");
+        assert_eq!(stats[i].dropped, 0, "no drops while survivors exist");
+    }
+    assert!(serial.ledger().balanced());
+    assert!(parallel.ledger().balanced());
+
+    // Phase 2: the whole fleet is dead. Both paths drop everything, and
+    // the parallel path attributes each drop to the packet's dead
+    // *ingress* switch — exactly the serial path's routing decision.
+    for i in 0..n {
+        serial.fail_switch(i);
+        parallel.fail_switch(i);
+    }
+    serial.process_trace(&t);
+    let stats = parallel.process_trace_parallel(&t);
+    assert_eq!(parallel.dropped_packets(), serial.dropped_packets());
+    assert_eq!(serial.dropped_packets(), t.len() as u64);
+
+    let mut expected = vec![0u64; n];
+    for p in &t {
+        expected[datapath::shard_of(p, n)] += 1;
+    }
+    for i in 0..n {
+        assert_eq!(
+            stats[i].dropped, expected[i],
+            "drop attribution for ingress {i} diverged from the shard split"
+        );
+        assert_eq!(stats[i].packets, 0);
+    }
+    assert_eq!(stats.iter().map(|s| s.dropped).sum::<u64>(), t.len() as u64);
+    assert!(serial.ledger().balanced());
+    assert!(parallel.ledger().balanced());
+}

@@ -1,0 +1,186 @@
+//! Checkpoint/WAL recovery and warm-standby failover, end to end.
+//!
+//! The acceptance bar: kill → promote → recover must hand back a switch
+//! whose registers are *bit-identical* to an unfailed replica at the
+//! checkpoint epoch, whose audit is clean, and whose merged estimates
+//! stay within the documented loss-window bound.
+
+use flymon::prelude::*;
+use flymon_netsim::SwitchFleet;
+use flymon_packet::{KeySpec, Packet};
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn cms_def(d: usize) -> TaskDefinition {
+    TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d })
+        .memory(8192)
+        .build()
+}
+
+fn trace(seed: u64, packets: u64) -> Vec<Packet> {
+    TraceGenerator::new(seed).wide_like(&TraceConfig {
+        flows: 2_000,
+        packets,
+        zipf_alpha: 1.1,
+        duration_ns: 1_000_000_000,
+        seed,
+    })
+}
+
+/// Every register bucket of every CMU, in canonical order.
+fn all_registers(fm: &FlyMon) -> Vec<Vec<u32>> {
+    let total = fm.config().buckets_per_cmu;
+    fm.groups()
+        .iter()
+        .flat_map(|g| {
+            g.cmus()
+                .iter()
+                .map(move |c| c.register().read_range(0, total).unwrap().to_vec())
+        })
+        .collect()
+}
+
+#[test]
+fn promoted_standby_is_bit_identical_to_unfailed_replica_at_checkpoint_epoch() {
+    let def = cms_def(2);
+    let t1 = trace(0xA11CE, 30_000);
+    let t2 = trace(0xB0B, 10_000);
+
+    // A single-switch fleet and an unfailed replica see the same t1, in
+    // the same order (one switch means no sharding ambiguity).
+    let mut fleet = SwitchFleet::deploy(1, config(), &def).unwrap();
+    let mut replica = FlyMon::new(config());
+    let rh = replica.deploy(&def).unwrap();
+    fleet.process_trace(&t1);
+    replica.process_trace(&t1);
+
+    // Checkpoint epoch: the standby ingests a full image here.
+    fleet.enable_standby();
+
+    // The loss window: t2 reaches only the doomed switch.
+    fleet.process_trace(&t2);
+    fleet.fail_switch(0);
+    let loss = fleet.promote_standby(0).unwrap();
+    assert_eq!(loss, t2.len() as u64, "the whole post-barrier slice is the loss window");
+
+    // The promoted instance is the replica at the checkpoint epoch,
+    // register file for register file.
+    let (promoted, handle) = fleet.switch(0);
+    assert_eq!(
+        all_registers(promoted),
+        all_registers(&replica),
+        "promoted registers diverge from the unfailed replica"
+    );
+    assert!(promoted.audit().is_empty(), "{:?}", promoted.audit());
+    assert_eq!(handle.unwrap(), rh, "recovery must preserve the task handle");
+
+    // Estimates: bit-identical registers mean identical queries at the
+    // checkpoint epoch, and the loss window bounds what t2 took away.
+    let mut seen = std::collections::HashSet::new();
+    for p in t1.iter().step_by(509) {
+        if !seen.insert(KeySpec::SRC_IP.extract(p)) {
+            continue;
+        }
+        assert_eq!(
+            fleet.merged_frequency(p).unwrap(),
+            replica.query_frequency(rh, p)
+        );
+    }
+    let heavy = &t1[0];
+    let true_count = t1
+        .iter()
+        .chain(&t2)
+        .filter(|p| KeySpec::SRC_IP.extract(p) == KeySpec::SRC_IP.extract(heavy))
+        .count() as u64;
+    let bounded = fleet.merged_frequency_bounded(heavy).unwrap();
+    assert!(
+        bounded.estimate + bounded.loss_bound >= true_count,
+        "bound {bounded:?} fails to cover true count {true_count}"
+    );
+    assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+}
+
+#[test]
+fn recovery_replays_control_plane_operations_after_the_checkpoint() {
+    let def = cms_def(2);
+    let mut fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
+    fleet.enable_standby();
+
+    // Post-checkpoint control-plane history on switch 0: an extra task
+    // deployed (and kept). Recovery must replay it from the WAL.
+    let extra = TaskDefinition::builder("post-chk-bloom")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(1024)
+        .build();
+    let eh = fleet.switch_mut(0).deploy(&extra).unwrap();
+    let marked = Packet::tcp(1, 2, 3, 4);
+    fleet.switch_mut(0).process(&marked);
+
+    fleet.fail_switch(0);
+    fleet.promote_standby(0).unwrap();
+
+    let (promoted, _) = fleet.switch(0);
+    assert_eq!(promoted.task_count(), 2, "replayed deploy is missing");
+    assert!(promoted.audit().is_empty(), "{:?}", promoted.audit());
+    // Same handle resolves on the recovered switch; its *registers* are
+    // from the checkpoint epoch (the insert was in the loss window).
+    assert!(promoted.task(eh).is_ok());
+    assert!(!promoted.query_exists(eh, &marked), "loss-window insert must not survive");
+}
+
+#[test]
+fn multi_switch_failover_round_trip_stays_within_loss_bound() {
+    let def = cms_def(3);
+    let t = trace(0xF1EE7, 60_000);
+    let mut fleet = SwitchFleet::deploy(4, config(), &def).unwrap();
+    fleet.enable_standby();
+
+    fleet.process_trace_parallel(&t[..30_000]);
+    fleet.sync_standby();
+    fleet.process_trace(&t[30_000..]);
+
+    fleet.fail_switch(1);
+    fleet.promote_standby(1).unwrap();
+    fleet.fail_switch(3);
+    fleet.revive_switch(3).unwrap();
+
+    assert_eq!(fleet.alive_count(), 4);
+    for i in 0..4 {
+        assert!(fleet.switch(i).0.audit().is_empty(), "switch {i}");
+    }
+    let ledger = fleet.ledger();
+    assert!(ledger.balanced(), "{ledger:?}");
+    assert_eq!(ledger.fed, t.len() as u64);
+    assert!(ledger.lost > 0, "failover must have cost something");
+
+    // Spot-check heavy flows against ground truth: the documented bound
+    // `true <= estimate + loss_bound` holds for every flow.
+    let mut counts = std::collections::HashMap::new();
+    for p in &t {
+        *counts.entry(KeySpec::SRC_IP.extract(p)).or_insert(0u64) += 1;
+    }
+    let mut seen = std::collections::HashSet::new();
+    for p in t.iter().step_by(251) {
+        let key = KeySpec::SRC_IP.extract(p);
+        if !seen.insert(key) {
+            continue;
+        }
+        let b = fleet.merged_frequency_bounded(p).unwrap();
+        assert!(
+            b.estimate + b.loss_bound >= counts[&key],
+            "flow {key:?}: {b:?} fails to cover {}",
+            counts[&key]
+        );
+    }
+}

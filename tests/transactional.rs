@@ -369,3 +369,62 @@ fn op_counter_spans_operations_while_armed() {
     let plan = fm.disarm_faults().unwrap();
     assert!(plan.ops_seen() >= 9);
 }
+
+/// Same seed ⇒ identical probabilistic fault schedule: the exact same
+/// sequence of deploy/remove outcomes (including which op index failed)
+/// and the same op count, across fresh reruns.
+#[test]
+fn probabilistic_fault_schedule_is_identical_across_reruns() {
+    let run = |seed: u64| -> (Vec<Result<(), u64>>, u64) {
+        let mut fm = small();
+        fm.set_retry_policy(RetryPolicy::with_attempts(2));
+        fm.arm_faults(FaultPlan::new(seed).fail_probability(0.2));
+        let mut outcomes = Vec::new();
+        for k in 0..6u32 {
+            let mut def = cms(&format!("t{k}"), 1, 64);
+            def.filter = TaskFilter::src(0x0a000000 + (k << 8), 24);
+            match fm.deploy(&def) {
+                Ok(h) => {
+                    outcomes.push(Ok(()));
+                    match fm.remove(h) {
+                        Ok(()) => outcomes.push(Ok(())),
+                        Err(FlymonError::Install(e)) => outcomes.push(Err(e.op_index)),
+                        Err(other) => panic!("unexpected: {other}"),
+                    }
+                }
+                Err(FlymonError::Install(e)) => outcomes.push(Err(e.op_index)),
+                Err(other) => panic!("unexpected: {other}"),
+            }
+            assert_clean(&fm);
+        }
+        (outcomes, fm.disarm_faults().unwrap().ops_seen())
+    };
+    assert_eq!(run(21), run(21), "same seed must replay identically");
+    assert_ne!(run(21).0, run(22).0, "different seeds should diverge");
+}
+
+/// Transient faults are deterministic too: the retry policy absorbs
+/// exactly the same number of attempts on every rerun, so the modeled
+/// install latency (which folds in backoff) reproduces to the bit.
+#[test]
+fn transient_fault_schedule_is_deterministic_and_absorbed_by_retries() {
+    let run = |attempts: u32| -> (bool, f64, u64) {
+        let mut fm = small();
+        fm.set_retry_policy(RetryPolicy::with_attempts(attempts));
+        fm.arm_faults(FaultPlan::new(5).transient(1));
+        let ok = fm.deploy(&cms("t", 2, 128)).is_ok();
+        assert_clean(&fm);
+        (ok, fm.total_install_ms(), fm.disarm_faults().unwrap().ops_seen())
+    };
+    // One attempt: the first op's transient fault is fatal (rolled back).
+    let (ok, _, _) = run(1);
+    assert!(!ok, "transient(1) must kill a no-retry deploy");
+    // Two attempts: every op fails once, retries once, succeeds.
+    let (ok, ms_a, ops_a) = run(2);
+    assert!(ok, "one retry must absorb transient(1)");
+    let (ok_b, ms_b, ops_b) = run(2);
+    assert!(ok_b);
+    assert_eq!(ops_a, ops_b, "op streams must match across reruns");
+    assert!((ms_a - ms_b).abs() < 1e-12, "modeled latency must reproduce");
+    assert!(ms_a > 0.0, "retries must have cost modeled backoff");
+}
