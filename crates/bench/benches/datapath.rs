@@ -1,33 +1,55 @@
-//! Serial vs. sharded-parallel trace replay, plus the CRC kernel duel.
+//! Stage-major batched replay vs. per-packet replay vs. the sharded
+//! datapath, plus the CRC kernel duel.
 //!
-//! Replays the canonical ≥1M-packet evaluation trace through one switch
-//! serially, then through a [`ShardedDatapath`] at several worker
-//! counts, verifying the merged registers stay bit-identical and the
-//! per-worker packet accounting covers the trace exactly. A kernel
-//! microbench races the old byte-at-a-time CRC32 against the
-//! slicing-by-8 kernel on realistic key sizes. Everything lands in
-//! `results/BENCH_datapath.json` together with the host CPU count and
-//! git revision — the perf trajectory every later datapath change is
-//! measured against, comparable across PRs and machines.
+//! Replays the canonical ≥1M-packet evaluation trace four ways through
+//! one switch configuration:
+//!
+//! - **serial (batched)** — `FlyMon::process_trace`, the stage-major
+//!   hot path at the default batch size: the recorded headline number;
+//! - **batch sweep** — the same replay at batch sizes 16/64/256, to keep
+//!   the default honest as the hot path evolves;
+//! - **prefetch duel** — default batch size with register-row prefetch
+//!   on vs. off;
+//! - **per-packet** — the interpreter path (`FlyMon::process` in a
+//!   loop), asserted bit-identical to the batched replay;
+//!
+//! then through a [`ShardedDatapath`] at several worker counts,
+//! verifying the merged registers stay bit-identical and the per-worker
+//! packet accounting covers the trace exactly. A kernel microbench
+//! races byte-at-a-time CRC32 against the slicing-by-8 kernel.
+//!
+//! Full runs overwrite `results/BENCH_datapath.json` (the snapshot later
+//! PRs diff against) *and* append one record to
+//! `results/BENCH_history.jsonl` (the append-only trajectory).
 //!
 //! Run with `cargo bench --bench datapath`; CI runs
-//! `cargo bench --bench datapath -- --smoke` on a ~100k-packet trace
-//! (schema check only, numbers not recorded).
+//! `cargo bench --bench datapath -- --smoke` on a ~100k-packet trace:
+//! schema check plus a tolerance guard — the smoke serial throughput
+//! must stay within 25% of the committed baseline field, else exit 1.
 
 use std::time::Instant;
 
 use flymon::prelude::*;
-use flymon_bench::{emit_results_file, eval_trace, print_table, smoke_trace};
-use flymon_netsim::ShardedDatapath;
+use flymon_bench::{
+    append_results_line, emit_results_file, eval_trace, print_table, read_results_field,
+    smoke_trace,
+};
+use flymon_netsim::{ReplayMode, ShardedDatapath};
 use flymon_packet::KeySpec;
 use flymon_rmt::hash::{crc32_slice8, crc32_with_table, tables8_for, CRC32_POLYNOMIALS};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const BATCH_SIZES: [usize; 3] = [16, 64, 256];
 
-/// PR-2 numbers from `results/BENCH_datapath.json` at commit a945bad —
-/// the baseline this PR's acceptance bar is measured against.
-const PR2_SERIAL_PPS: f64 = 5_066_717.0;
-const PR2_SPEEDUP_4W: f64 = 0.958;
+/// PR-3 serial throughput from `results/BENCH_datapath.json` as
+/// committed by the hot-path rebuild — the baseline this PR's
+/// stage-major acceptance bar (≥1.25x) is measured against.
+const PR3_SERIAL_PPS: f64 = 9_750_327.0;
+
+/// The smoke guard fails when smoke serial throughput drops below this
+/// fraction of the committed baseline (the `baseline` object in
+/// `results/BENCH_datapath.json`).
+const SMOKE_TOLERANCE: f64 = 0.75;
 
 fn config() -> FlyMonConfig {
     FlyMonConfig {
@@ -89,8 +111,27 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Times one batched replay of `trace` on a fresh switch. Returns
+/// (seconds, switch, handle) so callers can read registers back.
+fn batched_replay(
+    trace: &[flymon_packet::Packet],
+    batch_size: usize,
+    prefetch: bool,
+) -> (f64, FlyMon, TaskHandle) {
+    let mut fm = FlyMon::new(config());
+    let h = fm.deploy(&task()).expect("bench deploy");
+    fm.set_batch_size(batch_size);
+    fm.set_prefetch(prefetch);
+    let begun = Instant::now();
+    fm.process_batch(trace);
+    (begun.elapsed().as_secs_f64(), fm, h)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // Read the committed baseline *before* this run overwrites the file.
+    let committed_baseline =
+        read_results_field("BENCH_datapath.json", "serial_packets_per_sec");
     let trace = if smoke { smoke_trace() } else { eval_trace() };
     let n = trace.len();
     if !smoke {
@@ -98,7 +139,7 @@ fn main() {
     }
     let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let rev = git_rev();
-    println!("replaying {n} packets, serial vs sharded ({cpus} CPUs, rev {rev})\n");
+    println!("replaying {n} packets, batched vs per-packet vs sharded ({cpus} CPUs, rev {rev})\n");
 
     let (kernel_old, kernel_new) = kernel_duel();
     println!(
@@ -107,28 +148,100 @@ fn main() {
         kernel_new / kernel_old
     );
 
-    // Serial baseline.
-    let mut serial = FlyMon::new(config());
-    let h = serial.deploy(&task()).expect("serial deploy");
-    let started = Instant::now();
-    serial.process_trace(&trace);
-    let serial_secs = started.elapsed().as_secs_f64();
+    // Headline: the stage-major batched replay at the default batch size.
+    let default_batch = FlyMon::new(config()).batch_size();
+    let (serial_secs, serial, h) = batched_replay(&trace, default_batch, true);
     let serial_pps = n as f64 / serial_secs;
 
-    let mut rows = vec![vec![
-        "serial".to_string(),
-        format!("{serial_secs:.3}"),
-        format!("{serial_pps:.0}"),
-        "1.00".to_string(),
-    ]];
-    let mut parallel_json = Vec::new();
+    // Per-packet interpreter reference: timed for the table, and the
+    // bit-identity witness for the whole batched path.
+    let mut per_packet = FlyMon::new(config());
+    let h_pp = per_packet.deploy(&task()).expect("per-packet deploy");
+    let begun = Instant::now();
+    for p in &trace {
+        per_packet.process(p);
+    }
+    let pp_secs = begun.elapsed().as_secs_f64();
+    let pp_pps = n as f64 / pp_secs;
+    for row in 0..3 {
+        assert_eq!(
+            serial.read_row(h, row).expect("batched row"),
+            per_packet.read_row(h_pp, row).expect("per-packet row"),
+            "batched replay diverged from per-packet replay at row {row}"
+        );
+    }
 
+    let mut rows = vec![
+        vec![
+            format!("serial (batch {default_batch})"),
+            format!("{serial_secs:.3}"),
+            format!("{serial_pps:.0}"),
+            "1.00".to_string(),
+        ],
+        vec![
+            "per-packet".to_string(),
+            format!("{pp_secs:.3}"),
+            format!("{pp_pps:.0}"),
+            format!("{:.2}", serial_secs / pp_secs),
+        ],
+    ];
+
+    // Batch-size sweep: fresh switch per size, same registers demanded.
+    let mut sweep_json = Vec::new();
+    for batch in BATCH_SIZES {
+        let secs = if batch == default_batch {
+            serial_secs
+        } else {
+            let (secs, fm, hb) = batched_replay(&trace, batch, true);
+            for row in 0..3 {
+                assert_eq!(
+                    fm.read_row(hb, row).expect("sweep row"),
+                    serial.read_row(h, row).expect("serial row"),
+                    "batch size {batch} diverged at row {row}"
+                );
+            }
+            secs
+        };
+        let pps = n as f64 / secs;
+        sweep_json.push(format!(
+            r#"{{"batch_size":{batch},"seconds":{secs:.6},"packets_per_sec":{pps:.0}}}"#
+        ));
+        rows.push(vec![
+            format!("batch {batch}"),
+            format!("{secs:.3}"),
+            format!("{pps:.0}"),
+            format!("{:.2}", serial_secs / secs),
+        ]);
+    }
+
+    // Prefetch duel at the default batch size.
+    let (nopf_secs, nopf_fm, nopf_h) = batched_replay(&trace, default_batch, false);
+    for row in 0..3 {
+        assert_eq!(
+            nopf_fm.read_row(nopf_h, row).expect("no-prefetch row"),
+            serial.read_row(h, row).expect("serial row"),
+            "prefetch changed register contents at row {row}"
+        );
+    }
+    let nopf_pps = n as f64 / nopf_secs;
+    rows.push(vec![
+        "no prefetch".to_string(),
+        format!("{nopf_secs:.3}"),
+        format!("{nopf_pps:.0}"),
+        format!("{:.2}", serial_secs / nopf_secs),
+    ]);
+
+    let mut parallel_json = Vec::new();
     for workers in WORKER_COUNTS {
         let mut dp =
             ShardedDatapath::deploy(workers, config(), &task()).expect("sharded deploy");
         let stats = dp.process_trace(&trace);
         let secs = stats.elapsed.as_secs_f64();
         let pps = stats.packets_per_sec();
+        let mode = match stats.mode {
+            ReplayMode::Serial => "serial".to_string(),
+            ReplayMode::Threaded { threads } => format!("threaded({threads})"),
+        };
 
         // The merged registers must be bit-identical to the serial
         // replay — a sharded datapath that is fast but wrong is useless.
@@ -163,8 +276,9 @@ fn main() {
             })
             .collect();
         parallel_json.push(format!(
-            r#"{{"workers":{},"seconds":{:.6},"packets_per_sec":{:.0},"speedup":{:.3},"recirculated":{},"dropped":{},"per_worker":[{}]}}"#,
+            r#"{{"workers":{},"mode":"{}","seconds":{:.6},"packets_per_sec":{:.0},"speedup":{:.3},"recirculated":{},"dropped":{},"per_worker":[{}]}}"#,
             workers,
+            mode,
             secs,
             pps,
             serial_secs / secs,
@@ -173,7 +287,7 @@ fn main() {
             worker_json.join(",")
         ));
         rows.push(vec![
-            format!("sharded x{workers}"),
+            format!("sharded x{workers} [{mode}]"),
             format!("{secs:.3}"),
             format!("{pps:.0}"),
             format!("{:.2}", serial_secs / secs),
@@ -196,14 +310,56 @@ fn main() {
         "{{\n  \"trace_packets\": {n},\n  \"smoke\": {smoke},\n  \"cpus\": {cpus},\n  \"git_rev\": \"{rev}\",\n  \
          \"kernel\": {{\"name\": \"crc32-slice8\", \"bytewise_mkeys_per_sec\": {kernel_old:.1}, \
          \"slice8_mkeys_per_sec\": {kernel_new:.1}, \"speedup\": {:.3}}},\n  \
-         \"baseline\": {{\"source\": \"PR-2 (a945bad)\", \"serial_packets_per_sec\": {PR2_SERIAL_PPS:.0}, \
-         \"speedup_4_workers\": {PR2_SPEEDUP_4W}}},\n  \
-         \"serial\": {{\"seconds\": {serial_secs:.6}, \"packets_per_sec\": {serial_pps:.0}, \
-         \"speedup_vs_baseline\": {:.3}}},\n  \"parallel\": [\n    {}\n  ]\n}}\n",
+         \"baseline\": {{\"source\": \"PR-3 hot-path rebuild\", \"serial_packets_per_sec\": {PR3_SERIAL_PPS:.0}}},\n  \
+         \"serial\": {{\"batch_size\": {default_batch}, \"seconds\": {serial_secs:.6}, \
+         \"packets_per_sec\": {serial_pps:.0}, \"speedup_vs_baseline\": {:.3}}},\n  \
+         \"per_packet\": {{\"seconds\": {pp_secs:.6}, \"packets_per_sec\": {pp_pps:.0}}},\n  \
+         \"batch_sweep\": [\n    {}\n  ],\n  \
+         \"prefetch\": {{\"batch_size\": {default_batch}, \"on_packets_per_sec\": {serial_pps:.0}, \
+         \"off_packets_per_sec\": {nopf_pps:.0}, \"on_over_off\": {:.3}}},\n  \
+         \"parallel\": [\n    {}\n  ]\n}}\n",
         kernel_new / kernel_old,
-        serial_pps / PR2_SERIAL_PPS,
+        serial_pps / PR3_SERIAL_PPS,
+        sweep_json.join(",\n    "),
+        serial_pps / nopf_pps,
         parallel_json.join(",\n    ")
     );
     let path = emit_results_file("BENCH_datapath.json", &json);
     println!("wrote {}", path.display());
+
+    if smoke {
+        // Tolerance guard: CI fails when the smoke serial throughput
+        // falls more than 25% below the committed baseline. (Smoke
+        // numbers are never recorded; they only gate regressions.)
+        let Some(baseline) = committed_baseline else {
+            eprintln!("smoke guard: no committed baseline found, skipping");
+            return;
+        };
+        let floor = baseline * SMOKE_TOLERANCE;
+        if serial_pps < floor {
+            eprintln!(
+                "smoke guard FAILED: serial {serial_pps:.0} pkt/s is below \
+                 {SMOKE_TOLERANCE}x the committed baseline {baseline:.0} pkt/s \
+                 (floor {floor:.0})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke guard OK: serial {serial_pps:.0} pkt/s ≥ {floor:.0} pkt/s \
+             ({SMOKE_TOLERANCE}x of committed baseline {baseline:.0})"
+        );
+    } else {
+        // Append-only perf trajectory, one record per full run.
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let line = format!(
+            r#"{{"unix_ts":{ts},"git_rev":"{rev}","cpus":{cpus},"trace_packets":{n},"serial_batch_size":{default_batch},"serial_packets_per_sec":{serial_pps:.0},"speedup_vs_baseline":{:.3},"per_packet_packets_per_sec":{pp_pps:.0},"prefetch_on_over_off":{:.3},"batch_sweep":[{}]}}"#,
+            serial_pps / PR3_SERIAL_PPS,
+            serial_pps / nopf_pps,
+            sweep_json.join(",")
+        );
+        let hist = append_results_line("BENCH_history.jsonl", &line);
+        println!("appended {}", hist.display());
+    }
 }

@@ -141,6 +141,46 @@ pub fn emit_results_file(name: &str, contents: &str) -> std::path::PathBuf {
     path
 }
 
+/// Appends one line to a results artifact (creating the file if it does
+/// not exist yet) and returns its path. The JSONL perf-history logs
+/// (e.g. `BENCH_history.jsonl`) use this: every full benchmark run adds
+/// one self-contained record, so the trajectory across PRs and machines
+/// survives the per-file overwrites of [`emit_results_file`].
+pub fn append_results_line(name: &str, line: &str) -> std::path::PathBuf {
+    use std::io::Write;
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+    writeln!(file, "{}", line.trim_end())
+        .unwrap_or_else(|e| panic!("cannot append to {}: {e}", path.display()));
+    path
+}
+
+/// Reads one numeric field out of a committed results artifact by plain
+/// string search. The artifacts are emitted by this crate with stable
+/// formatting, so a JSON parser would be a dependency for nothing; the
+/// first occurrence of `"field":` wins. Returns `None` when the file or
+/// the field is missing or malformed — callers treat that as "no
+/// baseline recorded yet".
+pub fn read_results_field(name: &str, field: &str) -> Option<f64> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = format!("\"{field}\"");
+    let rest = &text[text.find(&key)? + key.len()..];
+    let rest = rest[rest.find(':')? + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".+-eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Formats a byte count the way the paper labels its x-axes.
 pub fn fmt_bytes(bytes: usize) -> String {
     if bytes >= 1024 * 1024 {
@@ -177,6 +217,16 @@ mod tests {
             "want a plausible HH population, got {}",
             hh.len()
         );
+    }
+
+    #[test]
+    fn results_field_reader_finds_the_committed_baseline() {
+        // The datapath artifact is committed, so the string-search
+        // reader must find its baseline on any checkout.
+        let pps = read_results_field("BENCH_datapath.json", "serial_packets_per_sec");
+        assert!(pps.is_some_and(|v| v > 0.0), "baseline field unreadable");
+        assert!(read_results_field("BENCH_datapath.json", "no_such_field").is_none());
+        assert!(read_results_field("no_such_file.json", "x").is_none());
     }
 
     #[test]

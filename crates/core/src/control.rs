@@ -36,7 +36,7 @@ use crate::compiler::{self, CmuCouponConfig, PlacedRow};
 use crate::group::{CmuBinding, CmuGroup, GroupConfig};
 use crate::keysel::KeySource;
 use crate::params::PacketContext;
-use crate::scratch::PacketScratch;
+use crate::scratch::{BatchScratch, PacketScratch};
 use crate::task::{Algorithm, TaskDefinition, TaskId};
 use crate::wal::{WalIntent, WriteAheadLog};
 use crate::FlymonError;
@@ -173,6 +173,13 @@ pub struct FlyMon {
     pub(crate) next_id: u32,
     ctx: PacketContext,
     scratch: PacketScratch,
+    batch: BatchScratch,
+    batch_size: usize,
+    prefetch: bool,
+    /// Claimed-packet staging buffer for [`FlyMon::process_batch_if`],
+    /// kept on the instance so repeated claim scans reuse one
+    /// allocation.
+    claim_buf: Vec<Packet>,
     pub(crate) packets_processed: u64,
     pub(crate) recirculated_packets: u64,
     pub(crate) total_install_ms: f64,
@@ -180,6 +187,12 @@ pub struct FlyMon {
     retry: RetryPolicy,
     wal: Option<WriteAheadLog>,
 }
+
+/// Default stage-major batch size: 64 packets keeps the whole chunk's
+/// contexts, digests and resolved ops inside L1 while amortizing
+/// per-group dispatch over enough packets to matter (the bench's
+/// batch-size sweep backs this choice; see `results/BENCH_datapath.json`).
+pub const DEFAULT_BATCH_SIZE: usize = 64;
 
 impl FlyMon {
     /// Builds the data plane.
@@ -225,6 +238,10 @@ impl FlyMon {
             next_id: 1,
             ctx: PacketContext::default(),
             scratch: PacketScratch::default(),
+            batch: BatchScratch::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            prefetch: true,
+            claim_buf: Vec::new(),
             packets_processed: 0,
             recirculated_packets: 0,
             total_install_ms: 0.0,
@@ -353,14 +370,45 @@ impl FlyMon {
         self.process_batch(trace);
     }
 
+    /// Sets the stage-major batch size (clamped to ≥ 1). Any size is
+    /// bit-identical to any other — chunk boundaries carry no state —
+    /// so this is purely a throughput knob (the bench sweeps 16/64/256).
+    pub fn set_batch_size(&mut self, size: usize) {
+        self.batch_size = size.max(1);
+    }
+
+    /// The stage-major batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Enables or disables the register-row software prefetch issued
+    /// during batch address resolution. Purely advisory — readouts are
+    /// bit-identical either way.
+    pub fn set_prefetch(&mut self, enabled: bool) {
+        self.prefetch = enabled;
+    }
+
+    /// Whether register-row prefetching is enabled.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch
+    }
+
     /// Processes a batch of packets and reports what the batch did —
     /// the worker-facing entry point of the sharded datapath
     /// (`flymon_netsim::datapath`), which partitions a trace across
     /// per-worker replicas and calls this on each shard.
+    ///
+    /// This is the stage-major hot path: the slice is cut into
+    /// [`FlyMon::batch_size`] chunks and each chunk sweeps through every
+    /// group's compiled [`crate::program::GroupProgram`] one pipeline
+    /// stage at a time ([`CmuGroup::process_chunk`]). Register contents,
+    /// PHV results, hit counters and recirculation accounting are
+    /// bit-identical to calling [`FlyMon::process`] per packet.
     pub fn process_batch(&mut self, pkts: &[Packet]) -> BatchStats {
         let recirc_before = self.recirculated_packets;
-        for pkt in pkts {
-            self.process(pkt);
+        for chunk in pkts.chunks(self.batch_size) {
+            self.process_chunk(chunk);
         }
         BatchStats {
             packets: pkts.len() as u64,
@@ -368,11 +416,38 @@ impl FlyMon {
         }
     }
 
+    /// One stage-major chunk through the whole pipeline.
+    fn process_chunk(&mut self, chunk: &[Packet]) {
+        // PHV contexts only matter if some compiled binding reads them
+        // (chained attributes); otherwise both the per-packet resets and
+        // the per-op recording are skipped — the values are unobservable.
+        let record_ctx = self.groups.iter().any(|g| g.program().reads_ctx);
+        self.batch.begin_chunk(chunk.len(), record_ctx);
+        let first_spliced =
+            self.config.groups - self.config.spliced_groups.min(self.config.groups);
+        for (g, group) in self.groups.iter_mut().enumerate() {
+            group.process_chunk(
+                chunk,
+                &mut self.batch,
+                g >= first_spliced,
+                self.prefetch,
+                record_ctx,
+            );
+        }
+        self.recirculated_packets += self.batch.executed_count();
+        self.packets_processed += chunk.len() as u64;
+    }
+
     /// Processes the packets of `pkts` that `keep` accepts, in order —
     /// the zero-copy sharded datapath's entry point: every worker scans
     /// the *shared* trace slice in fixed-size chunks and claims its own
     /// packets here, so no per-shard packet vectors are ever built.
     /// Returns the stats of the packets actually processed.
+    ///
+    /// Claimed packets are staged into a reused buffer and flushed
+    /// through the stage-major path at every [`FlyMon::batch_size`]
+    /// boundary, so sharded workers get the same batched execution as
+    /// [`FlyMon::process_batch`].
     pub fn process_batch_if(
         &mut self,
         pkts: &[Packet],
@@ -380,12 +455,23 @@ impl FlyMon {
     ) -> BatchStats {
         let recirc_before = self.recirculated_packets;
         let mut packets = 0u64;
+        let mut buf = std::mem::take(&mut self.claim_buf);
+        buf.clear();
         for pkt in pkts {
             if keep(pkt) {
-                self.process(pkt);
-                packets += 1;
+                buf.push(*pkt);
+                if buf.len() == self.batch_size {
+                    self.process_chunk(&buf);
+                    packets += buf.len() as u64;
+                    buf.clear();
+                }
             }
         }
+        if !buf.is_empty() {
+            self.process_chunk(&buf);
+            packets += buf.len() as u64;
+        }
+        self.claim_buf = buf;
         BatchStats {
             packets,
             recirculated: self.recirculated_packets - recirc_before,
@@ -857,7 +943,7 @@ impl FlyMon {
             .collect();
         let mut exec = ExecStats::default();
         let mut snapshots: Vec<(usize, usize, usize, Vec<u32>)> = Vec::new();
-        for (g, c, off, size) in rows {
+        for &(g, c, off, size) in &rows {
             if let Err(e) = self.exec_op(InstallOpKind::RegisterWrite, g, &mut exec) {
                 for (sg, sc, soff, snap) in snapshots {
                     let reg = self.groups[sg].cmu_mut(sc).register_mut();
@@ -876,6 +962,16 @@ impl FlyMon {
                 .register_mut()
                 .clear_range(off, off + size)?;
             snapshots.push((g, c, off, snap));
+        }
+        // A reset leaves bindings untouched, but it is still a
+        // reconfiguration: force a program rebuild on every group it
+        // touched so *no* mutation path can leave a compiled program
+        // behind (the staleness contract of `tests/batch.rs`).
+        let mut touched: Vec<usize> = rows.iter().map(|r| r.0).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for g in touched {
+            self.groups[g].invalidate_program();
         }
         Ok(())
     }

@@ -16,14 +16,15 @@
 
 use flymon_packet::{Packet, TaskFilter};
 use flymon_rmt::hash::{HashScratch, HashUnit, MAX_HASH_UNITS};
-use flymon_rmt::salu::{Salu, StatefulOp};
+use flymon_rmt::salu::{BatchOp, Salu, StatefulOp};
 use flymon_rmt::RmtError;
 
 use crate::addr::AddrTranslation;
 use crate::keysel::KeySelect;
 use crate::params::{PacketContext, ParamSource};
 use crate::prep::PrepAction;
-use crate::scratch::{CoinScratch, PacketScratch};
+use crate::program::{CompiledCmu, GroupProgram};
+use crate::scratch::{BatchScratch, CoinScratch, PacketScratch};
 use crate::task::TaskId;
 
 /// Geometry of one CMU Group.
@@ -194,6 +195,39 @@ pub struct CmuGroup {
     /// consumes — the hardware hashes unconditionally (wires are free),
     /// but the digests are pure, so skipping unread ones is unobservable.
     unit_used: [bool; MAX_HASH_UNITS],
+    /// The live bindings compiled flat for the batched datapath. Every
+    /// binding mutation funnels through [`CmuGroup::rebuild_program`],
+    /// so this can never go stale relative to `cmus[..].bindings`.
+    program: GroupProgram,
+    /// Rebuild counter — bumps on every recompilation, letting tests
+    /// pin that each mutation path invalidated the program.
+    program_version: u64,
+    /// Scratch reused by the cold-path [`CmuGroup::process`], so one-off
+    /// packet calls stop paying a fresh `PacketScratch` allocation each
+    /// time (the hot paths thread worker-owned scratch instead).
+    cold_scratch: PacketScratch,
+}
+
+/// Recomputes which hash units any binding reads (key source or
+/// compressed-key parameter) — shared by the in-place rebuild and the
+/// non-mutating reference compile.
+fn compute_unit_usage(cmus: &[Cmu]) -> [bool; MAX_HASH_UNITS] {
+    let mut used = [false; MAX_HASH_UNITS];
+    for cmu in cmus {
+        for b in &cmu.bindings {
+            for u in b.key.source.units() {
+                used[u] = true;
+            }
+            for p in [&b.p1, &b.p2] {
+                if let ParamSource::CompressedKey(src) = p {
+                    for u in src.units() {
+                        used[u] = true;
+                    }
+                }
+            }
+        }
+    }
+    used
 }
 
 impl CmuGroup {
@@ -236,28 +270,61 @@ impl CmuGroup {
                 .map(|_| Cmu::new(config.buckets_per_cmu, config.bucket_bits))
                 .collect(),
             unit_used: [false; MAX_HASH_UNITS],
+            // The empty program (what compile() yields with no bindings).
+            program: GroupProgram {
+                bucket_mask: config.buckets_per_cmu - 1,
+                unit_used: [false; MAX_HASH_UNITS],
+                cmus: vec![CompiledCmu::default(); config.cmus],
+                reads_ctx: false,
+            },
+            program_version: 0,
+            cold_scratch: PacketScratch::default(),
         }
     }
 
-    /// Recomputes [`CmuGroup::unit_used`] from the installed bindings.
-    /// Called on every binding mutation; install-time cost, not
-    /// per-packet.
-    fn rebuild_unit_usage(&mut self) {
-        self.unit_used = [false; MAX_HASH_UNITS];
-        for cmu in &self.cmus {
-            for b in &cmu.bindings {
-                for u in b.key.source.units() {
-                    self.unit_used[u] = true;
-                }
-                for p in [&b.p1, &b.p2] {
-                    if let ParamSource::CompressedKey(src) = p {
-                        for u in src.units() {
-                            self.unit_used[u] = true;
-                        }
-                    }
-                }
-            }
-        }
+    /// Recompiles [`CmuGroup::program`] (and [`CmuGroup::unit_used`])
+    /// from the installed bindings. Called on every binding mutation —
+    /// install-time cost, not per-packet — and bumps
+    /// [`CmuGroup::program_version`].
+    fn rebuild_program(&mut self) {
+        self.unit_used = compute_unit_usage(&self.cmus);
+        let bindings: Vec<&[CmuBinding]> =
+            self.cmus.iter().map(|c| c.bindings.as_slice()).collect();
+        self.program =
+            GroupProgram::compile(self.config.buckets_per_cmu, self.unit_used, &bindings);
+        self.program_version += 1;
+    }
+
+    /// Forces a program recompilation. The control plane calls this on
+    /// mutation paths that bypass install/uninstall (register-only
+    /// resets, restores), so *every* reconfiguration observably
+    /// invalidates the compiled program — the staleness contract
+    /// `tests/batch.rs` pins.
+    pub(crate) fn invalidate_program(&mut self) {
+        self.rebuild_program();
+    }
+
+    /// The compiled binding program the batched datapath executes.
+    pub fn program(&self) -> &GroupProgram {
+        &self.program
+    }
+
+    /// How many times the program has been recompiled since construction.
+    pub fn program_version(&self) -> u64 {
+        self.program_version
+    }
+
+    /// A fresh compile of the current bindings, for comparison against
+    /// [`CmuGroup::program`] — equality means the cached program is not
+    /// stale.
+    pub fn reference_program(&self) -> GroupProgram {
+        let bindings: Vec<&[CmuBinding]> =
+            self.cmus.iter().map(|c| c.bindings.as_slice()).collect();
+        GroupProgram::compile(
+            self.config.buckets_per_cmu,
+            compute_unit_usage(&self.cmus),
+            &bindings,
+        )
     }
 
     /// Group position in the pipeline.
@@ -348,7 +415,7 @@ impl CmuGroup {
         }
         self.cmus[cmu].bindings.push(binding);
         self.cmus[cmu].hits.push(0);
-        self.rebuild_unit_usage();
+        self.rebuild_program();
         Ok(())
     }
 
@@ -363,7 +430,7 @@ impl CmuGroup {
             Some(pos) => {
                 c.bindings.remove(pos);
                 c.hits.remove(pos);
-                self.rebuild_unit_usage();
+                self.rebuild_program();
                 true
             }
             None => false,
@@ -382,7 +449,7 @@ impl CmuGroup {
             removed += before - cmu.bindings.len();
         }
         if removed > 0 {
-            self.rebuild_unit_usage();
+            self.rebuild_program();
         }
         removed
     }
@@ -391,12 +458,16 @@ impl CmuGroup {
     /// PHV-resident results between groups; the caller processes groups
     /// in pipeline order.
     ///
-    /// Convenience wrapper over [`CmuGroup::process_with_scratch`] with a
-    /// throwaway scratch — fine for tests and one-off packets; trace
-    /// replay goes through `FlyMon`, which owns one scratch per worker.
+    /// Convenience wrapper over [`CmuGroup::process_with_scratch`]
+    /// against the group-owned cold-path scratch — one-off packet calls
+    /// reset it instead of allocating a fresh `PacketScratch` per call;
+    /// trace replay goes through `FlyMon`, which owns one scratch per
+    /// worker.
     pub fn process(&mut self, pkt: &Packet, ctx: &mut PacketContext) {
-        let mut scratch = PacketScratch::default();
+        let mut scratch = std::mem::take(&mut self.cold_scratch);
+        scratch.begin_packet();
         self.process_with_scratch(pkt, ctx, &mut scratch);
+        self.cold_scratch = scratch;
     }
 
     /// [`CmuGroup::process`] against caller-owned per-packet scratch —
@@ -467,6 +538,214 @@ impl CmuGroup {
                 Forward::OldAndP1 => out.old & p1,
             };
             ctx.record(group_index, ci, forwarded);
+        }
+    }
+
+    /// Stage-major batch execution of this group over one packet chunk —
+    /// the hot path of `FlyMon::process_batch` (DESIGN.md § "Stage-major
+    /// batching").
+    ///
+    /// Where [`CmuGroup::process_with_scratch`] walks one packet through
+    /// all four pipeline stages, this sweeps the whole chunk through one
+    /// stage at a time over the compiled [`GroupProgram`]:
+    ///
+    /// 1. **match + coin** per CMU, producing a compact matched-index
+    ///    list in packet order (packet order is what keeps same-bucket
+    ///    register updates applied in arrival order);
+    /// 2. **bulk digests** unit-major: each used hash unit runs
+    ///    back-to-back over every matched packet, so one unit's tables
+    ///    and one extraction memo stay hot;
+    /// 3. **address resolution** per CMU: translated register addresses
+    ///    plus fully prepared parameters, optionally issuing a software
+    ///    prefetch for each SALU register row as it resolves;
+    /// 4. a tight **SALU apply** loop over the resolved ops
+    ///    ([`Salu::execute_batch`]), then the PHV record pass.
+    ///
+    /// Stages 3–4 run per CMU *in index order* because downstream CMUs'
+    /// parameters may read upstream results from the packet's context
+    /// (`PrevResult`/`ChainMin`/gated preps) — the same order the serial
+    /// path establishes, which is what makes the two paths bit-identical.
+    /// Matching (stage 1) reads only packet fields and the coin, never
+    /// the context, so hoisting it is unobservable.
+    ///
+    /// `mark_executed` flags packets that executed a task here in
+    /// `batch.executed` (the caller's recirculation accounting for
+    /// spliced groups); `prefetch` gates the stage-3 cache hints;
+    /// `record_ctx` is the pipeline-wide "some program reads PHV
+    /// contexts" flag — when false, context recording is skipped (the
+    /// values would be unobservable).
+    pub fn process_chunk(
+        &mut self,
+        pkts: &[Packet],
+        batch: &mut BatchScratch,
+        mark_executed: bool,
+        prefetch: bool,
+        record_ctx: bool,
+    ) {
+        if self.program.is_empty() {
+            return;
+        }
+        let group_index = self.index;
+        let CmuGroup {
+            units,
+            cmus,
+            program,
+            ..
+        } = self;
+        let n = pkts.len();
+        batch.begin_group(cmus.len(), n);
+        let bucket_mask = program.bucket_mask;
+
+        // Stage 1: match + coin, per CMU — first matching binding wins.
+        // A CMU whose first binding is unconditional matches every
+        // packet at binding 0: one hit-counter bump stands in for the
+        // whole loop, and stages 3–4 will iterate the chunk directly.
+        let mut any_always = false;
+        for (cmu, (cprog, matched)) in cmus
+            .iter_mut()
+            .zip(program.cmus.iter().zip(batch.matched.iter_mut()))
+        {
+            if cprog.bindings.is_empty() {
+                continue;
+            }
+            if cprog.always {
+                cmu.hits[0] += n as u64;
+                any_always = true;
+                continue;
+            }
+            for (pi, pkt) in pkts.iter().enumerate() {
+                let coin = &mut batch.coins[pi];
+                let hit = cprog.bindings.iter().position(|cb| {
+                    cb.filter_matches(pkt)
+                        && (cb.coin_mask == 0
+                            || u64::from(coin.coin(pkt, cb.task)) & cb.coin_mask == 0)
+                });
+                if let Some(bi) = hit {
+                    cmu.hits[bi] += 1;
+                    matched.push((pi as u32, bi as u16));
+                    batch.need_digest[pi] = true;
+                }
+            }
+        }
+        if any_always {
+            batch.need_digest[..n].fill(true);
+        }
+
+        // Stage 2: bulk digests, unit-major over the matched packets.
+        // Units nothing reads keep stale slots — compiled plans never
+        // index them (exactly the serial path's lazy-zero slots).
+        for (u, unit) in units.iter().enumerate() {
+            if !program.unit_used[u] {
+                continue;
+            }
+            if any_always {
+                // Every packet needs digests: no per-packet gate.
+                for (pi, pkt) in pkts.iter().enumerate() {
+                    batch.digests[pi * MAX_HASH_UNITS + u] =
+                        unit.compute_cached(pkt, &mut batch.keys[pi]);
+                }
+            } else {
+                for (pi, pkt) in pkts.iter().enumerate() {
+                    if batch.need_digest[pi] {
+                        batch.digests[pi * MAX_HASH_UNITS + u] =
+                            unit.compute_cached(pkt, &mut batch.keys[pi]);
+                    }
+                }
+            }
+        }
+
+        // Stages 3 + 4 per CMU in index order (cross-CMU PHV deps).
+        for (ci, (cmu, cprog)) in cmus.iter_mut().zip(program.cmus.iter()).enumerate() {
+            if cprog.always {
+                // Dense path: packet index *is* the op index — no
+                // matched list, no per-op (packet, forward) metadata.
+                let cb = &cprog.bindings[0];
+                batch.resolved.clear();
+                for (p, pkt) in pkts.iter().enumerate() {
+                    let digests =
+                        &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
+                    let addr = cb.address(digests, bucket_mask);
+                    let ctx = &batch.ctxs[p];
+                    let p1 = cb.p1.resolve(pkt, digests, ctx);
+                    let p2 = cb.p2.resolve(pkt, digests, ctx);
+                    let (p1, p2) = cb.prep.apply(p1, p2, ctx);
+                    if prefetch {
+                        // One batch of lookahead: the row is requested
+                        // while the remaining packets still resolve.
+                        cmu.salu.register().prefetch(addr);
+                    }
+                    batch.resolved.push(BatchOp {
+                        op: cb.op,
+                        addr,
+                        p1,
+                        p2,
+                    });
+                }
+                batch.outs.clear();
+                cmu.salu
+                    .execute_batch(&batch.resolved, &mut batch.outs)
+                    .expect("installed ops are pre-loaded and addresses in range");
+                if record_ctx {
+                    for (p, out) in batch.outs.iter().enumerate() {
+                        let forwarded = match cb.forward {
+                            Forward::Result => out.result,
+                            Forward::Old => out.old,
+                            Forward::OldAndP1 => out.old & batch.resolved[p].p1,
+                        };
+                        batch.ctxs[p].record(group_index, ci, forwarded);
+                    }
+                }
+                if mark_executed {
+                    batch.executed[..n].fill(true);
+                }
+                continue;
+            }
+            if batch.matched[ci].is_empty() {
+                continue;
+            }
+            batch.resolved.clear();
+            batch.meta.clear();
+            for &(pi, bi) in &batch.matched[ci] {
+                let p = pi as usize;
+                let pkt = &pkts[p];
+                let cb = &cprog.bindings[bi as usize];
+                let digests = &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
+                let ctx = &batch.ctxs[p];
+                let addr = cb.address(digests, bucket_mask);
+                let p1 = cb.p1.resolve(pkt, digests, ctx);
+                let p2 = cb.p2.resolve(pkt, digests, ctx);
+                let (p1, p2) = cb.prep.apply(p1, p2, ctx);
+                if prefetch {
+                    // One batch of lookahead: the row is requested while
+                    // the remaining packets still resolve.
+                    cmu.salu.register().prefetch(addr);
+                }
+                batch.resolved.push(BatchOp {
+                    op: cb.op,
+                    addr,
+                    p1,
+                    p2,
+                });
+                batch.meta.push((pi, cb.forward));
+            }
+            batch.outs.clear();
+            cmu.salu
+                .execute_batch(&batch.resolved, &mut batch.outs)
+                .expect("installed ops are pre-loaded and addresses in range");
+            for (k, &(pi, forward)) in batch.meta.iter().enumerate() {
+                let out = &batch.outs[k];
+                if record_ctx {
+                    let forwarded = match forward {
+                        Forward::Result => out.result,
+                        Forward::Old => out.old,
+                        Forward::OldAndP1 => out.old & batch.resolved[k].p1,
+                    };
+                    batch.ctxs[pi as usize].record(group_index, ci, forwarded);
+                }
+                if mark_executed {
+                    batch.executed[pi as usize] = true;
+                }
+            }
         }
     }
 }

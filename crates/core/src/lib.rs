@@ -23,6 +23,9 @@
 //! - [`keysel`] / [`params`] / [`prep`] / [`addr`]: the reconfigurable
 //!   pieces a CMU binding is assembled from (key selection, parameter
 //!   sourcing, preparation-stage processing, address translation).
+//! - [`program`]: the install-time compilation of a group's live
+//!   bindings into the dense [`program::GroupProgram`] the stage-major
+//!   batch path executes.
 //! - [`alloc`]: the buddy allocator behind dynamic memory management.
 //! - [`compiler`]: lowers a task definition onto concrete CMUs and counts
 //!   rules/resources (Table 3 deployment delays, Figure 2/13 footprints).
@@ -82,6 +85,7 @@ pub mod group;
 pub mod keysel;
 pub mod params;
 pub mod prep;
+pub mod program;
 pub mod scratch;
 pub mod task;
 pub mod wal;

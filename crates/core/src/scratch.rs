@@ -16,8 +16,11 @@
 //!   on every CMU, when 20 of those bytes depend only on the packet.
 
 use flymon_packet::{ExtractionCache, Packet};
-use flymon_rmt::hash::{murmur3_32, HashScratch};
+use flymon_rmt::hash::{murmur3_32, HashScratch, MAX_HASH_UNITS};
+use flymon_rmt::salu::{BatchOp, OpOutput};
 
+use crate::group::Forward;
+use crate::params::PacketContext;
 use crate::task::TaskId;
 
 /// Seed of the per-task sampling coin (§5.3 probabilistic execution).
@@ -84,6 +87,101 @@ impl PacketScratch {
     pub fn begin_packet(&mut self) {
         self.keys.clear();
         self.coin.invalidate();
+    }
+}
+
+/// Chunk-wide scratch for the stage-major batched datapath (DESIGN.md
+/// § "Stage-major batching"), owned by each
+/// [`FlyMon`](crate::control::FlyMon) instance alongside the per-packet
+/// [`PacketScratch`].
+///
+/// Where `PacketScratch` holds one packet's transient state, this holds
+/// a whole batch's: one [`PacketContext`]/[`ExtractionCache`]/
+/// [`CoinScratch`] per packet plus the stage-major work vectors — the
+/// packet-major digest matrix, the per-CMU matched lists and the
+/// resolved-op buffer handed to
+/// [`Salu::execute_batch`](flymon_rmt::salu::Salu::execute_batch).
+/// Everything is `Vec`-backed and grown once to the batch size; steady
+/// state allocates nothing.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Per-packet PHV context (cross-CMU results).
+    pub(crate) ctxs: Vec<PacketContext>,
+    /// Per-packet flow-key extraction memo, shared across groups.
+    pub(crate) keys: Vec<ExtractionCache>,
+    /// Per-packet sampling-coin seed bytes.
+    pub(crate) coins: Vec<CoinScratch>,
+    /// Packet-major digest matrix, stride [`MAX_HASH_UNITS`]: packet
+    /// `p`'s compressed-key slice is `digests[p*8 .. p*8+8]`. Slots of
+    /// unused units hold stale garbage by design — compiled programs
+    /// never reference them (mirrors the serial path's lazy zeros).
+    pub(crate) digests: Vec<u32>,
+    /// Which packets matched some binding in the current group (gate for
+    /// the bulk digest pass). Reset per group.
+    pub(crate) need_digest: Vec<bool>,
+    /// Per-CMU matched lists `(packet index, binding index)`, in packet
+    /// order — packet order is what keeps same-bucket SALU updates
+    /// applied in arrival order. Reset per group.
+    pub(crate) matched: Vec<Vec<(u32, u16)>>,
+    /// Resolved SALU ops for one CMU's apply pass. Reset per CMU.
+    pub(crate) resolved: Vec<BatchOp>,
+    /// `(packet index, forward selector)` parallel to `resolved`.
+    pub(crate) meta: Vec<(u32, Forward)>,
+    /// SALU outputs parallel to `resolved`.
+    pub(crate) outs: Vec<OpOutput>,
+    /// Which packets executed a task on a spliced group this chunk (the
+    /// per-packet recirculation flag). Reset per chunk.
+    pub(crate) executed: Vec<bool>,
+    /// Packets in the current chunk.
+    pub(crate) len: usize,
+}
+
+impl BatchScratch {
+    /// Prepares the scratch for an `n`-packet chunk: grows every
+    /// per-packet vector to `n` (amortized — a steady batch size grows
+    /// once) and resets the per-packet state the new chunk will read.
+    ///
+    /// `reset_ctx` is the caller's "some program reads PHV contexts"
+    /// flag: when false no stage records into or resolves from the
+    /// contexts, so their (stale) contents are unobservable and the
+    /// per-packet reset can be skipped.
+    pub fn begin_chunk(&mut self, n: usize, reset_ctx: bool) {
+        self.len = n;
+        if self.ctxs.len() < n {
+            self.ctxs.resize_with(n, Default::default);
+            self.keys.resize_with(n, Default::default);
+            self.coins.resize_with(n, Default::default);
+            self.need_digest.resize(n, false);
+            self.executed.resize(n, false);
+            self.digests.resize(n * MAX_HASH_UNITS, 0);
+        }
+        for i in 0..n {
+            if reset_ctx {
+                self.ctxs[i].reset();
+            }
+            self.keys[i].clear();
+            self.coins[i].invalidate();
+            self.executed[i] = false;
+        }
+    }
+
+    /// Prepares the per-group state for a group with `cmus` CMUs over
+    /// the current `n`-packet chunk: empty matched lists, no digests
+    /// requested yet.
+    pub(crate) fn begin_group(&mut self, cmus: usize, n: usize) {
+        if self.matched.len() < cmus {
+            self.matched.resize_with(cmus, Vec::new);
+        }
+        for m in &mut self.matched[..cmus] {
+            m.clear();
+        }
+        self.need_digest[..n].fill(false);
+    }
+
+    /// Packets of the current chunk flagged as recirculated (executed a
+    /// task on a spliced group).
+    pub(crate) fn executed_count(&self) -> u64 {
+        self.executed[..self.len].iter().filter(|&&e| e).count() as u64
     }
 }
 

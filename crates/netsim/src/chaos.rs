@@ -18,6 +18,12 @@
 //!    fed: `estimate + loss_bound >= true_count`.
 //! 4. **No panic** — [`run_soak`] converts a panicking schedule into a
 //!    reported violation instead of tearing down the harness.
+//! 5. **Batch-boundary checkpoints restore identically** — a private
+//!    probe switch replays every traffic slice through the stage-major
+//!    batched datapath ([`FlyMon::process_batch`]) and, at each slice
+//!    boundary, a full checkpoint of it must restore to bit-identical
+//!    registers (guards the batched SALU path's dirty-watermark
+//!    bookkeeping without perturbing the fleet's own sync barriers).
 //!
 //! Violations carry the seed, the event index and what went wrong, so
 //! any soak failure replays exactly with `run_schedule(seed, &cfg)`.
@@ -163,6 +169,32 @@ fn pick(fleet: &SwitchFleet, rng: &mut SplitMix64, want_alive: bool) -> Option<u
     }
 }
 
+/// Invariant 5: a checkpoint captured at a batch boundary must restore
+/// to bit-identical registers. The probe is private to the harness, so
+/// moving its snapshot barrier here cannot disturb the fleet's
+/// standby-sync deltas. Draws no randomness — schedule determinism is
+/// untouched.
+fn batch_boundary_restore_divergence(probe: &mut FlyMon) -> Option<String> {
+    let chk = probe.checkpoint(CaptureMode::Full);
+    let restored = match FlyMon::restore(&chk) {
+        Ok(fm) => fm,
+        Err(e) => return Some(format!("batch-boundary checkpoint failed to restore: {e}")),
+    };
+    for (g, (ga, gb)) in probe.groups().iter().zip(restored.groups()).enumerate() {
+        for (c, (ca, cb)) in ga.cmus().iter().zip(gb.cmus()).enumerate() {
+            let len = ca.register().len();
+            let a = ca.register().read_range(0, len).expect("full range reads");
+            let b = cb.register().read_range(0, len).expect("full range reads");
+            if a != b {
+                return Some(format!(
+                    "batch-boundary restore diverged: group {g} cmu {c} registers differ"
+                ));
+            }
+        }
+    }
+    None
+}
+
 fn check_invariants(
     fleet: &SwitchFleet,
     true_sentinel: u64,
@@ -217,6 +249,10 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
     let mut fleet = SwitchFleet::deploy(cfg.switches, cfg.config, &def)
         .expect("chaos fleet deploys cleanly");
     fleet.enable_standby();
+    // Invariant 5's private probe: sees every traffic slice through the
+    // batched datapath, checkpointed at each slice boundary.
+    let mut probe = FlyMon::new(cfg.config);
+    probe.deploy(&def).expect("chaos probe deploys cleanly");
 
     let mut report = ChaosReport {
         seed,
@@ -258,6 +294,14 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
                     fleet.process_trace_parallel(&slice);
                 } else {
                     fleet.process_trace(&slice);
+                }
+                probe.process_batch(&slice);
+                if let Some(detail) = batch_boundary_restore_divergence(&mut probe) {
+                    report.violations.push(Violation {
+                        event_index,
+                        event: format!("{event:?}"),
+                        detail,
+                    });
                 }
             }
             ChaosEvent::Sync => {

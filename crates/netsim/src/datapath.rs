@@ -34,7 +34,10 @@
 //!
 //! No external thread-pool or channel dependency is used:
 //! `std::thread::scope` spawns and joins the workers over the borrowed
-//! trace.
+//! trace — at most `std::thread::available_parallelism()` of them. On a
+//! single-CPU host the replay degrades gracefully to an inline serial
+//! sweep of the replicas ([`ReplayMode::Serial`]) instead of
+//! time-slicing threads that cannot run concurrently.
 
 use std::time::{Duration, Instant};
 
@@ -122,6 +125,28 @@ impl WorkerStats {
     }
 }
 
+/// How a replay drove its workers.
+///
+/// A worker is a (replica, shard) pair; a *thread* is an OS thread. The
+/// replay clamps the thread count to
+/// `std::thread::available_parallelism()`, so on a 1-CPU host a
+/// 4-worker datapath runs all four replicas inline on the calling
+/// thread ([`ReplayMode::Serial`]) instead of paying spawn/join and
+/// context-switch overhead for parallelism the machine cannot deliver
+/// (the 0.69×-at-4-workers regression in `results/BENCH_datapath.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// All workers ran sequentially on the calling thread (the host has
+    /// one usable CPU, or there is one worker).
+    #[default]
+    Serial,
+    /// Workers were spread over `threads` spawned OS threads.
+    Threaded {
+        /// OS threads spawned (≤ workers, ≤ available parallelism).
+        threads: usize,
+    },
+}
+
 /// Aggregates per-worker stats into whole-replay numbers.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ReplayStats {
@@ -133,6 +158,8 @@ pub struct ReplayStats {
     pub dropped: u64,
     /// Wall-clock time of the replay (spawn to last join).
     pub elapsed: Duration,
+    /// How the workers were scheduled onto OS threads.
+    pub mode: ReplayMode,
 }
 
 impl ReplayStats {
@@ -154,6 +181,39 @@ impl ReplayStats {
     }
 }
 
+/// One worker's scan-and-claim loop over the shared trace: claim the
+/// packets `assign` routes to `worker`, count drops whose ingress is
+/// `worker`, time the whole loop. Identical work whether it runs on a
+/// spawned thread or inline on the calling one.
+fn scan_worker<A>(worker: usize, fm: &mut FlyMon, trace: &[Packet], assign: &A) -> WorkerStats
+where
+    A: Fn(&Packet) -> Assignment + Sync,
+{
+    let begun = Instant::now();
+    let mut report = WorkerStats {
+        worker,
+        ..WorkerStats::default()
+    };
+    for chunk in trace.chunks(CLAIM_CHUNK) {
+        let batch = fm.process_batch_if(chunk, |p| {
+            let a = assign(p);
+            match a.to {
+                Some(w) => w == worker,
+                None => {
+                    if a.ingress == worker {
+                        report.dropped += 1;
+                    }
+                    false
+                }
+            }
+        });
+        report.packets += batch.packets;
+        report.recirculated += batch.recirculated;
+    }
+    report.busy = begun.elapsed();
+    report
+}
+
 /// Zero-copy parallel replay: every worker thread scans the whole shared
 /// `trace` slice in [`CLAIM_CHUNK`]-sized windows and claims the packets
 /// `assign` routes to it — no serial partitioning prologue, no per-shard
@@ -172,6 +232,14 @@ impl ReplayStats {
 /// Per-worker `busy` spans the worker's whole scan-and-process loop, the
 /// same work [`ReplayStats::elapsed`] brackets (modulo spawn/join), so
 /// per-worker and aggregate packets/sec are finally comparable.
+///
+/// OS threads are clamped to `std::thread::available_parallelism()`:
+/// with one usable CPU every worker runs inline on the calling thread
+/// ([`ReplayMode::Serial`]); otherwise contiguous runs of workers share
+/// up to that many spawned threads ([`ReplayMode::Threaded`]). Worker
+/// indices, claim sets and per-replica state are identical either way —
+/// only the scheduling (and therefore wall-clock) changes. The chosen
+/// mode is recorded in [`ReplayStats::mode`].
 pub(crate) fn replay_zero_copy<A>(
     replicas: &mut [FlyMon],
     trace: &[Packet],
@@ -182,46 +250,47 @@ where
     A: Fn(&Packet) -> Assignment + Sync,
 {
     let assign = &assign;
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(replicas.len());
     let started = Instant::now();
-    let reports: Vec<WorkerStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = replicas
+    let (mode, reports): (ReplayMode, Vec<WorkerStats>) = if threads <= 1 {
+        // One usable CPU (or one worker): run every replica's scan
+        // inline — same claims, same per-replica state, no spawn/join.
+        let reports = replicas
             .iter_mut()
             .enumerate()
-            .map(|(worker, fm)| {
-                scope.spawn(move || {
-                    let begun = Instant::now();
-                    let mut report = WorkerStats {
-                        worker,
-                        ..WorkerStats::default()
-                    };
-                    for chunk in trace.chunks(CLAIM_CHUNK) {
-                        let batch = fm.process_batch_if(chunk, |p| {
-                            let a = assign(p);
-                            match a.to {
-                                Some(w) => w == worker,
-                                None => {
-                                    if a.ingress == worker {
-                                        report.dropped += 1;
-                                    }
-                                    false
-                                }
-                            }
-                        });
-                        report.packets += batch.packets;
-                        report.recirculated += batch.recirculated;
-                    }
-                    report.busy = begun.elapsed();
-                    report
-                })
-            })
+            .map(|(worker, fm)| scan_worker(worker, fm, trace, assign))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("datapath worker panicked"))
-            .collect()
-    });
+        (ReplayMode::Serial, reports)
+    } else {
+        // Workers keep their global index (= replica index = shard
+        // index) while contiguous runs of them share an OS thread.
+        let mut indexed: Vec<(usize, &mut FlyMon)> = replicas.iter_mut().enumerate().collect();
+        let per_thread = indexed.len().div_ceil(threads);
+        let spawned = indexed.len().div_ceil(per_thread);
+        let reports = std::thread::scope(|scope| {
+            let handles: Vec<_> = indexed
+                .chunks_mut(per_thread)
+                .map(|run| {
+                    scope.spawn(move || {
+                        run.iter_mut()
+                            .map(|(worker, fm)| scan_worker(*worker, fm, trace, assign))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("datapath worker panicked"))
+                .collect()
+        });
+        (ReplayMode::Threaded { threads: spawned }, reports)
+    };
     let mut total = ReplayStats {
         elapsed: started.elapsed(),
+        mode,
         ..ReplayStats::default()
     };
     for report in reports {
@@ -511,6 +580,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn replay_mode_matches_available_parallelism() {
+        let def = TaskDefinition::builder("f")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .memory(256)
+            .build();
+        let trace: Vec<Packet> = (0..200u32).map(|i| Packet::tcp(i, 1, 2, 3)).collect();
+        let cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+
+        // One worker never spawns, whatever the host offers.
+        let mut dp = ShardedDatapath::deploy(1, config(), &def).unwrap();
+        assert_eq!(dp.process_trace(&trace).mode, ReplayMode::Serial);
+
+        // Four workers: serial on a 1-CPU host, else clamped threads.
+        let mut dp = ShardedDatapath::deploy(4, config(), &def).unwrap();
+        let total = dp.process_trace(&trace);
+        assert_eq!(total.packets, 200, "clamping must not change claims");
+        match total.mode {
+            ReplayMode::Serial => assert_eq!(cpus, 1),
+            ReplayMode::Threaded { threads } => {
+                assert!(cpus > 1);
+                assert!(threads >= 2 && threads <= cpus.min(4));
+            }
+        }
+        assert_eq!(dp.last_replay().mode, total.mode);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod forwarding;
 pub mod runner;
 
 pub use chaos::{run_schedule, run_soak, ChaosConfig, ChaosReport};
-pub use datapath::{ReplayStats, ShardedDatapath, WorkerStats};
+pub use datapath::{ReplayMode, ReplayStats, ShardedDatapath, WorkerStats};
 pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};
 pub use fleet::{BoundedEstimate, PacketLedger, SwitchFleet};
 pub use runner::run_epochs;

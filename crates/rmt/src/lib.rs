@@ -38,10 +38,17 @@
 //!   (failed rule installs, dead groups, flaky channels) plus bounded
 //!   retry-with-backoff — the adversary the control plane's transactional
 //!   reconfiguration is tested against.
+//! - [`prefetch`]: portable software-prefetch hints the batched datapath
+//!   issues for SALU register rows between address resolution and the
+//!   apply loop (no-op off x86_64).
 //!
 //! Nothing here knows about sketches or tasks: this crate is "hardware".
 
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace's usual `forbid`: the one sanctioned
+// exception is the scoped allow in [`prefetch`], which wraps the
+// non-faulting x86 PREFETCHT0 hint. Everything else in this crate is
+// still rejected at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
@@ -49,6 +56,7 @@ pub mod fault;
 pub mod hash;
 pub mod phv;
 pub mod pipeline;
+pub mod prefetch;
 pub mod register;
 pub mod resources;
 pub mod rules;

@@ -1,0 +1,59 @@
+//! Portable software-prefetch hints for register rows.
+//!
+//! The batched datapath resolves every SALU address of a batch before
+//! applying any update (DESIGN.md § "Stage-major batching"), which
+//! creates a window where the CPU can be told to start pulling the
+//! random register rows into cache while the resolve loop is still
+//! running. This module wraps the x86 `PREFETCHT0` hint behind a safe,
+//! portable function:
+//!
+//! - on `x86_64` it lowers to [`core::arch::x86_64::_mm_prefetch`];
+//! - on every other architecture it is a no-op (aarch64's `prfm` has no
+//!   stable intrinsic; correctness never depends on the hint).
+//!
+//! `PREFETCHT0` is a *hint*: it performs no memory access that can
+//! fault, trap or change architectural state, even for invalid
+//! addresses (Intel SDM vol. 2B, PREFETCHh: "does not cause any
+//! exceptions"; it is the documented idiom for speculative
+//! software-directed fetching). The pointer is never dereferenced in
+//! Rust semantics either — it is only passed to the intrinsic — so the
+//! single `unsafe` block below cannot exhibit UB for any input. This is
+//! the sole unsafe code in the workspace, which is why this crate
+//! gates it with `deny(unsafe_code)` + a scoped allow instead of the
+//! blanket `forbid` the other crates use.
+
+/// Requests that the cache line holding `*p` be pulled into all cache
+/// levels. Purely advisory: a no-op on non-x86_64 targets, and never
+/// faults regardless of the pointer's validity.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    // SAFETY: PREFETCHT0 is architecturally incapable of faulting and
+    // performs no read or write observable by the Rust abstract
+    // machine; any pointer value is acceptable.
+    #[allow(unsafe_code)]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+}
+
+/// No-op fallback for targets without a stable prefetch intrinsic.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub fn prefetch_read<T>(_p: *const T) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_inert() {
+        // The hint must neither fault nor perturb the data it touches —
+        // including for out-of-bounds pointers (hints cannot fault).
+        let v = vec![7u32; 64];
+        prefetch_read(&v[0]);
+        prefetch_read(&v[63]);
+        prefetch_read(v.as_ptr().wrapping_add(1 << 20));
+        assert!(v.iter().all(|&x| x == 7));
+    }
+}

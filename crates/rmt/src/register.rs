@@ -43,7 +43,14 @@ impl Register {
     }
 
     /// Extends the dirty watermark to cover `[start, end)`.
-    fn mark_dirty(&mut self, start: usize, end: usize) {
+    ///
+    /// `pub(crate)` so [`crate::salu::Salu::execute_batch`] can fold a
+    /// whole batch's writes into one running `(min, max)` mark instead
+    /// of one call per write. The watermark is a *union* of marks
+    /// (`mark(a) ∪ mark(b) == mark(a ∪ b)`), so batching the marks is
+    /// observationally identical to per-write marking — delta
+    /// checkpoints see the same range.
+    pub(crate) fn mark_dirty(&mut self, start: usize, end: usize) {
         if start >= end {
             return;
         }
@@ -136,6 +143,33 @@ impl Register {
         self.buckets[start..end].fill(0);
         self.mark_dirty(start, end);
         Ok(())
+    }
+
+    /// Hints the CPU to pull the cache line of bucket `addr` into cache.
+    ///
+    /// The batched datapath calls this during address resolution, one
+    /// batch ahead of the SALU apply loop, so the random row accesses
+    /// that dominate the per-packet budget overlap with resolve work
+    /// instead of stalling the apply loop. Out-of-range addresses are
+    /// ignored (the hint must never observe memory the register does
+    /// not own); the hint itself cannot fault (see
+    /// [`crate::prefetch::prefetch_read`]).
+    #[inline]
+    pub fn prefetch(&self, addr: usize) {
+        if let Some(slot) = self.buckets.get(addr) {
+            crate::prefetch::prefetch_read(slot);
+        }
+    }
+
+    /// Raw bucket storage for the SALU's batched read-modify-write loop.
+    ///
+    /// Crate-internal on purpose: callers outside the substrate must go
+    /// through [`Register::write`]/[`Register::clear_range`], which keep
+    /// the dirty watermark honest. [`crate::salu::Salu::execute_batch`]
+    /// pairs this with an explicit [`Register::mark_dirty`] covering
+    /// every bucket it wrote.
+    pub(crate) fn buckets_mut(&mut self) -> &mut [u32] {
+        &mut self.buckets
     }
 
     /// Snapshot of a bucket range (the control plane's periodic readout).

@@ -67,6 +67,26 @@ pub struct OpOutput {
     pub old: u32,
 }
 
+/// One fully resolved stateful update in a batch: the operation plus
+/// its translated register address and prepared parameters.
+///
+/// This is what a compiled binding program's resolve pass produces per
+/// matched packet (`flymon`'s stage-major batch path); the SALU then
+/// applies a whole slice of these back-to-back in
+/// [`Salu::execute_batch`]. `p1` is the *post-preparation* value, so a
+/// downstream `old & p1` forward can reuse it without re-resolving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOp {
+    /// The pre-loaded operation to execute.
+    pub op: StatefulOp,
+    /// Translated register address (already partition-mapped).
+    pub addr: usize,
+    /// First parameter, after preparation-stage processing.
+    pub p1: u32,
+    /// Second parameter, after preparation-stage processing.
+    pub p2: u32,
+}
+
 /// A stateful ALU bound to one [`Register`].
 ///
 /// Models the two hardware constraints FlyMon designs around:
@@ -171,6 +191,94 @@ impl Salu {
             result,
             old: current,
         })
+    }
+
+    /// Executes a batch of pre-resolved operations back-to-back,
+    /// appending one [`OpOutput`] per op to `out` (in order).
+    ///
+    /// Semantically identical to calling [`Salu::execute`] once per
+    /// entry — same per-op read-modify-write, same Appendix A results,
+    /// same one-memory-access-per-packet discipline (each entry *is*
+    /// one packet's access) — but with the per-op overheads hoisted out
+    /// of the loop: the loaded-op check runs only when the op changes
+    /// between entries (a batch from one binding program repeats one
+    /// op), the width mask is computed once, and the dirty watermark is
+    /// marked once with the running `(min, max)` of written addresses
+    /// (a union of marks equals the mark of the union, so delta
+    /// checkpoints cannot tell the difference).
+    ///
+    /// On error (unloaded op or out-of-range address) entries before
+    /// the offending one remain applied and are reflected in the dirty
+    /// mark — the same partial state a caller of the scalar path would
+    /// have produced.
+    pub fn execute_batch(&mut self, ops: &[BatchOp], out: &mut Vec<OpOutput>) -> Result<(), RmtError> {
+        out.reserve(ops.len());
+        let max = self.register.max_value();
+        let limit = self.register.len();
+        let mut checked: Option<StatefulOp> = None;
+        // Running watermark of written buckets; one mark_dirty at the end.
+        let mut dirty_lo = usize::MAX;
+        let mut dirty_hi = 0usize;
+        let buckets = self.register.buckets_mut();
+        let mut res = Ok(());
+        for b in ops {
+            if checked != Some(b.op) {
+                if !self.loaded.contains(&b.op) {
+                    res = Err(RmtError::NoSuchEntity("pre-loaded register action"));
+                    break;
+                }
+                checked = Some(b.op);
+            }
+            let Some(slot) = buckets.get_mut(b.addr) else {
+                res = Err(RmtError::IndexOutOfRange {
+                    what: "bucket",
+                    index: b.addr,
+                    limit,
+                });
+                break;
+            };
+            let current = *slot;
+            let (next, result) = match b.op {
+                StatefulOp::CondAdd => {
+                    if current < b.p2 {
+                        let next = (current.wrapping_add(b.p1)) & max;
+                        (next, next)
+                    } else {
+                        (current, 0)
+                    }
+                }
+                StatefulOp::Max => {
+                    let p1 = b.p1 & max;
+                    if current < p1 {
+                        (p1, p1)
+                    } else {
+                        (current, 0)
+                    }
+                }
+                StatefulOp::AndOr => {
+                    let next = if b.p2 == 0 { current & b.p1 } else { current | b.p1 } & max;
+                    (next, next)
+                }
+                StatefulOp::Xor => {
+                    let next = (current ^ b.p1) & max;
+                    (next, next)
+                }
+                StatefulOp::ReservedRead => (current, current),
+            };
+            if next != current {
+                *slot = next;
+                dirty_lo = dirty_lo.min(b.addr);
+                dirty_hi = dirty_hi.max(b.addr + 1);
+            }
+            out.push(OpOutput {
+                result,
+                old: current,
+            });
+        }
+        if dirty_lo < dirty_hi {
+            self.register.mark_dirty(dirty_lo, dirty_hi);
+        }
+        res
     }
 }
 
@@ -283,5 +391,73 @@ mod tests {
         let mut s = salu_with(&[StatefulOp::Max]);
         // 0x12345 masked to 16 bits is 0x2345.
         assert_eq!(s.execute(StatefulOp::Max, 0, 0x1_2345, 0).unwrap().result, 0x2345);
+    }
+
+    #[test]
+    fn batch_matches_scalar_execution_bit_for_bit() {
+        // The batched entry point must be indistinguishable from one
+        // scalar execute per entry: same outputs, same register image,
+        // same dirty watermark.
+        let all = [
+            StatefulOp::CondAdd,
+            StatefulOp::Max,
+            StatefulOp::AndOr,
+            StatefulOp::Xor,
+        ];
+        let mut scalar = salu_with(&all);
+        let mut batched = salu_with(&all);
+        // A deterministic pseudo-random op mix over a small register so
+        // addresses collide and conditionals take both branches.
+        let mut x = 0x243f_6a88u32;
+        let mut ops = Vec::new();
+        for _ in 0..500 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            ops.push(BatchOp {
+                op: all[(x >> 13) as usize % all.len()],
+                addr: (x >> 4) as usize % 16,
+                p1: x >> 7,
+                p2: if x & 1 == 0 { u32::MAX } else { x >> 21 },
+            });
+        }
+        let mut scalar_out = Vec::new();
+        for b in &ops {
+            scalar_out.push(scalar.execute(b.op, b.addr, b.p1, b.p2).unwrap());
+        }
+        let mut batch_out = Vec::new();
+        batched.execute_batch(&ops, &mut batch_out).unwrap();
+        assert_eq!(scalar_out, batch_out);
+        assert_eq!(
+            scalar.register().read_range(0, 16).unwrap(),
+            batched.register().read_range(0, 16).unwrap()
+        );
+        assert_eq!(
+            scalar.register().dirty_range(),
+            batched.register().dirty_range()
+        );
+    }
+
+    #[test]
+    fn batch_rejects_unloaded_op_and_bad_address() {
+        let mut s = salu_with(&[StatefulOp::Max]);
+        let mut out = Vec::new();
+        let bad_op = [BatchOp { op: StatefulOp::CondAdd, addr: 0, p1: 1, p2: 1 }];
+        assert!(matches!(
+            s.execute_batch(&bad_op, &mut out),
+            Err(RmtError::NoSuchEntity(_))
+        ));
+        let bad_addr = [BatchOp { op: StatefulOp::Max, addr: 99, p1: 1, p2: 0 }];
+        assert!(matches!(
+            s.execute_batch(&bad_addr, &mut out),
+            Err(RmtError::IndexOutOfRange { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn register_prefetch_is_harmless() {
+        let mut s = salu_with(&[StatefulOp::CondAdd]);
+        s.execute(StatefulOp::CondAdd, 3, 9, u32::MAX).unwrap();
+        s.register().prefetch(3);
+        s.register().prefetch(10_000); // out of range: ignored
+        assert_eq!(s.register().read(3).unwrap(), 9);
     }
 }

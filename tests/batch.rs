@@ -1,0 +1,306 @@
+//! Bit-identity and program-freshness guarantees of the stage-major
+//! batched datapath (DESIGN.md § "Stage-major batching").
+//!
+//! The batched path is an *execution-order* optimization, not a new
+//! semantics: for any batch size, any algorithm and any interleaving of
+//! reconfigurations, `process_batch` must leave the switch in exactly
+//! the state a per-packet `process` replay leaves it in — and a
+//! checkpoint captured at a batch boundary must restore bit-identically.
+//! The compiled `GroupProgram` the batched path executes must never go
+//! stale: every mutation path (deploy, remove, reallocate, reset,
+//! rollback, restore, WAL recovery) has to rebuild it.
+
+use flymon::prelude::*;
+use flymon_packet::{KeySpec, Packet};
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 8192,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn trace(packets: u64) -> Vec<Packet> {
+    TraceGenerator::new(0xBA7C).wide_like(&TraceConfig {
+        flows: 2_000,
+        packets,
+        zipf_alpha: 1.1,
+        duration_ns: 1_000_000_000,
+        seed: 0xBA7C,
+    })
+}
+
+/// Every register cell of every CMU, the strongest equality witness.
+fn registers(fm: &FlyMon) -> Vec<Vec<u32>> {
+    fm.groups()
+        .iter()
+        .flat_map(|g| g.cmus().iter())
+        .map(|c| {
+            let r = c.register();
+            r.read_range(0, r.len()).unwrap().to_vec()
+        })
+        .collect()
+}
+
+/// The acceptance criterion for "no compiled-program staleness": the
+/// installed program must equal a from-scratch compile of the live
+/// bindings, in every group, at every observation point.
+fn assert_programs_fresh(fm: &FlyMon, after: &str) {
+    for (g, group) in fm.groups().iter().enumerate() {
+        assert_eq!(
+            group.program(),
+            &group.reference_program(),
+            "group {g} executes a stale compiled program after {after}"
+        );
+    }
+}
+
+fn versions(fm: &FlyMon) -> Vec<u64> {
+    fm.groups().iter().map(|g| g.program_version()).collect()
+}
+
+#[test]
+fn batched_replay_is_bit_identical_to_per_packet() {
+    // Four algorithm families with distinct SALU ops and preparation
+    // stages: CondAdd (CMS), Rho+Max (HLL), AndOr (Bloom), Max (SuMax).
+    let defs = [
+        TaskDefinition::builder("cms")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 3 })
+            .memory(4096)
+            .build(),
+        TaskDefinition::builder("hll")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+            .algorithm(Algorithm::Hll)
+            .memory(2048)
+            .build(),
+        TaskDefinition::builder("bloom")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+            .memory(4096)
+            .build(),
+        TaskDefinition::builder("sumax")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::Max(MaxParam::QueueLen))
+            .memory(2048)
+            .build(),
+    ];
+    let t = trace(30_000);
+    for def in &defs {
+        let mut reference = FlyMon::new(config());
+        reference.deploy(def).unwrap();
+        for p in &t {
+            reference.process(p);
+        }
+        // Odd sizes force ragged tail chunks; 1 degenerates to
+        // per-packet batches; 256 spans many cache lines.
+        for batch_size in [1usize, 7, 64, 256] {
+            let mut batched = FlyMon::new(config());
+            batched.deploy(def).unwrap();
+            batched.set_batch_size(batch_size);
+            let stats = batched.process_batch(&t);
+            assert_eq!(stats.packets, t.len() as u64);
+            assert_eq!(
+                registers(&batched),
+                registers(&reference),
+                "task {} diverged at batch size {batch_size}",
+                def.name
+            );
+            assert_eq!(
+                batched.recirculated_packets(),
+                reference.recirculated_packets(),
+                "recirculation accounting diverged for {} at batch size {batch_size}",
+                def.name
+            );
+        }
+        // Prefetch is a hint, never a semantic: disabling it must not
+        // change a single cell.
+        let mut no_prefetch = FlyMon::new(config());
+        no_prefetch.deploy(def).unwrap();
+        no_prefetch.set_prefetch(false);
+        no_prefetch.process_batch(&t);
+        assert_eq!(registers(&no_prefetch), registers(&reference));
+    }
+}
+
+#[test]
+fn mid_trace_reconfiguration_matches_per_packet_replay() {
+    // Reconfigure *between batches* of a live replay: deploy a second
+    // task at one third, remove it at two thirds. The batched switch
+    // must track the per-packet reference through every phase — which
+    // requires the compiled program to be rebuilt at each mutation.
+    let cms = TaskDefinition::builder("cms")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(4096)
+        .build();
+    let bloom = TaskDefinition::builder("bloom")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(2048)
+        .build();
+    let t = trace(30_000);
+    let (a, b) = (t.len() / 3, 2 * t.len() / 3);
+
+    let mut reference = FlyMon::new(config());
+    let ref_cms = reference.deploy(&cms).unwrap();
+    for p in &t[..a] {
+        reference.process(p);
+    }
+    let ref_bloom = reference.deploy(&bloom).unwrap();
+    for p in &t[a..b] {
+        reference.process(p);
+    }
+    reference.remove(ref_bloom).unwrap();
+    for p in &t[b..] {
+        reference.process(p);
+    }
+
+    // 37 never divides the phase lengths, so every phase ends on a
+    // ragged partial chunk.
+    let mut batched = FlyMon::new(config());
+    let bat_cms = batched.deploy(&cms).unwrap();
+    batched.set_batch_size(37);
+    batched.process_batch(&t[..a]);
+    let bat_bloom = batched.deploy(&bloom).unwrap();
+    assert_programs_fresh(&batched, "mid-trace deploy");
+    batched.process_batch(&t[a..b]);
+    batched.remove(bat_bloom).unwrap();
+    assert_programs_fresh(&batched, "mid-trace remove");
+    batched.process_batch(&t[b..]);
+
+    assert_eq!(registers(&batched), registers(&reference));
+    for p in t.iter().step_by(499) {
+        assert_eq!(
+            batched.query_frequency(bat_cms, p),
+            reference.query_frequency(ref_cms, p)
+        );
+    }
+}
+
+#[test]
+fn checkpoint_at_batch_boundary_restores_identically() {
+    let def = TaskDefinition::builder("cms")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 3 })
+        .memory(4096)
+        .build();
+    let t = trace(24_000);
+    let half = t.len() / 2;
+
+    let mut live = FlyMon::new(config());
+    let h = live.deploy(&def).unwrap();
+    live.process_batch(&t[..half]);
+
+    // Full capture at the batch boundary restores bit-identically…
+    let mut base = live.checkpoint(CaptureMode::Full);
+    let restored = FlyMon::restore(&base).unwrap();
+    assert_eq!(registers(&restored), registers(&live));
+    assert_programs_fresh(&restored, "checkpoint restore");
+
+    // …and the restored switch is a *working* replica, not a snapshot:
+    // replaying the second half batched on both sides stays identical.
+    let mut twin = restored;
+    live.process_batch(&t[half..]);
+    twin.process_batch(&t[half..]);
+    assert_eq!(registers(&twin), registers(&live));
+
+    // Delta capture depends on the dirty watermark `execute_batch`
+    // maintains: overlaying the post-batch delta on the boundary base
+    // must reproduce the live registers exactly.
+    let delta = live.checkpoint(CaptureMode::Delta);
+    base.overlay(&delta).unwrap();
+    let overlaid = FlyMon::restore(&base).unwrap();
+    assert_eq!(
+        registers(&overlaid),
+        registers(&live),
+        "batched writes escaped the delta dirty watermark"
+    );
+    assert_eq!(
+        overlaid.query_frequency(h, &t[0]),
+        live.query_frequency(h, &t[0])
+    );
+}
+
+#[test]
+fn every_mutation_path_rebuilds_the_compiled_program() {
+    let cms = TaskDefinition::builder("cms")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(2048)
+        .build();
+    let bloom = TaskDefinition::builder("bloom")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(1024)
+        .build();
+
+    let mut fm = FlyMon::new(config());
+    fm.attach_wal(WriteAheadLog::new());
+    assert_programs_fresh(&fm, "construction");
+
+    // deploy
+    let before = versions(&fm);
+    let h_cms = fm.deploy(&cms).unwrap();
+    assert_ne!(versions(&fm), before, "deploy did not bump any program");
+    assert_programs_fresh(&fm, "deploy");
+    let h_bloom = fm.deploy(&bloom).unwrap();
+    assert_programs_fresh(&fm, "second deploy");
+
+    // reallocate
+    let before = versions(&fm);
+    let h_cms = fm.reallocate_memory(h_cms, 4096).unwrap();
+    assert_ne!(versions(&fm), before, "reallocate did not bump any program");
+    assert_programs_fresh(&fm, "reallocate");
+
+    // reset: bindings survive but registers clear — the program must
+    // still be rebuilt (its version is the staleness witness).
+    let before = versions(&fm);
+    fm.reset_task(h_cms).unwrap();
+    assert_ne!(versions(&fm), before, "reset did not bump any program");
+    assert_programs_fresh(&fm, "reset");
+
+    // remove
+    let before = versions(&fm);
+    fm.remove(h_bloom).unwrap();
+    assert_ne!(versions(&fm), before, "remove did not bump any program");
+    assert_programs_fresh(&fm, "remove");
+
+    // rollback: a fault-injected deploy fails, undoes its partial
+    // installs, and must leave a fresh program behind.
+    fm.arm_faults(FaultPlan::new(42).fail_probability(1.0));
+    assert!(fm.deploy(&bloom).is_err(), "fully faulted deploy must fail");
+    fm.disarm_faults();
+    assert_programs_fresh(&fm, "rollback");
+
+    // checkpoint restore
+    let chk = fm.checkpoint(CaptureMode::Full);
+    let restored = FlyMon::restore(&chk).unwrap();
+    assert_programs_fresh(&restored, "restore");
+    assert_eq!(restored.groups()[0].program(), fm.groups()[0].program());
+
+    // WAL recovery: the replayed suffix (a deploy after the barrier)
+    // must land in the recovered instance's program too.
+    fm.deploy(&bloom).unwrap();
+    let wal = fm.detach_wal().unwrap();
+    let recovered = FlyMon::recover(&wal, &chk).unwrap();
+    assert_eq!(recovered.task_count(), fm.task_count());
+    assert_programs_fresh(&recovered, "WAL recovery");
+
+    // The compiled program is what actually runs: after all of the
+    // above, a batched and a per-packet replay still agree.
+    let t = trace(6_000);
+    let mut twin = FlyMon::restore(&fm.checkpoint(CaptureMode::Full)).unwrap();
+    fm.process_batch(&t);
+    for p in &t {
+        twin.process(p);
+    }
+    assert_eq!(registers(&fm), registers(&twin));
+}
