@@ -1,0 +1,230 @@
+//! Streaming ingestion throughput and overload behavior.
+//!
+//! Three scenarios against the supervised streaming runtime:
+//!
+//! - **steady** — a trace streamed chunk-by-chunk through the bounded
+//!   queue with capacity to spare: the runtime's throughput, and its
+//!   overhead versus feeding the same fleet the whole trace directly;
+//! - **rotating** — the same stream with epoch rotation every 8k
+//!   processed packets: what constant-memory readout costs;
+//! - **overload** — a 10× phased burst over an undersized queue: the
+//!   degradation ladder's shed rate, backpressure blocking, and the
+//!   health excursion, with the conserved ledger checked at the end.
+//!
+//! Full runs overwrite `results/BENCH_streaming.json` and append a
+//! record (throughput + shed rate) to `results/BENCH_history.jsonl`.
+//! CI runs `cargo bench --bench streaming -- --smoke`: smaller stream,
+//! schema only, nothing recorded.
+
+use std::time::Instant;
+
+use flymon::prelude::*;
+use flymon_bench::{append_results_line, emit_results_file, print_table, smoke_trace};
+use flymon_netsim::{
+    AdmissionConfig, IngestConfig, RuntimeHealth, StreamingRuntime, SwitchFleet, TraceChunks,
+};
+use flymon_packet::{KeySpec, TaskFilter};
+use flymon_traffic::gen::{Phase, PhasedConfig, PhasedSource, TraceConfig, TraceGenerator};
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn task() -> TaskDefinition {
+    TaskDefinition::builder("stream-bench")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(8192)
+        .build()
+}
+
+fn fleet() -> SwitchFleet {
+    SwitchFleet::deploy(3, config(), &task()).expect("bench fleet deploys")
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace = if smoke {
+        smoke_trace()
+    } else {
+        TraceGenerator::new(0x57EA).wide_like(&TraceConfig {
+            flows: 20_000,
+            packets: 1_000_000,
+            zipf_alpha: 1.1,
+            duration_ns: 10_000_000_000,
+            seed: 0x57EA,
+        })
+    };
+    let n = trace.len();
+    let rev = git_rev();
+    println!("streaming {n} packets through the supervised runtime (rev {rev})\n");
+
+    // Direct-feed reference: the same fleet, no queue, no supervision.
+    let mut direct = fleet();
+    let begun = Instant::now();
+    direct.process_trace(&trace);
+    let direct_secs = begun.elapsed().as_secs_f64();
+    let direct_pps = n as f64 / direct_secs;
+
+    // Steady: everything admitted, per-step sync barriers, no rotation.
+    let steady_cfg = IngestConfig {
+        queue_capacity: 16_384,
+        drain_chunk: 4_096,
+        epoch_packets: 0,
+        ..IngestConfig::default()
+    };
+    let mut rt = StreamingRuntime::new(fleet(), steady_cfg.clone());
+    let mut src = TraceChunks::new(trace.clone(), 4_096);
+    let begun = Instant::now();
+    let steady = rt.run(&mut src).expect("steady run");
+    let steady_secs = begun.elapsed().as_secs_f64();
+    let steady_pps = n as f64 / steady_secs;
+    assert_eq!(steady.stats.shed(), 0, "steady run must not shed");
+    assert!(steady.ledger.conserved(), "{:?}", steady.ledger);
+
+    // Rotating: identical stream, epoch readout+reset every 8k packets.
+    let mut rt = StreamingRuntime::new(
+        fleet(),
+        IngestConfig {
+            epoch_packets: 8_192,
+            ..steady_cfg
+        },
+    );
+    let mut src = TraceChunks::new(trace.clone(), 4_096);
+    let begun = Instant::now();
+    let rotating = rt.run(&mut src).expect("rotating run");
+    let rotating_secs = begun.elapsed().as_secs_f64();
+    let rotating_pps = n as f64 / rotating_secs;
+    assert!(rotating.ledger.conserved(), "{:?}", rotating.ledger);
+    let epochs = rotating.stats.epochs_rotated;
+
+    // Overload: 10× phased burst over an undersized queue.
+    let burst_chunks = if smoke { 4 } else { 12 };
+    let steady_chunks = if smoke { 4 } else { 10 };
+    let mut rt = StreamingRuntime::new(
+        fleet(),
+        IngestConfig {
+            queue_capacity: 1_024,
+            drain_chunk: 512,
+            backlog_limit: 2_048,
+            admission: AdmissionConfig {
+                priority: Some(TaskFilter::src(10 << 24, 8)),
+                ..AdmissionConfig::default()
+            },
+            epoch_packets: 8_192,
+            ..IngestConfig::default()
+        },
+    );
+    let mut src = PhasedSource::new(PhasedConfig {
+        flows: 5_000,
+        base_chunk: 1_024,
+        phases: vec![
+            Phase { chunks: steady_chunks, rate: 1.0 },
+            Phase { chunks: burst_chunks, rate: 10.0 },
+            Phase { chunks: steady_chunks, rate: 1.0 },
+        ],
+        ..PhasedConfig::default()
+    });
+    let begun = Instant::now();
+    let overload = rt.run(&mut src).expect("overload run");
+    let overload_secs = begun.elapsed().as_secs_f64();
+    let offered = overload.stats.offered;
+    let shed = overload.stats.shed();
+    let shed_rate = shed as f64 / offered.max(1) as f64;
+    assert!(overload.ledger.conserved(), "{:?}", overload.ledger);
+    assert_eq!(overload.health, RuntimeHealth::Healthy, "must settle");
+
+    print_table(
+        "Streaming ingestion",
+        &["scenario", "pkts", "seconds", "pkts/s", "shed rate"],
+        &[
+            vec![
+                "direct feed (no queue)".into(),
+                format!("{n}"),
+                format!("{direct_secs:.3}"),
+                format!("{direct_pps:.0}"),
+                "-".into(),
+            ],
+            vec![
+                "steady stream".into(),
+                format!("{n}"),
+                format!("{steady_secs:.3}"),
+                format!("{steady_pps:.0}"),
+                "0.000".into(),
+            ],
+            vec![
+                format!("rotating ({epochs} epochs)"),
+                format!("{n}"),
+                format!("{rotating_secs:.3}"),
+                format!("{rotating_pps:.0}"),
+                "0.000".into(),
+            ],
+            vec![
+                "10x burst overload".into(),
+                format!("{offered}"),
+                format!("{overload_secs:.3}"),
+                format!("{:.0}", overload.stats.processed as f64 / overload_secs),
+                format!("{shed_rate:.3}"),
+            ],
+        ],
+    );
+    println!(
+        "overload ladder: {} random + {} priority + {} overflow shed, \
+         {} blocked steps, {} health transitions",
+        overload.stats.shed_random,
+        overload.stats.shed_priority,
+        overload.stats.shed_overflow,
+        overload.stats.blocked_steps,
+        overload.stats.health_transitions
+    );
+
+    let json = format!(
+        "{{\n  \"trace_packets\": {n},\n  \"smoke\": {smoke},\n  \"git_rev\": \"{rev}\",\n  \
+         \"direct\": {{\"seconds\": {direct_secs:.6}, \"packets_per_sec\": {direct_pps:.0}}},\n  \
+         \"steady\": {{\"seconds\": {steady_secs:.6}, \"packets_per_sec\": {steady_pps:.0}, \
+         \"overhead_vs_direct\": {:.3}, \"syncs\": {}}},\n  \
+         \"rotating\": {{\"seconds\": {rotating_secs:.6}, \"packets_per_sec\": {rotating_pps:.0}, \
+         \"epochs\": {epochs}, \"overhead_vs_steady\": {:.3}}},\n  \
+         \"overload\": {{\"offered\": {offered}, \"processed\": {}, \"shed\": {shed}, \
+         \"shed_rate\": {shed_rate:.4}, \"shed_random\": {}, \"shed_priority\": {}, \
+         \"shed_overflow\": {}, \"blocked_steps\": {}, \"health_transitions\": {}}}\n}}\n",
+        direct_pps / steady_pps,
+        steady.stats.syncs,
+        steady_pps / rotating_pps,
+        overload.stats.processed,
+        overload.stats.shed_random,
+        overload.stats.shed_priority,
+        overload.stats.shed_overflow,
+        overload.stats.blocked_steps,
+        overload.stats.health_transitions
+    );
+    let path = emit_results_file("BENCH_streaming.json", &json);
+    println!("wrote {}", path.display());
+
+    if !smoke {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let line = format!(
+            r#"{{"unix_ts":{ts},"git_rev":"{rev}","bench":"streaming","trace_packets":{n},"steady_packets_per_sec":{steady_pps:.0},"rotating_packets_per_sec":{rotating_pps:.0},"overload_shed_rate":{shed_rate:.4}}}"#
+        );
+        let hist = append_results_line("BENCH_history.jsonl", &line);
+        println!("appended {}", hist.display());
+    }
+}

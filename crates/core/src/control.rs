@@ -296,8 +296,16 @@ impl FlyMon {
     }
 
     /// Sets the retry policy applied to every install-time operation.
-    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+    ///
+    /// The policy is validated here — a degenerate policy (zero
+    /// attempts, non-finite backoff) is rejected up front instead of
+    /// surfacing as a mysterious exhausted-retries failure halfway
+    /// through a later install sequence. On error the previous policy
+    /// stays in force.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) -> Result<(), FlymonError> {
+        policy.validate().map_err(FlymonError::InvalidPolicy)?;
         self.retry = policy;
+        Ok(())
     }
 
     /// The current retry policy.
@@ -974,6 +982,33 @@ impl FlyMon {
             self.groups[g].invalidate_program();
         }
         Ok(())
+    }
+
+    /// Epoch-boundary readout-and-reset: reads every row of `h`, then
+    /// clears the task's buckets through the logged
+    /// [`FlyMon::reset_task`] path, returning the pre-reset rows.
+    ///
+    /// This is the constant-memory streaming hook (StreaMon-style epoch
+    /// semantics): the control plane archives one epoch's registers and
+    /// hands the data plane a clean slate without redeploying anything —
+    /// hash configurations, bindings and partitions are untouched, so
+    /// traffic keeps flowing through the same compiled programs (they
+    /// are rebuilt lazily after the reset's invalidation).
+    ///
+    /// The reset is WAL-logged like any reset: a recovery that replays
+    /// past this boundary reproduces the cleared registers rather than
+    /// resurrecting the archived epoch. If the reset fails (fault
+    /// injection), the rollback restores the pre-readout registers and
+    /// the error is returned — the caller must not treat the readout as
+    /// archived.
+    pub fn rotate_epoch(&mut self, h: TaskHandle) -> Result<Vec<Vec<u32>>, FlymonError> {
+        let rows = self.task(h)?.rows.len();
+        let mut readout = Vec::with_capacity(rows);
+        for row in 0..rows {
+            readout.push(self.read_row(h, row)?);
+        }
+        self.reset_task(h)?;
+        Ok(readout)
     }
 
     // ------------------------------------------------------------------

@@ -40,6 +40,9 @@ pub enum FlymonError {
         /// The partition size (buckets) that could not be allocated.
         buckets: usize,
     },
+    /// A retry policy failed validation (zero attempts, non-finite
+    /// backoff); the previous policy stays in force.
+    InvalidPolicy(&'static str),
     /// A checkpoint could not be restored (wrong version, mismatched
     /// geometry, or a delta image where a full one is required).
     Checkpoint(&'static str),
@@ -89,6 +92,7 @@ impl std::fmt::Display for FlymonError {
                 "placement race: {buckets} buckets vanished from group {group} CMU {cmu} \
                  between verify and commit"
             ),
+            FlymonError::InvalidPolicy(why) => write!(f, "invalid retry policy: {why}"),
             FlymonError::Checkpoint(what) => write!(f, "checkpoint rejected: {what}"),
             FlymonError::RecoveryDivergence { seq, detail } => write!(
                 f,

@@ -152,6 +152,38 @@ impl WriteAheadLog {
     pub fn compact(&mut self, through: u64) {
         self.records.retain(|r| r.seq > through);
     }
+
+    /// Records currently held (compaction shrinks this; `last_seq` does
+    /// not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drops aborted records, returning how many were removed.
+    ///
+    /// This is the compaction that is safe *between* checkpoint
+    /// barriers: recovery replays only committed records
+    /// ([`WriteAheadLog::committed_after`]), so an aborted record can
+    /// never influence a recovered state no matter where the anchor
+    /// sits. Committed records, by contrast, must survive until a
+    /// checkpoint anchored past them is durable — only
+    /// [`WriteAheadLog::compact`] may drop those.
+    ///
+    /// Without this, a workload of mostly-rejected reconfigurations (a
+    /// fault-heavy chaos schedule, an overloaded controller shedding
+    /// deploys) grows the log without bound even though nothing in it
+    /// will ever replay.
+    pub fn prune_aborted(&mut self) -> usize {
+        let before = self.records.len();
+        self.records
+            .retain(|r| !matches!(r.outcome, WalOutcome::Aborted));
+        before - self.records.len()
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +214,27 @@ mod tests {
         let mut wal = WriteAheadLog::new();
         wal.append(WalIntent::Reset(TaskId(3)));
         assert_eq!(wal.committed_after(0).count(), 0);
+    }
+
+    #[test]
+    fn prune_aborted_keeps_committed_and_pending() {
+        let mut wal = WriteAheadLog::new();
+        let a = wal.append(WalIntent::Remove(TaskId(1)));
+        wal.commit(a, Some(TaskId(1)), None);
+        for i in 0..10 {
+            let s = wal.append(WalIntent::Remove(TaskId(100 + i)));
+            wal.abort(s);
+        }
+        let pending = wal.append(WalIntent::Reset(TaskId(2)));
+        assert_eq!(wal.len(), 12);
+        assert_eq!(wal.prune_aborted(), 10);
+        assert_eq!(wal.len(), 2);
+        // The replay suffix is unchanged: committed records survive,
+        // the pending record still resolves under its original seq.
+        assert_eq!(wal.committed_after(0).count(), 1);
+        wal.commit(pending, None, None);
+        assert_eq!(wal.committed_after(0).count(), 2);
+        assert_eq!(wal.last_seq(), 12, "pruning never rewinds sequence numbers");
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //!
 //! Violations carry the seed, the event index and what went wrong, so
 //! any soak failure replays exactly with `run_schedule(seed, &cfg)`.
+//!
+//! A second harness ([`run_ingest_schedule`] / [`run_ingest_soak`])
+//! soaks the streaming runtime instead of the bare fleet: seeded
+//! ingestion faults — queue stalls, slow consumers, worker panics, and
+//! 10× input bursts — against the conserved stream ledger
+//! `fed == represented + shed + lost + dropped (+ in_flight)`, the
+//! sentinel watch bound across epoch rotations, and per-switch audits.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -34,6 +41,7 @@ use flymon::prelude::*;
 use flymon_packet::{KeySpec, Packet, SplitMix64};
 
 use crate::fleet::SwitchFleet;
+use crate::ingest::{ChunkSource, IngestConfig, IngestFault, RuntimeHealth, StreamingRuntime};
 
 /// Shape of one chaos schedule.
 #[derive(Debug, Clone)]
@@ -404,6 +412,302 @@ pub fn run_soak(seeds: impl IntoIterator<Item = u64>, cfg: &ChaosConfig) -> Vec<
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Ingestion chaos: fault schedules against the streaming runtime.
+// ---------------------------------------------------------------------------
+
+/// Shape of one ingestion chaos schedule (see [`run_ingest_schedule`]).
+#[derive(Debug, Clone)]
+pub struct IngestChaosConfig {
+    /// Fleet size under the streaming runtime.
+    pub switches: usize,
+    /// Chunks the source offers per schedule.
+    pub chunks: usize,
+    /// Packets per chunk at the baseline rate.
+    pub base_chunk: usize,
+    /// Ingress queue capacity.
+    pub queue_capacity: usize,
+    /// Worker drain budget per step.
+    pub drain_chunk: usize,
+    /// Switch geometry.
+    pub config: FlyMonConfig,
+}
+
+impl Default for IngestChaosConfig {
+    fn default() -> Self {
+        IngestChaosConfig {
+            switches: 3,
+            chunks: 30,
+            base_chunk: 1_024,
+            queue_capacity: 4_096,
+            drain_chunk: 1_024,
+            config: FlyMonConfig {
+                groups: 2,
+                buckets_per_cmu: 16384,
+                ..FlyMonConfig::default()
+            },
+        }
+    }
+}
+
+/// Outcome of one seeded ingestion schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IngestChaosReport {
+    /// The schedule's seed.
+    pub seed: u64,
+    /// Steps the runtime executed.
+    pub steps: u64,
+    /// Packets the source offered.
+    pub offered: u64,
+    /// Packets shed across all ladder rungs.
+    pub shed: u64,
+    /// Worker panics caught and supervised.
+    pub recovered_panics: u64,
+    /// Epoch rotations performed mid-stream.
+    pub epochs: u64,
+    /// The faults injected, rendered for replay diagnostics.
+    pub faults: Vec<String>,
+    /// Every invariant failure, in step order.
+    pub violations: Vec<Violation>,
+}
+
+impl IngestChaosReport {
+    /// True when the schedule completed with zero violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A chunked source with a burst window: chunks inside the window carry
+/// `burst_factor`× the baseline packets — the input-burst ingestion
+/// fault (the other faults are injected into the runtime itself).
+/// Sentinel packets are woven in as in [`gen_slice`].
+struct BurstChunks {
+    rng: SplitMix64,
+    chunks: usize,
+    emitted: usize,
+    base: usize,
+    burst_from: usize,
+    burst_len: usize,
+    burst_factor: usize,
+    true_sentinel: u64,
+}
+
+impl ChunkSource for BurstChunks {
+    fn next_chunk(&mut self) -> Option<Vec<Packet>> {
+        if self.emitted >= self.chunks {
+            return None;
+        }
+        let in_burst =
+            self.emitted >= self.burst_from && self.emitted < self.burst_from + self.burst_len;
+        let size = if in_burst {
+            self.base * self.burst_factor
+        } else {
+            self.base
+        };
+        self.emitted += 1;
+        Some(gen_slice(&mut self.rng, size, &mut self.true_sentinel))
+    }
+}
+
+/// Runs one seeded ingestion schedule: a bursty sentinel-bearing stream
+/// through a [`StreamingRuntime`] over a fresh fleet, with a seeded
+/// subset of ingestion faults (queue stall, slow consumer, worker
+/// panic) layered on top of a guaranteed 10× input burst. After every
+/// step the harness asserts:
+///
+/// 1. **Stream ledger conserved** —
+///    `fed == represented + shed + lost + dropped + in_flight`
+///    ([`crate::ingest::StreamLedger::conserved`]).
+/// 2. **Watch bound** — the sentinel flow's archived + live estimate
+///    plus the explicit loss bound covers every sentinel packet the
+///    worker has processed, across epoch rotations.
+/// 3. **Audit clean** — every switch reconciles shadow state against
+///    its data plane, including a replica respawned after a panic.
+///
+/// At quiescence the ledger must additionally collapse to the exact
+/// form `fed == represented + shed + lost + dropped` (`in_flight == 0`)
+/// and the runtime must settle back to `Healthy`.
+pub fn run_ingest_schedule(seed: u64, cfg: &IngestChaosConfig) -> IngestChaosReport {
+    let mut rng = SplitMix64::new(seed);
+    let def = TaskDefinition::builder("ingest-chaos")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(8192)
+        .build();
+    let fleet = SwitchFleet::deploy(cfg.switches, cfg.config, &def)
+        .expect("ingest chaos fleet deploys cleanly");
+
+    let mut rt = StreamingRuntime::new(
+        fleet,
+        IngestConfig {
+            queue_capacity: cfg.queue_capacity,
+            drain_chunk: cfg.drain_chunk,
+            backlog_limit: cfg.queue_capacity * 4,
+            epoch_packets: cfg.base_chunk as u64 * (2 + rng.next_u64() % 6),
+            sync_every_steps: 1,
+            max_idle_steps: 64,
+            seed: rng.next_u64(),
+            ..IngestConfig::default()
+        },
+    );
+    rt.watch(sentinel());
+
+    let mut report = IngestChaosReport {
+        seed,
+        ..IngestChaosReport::default()
+    };
+
+    // The guaranteed burst: 10× the baseline chunk for a few chunks.
+    let mut src = BurstChunks {
+        rng: SplitMix64::new(rng.next_u64()),
+        chunks: cfg.chunks,
+        emitted: 0,
+        base: cfg.base_chunk,
+        burst_from: 2 + (rng.next_u64() % 8) as usize,
+        burst_len: 2 + (rng.next_u64() % 4) as usize,
+        burst_factor: 10,
+        true_sentinel: 0,
+    };
+    report.faults.push(format!(
+        "InputBurst {{ from_chunk: {}, chunks: {}, factor: 10 }}",
+        src.burst_from, src.burst_len
+    ));
+
+    // A seeded subset of the runtime-side faults.
+    if rng.chance(0.7) {
+        let f = IngestFault::QueueStall {
+            from_step: 2 + rng.next_u64() % 20,
+            steps: 2 + rng.next_u64() % 6,
+        };
+        report.faults.push(format!("{f:?}"));
+        rt.inject(f);
+    }
+    if rng.chance(0.7) {
+        let f = IngestFault::SlowConsumer {
+            from_step: 2 + rng.next_u64() % 25,
+            steps: 2 + rng.next_u64() % 6,
+            factor: 2 + (rng.next_u64() % 8) as usize,
+        };
+        report.faults.push(format!("{f:?}"));
+        rt.inject(f);
+    }
+    if rng.chance(0.7) {
+        let f = IngestFault::WorkerPanic {
+            at_step: 2 + rng.next_u64() % 30,
+            switch: (rng.next_u64() % cfg.switches as u64) as usize,
+        };
+        report.faults.push(format!("{f:?}"));
+        rt.inject(f);
+    }
+
+    let mut step_index = 0usize;
+    loop {
+        let out = match rt.step(&mut src) {
+            Ok(out) => out,
+            Err(e) => {
+                report.violations.push(Violation {
+                    event_index: step_index,
+                    event: "step".into(),
+                    detail: format!("streaming step failed: {e}"),
+                });
+                break;
+            }
+        };
+        let mut fail = |detail: String| {
+            report.violations.push(Violation {
+                event_index: step_index,
+                event: format!("{out:?}"),
+                detail,
+            })
+        };
+        let ledger = rt.ledger();
+        if !ledger.conserved() {
+            fail(format!("stream ledger out of balance: {ledger:?}"));
+        }
+        if let Some((estimate, bound, processed)) = rt.watch_bound() {
+            if estimate + bound < processed {
+                fail(format!(
+                    "watch bound broken: estimate {estimate} + bound {bound} < processed {processed}"
+                ));
+            }
+        }
+        for i in 0..rt.fleet().len() {
+            let divergences = rt.fleet().switch(i).0.audit();
+            if !divergences.is_empty() {
+                fail(format!(
+                    "switch {i} audit found {} divergence(s): {:?}",
+                    divergences.len(),
+                    divergences[0]
+                ));
+            }
+        }
+        step_index += 1;
+        if out.source_dry && rt.ledger().in_flight == 0 {
+            break;
+        }
+    }
+
+    // Settle (final sync clears any pending recovery) and check the
+    // quiescent invariants.
+    let _ = rt.run(&mut src);
+    let ledger = rt.ledger();
+    if ledger.in_flight != 0 || !ledger.conserved() {
+        report.violations.push(Violation {
+            event_index: step_index,
+            event: "settle".into(),
+            detail: format!("quiescent ledger not conserved: {ledger:?}"),
+        });
+    }
+    if rt.health() != RuntimeHealth::Healthy {
+        report.violations.push(Violation {
+            event_index: step_index,
+            event: "settle".into(),
+            detail: format!("runtime did not settle to Healthy: {:?}", rt.health()),
+        });
+    }
+
+    let stats = rt.stats();
+    report.steps = stats.steps;
+    report.offered = stats.offered;
+    report.shed = stats.shed();
+    report.recovered_panics = stats.panics_recovered;
+    report.epochs = stats.epochs_rotated;
+    report
+}
+
+/// Runs many seeded ingestion schedules, converting panics into
+/// violations — the streaming mirror of [`run_soak`].
+pub fn run_ingest_soak(
+    seeds: impl IntoIterator<Item = u64>,
+    cfg: &IngestChaosConfig,
+) -> Vec<IngestChaosReport> {
+    seeds
+        .into_iter()
+        .map(|seed| {
+            catch_unwind(AssertUnwindSafe(|| run_ingest_schedule(seed, cfg))).unwrap_or_else(
+                |panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    IngestChaosReport {
+                        seed,
+                        violations: vec![Violation {
+                            event_index: usize::MAX,
+                            event: "panic".into(),
+                            detail: msg,
+                        }],
+                        ..IngestChaosReport::default()
+                    }
+                },
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +748,48 @@ mod tests {
         let promotes: usize = reports.iter().map(|r| r.promotes).sum();
         assert!(kills > 0, "no schedule killed a switch");
         assert!(promotes > 0, "no schedule promoted the standby");
+    }
+
+    fn quick_ingest() -> IngestChaosConfig {
+        IngestChaosConfig {
+            switches: 3,
+            chunks: 16,
+            base_chunk: 512,
+            queue_capacity: 2_048,
+            drain_chunk: 512,
+            ..IngestChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn ingest_schedule_is_clean_and_sheds_under_burst() {
+        let report = run_ingest_schedule(0xBEEF, &quick_ingest());
+        assert!(report.is_clean(), "{:#?}", report.violations);
+        assert!(report.offered > 0);
+        assert!(
+            report.shed > 0,
+            "a 10x burst over a small queue must shed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn ingest_schedule_is_seed_deterministic() {
+        let a = run_ingest_schedule(21, &quick_ingest());
+        let b = run_ingest_schedule(21, &quick_ingest());
+        assert_eq!(a, b, "ingestion schedules must be seed-deterministic");
+    }
+
+    #[test]
+    fn ingest_soak_over_several_seeds_is_clean() {
+        let reports = run_ingest_soak(1..=4u64, &quick_ingest());
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.is_clean(), "seed {}: {:#?}", r.seed, r.violations);
+        }
+        // Across a few seeds the soak must exercise supervision.
+        let panics: u64 = reports.iter().map(|r| r.recovered_panics).sum();
+        let epochs: u64 = reports.iter().map(|r| r.epochs).sum();
+        assert!(panics > 0, "no schedule injected a worker panic");
+        assert!(epochs > 0, "no schedule rotated an epoch");
     }
 }

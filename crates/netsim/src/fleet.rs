@@ -75,7 +75,10 @@ pub struct PacketLedger {
     /// Packets ever fed through [`SwitchFleet::process`] and friends.
     pub fed: u64,
     /// Packets whose register updates live in some switch's registers
-    /// (alive or dead).
+    /// (alive or dead), plus packets archived by epoch rotations
+    /// ([`SwitchFleet::rotate_epoch`]) — their counts were read out
+    /// before the registers were cleared, so they are represented in
+    /// the archived readouts rather than vanished.
     pub represented: u64,
     /// The subset of `represented` held by dead switches — invisible to
     /// merged readouts until revival or promotion settles them.
@@ -120,6 +123,20 @@ pub struct SwitchFleet {
     lost_packets: u64,
     /// Packets ever fed to the fleet.
     total_fed: u64,
+    /// Packets archived by epoch rotations: read out before their
+    /// registers were cleared, so still "represented" in the ledger.
+    rotated_packets: u64,
+}
+
+/// One epoch's merged pre-reset readout ([`SwitchFleet::rotate_epoch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochReadout {
+    /// Per-row merged registers of the alive fleet at the boundary,
+    /// merged by the task algorithm's law (sum / max / OR).
+    pub rows: Vec<Vec<u32>>,
+    /// Packets these rows represent (the alive switches' absorbed
+    /// counts, now archived).
+    pub packets: u64,
 }
 
 impl SwitchFleet {
@@ -196,6 +213,7 @@ impl SwitchFleet {
             standby: None,
             lost_packets: 0,
             total_fed: 0,
+            rotated_packets: 0,
         })
     }
 
@@ -385,11 +403,103 @@ impl SwitchFleet {
     pub fn ledger(&self) -> PacketLedger {
         PacketLedger {
             fed: self.total_fed,
-            represented: self.represented.iter().sum(),
+            represented: self.represented.iter().sum::<u64>() + self.rotated_packets,
             unavailable: self.unavailable_packets(),
             lost: self.lost_packets,
             dropped: self.dropped_packets,
         }
+    }
+
+    /// Packets archived by epoch rotations (a subset of the ledger's
+    /// `represented`: read out before their registers were cleared).
+    pub fn rotated_packets(&self) -> u64 {
+        self.rotated_packets
+    }
+
+    /// Epoch-boundary rotation: merges every row of the alive fleet
+    /// (by the task algorithm's merge law), then clears the fleet task
+    /// on every alive switch through the logged
+    /// [`FlyMon::rotate_epoch`] path, returning the archived readout.
+    ///
+    /// Memory is constant per rotation — one merged copy of the task's
+    /// rows — regardless of how much traffic the epoch carried, which
+    /// is what lets a streaming runtime measure indefinitely.
+    ///
+    /// Accounting: the alive switches' absorbed counts move to
+    /// [`SwitchFleet::rotated_packets`] (still `represented`, now in
+    /// the archive), and each rotated switch's standby barrier drops to
+    /// zero — the reset is WAL-logged, so a later promotion replays it
+    /// and recovers the *cleared* registers; packets absorbed after the
+    /// rotation are the new loss window. Dead switches are skipped
+    /// (their registers are unreachable); they settle through revival
+    /// or promotion as usual.
+    ///
+    /// Errors if every switch is dead (no rows to read) or a logged
+    /// reset fails mid-sweep — switches already rotated stay rotated
+    /// (each per-switch reset is itself atomic), and the error surfaces
+    /// which switch refused.
+    pub fn rotate_epoch(&mut self) -> Result<EpochReadout, FlymonError> {
+        let merge: fn(u32, u32) -> u32 = match self.algorithm {
+            Some(Algorithm::Hll) => u32::max,
+            Some(Algorithm::Bloom { .. }) => |a, b| a | b,
+            _ => u32::saturating_add,
+        };
+        let d = {
+            let (fm, h) = self
+                .alive_members()
+                .next()
+                .ok_or_else(|| FlymonError::NoCapacity("every switch in the fleet has failed".into()))?;
+            fm.task(h)?.rows.len()
+        };
+        let mut rows = Vec::with_capacity(d);
+        for row in 0..d {
+            rows.push(self.merged_row(row, merge)?);
+        }
+        let mut packets = 0;
+        for i in 0..self.switches.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let Some(h) = self.handles[i] else { continue };
+            self.switches[i].reset_task(h)?;
+            packets += self.represented[i];
+            self.rotated_packets += self.represented[i];
+            self.represented[i] = 0;
+            self.checkpoint_represented[i] = 0;
+        }
+        Ok(EpochReadout { rows, packets })
+    }
+
+    /// Bounds control-plane WAL growth outside the standby-sync cadence:
+    /// every alive switch whose log holds more than `threshold` records
+    /// first drops its aborted records (safe at any time — they never
+    /// replay), and if any log is still oversized a standby sync runs,
+    /// compacting at fresh barriers. Returns the records removed by
+    /// pruning alone.
+    ///
+    /// Without a standby there is no checkpoint to anchor compaction of
+    /// *committed* records, so pruning aborted ones is all that can be
+    /// done safely; an operator who never syncs accepts that growth.
+    pub fn maintain_wals(&mut self, threshold: usize) -> usize {
+        let mut pruned = 0;
+        let mut oversized = false;
+        for i in 0..self.switches.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let Some(mut wal) = self.switches[i].detach_wal() else {
+                continue;
+            };
+            if wal.len() > threshold {
+                pruned += wal.prune_aborted();
+            }
+            oversized |= wal.len() > threshold;
+            self.switches[i].attach_wal(wal);
+        }
+        if oversized && self.standby.is_some() {
+            self.sync_standby();
+        }
+        pruned
     }
 
     /// Feeds a packet to the switch at `ingress`, rerouting to the next

@@ -1,0 +1,1239 @@
+//! Supervised streaming ingestion: bounded queues, backpressure, load
+//! shedding, epoch rotation and worker supervision over a
+//! [`SwitchFleet`].
+//!
+//! The rest of the crate replays whole traces out of RAM; this module is
+//! the runtime that lets the fleet measure an *unbounded* stream in
+//! bounded memory, and keep measuring while the stream misbehaves.
+//! A [`ChunkSource`] (a chunked trace reader, or the constant-memory
+//! [`PhasedSource`] generator) feeds a bounded SPSC queue; an admission
+//! controller walks a three-rung degradation ladder as the queue fills;
+//! an epoch rotator archives and clears the fleet's registers under
+//! continuous traffic; and a supervisor isolates worker panics with
+//! `catch_unwind`, quarantines the poisoned replica, and respawns it
+//! from the warm-standby checkpoint + WAL path.
+//!
+//! # The degradation ladder
+//!
+//! 1. **Block** — below the high watermark everything is admitted; when
+//!    the queue is full the producer blocks: the unadmitted remainder
+//!    waits in a bounded backlog and no new chunk is pulled (explicit
+//!    backpressure, observable as [`RuntimeStats::blocked_steps`]).
+//! 2. **Probabilistic shed** — at or above the high watermark each
+//!    arriving packet is shed with a seeded coin
+//!    ([`AdmissionConfig::shed_probability`]).
+//! 3. **Priority shed** — at or above the critical watermark only
+//!    packets matching the high-priority task filter are admitted;
+//!    everything else is shed.
+//!
+//! Every shed packet is accounted: the streaming ledger
+//! ([`StreamingRuntime::ledger`]) extends the fleet's conservation
+//! invariant to `fed == represented + shed + lost + dropped +
+//! in_flight`, which collapses to the quiescent form
+//! `fed == represented + shed + lost + dropped` once the queues drain.
+//!
+//! # Health
+//!
+//! The runtime surfaces a [`RuntimeHealth`] state machine:
+//! `Healthy` (ladder rung 0, nothing pending), `Degraded` (backpressure
+//! is blocking the producer), `Shedding` (rungs 2–3 active), and
+//! `Recovering` (a worker panicked; the replica is quarantined until a
+//! standby respawn and a fresh sync barrier land). All counters feeding
+//! the state machine are exported through [`RuntimeStats`] for the
+//! streaming bench.
+//!
+//! # Determinism
+//!
+//! Like the chaos harness, everything here is modeled, single-threaded
+//! and seed-deterministic — queue stalls, slow consumers, bursts and
+//! worker panics are injected at chunk boundaries ([`IngestFault`]), so
+//! any soak failure replays exactly from its seed. A panic is injected
+//! *before* the batch mutates fleet state (the poison scribbles
+//! registers through the diagnostic escape hatch instead), which is
+//! what makes checkpoint respawn bit-exact: the interrupted batch is
+//! still in the queue and is simply retried after recovery.
+//!
+//! [`PhasedSource`]: flymon_traffic::gen::PhasedSource
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use flymon::FlymonError;
+use flymon_packet::{Packet, SplitMix64, TaskFilter};
+use flymon_traffic::gen::PhasedSource;
+
+use crate::fleet::{EpochReadout, SwitchFleet};
+
+/// A producer of packet chunks: the streaming runtime pulls one chunk
+/// per step (when its backlog is clear) instead of loading a trace.
+pub trait ChunkSource {
+    /// The next chunk, or `None` when the stream is exhausted.
+    fn next_chunk(&mut self) -> Option<Vec<Packet>>;
+}
+
+impl ChunkSource for PhasedSource {
+    fn next_chunk(&mut self) -> Option<Vec<Packet>> {
+        PhasedSource::next_chunk(self)
+    }
+}
+
+/// A chunked reader over an in-memory trace — the adapter that lets
+/// recorded traces flow through the same bounded-queue path as live
+/// generators.
+#[derive(Debug)]
+pub struct TraceChunks {
+    trace: Vec<Packet>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl TraceChunks {
+    /// Reads `trace` in chunks of `chunk` packets.
+    pub fn new(trace: Vec<Packet>, chunk: usize) -> Self {
+        TraceChunks {
+            trace,
+            pos: 0,
+            chunk: chunk.max(1),
+        }
+    }
+}
+
+impl ChunkSource for TraceChunks {
+    fn next_chunk(&mut self) -> Option<Vec<Packet>> {
+        if self.pos >= self.trace.len() {
+            return None;
+        }
+        let end = (self.pos + self.chunk).min(self.trace.len());
+        let out = self.trace[self.pos..end].to_vec();
+        self.pos = end;
+        Some(out)
+    }
+}
+
+/// Occupancy statistics of a [`BoundedQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Packets ever enqueued.
+    pub enqueued: u64,
+    /// Packets ever dequeued.
+    pub dequeued: u64,
+    /// Push attempts rejected because the queue was full.
+    pub rejected: u64,
+    /// The deepest the queue has ever been.
+    pub high_watermark: usize,
+}
+
+/// The bounded SPSC ring between admission and the datapath worker.
+///
+/// Modeled as a `VecDeque` under the crate's `forbid(unsafe_code)` —
+/// the ring semantics (fixed capacity, reject-on-full, FIFO) are what
+/// the backpressure model needs, not lock-free memory orderings.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    buf: VecDeque<Packet>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl BoundedQueue {
+    /// An empty queue holding at most `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when another push would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.capacity
+    }
+
+    /// Fill fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.buf.len() as f64 / self.capacity as f64
+    }
+
+    /// Enqueues `pkt`; `false` (and a rejection tick) when full.
+    pub fn push(&mut self, pkt: Packet) -> bool {
+        if self.is_full() {
+            self.stats.rejected += 1;
+            return false;
+        }
+        self.buf.push_back(pkt);
+        self.stats.enqueued += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.buf.len());
+        true
+    }
+
+    /// Dequeues up to `n` packets in FIFO order.
+    pub fn pop_n(&mut self, n: usize) -> Vec<Packet> {
+        let take = n.min(self.buf.len());
+        let out: Vec<Packet> = self.buf.drain(..take).collect();
+        self.stats.dequeued += out.len() as u64;
+        out
+    }
+
+    /// Pushes a batch back to the *front*, preserving its order — the
+    /// supervisor's retry path for a batch whose worker panicked before
+    /// touching fleet state.
+    pub fn unpop(&mut self, batch: Vec<Packet>) {
+        for pkt in batch.into_iter().rev() {
+            self.buf.push_front(pkt);
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+/// Watermarks and coins of the admission controller's degradation
+/// ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Queue occupancy at which probabilistic shedding starts.
+    pub high_watermark: f64,
+    /// Queue occupancy at which only priority traffic is admitted.
+    pub critical_watermark: f64,
+    /// Per-packet shed probability between the watermarks.
+    pub shed_probability: f64,
+    /// The high-priority task's traffic filter; packets matching it are
+    /// never priority-shed. `None` sheds indiscriminately at the
+    /// critical rung.
+    pub priority: Option<TaskFilter>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            high_watermark: 0.75,
+            critical_watermark: 0.90,
+            shed_probability: 0.5,
+            priority: None,
+        }
+    }
+}
+
+/// The runtime's supervised health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeHealth {
+    /// Ladder rung 0: everything offered is admitted promptly.
+    #[default]
+    Healthy,
+    /// Backpressure is blocking the producer, but nothing is shed.
+    Degraded,
+    /// The admission ladder is shedding (probabilistic or priority).
+    Shedding,
+    /// A worker panicked; its replica is quarantined until the standby
+    /// respawn and a fresh sync barrier complete.
+    Recovering,
+}
+
+/// A deterministic ingestion fault, injected at chunk boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestFault {
+    /// The consumer drains nothing for `steps` steps starting at
+    /// `from_step` (1-based, inclusive).
+    QueueStall {
+        /// First affected step.
+        from_step: u64,
+        /// How many steps the stall lasts.
+        steps: u64,
+    },
+    /// The consumer's drain budget is divided by `factor` for `steps`
+    /// steps starting at `from_step`.
+    SlowConsumer {
+        /// First affected step.
+        from_step: u64,
+        /// How many steps the slowdown lasts.
+        steps: u64,
+        /// Budget divisor (>= 1).
+        factor: usize,
+    },
+    /// At step `at_step` the worker scribbles switch `switch`'s
+    /// registers (an un-admitted packet, via the diagnostic escape
+    /// hatch) and panics before processing its batch.
+    WorkerPanic {
+        /// The step at which the panic fires.
+        at_step: u64,
+        /// The replica left poisoned.
+        switch: usize,
+    },
+}
+
+/// Errors surfaced by the streaming runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The pipeline made no progress for longer than
+    /// [`IngestConfig::max_idle_steps`] with packets still queued — a
+    /// stalled consumer that would otherwise hang the caller forever.
+    Stalled {
+        /// The step at which the stall was declared.
+        step: u64,
+        /// Packets stranded in the queue and backlog.
+        queued: usize,
+    },
+    /// A control-plane operation (rotation, respawn) failed.
+    Control(FlymonError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Stalled { step, queued } => write!(
+                f,
+                "ingestion stalled at step {step}: {queued} packets queued with no progress"
+            ),
+            IngestError::Control(e) => write!(f, "streaming control-plane failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<FlymonError> for IngestError {
+    fn from(e: FlymonError) -> Self {
+        IngestError::Control(e)
+    }
+}
+
+/// Shape of a [`StreamingRuntime`].
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Capacity of the bounded ingress queue, in packets.
+    pub queue_capacity: usize,
+    /// Packets the datapath worker drains per step at full speed.
+    pub drain_chunk: usize,
+    /// Bound on the producer-side backlog (the "blocked" remainder);
+    /// overflow beyond it is tail-shed.
+    pub backlog_limit: usize,
+    /// The admission controller's ladder.
+    pub admission: AdmissionConfig,
+    /// Rotate the epoch after this many *processed* packets; 0 never
+    /// rotates.
+    pub epoch_packets: u64,
+    /// Standby sync cadence in steps (1 = a barrier before every
+    /// batch, which makes worker-panic respawn loss-free).
+    pub sync_every_steps: u64,
+    /// Steps with zero progress (packets queued, nothing drained or
+    /// rotated) tolerated before [`IngestError::Stalled`].
+    pub max_idle_steps: usize,
+    /// WAL records per switch above which off-barrier compaction runs
+    /// (aborted-record pruning plus a standby sync).
+    pub wal_threshold: usize,
+    /// Seed of the admission controller's shed coin.
+    pub seed: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_capacity: 8_192,
+            drain_chunk: 2_048,
+            backlog_limit: 16_384,
+            admission: AdmissionConfig::default(),
+            epoch_packets: 0,
+            sync_every_steps: 1,
+            max_idle_steps: 64,
+            wal_threshold: 256,
+            seed: 0x57_12EA,
+        }
+    }
+}
+
+/// Counters exported by the runtime (the streaming bench reads these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Steps executed.
+    pub steps: u64,
+    /// Packets pulled from the source.
+    pub offered: u64,
+    /// Packets admitted into the queue.
+    pub admitted: u64,
+    /// Packets drained through the fleet.
+    pub processed: u64,
+    /// Packets shed by the probabilistic rung.
+    pub shed_random: u64,
+    /// Packets shed by the priority rung.
+    pub shed_priority: u64,
+    /// Packets tail-shed from an overflowing backlog.
+    pub shed_overflow: u64,
+    /// Steps on which backpressure blocked the producer.
+    pub blocked_steps: u64,
+    /// Standby syncs performed.
+    pub syncs: u64,
+    /// Epoch rotations performed.
+    pub epochs_rotated: u64,
+    /// Worker panics caught and supervised.
+    pub panics_recovered: u64,
+    /// Quarantined replicas respawned from the standby checkpoint.
+    pub promotions: u64,
+    /// Quarantined replicas revived fresh (no usable standby image).
+    pub revives: u64,
+    /// Health-state transitions.
+    pub health_transitions: u64,
+}
+
+impl RuntimeStats {
+    /// Total packets shed across all ladder rungs.
+    pub fn shed(&self) -> u64 {
+        self.shed_random + self.shed_priority + self.shed_overflow
+    }
+}
+
+/// Where every packet the source ever offered currently stands.
+///
+/// The streaming extension of the fleet's [`crate::fleet::PacketLedger`]:
+/// admission shedding adds the `shed` term, and packets sitting in the
+/// queue/backlog are `in_flight`. Conservation —
+/// `fed == represented + shed + lost + dropped + in_flight` — must hold
+/// after every step; at quiescence `in_flight` is zero and the invariant
+/// collapses to `fed == represented + shed + lost + dropped`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamLedger {
+    /// Packets ever pulled from the source.
+    pub fed: u64,
+    /// Packets waiting in the bounded queue or the blocked backlog.
+    pub in_flight: u64,
+    /// Packets represented in fleet registers or archived epoch
+    /// readouts.
+    pub represented: u64,
+    /// Packets shed by the admission ladder.
+    pub shed: u64,
+    /// Packets lost to failures (revivals, promotion loss windows).
+    pub lost: u64,
+    /// Packets dropped by a fully dead fleet.
+    pub dropped: u64,
+}
+
+impl StreamLedger {
+    /// True when every offered packet is accounted for.
+    pub fn conserved(&self) -> bool {
+        self.fed == self.represented + self.shed + self.lost + self.dropped + self.in_flight
+    }
+}
+
+/// What one [`StreamingRuntime::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepOutcome {
+    /// Packets pulled from the source this step.
+    pub pulled: usize,
+    /// Packets admitted to the queue this step.
+    pub admitted: usize,
+    /// Packets shed this step.
+    pub shed: usize,
+    /// Packets drained through the fleet this step.
+    pub drained: usize,
+    /// Whether an epoch rotation happened.
+    pub rotated: bool,
+    /// Whether a worker panic was caught and supervised.
+    pub recovered: bool,
+    /// Whether the source reported exhaustion this step.
+    pub source_dry: bool,
+    /// Health after the step.
+    pub health: RuntimeHealth,
+}
+
+/// Final report of a [`StreamingRuntime::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Counter snapshot.
+    pub stats: RuntimeStats,
+    /// The quiescent ledger (`in_flight` is zero after a full run).
+    pub ledger: StreamLedger,
+    /// Final health.
+    pub health: RuntimeHealth,
+    /// Queue statistics.
+    pub queue: QueueStats,
+}
+
+/// A flow the runtime tracks across epoch rotations (readout
+/// continuity: archived estimates accumulate as registers clear).
+#[derive(Debug, Clone, Copy)]
+struct WatchFlow {
+    pkt: Packet,
+    processed: u64,
+    archived: u64,
+}
+
+fn same_flow(a: &Packet, b: &Packet) -> bool {
+    a.src_ip == b.src_ip
+        && a.dst_ip == b.dst_ip
+        && a.src_port == b.src_port
+        && a.dst_port == b.dst_port
+        && a.protocol == b.protocol
+}
+
+/// The supervised streaming runtime: source → admission → bounded queue
+/// → datapath worker → epoch rotator, under a health state machine.
+#[derive(Debug)]
+pub struct StreamingRuntime {
+    fleet: SwitchFleet,
+    cfg: IngestConfig,
+    queue: BoundedQueue,
+    backlog: VecDeque<Packet>,
+    rng: SplitMix64,
+    health: RuntimeHealth,
+    stats: RuntimeStats,
+    faults: Vec<IngestFault>,
+    step: u64,
+    processed_since_rotate: u64,
+    idle_steps: usize,
+    /// Set while a respawned replica awaits its first post-recovery
+    /// sync barrier; holds the health machine in `Recovering`.
+    resync_pending: bool,
+    watch: Option<WatchFlow>,
+    last_epoch: Option<EpochReadout>,
+}
+
+impl StreamingRuntime {
+    /// Wraps `fleet` (enabling its warm standby — supervision needs a
+    /// checkpoint to respawn from) in a streaming runtime.
+    pub fn new(mut fleet: SwitchFleet, cfg: IngestConfig) -> Self {
+        fleet.enable_standby();
+        let rng = SplitMix64::new(cfg.seed);
+        let queue = BoundedQueue::new(cfg.queue_capacity);
+        StreamingRuntime {
+            fleet,
+            cfg,
+            queue,
+            backlog: VecDeque::new(),
+            rng,
+            health: RuntimeHealth::Healthy,
+            stats: RuntimeStats::default(),
+            faults: Vec::new(),
+            step: 0,
+            processed_since_rotate: 0,
+            idle_steps: 0,
+            resync_pending: false,
+            watch: None,
+            last_epoch: None,
+        }
+    }
+
+    /// Schedules a deterministic ingestion fault.
+    pub fn inject(&mut self, fault: IngestFault) {
+        self.faults.push(fault);
+    }
+
+    /// Tracks a flow across epoch rotations; see
+    /// [`StreamingRuntime::watch_bound`].
+    pub fn watch(&mut self, pkt: Packet) {
+        self.watch = Some(WatchFlow {
+            pkt,
+            processed: 0,
+            archived: 0,
+        });
+    }
+
+    /// `(estimate, loss_bound, processed)` for the watched flow: the
+    /// archived epoch estimates plus the live merged estimate, the
+    /// fleet's explicit loss bound, and how many copies the worker has
+    /// drained into the fleet. The streaming loss-window guarantee —
+    /// which holds after *every* step, not just at quiescence — is
+    /// `estimate + loss_bound >= processed`. (Admitted-but-queued
+    /// copies are deliberately excluded: they are `in_flight` in the
+    /// ledger and have not reached any register yet.)
+    pub fn watch_bound(&self) -> Option<(u64, u64, u64)> {
+        let w = self.watch.as_ref()?;
+        let live = self
+            .fleet
+            .merged_frequency_bounded(&w.pkt)
+            .map(|b| (b.estimate, b.loss_bound))
+            .unwrap_or((0, u64::MAX));
+        Some((w.archived + live.0, live.1, w.processed))
+    }
+
+    /// Current health.
+    pub fn health(&self) -> RuntimeHealth {
+        self.health
+    }
+
+    /// Exported counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// The ingress queue's statistics.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// The supervised fleet (readouts, diagnostics).
+    pub fn fleet(&self) -> &SwitchFleet {
+        &self.fleet
+    }
+
+    /// The most recent epoch rotation's archived readout — one readout
+    /// is retained, not the whole history (constant memory).
+    pub fn last_epoch(&self) -> Option<&EpochReadout> {
+        self.last_epoch.as_ref()
+    }
+
+    /// The streaming conservation ledger; see [`StreamLedger`].
+    pub fn ledger(&self) -> StreamLedger {
+        let fl = self.fleet.ledger();
+        StreamLedger {
+            fed: self.stats.offered,
+            in_flight: (self.queue.len() + self.backlog.len()) as u64,
+            represented: fl.represented,
+            shed: self.stats.shed(),
+            lost: fl.lost,
+            dropped: fl.dropped,
+        }
+    }
+
+    /// The consumer's drain budget at `step` under the scheduled
+    /// faults.
+    fn drain_budget(&self, step: u64) -> usize {
+        let mut budget = self.cfg.drain_chunk;
+        for f in &self.faults {
+            match *f {
+                IngestFault::QueueStall { from_step, steps } => {
+                    if step >= from_step && step < from_step.saturating_add(steps) {
+                        return 0;
+                    }
+                }
+                IngestFault::SlowConsumer {
+                    from_step,
+                    steps,
+                    factor,
+                } => {
+                    if step >= from_step && step < from_step.saturating_add(steps) {
+                        budget /= factor.max(1);
+                    }
+                }
+                IngestFault::WorkerPanic { .. } => {}
+            }
+        }
+        budget
+    }
+
+    fn set_health(&mut self, next: RuntimeHealth) {
+        if self.health != next {
+            self.health = next;
+            self.stats.health_transitions += 1;
+        }
+    }
+
+    /// Executes one supervised step: sync barrier, producer pull,
+    /// admission ladder, panic supervision, worker drain, epoch
+    /// rotation, health update, stall detection.
+    pub fn step(&mut self, source: &mut dyn ChunkSource) -> Result<StepOutcome, IngestError> {
+        self.step += 1;
+        self.stats.steps += 1;
+        let step = self.step;
+        let mut out = StepOutcome::default();
+
+        // 1. Sync barrier first, so a panic later in the step finds a
+        // checkpoint that already covers every processed packet (the
+        // zero-loss respawn window). Off-cadence WAL maintenance rides
+        // the same cadence.
+        if self.cfg.sync_every_steps > 0 && (step - 1).is_multiple_of(self.cfg.sync_every_steps) {
+            self.fleet.maintain_wals(self.cfg.wal_threshold);
+            self.fleet.sync_standby();
+            self.stats.syncs += 1;
+            if self.resync_pending {
+                // The respawned replica is re-imaged; recovery is done.
+                self.resync_pending = false;
+            }
+        }
+
+        // 2. Producer: pull a chunk only when the backlog is clear —
+        // a non-empty backlog IS the blocked producer.
+        if self.backlog.is_empty() {
+            match source.next_chunk() {
+                Some(chunk) => {
+                    out.pulled = chunk.len();
+                    self.stats.offered += chunk.len() as u64;
+                    self.backlog.extend(chunk);
+                }
+                None => out.source_dry = true,
+            }
+        } else {
+            self.stats.blocked_steps += 1;
+        }
+
+        // 3. Admission ladder.
+        let mut shed_this_step = 0usize;
+        while let Some(pkt) = self.backlog.pop_front() {
+            if self.queue.is_full() {
+                // Rung 1: block. The packet (and everything behind it)
+                // waits in the backlog.
+                self.backlog.push_front(pkt);
+                break;
+            }
+            let occ = self.queue.occupancy();
+            if occ >= self.cfg.admission.critical_watermark {
+                let keep = self
+                    .cfg
+                    .admission
+                    .priority
+                    .map(|f| f.matches(&pkt))
+                    .unwrap_or(false);
+                if !keep {
+                    self.stats.shed_priority += 1;
+                    shed_this_step += 1;
+                    continue;
+                }
+            } else if occ >= self.cfg.admission.high_watermark
+                && self.rng.chance(self.cfg.admission.shed_probability)
+            {
+                self.stats.shed_random += 1;
+                shed_this_step += 1;
+                continue;
+            }
+            let pushed = self.queue.push(pkt);
+            debug_assert!(pushed, "fullness was checked above");
+            self.stats.admitted += 1;
+            out.admitted += 1;
+        }
+        // Backlog overflow: the producer cannot be blocked forever on a
+        // bounded buffer; the newest excess is tail-shed.
+        while self.backlog.len() > self.cfg.backlog_limit {
+            self.backlog.pop_back();
+            self.stats.shed_overflow += 1;
+            shed_this_step += 1;
+        }
+        out.shed = shed_this_step;
+
+        // 4. Supervision point: scheduled worker panics fire at the
+        // chunk boundary, before the batch touches fleet state.
+        let panic_victim = self.faults.iter().find_map(|f| match *f {
+            IngestFault::WorkerPanic { at_step, switch } if at_step == step => Some(switch),
+            _ => None,
+        });
+        if let Some(victim) = panic_victim {
+            let poison = Packet::udp(0xdead_0000 | step as u32, 0x0a00_00ff, 6666, 6666);
+            let fleet = &mut self.fleet;
+            // The supervisor owns this unwind: silence the global panic
+            // hook for its duration so an *expected* worker death does
+            // not spray backtraces over daemon logs and CI output.
+            let prev_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                // The dying worker scribbles a register update for a
+                // packet that was never admitted (the escape hatch
+                // bypasses the ledger), then unwinds mid-batch.
+                fleet.switch_mut(victim).process(&poison);
+                panic!("injected worker panic at step {step}");
+            }));
+            std::panic::set_hook(prev_hook);
+            debug_assert!(caught.is_err());
+            self.stats.panics_recovered += 1;
+            out.recovered = true;
+            // Quarantine: the replica's registers cannot be trusted.
+            self.fleet.fail_switch(victim);
+            // Respawn from the PR-4 restore path: last standby image +
+            // WAL suffix. With a per-step sync barrier the loss window
+            // is empty and the respawned registers are bit-identical to
+            // an unfailed replica's. Fall back to a fresh revival when
+            // no image exists.
+            if self.fleet.promote_standby(victim).is_ok() {
+                self.stats.promotions += 1;
+            } else {
+                self.fleet.revive_switch(victim)?;
+                self.stats.revives += 1;
+            }
+            self.resync_pending = true;
+            self.set_health(RuntimeHealth::Recovering);
+        }
+
+        // 5. Worker drain — paused for the rest of a recovery step; the
+        // batch stays queued and is retried next step.
+        if self.health != RuntimeHealth::Recovering {
+            let budget = self.drain_budget(step);
+            if budget > 0 && !self.queue.is_empty() {
+                let batch = self.queue.pop_n(budget);
+                self.fleet.process_trace(&batch);
+                if let Some(w) = self.watch.as_mut() {
+                    w.processed += batch.iter().filter(|p| same_flow(p, &w.pkt)).count() as u64;
+                }
+                self.stats.processed += batch.len() as u64;
+                self.processed_since_rotate += batch.len() as u64;
+                out.drained = batch.len();
+            }
+        }
+
+        // 6. Epoch rotation: readout + logged reset under continuous
+        // traffic, never during recovery.
+        if self.cfg.epoch_packets > 0
+            && self.processed_since_rotate >= self.cfg.epoch_packets
+            && self.health != RuntimeHealth::Recovering
+            && self.fleet.alive_count() > 0
+        {
+            if let Some(w) = self.watch.as_mut() {
+                w.archived += self.fleet.merged_frequency(&w.pkt).unwrap_or(0);
+            }
+            self.last_epoch = Some(self.fleet.rotate_epoch()?);
+            self.stats.epochs_rotated += 1;
+            self.processed_since_rotate = 0;
+            out.rotated = true;
+        }
+
+        // 7. Health: Recovering holds until the post-respawn barrier;
+        // otherwise the ladder's observable state decides.
+        if self.health == RuntimeHealth::Recovering {
+            if !self.resync_pending {
+                self.set_health(RuntimeHealth::Healthy);
+            }
+        } else {
+            let occ = self.queue.occupancy();
+            let next = if shed_this_step > 0 || occ >= self.cfg.admission.high_watermark {
+                RuntimeHealth::Shedding
+            } else if !self.backlog.is_empty() {
+                RuntimeHealth::Degraded
+            } else {
+                RuntimeHealth::Healthy
+            };
+            self.set_health(next);
+        }
+        out.health = self.health;
+
+        // 8. Stall detection: packets queued, nothing moving.
+        let progress = out.drained > 0 || out.rotated || out.recovered;
+        if !progress && !self.queue.is_empty() {
+            self.idle_steps += 1;
+            if self.idle_steps > self.cfg.max_idle_steps {
+                return Err(IngestError::Stalled {
+                    step,
+                    queued: self.queue.len() + self.backlog.len(),
+                });
+            }
+        } else {
+            self.idle_steps = 0;
+        }
+
+        debug_assert!(self.ledger().conserved(), "{:?}", self.ledger());
+        Ok(out)
+    }
+
+    /// Runs the stream to quiescence: steps until the source is dry and
+    /// both buffers have drained, then takes a final sync barrier.
+    pub fn run(&mut self, source: &mut dyn ChunkSource) -> Result<RuntimeReport, IngestError> {
+        loop {
+            let out = self.step(source)?;
+            if out.source_dry && self.queue.is_empty() && self.backlog.is_empty() {
+                break;
+            }
+        }
+        self.fleet.sync_standby();
+        self.stats.syncs += 1;
+        if self.resync_pending {
+            self.resync_pending = false;
+            if self.health == RuntimeHealth::Recovering {
+                self.set_health(RuntimeHealth::Healthy);
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// The current report (final when called after
+    /// [`StreamingRuntime::run`]).
+    pub fn report(&self) -> RuntimeReport {
+        RuntimeReport {
+            stats: self.stats,
+            ledger: self.ledger(),
+            health: self.health,
+            queue: self.queue.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flymon::prelude::*;
+    use flymon_packet::KeySpec;
+
+    fn config() -> FlyMonConfig {
+        FlyMonConfig {
+            groups: 2,
+            buckets_per_cmu: 16384,
+            ..FlyMonConfig::default()
+        }
+    }
+
+    fn cms_def() -> TaskDefinition {
+        TaskDefinition::builder("stream-freq")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 2 })
+            .memory(8192)
+            .build()
+    }
+
+    fn fleet(n: usize) -> SwitchFleet {
+        SwitchFleet::deploy(n, config(), &cms_def()).unwrap()
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_and_tracks_watermark() {
+        let mut q = BoundedQueue::new(3);
+        let p = Packet::tcp(1, 2, 3, 4);
+        assert!(q.push(p));
+        assert!(q.push(p));
+        assert!(q.push(p));
+        assert!(q.is_full());
+        assert!(!q.push(p), "capacity 3 rejects the 4th");
+        assert_eq!(q.stats().rejected, 1);
+        assert_eq!(q.stats().high_watermark, 3);
+        assert_eq!(q.pop_n(10).len(), 3);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().dequeued, 3);
+    }
+
+    #[test]
+    fn unpop_preserves_fifo_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..4u32 {
+            q.push(Packet::tcp(i, 0, 0, 0));
+        }
+        let batch = q.pop_n(3);
+        assert_eq!(batch.len(), 3);
+        q.unpop(batch);
+        let replay = q.pop_n(4);
+        let srcs: Vec<u32> = replay.iter().map(|p| p.src_ip).collect();
+        assert_eq!(srcs, vec![0, 1, 2, 3], "retried batch keeps stream order");
+    }
+
+    #[test]
+    fn steady_stream_admits_everything_and_stays_healthy() {
+        let mut rt = StreamingRuntime::new(
+            fleet(3),
+            IngestConfig {
+                queue_capacity: 8_192,
+                drain_chunk: 4_096,
+                ..IngestConfig::default()
+            },
+        );
+        let mut src = TraceChunks::new(
+            flymon_traffic::gen::TraceGenerator::new(11).wide_like(
+                &flymon_traffic::gen::TraceConfig {
+                    flows: 2_000,
+                    packets: 40_000,
+                    zipf_alpha: 1.1,
+                    duration_ns: 1_000_000_000,
+                    seed: 11,
+                },
+            ),
+            2_048,
+        );
+        let report = rt.run(&mut src).unwrap();
+        assert_eq!(report.health, RuntimeHealth::Healthy);
+        assert_eq!(report.stats.shed(), 0, "capacity exceeds offered load");
+        assert_eq!(report.ledger.in_flight, 0);
+        assert!(report.ledger.conserved(), "{:?}", report.ledger);
+        assert_eq!(report.stats.processed, report.stats.offered);
+    }
+
+    #[test]
+    fn burst_overload_walks_the_ladder_and_conserves_the_ledger() {
+        let mut rt = StreamingRuntime::new(
+            fleet(3),
+            IngestConfig {
+                queue_capacity: 1_024,
+                drain_chunk: 512,
+                backlog_limit: 2_048,
+                epoch_packets: 0,
+                ..IngestConfig::default()
+            },
+        );
+        let mut src = flymon_traffic::gen::PhasedSource::new(flymon_traffic::gen::PhasedConfig {
+            flows: 1_000,
+            base_chunk: 512,
+            phases: vec![
+                flymon_traffic::gen::Phase { chunks: 4, rate: 1.0 },
+                flymon_traffic::gen::Phase { chunks: 4, rate: 10.0 },
+                flymon_traffic::gen::Phase { chunks: 4, rate: 1.0 },
+            ],
+            ..flymon_traffic::gen::PhasedConfig::default()
+        });
+        let mut saw_shedding = false;
+        let mut ledgers_ok = true;
+        loop {
+            let out = rt.step(&mut src).unwrap();
+            saw_shedding |= out.health == RuntimeHealth::Shedding;
+            ledgers_ok &= rt.ledger().conserved();
+            if out.source_dry && rt.ledger().in_flight == 0 {
+                break;
+            }
+        }
+        assert!(saw_shedding, "a 10x burst over a small queue must shed");
+        assert!(ledgers_ok, "ledger must be conserved after every step");
+        let report = rt.report();
+        assert!(report.stats.shed() > 0);
+        assert!(report.ledger.conserved(), "{:?}", report.ledger);
+        assert_eq!(
+            report.stats.offered,
+            report.stats.processed + report.stats.shed(),
+            "every offered packet was processed or shed"
+        );
+    }
+
+    #[test]
+    fn priority_traffic_survives_the_critical_rung() {
+        let priority = TaskFilter::src(10 << 24, 8);
+        let mut rt = StreamingRuntime::new(
+            fleet(2),
+            IngestConfig {
+                queue_capacity: 512,
+                drain_chunk: 64,
+                backlog_limit: 1_024,
+                admission: AdmissionConfig {
+                    priority: Some(priority),
+                    ..AdmissionConfig::default()
+                },
+                ..IngestConfig::default()
+            },
+        );
+        let mut src = flymon_traffic::gen::PhasedSource::new(flymon_traffic::gen::PhasedConfig {
+            flows: 1_000,
+            base_chunk: 512,
+            phases: vec![flymon_traffic::gen::Phase { chunks: 10, rate: 8.0 }],
+            ..flymon_traffic::gen::PhasedConfig::default()
+        });
+        let report = rt.run(&mut src).unwrap();
+        assert!(report.stats.shed_priority > 0, "critical rung engaged");
+        assert!(report.ledger.conserved(), "{:?}", report.ledger);
+        // Everything the fleet processed under priority shedding skews
+        // toward the priority tenant; spot-check that priority packets
+        // dominated admissions once rung 3 was active.
+        assert!(
+            report.stats.admitted > 0,
+            "priority packets still got through"
+        );
+    }
+
+    #[test]
+    fn epoch_rotation_archives_counts_under_continuous_traffic() {
+        let mut rt = StreamingRuntime::new(
+            fleet(3),
+            IngestConfig {
+                queue_capacity: 8_192,
+                drain_chunk: 2_048,
+                epoch_packets: 5_000,
+                ..IngestConfig::default()
+            },
+        );
+        let watch = Packet::tcp(0x0a00_0042, 0x0a00_0001, 443, 50_000);
+        rt.watch(watch);
+        // A stream with a steady share of the watched flow.
+        let mut trace = Vec::new();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..30_000 {
+            if rng.chance(0.2) {
+                trace.push(watch);
+            } else {
+                trace.push(Packet::udp(
+                    0xc0a8_0000 | (rng.next_u32() & 0xfff),
+                    0x0a00_0001,
+                    rng.next_u16(),
+                    53,
+                ));
+            }
+        }
+        let mut src = TraceChunks::new(trace, 2_048);
+        let report = rt.run(&mut src).unwrap();
+        assert!(
+            report.stats.epochs_rotated >= 4,
+            "30k packets / 5k epoch => several rotations, got {}",
+            report.stats.epochs_rotated
+        );
+        assert!(report.ledger.conserved(), "{:?}", report.ledger);
+        assert_eq!(report.stats.shed(), 0);
+        // Readout continuity: archived + live estimate covers every
+        // processed copy of the watched flow (CMS never undercounts).
+        let (estimate, loss_bound, processed) = rt.watch_bound().unwrap();
+        assert!(processed > 4_000, "watch flow fed: {processed}");
+        assert!(
+            estimate + loss_bound >= processed,
+            "epoch continuity broken: {estimate} + {loss_bound} < {processed}"
+        );
+        // The archive did the heavy lifting — the live registers alone
+        // hold only the tail epoch.
+        let live = rt.fleet().merged_frequency(&watch).unwrap();
+        assert!(
+            live < processed / 2,
+            "rotation should have cleared most counts (live {live} of {processed})"
+        );
+        assert!(rt.last_epoch().is_some());
+    }
+
+    #[test]
+    fn queue_stall_trips_the_detector_instead_of_hanging() {
+        let mut rt = StreamingRuntime::new(
+            fleet(2),
+            IngestConfig {
+                queue_capacity: 1_024,
+                drain_chunk: 256,
+                max_idle_steps: 8,
+                ..IngestConfig::default()
+            },
+        );
+        rt.inject(IngestFault::QueueStall {
+            from_step: 1,
+            steps: u64::MAX,
+        });
+        let mut src = TraceChunks::new(vec![Packet::tcp(1, 2, 3, 4); 4_096], 512);
+        let err = rt.run(&mut src).unwrap_err();
+        assert!(
+            matches!(err, IngestError::Stalled { .. }),
+            "a dead consumer must surface, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn transient_stall_and_slow_consumer_recover_cleanly() {
+        let mut rt = StreamingRuntime::new(
+            fleet(2),
+            IngestConfig {
+                queue_capacity: 2_048,
+                drain_chunk: 512,
+                max_idle_steps: 16,
+                ..IngestConfig::default()
+            },
+        );
+        rt.inject(IngestFault::QueueStall {
+            from_step: 3,
+            steps: 4,
+        });
+        rt.inject(IngestFault::SlowConsumer {
+            from_step: 10,
+            steps: 5,
+            factor: 8,
+        });
+        let mut src = TraceChunks::new(vec![Packet::tcp(9, 9, 9, 9); 10_000], 500);
+        let report = rt.run(&mut src).unwrap();
+        assert_eq!(report.health, RuntimeHealth::Healthy);
+        assert!(report.ledger.conserved(), "{:?}", report.ledger);
+        assert_eq!(
+            report.stats.processed + report.stats.shed(),
+            report.stats.offered
+        );
+    }
+
+    #[test]
+    fn worker_panic_respawns_bit_identically_for_the_admitted_stream() {
+        // Two identical runtimes over the identical stream; one suffers
+        // a worker panic mid-stream. With per-step sync barriers the
+        // respawn must be loss-free, so the final merged readouts are
+        // bit-identical and health returns to Healthy.
+        let cfg = IngestConfig {
+            queue_capacity: 65_536, // nothing shed in either run
+            drain_chunk: 1_024,
+            epoch_packets: 6_000,
+            sync_every_steps: 1,
+            ..IngestConfig::default()
+        };
+        let stream = || {
+            TraceChunks::new(
+                flymon_traffic::gen::TraceGenerator::new(77).wide_like(
+                    &flymon_traffic::gen::TraceConfig {
+                        flows: 3_000,
+                        packets: 25_000,
+                        zipf_alpha: 1.1,
+                        duration_ns: 1_000_000_000,
+                        seed: 77,
+                    },
+                ),
+                1_024,
+            )
+        };
+
+        let mut healthy = StreamingRuntime::new(fleet(3), cfg.clone());
+        let healthy_report = healthy.run(&mut stream()).unwrap();
+
+        let mut failed = StreamingRuntime::new(fleet(3), cfg);
+        failed.inject(IngestFault::WorkerPanic {
+            at_step: 7,
+            switch: 1,
+        });
+        let failed_report = failed.run(&mut stream()).unwrap();
+
+        assert_eq!(failed_report.stats.panics_recovered, 1);
+        assert_eq!(failed_report.stats.promotions, 1, "respawn used the checkpoint path");
+        assert_eq!(failed_report.health, RuntimeHealth::Healthy);
+        assert!(failed_report.ledger.conserved(), "{:?}", failed_report.ledger);
+        assert_eq!(failed_report.ledger.lost, 0, "per-step barriers => empty loss window");
+        assert_eq!(healthy_report.stats.shed(), 0);
+        assert_eq!(failed_report.stats.shed(), 0);
+        assert_eq!(
+            failed_report.stats.processed,
+            healthy_report.stats.processed
+        );
+
+        // Bit-identity of the non-shed packet set: every register row of
+        // every switch must match the unfailed replica fleet.
+        for i in 0..3 {
+            let (a, ha) = healthy.fleet().switch(i);
+            let (b, hb) = failed.fleet().switch(i);
+            let (ha, hb) = (ha.unwrap(), hb.unwrap());
+            for row in 0..2 {
+                assert_eq!(
+                    a.read_row(ha, row).unwrap(),
+                    b.read_row(hb, row).unwrap(),
+                    "switch {i} row {row} diverged after supervised respawn"
+                );
+            }
+            assert!(b.audit().is_empty(), "respawned switch {i} fails audit");
+        }
+        // And the archived epochs match too.
+        assert_eq!(
+            healthy.last_epoch(),
+            failed.last_epoch(),
+            "archived epoch readouts diverged"
+        );
+    }
+
+    #[test]
+    fn runtime_is_deterministic_given_seed() {
+        let run = || {
+            let mut rt = StreamingRuntime::new(
+                fleet(2),
+                IngestConfig {
+                    queue_capacity: 512,
+                    drain_chunk: 256,
+                    epoch_packets: 2_000,
+                    ..IngestConfig::default()
+                },
+            );
+            rt.inject(IngestFault::SlowConsumer {
+                from_step: 4,
+                steps: 3,
+                factor: 4,
+            });
+            let mut src =
+                flymon_traffic::gen::PhasedSource::new(flymon_traffic::gen::PhasedConfig {
+                    flows: 500,
+                    base_chunk: 256,
+                    phases: vec![
+                        flymon_traffic::gen::Phase { chunks: 3, rate: 1.0 },
+                        flymon_traffic::gen::Phase { chunks: 2, rate: 10.0 },
+                    ],
+                    ..flymon_traffic::gen::PhasedConfig::default()
+                });
+            rt.run(&mut src).unwrap()
+        };
+        assert_eq!(run(), run(), "same seeds, same report");
+    }
+}

@@ -28,12 +28,21 @@ pub mod datapath;
 pub mod epochs;
 pub mod fleet;
 pub mod forwarding;
+pub mod ingest;
 pub mod runner;
 
-pub use chaos::{run_schedule, run_soak, ChaosConfig, ChaosReport};
+pub use chaos::{
+    run_ingest_schedule, run_ingest_soak, run_schedule, run_soak, ChaosConfig, ChaosReport,
+    IngestChaosConfig, IngestChaosReport,
+};
 pub use datapath::{ReplayMode, ReplayStats, ShardedDatapath, WorkerStats};
 pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};
-pub use fleet::{BoundedEstimate, PacketLedger, SwitchFleet};
+pub use fleet::{BoundedEstimate, EpochReadout, PacketLedger, SwitchFleet};
+pub use ingest::{
+    AdmissionConfig, BoundedQueue, ChunkSource, IngestConfig, IngestError, IngestFault,
+    QueueStats, RuntimeHealth, RuntimeReport, RuntimeStats, StepOutcome, StreamLedger,
+    StreamingRuntime, TraceChunks,
+};
 pub use runner::run_epochs;
 pub use forwarding::{
     run_forwarding, DeploymentStyle, ForwardingConfig, ReconfigEvent, ThroughputSample,

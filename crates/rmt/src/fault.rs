@@ -98,6 +98,36 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Builds a policy after checking it, rejecting configurations that
+    /// would otherwise fail (or spin) deep inside an install sequence:
+    /// zero attempts, and non-finite or negative backoff parameters.
+    pub fn checked(max_attempts: u32, backoff_ms: f64, multiplier: f64) -> Result<Self, &'static str> {
+        let policy = RetryPolicy {
+            max_attempts,
+            backoff_ms,
+            multiplier,
+        };
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Checks an already-constructed policy (the fields are public, so a
+    /// literal can bypass [`RetryPolicy::checked`]). The control plane
+    /// calls this before accepting a policy, turning a latent
+    /// mid-transaction failure into an immediate configuration error.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be >= 1 (it counts the first try)");
+        }
+        if !self.backoff_ms.is_finite() || self.backoff_ms < 0.0 {
+            return Err("backoff_ms must be finite and non-negative");
+        }
+        if !self.multiplier.is_finite() || self.multiplier < 0.0 {
+            return Err("multiplier must be finite and non-negative");
+        }
+        Ok(())
+    }
+
     /// A policy with `max_attempts` tries and 1 ms initial backoff
     /// doubling per retry.
     pub fn with_attempts(max_attempts: u32) -> Self {
@@ -344,6 +374,27 @@ mod tests {
         assert_eq!(p.backoff_before(2), 2.0);
         assert_eq!(p.backoff_before(3), 6.0);
         assert_eq!(p.backoff_before(4), 18.0);
+    }
+
+    #[test]
+    fn checked_policy_rejects_degenerate_configurations() {
+        assert!(RetryPolicy::checked(3, 1.0, 2.0).is_ok());
+        assert!(RetryPolicy::checked(1, 0.0, 0.0).is_ok(), "no-retry, no-backoff is valid");
+        assert!(RetryPolicy::checked(0, 1.0, 2.0).is_err(), "zero attempts never executes");
+        assert!(RetryPolicy::checked(3, f64::NAN, 2.0).is_err());
+        assert!(RetryPolicy::checked(3, f64::INFINITY, 2.0).is_err());
+        assert!(RetryPolicy::checked(3, -1.0, 2.0).is_err());
+        assert!(RetryPolicy::checked(3, 1.0, f64::NAN).is_err());
+        assert!(RetryPolicy::checked(3, 1.0, -2.0).is_err());
+        // validate() catches a hand-built literal too.
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            backoff_ms: 1.0,
+            multiplier: 2.0,
+        };
+        assert!(bad.validate().is_err());
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy::with_attempts(5).validate().is_ok());
     }
 
     #[test]

@@ -104,6 +104,160 @@ impl Default for SpikeConfig {
     }
 }
 
+/// One phase of a [`PhasedSource`]: `chunks` pulls at `rate` times the
+/// baseline offered load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// How many chunk pulls this phase lasts.
+    pub chunks: usize,
+    /// Offered-load multiplier (1.0 = baseline; 10.0 = a 10x burst).
+    pub rate: f64,
+}
+
+/// Configuration of a [`PhasedSource`].
+#[derive(Debug, Clone)]
+pub struct PhasedConfig {
+    /// Distinct flows in the population (Zipf-ranked).
+    pub flows: usize,
+    /// Zipf skew of per-packet flow choice.
+    pub zipf_alpha: f64,
+    /// Packets offered per chunk pull at rate 1.0; a phase at rate `r`
+    /// offers `base_chunk * r` per pull.
+    pub base_chunk: usize,
+    /// Modeled inter-packet gap at rate 1.0; higher rates compress it.
+    pub ns_per_packet: u64,
+    /// The phase schedule, consumed in order; the source is exhausted
+    /// when the last phase ends.
+    pub phases: Vec<Phase>,
+    /// RNG seed; same seed, same stream.
+    pub seed: u64,
+}
+
+impl Default for PhasedConfig {
+    fn default() -> Self {
+        PhasedConfig {
+            flows: 5_000,
+            zipf_alpha: 1.1,
+            base_chunk: 2_048,
+            ns_per_packet: 1_000,
+            phases: vec![
+                Phase { chunks: 8, rate: 1.0 },
+                Phase { chunks: 4, rate: 10.0 },
+                Phase { chunks: 8, rate: 1.0 },
+            ],
+            seed: 0x0091_35ED,
+        }
+    }
+}
+
+/// A streaming trace source with phased offered load.
+///
+/// Unlike [`TraceGenerator`], which materializes whole traces, this
+/// source emits one chunk per pull and holds no per-packet state between
+/// pulls — memory is bounded by the flow population and the chunk size,
+/// never by how long the stream runs. That makes it the workload driver
+/// for the streaming ingestion runtime: steady phases establish a
+/// baseline, burst phases (e.g. 10x) overrun a bounded queue on purpose.
+///
+/// Flow identities derive deterministically from `(seed, zipf rank)`.
+/// The heaviest eighth of the ranks sources from `10.0.0.0/8`, so a
+/// prefix filter on that net is a stable stand-in for a high-priority
+/// tenant when exercising priority-aware load shedding.
+#[derive(Debug)]
+pub struct PhasedSource {
+    cfg: PhasedConfig,
+    zipf: Zipf,
+    rng: SplitMix64,
+    phase: usize,
+    chunks_in_phase: usize,
+    now_ns: u64,
+    emitted: u64,
+}
+
+impl PhasedSource {
+    /// Builds the source; pulls start in the first phase.
+    pub fn new(cfg: PhasedConfig) -> Self {
+        let zipf = Zipf::new(cfg.flows.max(1), cfg.zipf_alpha);
+        let rng = SplitMix64::new(cfg.seed);
+        PhasedSource {
+            cfg,
+            zipf,
+            rng,
+            phase: 0,
+            chunks_in_phase: 0,
+            now_ns: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The active phase's rate multiplier; `None` once exhausted.
+    pub fn current_rate(&self) -> Option<f64> {
+        self.cfg.phases.get(self.phase).map(|p| p.rate)
+    }
+
+    /// Packets emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The deterministic 5-tuple of Zipf rank `rank` (0 = heaviest).
+    fn flow_of(&self, rank: usize) -> (u32, u32, u16, u16, u8) {
+        let mut r = SplitMix64::new(
+            self.cfg
+                .seed
+                .wrapping_add(1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (rank as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        );
+        let src_net: u32 = if rank * 8 < self.cfg.flows.max(1) {
+            10 << 24 // the priority tenant's net
+        } else {
+            [24u32, 59, 131, 172, 192][r.range_usize(0, 5)] << 24
+        };
+        let dst_net: u32 = [10u32, 47, 88, 140, 203][r.range_usize(0, 5)] << 24;
+        let src_ip = src_net | (r.next_u32() & 0x00ff_ffff);
+        let dst_ip = dst_net | (r.next_u32() & 0x00ff_ffff);
+        let src_port = r.range_u64(1024, u64::from(u16::MAX)) as u16;
+        let dst_port = [80u16, 443, 53, 22, 8080, 3306][r.range_usize(0, 6)];
+        let proto = if r.chance(0.8) { 6 } else { 17 };
+        (src_ip, dst_ip, src_port, dst_port, proto)
+    }
+
+    /// Emits the next chunk, or `None` once every phase has run. Chunk
+    /// size scales with the active phase's rate; timestamps advance by
+    /// the rate-compressed inter-packet gap, so bursts are denser in
+    /// modeled time as well as bigger.
+    pub fn next_chunk(&mut self) -> Option<Vec<Packet>> {
+        let phase = *self.cfg.phases.get(self.phase)?;
+        let count = ((self.cfg.base_chunk as f64) * phase.rate).round().max(1.0) as usize;
+        let gap = ((self.cfg.ns_per_packet as f64) / phase.rate.max(1e-9)).max(1.0) as u64;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rank = self.zipf.sample(&mut self.rng) - 1; // 0-based, 0 = heaviest
+            let (src_ip, dst_ip, src_port, dst_port, proto) = self.flow_of(rank);
+            self.now_ns += gap;
+            out.push(
+                PacketBuilder::new()
+                    .src_ip(src_ip)
+                    .dst_ip(dst_ip)
+                    .src_port(src_port)
+                    .dst_port(dst_port)
+                    .protocol(proto)
+                    .len(if proto == 6 { 1400 } else { 128 })
+                    .ts_ns(self.now_ns)
+                    .build(),
+            );
+        }
+        self.emitted += out.len() as u64;
+        self.chunks_in_phase += 1;
+        if self.chunks_in_phase >= phase.chunks {
+            self.phase += 1;
+            self.chunks_in_phase = 0;
+        }
+        Some(out)
+    }
+}
+
 /// Deterministic trace generator.
 #[derive(Debug)]
 pub struct TraceGenerator {
@@ -368,6 +522,83 @@ mod tests {
             .map(|p| p.dst_port)
             .collect();
         assert_eq!(ports.len(), 300);
+    }
+
+    #[test]
+    fn phased_source_is_deterministic_and_finite() {
+        let cfg = PhasedConfig {
+            flows: 500,
+            base_chunk: 256,
+            phases: vec![Phase { chunks: 3, rate: 1.0 }, Phase { chunks: 2, rate: 4.0 }],
+            ..PhasedConfig::default()
+        };
+        let drain = |mut s: PhasedSource| {
+            let mut all = Vec::new();
+            while let Some(c) = s.next_chunk() {
+                all.push(c);
+            }
+            all
+        };
+        let a = drain(PhasedSource::new(cfg.clone()));
+        let b = drain(PhasedSource::new(cfg.clone()));
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 5, "3 + 2 chunk pulls, then exhausted");
+        let c = drain(PhasedSource::new(PhasedConfig { seed: 1, ..cfg }));
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn phased_burst_scales_offered_load_and_compresses_time() {
+        let cfg = PhasedConfig {
+            flows: 300,
+            base_chunk: 1_000,
+            ns_per_packet: 1_000,
+            phases: vec![Phase { chunks: 1, rate: 1.0 }, Phase { chunks: 1, rate: 10.0 }],
+            ..PhasedConfig::default()
+        };
+        let mut src = PhasedSource::new(cfg);
+        assert_eq!(src.current_rate(), Some(1.0));
+        let steady = src.next_chunk().unwrap();
+        assert_eq!(src.current_rate(), Some(10.0));
+        let burst = src.next_chunk().unwrap();
+        assert_eq!(steady.len(), 1_000);
+        assert_eq!(burst.len(), 10_000, "a 10x phase offers 10x the packets");
+        assert!(src.next_chunk().is_none());
+        assert_eq!(src.current_rate(), None);
+        assert_eq!(src.emitted(), 11_000);
+        // Timestamps are strictly monotonic across the whole stream, and
+        // the burst is denser in modeled time.
+        let all: Vec<_> = steady.iter().chain(&burst).collect();
+        assert!(all.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns));
+        let steady_span = steady.last().unwrap().ts_ns - steady[0].ts_ns;
+        let burst_span = burst.last().unwrap().ts_ns - burst[0].ts_ns;
+        assert!(
+            burst_span < steady_span * 2,
+            "10x packets should not take 10x modeled time: {burst_span} vs {steady_span}"
+        );
+    }
+
+    #[test]
+    fn phased_source_carries_a_priority_tenant() {
+        let mut src = PhasedSource::new(PhasedConfig {
+            flows: 2_000,
+            base_chunk: 20_000,
+            phases: vec![Phase { chunks: 1, rate: 1.0 }],
+            ..PhasedConfig::default()
+        });
+        let chunk = src.next_chunk().unwrap();
+        let priority = chunk
+            .iter()
+            .filter(|p| p.src_ip >> 24 == 10)
+            .count();
+        // The heaviest eighth of the Zipf ranks lives in 10/8, so well
+        // over an eighth of the *packets* do.
+        assert!(
+            priority * 3 > chunk.len(),
+            "priority tenant carries {} of {} packets",
+            priority,
+            chunk.len()
+        );
     }
 
     #[test]

@@ -184,3 +184,128 @@ fn multi_switch_failover_round_trip_stays_within_loss_bound() {
         );
     }
 }
+
+/// Edge case: a switch with zero tasks checkpoints and restores to a
+/// bit-identical (and recoverable) pristine state — the degenerate
+/// image must not confuse the capture or replay paths.
+#[test]
+fn zero_task_switch_checkpoints_and_recovers() {
+    let mut fm = FlyMon::new(config());
+    fm.attach_wal(WriteAheadLog::new());
+    let chk = fm.checkpoint(CaptureMode::Full);
+
+    let restored = FlyMon::restore(&chk).unwrap();
+    assert_eq!(restored.task_count(), 0);
+    assert!(restored.audit().is_empty(), "{:?}", restored.audit());
+    assert_eq!(all_registers(&restored), all_registers(&fm));
+
+    let recovered = FlyMon::recover(fm.wal().unwrap(), &chk).unwrap();
+    assert_eq!(recovered.task_count(), 0);
+    assert!(recovered.audit().is_empty());
+    // The recovered empty switch is fully functional.
+    let mut recovered = recovered;
+    let h = recovered.deploy(&cms_def(1)).unwrap();
+    recovered.process(&Packet::tcp(1, 2, 3, 4));
+    assert_eq!(recovered.query_frequency(h, &Packet::tcp(1, 9, 9, 9)), 1);
+}
+
+/// Edge case: a deployed task whose registers are entirely empty (no
+/// traffic yet) round-trips through checkpoint/restore — all-zero rows
+/// must survive capture, not be confused with "nothing to capture".
+#[test]
+fn empty_register_rows_round_trip_through_checkpoint() {
+    let mut fm = FlyMon::new(config());
+    fm.attach_wal(WriteAheadLog::new());
+    let h = fm.deploy(&cms_def(2)).unwrap();
+
+    let chk = fm.checkpoint(CaptureMode::Full);
+    let restored = FlyMon::restore(&chk).unwrap();
+    assert_eq!(restored.task_count(), 1);
+    assert!(restored.audit().is_empty(), "{:?}", restored.audit());
+    assert_eq!(all_registers(&restored), all_registers(&fm));
+    // The restored task answers (with zeros) under the original handle.
+    assert_eq!(restored.query_frequency(h, &Packet::tcp(5, 5, 5, 5)), 0);
+    // A delta against the untouched registers ships nothing but still
+    // composes.
+    let delta = fm.checkpoint(CaptureMode::Delta);
+    assert_eq!(delta.payload_buckets(), 0, "no dirty buckets to ship");
+}
+
+/// Edge case: recovery across a WAL whose newest record is a
+/// *rolled-back* deploy. The aborted record must be skipped — the
+/// recovered switch matches the pre-attempt state exactly and stays
+/// fully functional.
+#[test]
+fn recovery_immediately_after_rolled_back_deploy_skips_the_aborted_record() {
+    let mut fm = FlyMon::new(config());
+    fm.attach_wal(WriteAheadLog::new());
+    let h = fm.deploy(&cms_def(2)).unwrap();
+    for _ in 0..7 {
+        fm.process(&Packet::tcp(0x0a00_0001, 2, 3, 4));
+    }
+    let chk = fm.checkpoint(CaptureMode::Full);
+
+    // The deploy fails on its first install op and rolls back, leaving
+    // an aborted record as the WAL's replay-suffix tail.
+    fm.arm_faults(FaultPlan::new(3).fail_nth(1));
+    assert!(fm.deploy(&cms_def(1)).is_err());
+    fm.disarm_faults();
+    assert!(fm.audit().is_empty(), "rollback left residue");
+
+    let recovered = FlyMon::recover(fm.wal().unwrap(), &chk).unwrap();
+    assert_eq!(recovered.task_count(), 1, "aborted deploy must not replay");
+    assert!(recovered.audit().is_empty(), "{:?}", recovered.audit());
+    assert_eq!(all_registers(&recovered), all_registers(&fm));
+    assert_eq!(recovered.query_frequency(h, &Packet::tcp(0x0a00_0001, 9, 9, 9)), 7);
+}
+
+/// Off-barrier WAL compaction (aborted-record pruning) must not change
+/// what recovery produces: two fleets share an identical history heavy
+/// with rolled-back deploys; one prunes mid-stream, and both promote to
+/// bit-identical registers with identical loss accounting.
+#[test]
+fn wal_compaction_leaves_recovery_unaffected() {
+    let run = |prune: bool| -> (Vec<Vec<u32>>, u64, usize) {
+        let def = cms_def(2);
+        let t = trace(0x5EED, 8_000);
+        let mut fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
+        fleet.enable_standby();
+        fleet.process_trace(&t[..4_000]);
+        fleet.sync_standby();
+
+        // A fault-heavy stretch: thirty rejected reconfigurations leave
+        // thirty aborted records in switch 0's log — unbounded growth
+        // if never pruned, since barriers only move on sync.
+        for k in 0..30 {
+            let fm = fleet.switch_mut(0);
+            fm.arm_faults(FaultPlan::new(k).fail_nth(1));
+            assert!(fm.deploy(&cms_def(1)).is_err(), "fail_nth(1) must reject");
+            fm.disarm_faults();
+        }
+        let wal_before = fleet.switch(0).0.wal().unwrap().len();
+        assert!(wal_before >= 30, "aborted records must have accumulated");
+        if prune {
+            let pruned = fleet.maintain_wals(10);
+            assert!(pruned >= 30, "oversized log must be pruned, got {pruned}");
+            assert!(
+                fleet.switch(0).0.wal().unwrap().len() <= 10,
+                "log stayed oversized after maintenance"
+            );
+        }
+
+        fleet.process_trace(&t[4_000..]);
+        fleet.fail_switch(0);
+        fleet.promote_standby(0).unwrap();
+        assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+        (
+            all_registers(fleet.switch(0).0),
+            fleet.lost_packets(),
+            fleet.switch(0).0.task_count(),
+        )
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "pruning aborted records changed the recovered state"
+    );
+}

@@ -251,7 +251,8 @@ fn transient_faults_are_retried_with_modeled_backoff() {
         max_attempts: 3,
         backoff_ms: 1.0,
         multiplier: 2.0,
-    });
+    })
+    .unwrap();
     // Every op fails its first attempt, succeeds on the second (one
     // 1 ms backoff per op).
     fm.arm_faults(FaultPlan::new(0).transient(1));
@@ -377,7 +378,7 @@ fn op_counter_spans_operations_while_armed() {
 fn probabilistic_fault_schedule_is_identical_across_reruns() {
     let run = |seed: u64| -> (Vec<Result<(), u64>>, u64) {
         let mut fm = small();
-        fm.set_retry_policy(RetryPolicy::with_attempts(2));
+        fm.set_retry_policy(RetryPolicy::with_attempts(2)).unwrap();
         fm.arm_faults(FaultPlan::new(seed).fail_probability(0.2));
         let mut outcomes = Vec::new();
         for k in 0..6u32 {
@@ -410,7 +411,8 @@ fn probabilistic_fault_schedule_is_identical_across_reruns() {
 fn transient_fault_schedule_is_deterministic_and_absorbed_by_retries() {
     let run = |attempts: u32| -> (bool, f64, u64) {
         let mut fm = small();
-        fm.set_retry_policy(RetryPolicy::with_attempts(attempts));
+        fm.set_retry_policy(RetryPolicy::with_attempts(attempts))
+            .unwrap();
         fm.arm_faults(FaultPlan::new(5).transient(1));
         let ok = fm.deploy(&cms("t", 2, 128)).is_ok();
         assert_clean(&fm);
@@ -427,4 +429,34 @@ fn transient_fault_schedule_is_deterministic_and_absorbed_by_retries() {
     assert_eq!(ops_a, ops_b, "op streams must match across reruns");
     assert!((ms_a - ms_b).abs() < 1e-12, "modeled latency must reproduce");
     assert!(ms_a > 0.0, "retries must have cost modeled backoff");
+}
+
+/// Degenerate retry policies are rejected at the API boundary instead
+/// of surfacing later as a zero-attempt "retry" that can never run or a
+/// NaN backoff that poisons the modeled latency.
+#[test]
+fn degenerate_retry_policies_are_rejected_at_the_boundary() {
+    let mut fm = small();
+    fm.set_retry_policy(RetryPolicy::with_attempts(2)).unwrap();
+    assert!(matches!(
+        fm.set_retry_policy(RetryPolicy {
+            max_attempts: 0,
+            backoff_ms: 1.0,
+            multiplier: 2.0,
+        }),
+        Err(FlymonError::InvalidPolicy(_))
+    ));
+    assert!(matches!(
+        fm.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: f64::NAN,
+            multiplier: 2.0,
+        }),
+        Err(FlymonError::InvalidPolicy(_))
+    ));
+    // The rejected policies left the previously installed policy in
+    // place: a transient fault is still absorbed by its one retry.
+    fm.arm_faults(FaultPlan::new(5).transient(1));
+    assert!(fm.deploy(&cms("t", 2, 128)).is_ok());
+    assert_clean(&fm);
 }
