@@ -99,6 +99,17 @@ pub struct BatchStats {
     pub recirculated: u64,
 }
 
+/// Occupancy of one placed row ([`FlyMon::row_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowStats {
+    /// Buckets placed for the row.
+    pub buckets: usize,
+    /// Buckets holding a nonzero value (the fill signal).
+    pub nonzero: usize,
+    /// Buckets pinned at the register ceiling (the saturation signal).
+    pub saturated: usize,
+}
+
 /// A deployed task's record.
 #[derive(Debug, Clone)]
 pub struct DeployedTask {
@@ -1026,6 +1037,26 @@ impl FlyMon {
             .register()
             .read_range(r.offset, r.offset + r.size)?
             .to_vec())
+    }
+
+    /// Occupancy statistics of one row — the per-switch health signal
+    /// an adaptive controller aggregates into fill and saturation
+    /// ratios. A bucket at the row's register ceiling was saturated by
+    /// Cond-ADD, not exactly counted, so `saturated > 0` means the
+    /// placement is undersized for its traffic.
+    pub fn row_stats(&self, h: TaskHandle, row: usize) -> Result<RowStats, FlymonError> {
+        let cap = self
+            .task(h)?
+            .rows
+            .get(row)
+            .ok_or(FlymonError::BadTask(format!("row {row} out of range")))?
+            .bucket_max;
+        let values = self.read_row(h, row)?;
+        Ok(RowStats {
+            buckets: values.len(),
+            nonzero: values.iter().filter(|&&v| v > 0).count(),
+            saturated: values.iter().filter(|&&v| v >= cap).count(),
+        })
     }
 
     /// The bucket a row's data-plane path addresses for `pkt` —

@@ -98,7 +98,7 @@ pub use error::FlymonError;
 pub mod prelude {
     pub use crate::audit::Divergence;
     pub use crate::checkpoint::SwitchCheckpoint;
-    pub use crate::control::{BatchStats, FlyMon, FlyMonConfig, TaskHandle};
+    pub use crate::control::{BatchStats, FlyMon, FlyMonConfig, RowStats, TaskHandle};
     pub use crate::wal::WriteAheadLog;
     pub use flymon_rmt::checkpoint::CaptureMode;
     pub use crate::scratch::PacketScratch;

@@ -51,6 +51,73 @@ use flymon_sketches::hll::estimate_from_registers;
 /// fleet replay and a sharded replay split a trace identically.
 pub const INGRESS_HASH_SEED: u32 = 0xf1ee7;
 
+/// The per-bucket law by which two partial registers of the same
+/// deployment combine into the register of the union traffic.
+///
+/// This is *the* canonical table: the sharded datapath's merged readouts
+/// and the fleet's epoch rotation both route through [`MergeLaw::of`],
+/// so a sketch can never be merged under one law in one path and a
+/// different law in another. (That divergence was a real bug: epoch
+/// rotation used to fall through to a blanket sum, silently adding
+/// SuMax-Max rows' maxima across the fleet.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeLaw {
+    /// Linear counter rows: per-bucket sum, clamped at the hosting
+    /// register's cell ceiling (Cond-ADD saturates there, so the merge
+    /// must too).
+    Sum,
+    /// MAX-op rows (HLL ρ registers, SuMax-Max maxima): per-bucket max.
+    Max,
+    /// Bitmap rows (Bloom, Linear Counting, BeauCoup coupons):
+    /// per-bucket OR.
+    Or,
+}
+
+impl MergeLaw {
+    /// The merge law of `algorithm`'s register rows.
+    ///
+    /// Exhaustive over the algorithm table on purpose — adding an
+    /// algorithm without deciding its merge law is a compile error, not
+    /// a silent sum. Errors for [`Algorithm::OddSketch`], whose two rows
+    /// obey *different* laws (a Bloom gate plus an XOR parity bitmap):
+    /// no single per-bucket law merges it, and pretending one does is
+    /// exactly the bug this table exists to prevent.
+    pub fn of(algorithm: Algorithm) -> Result<MergeLaw, FlymonError> {
+        Ok(match algorithm {
+            Algorithm::Cms { .. }
+            | Algorithm::SuMaxSum { .. }
+            | Algorithm::Mrac
+            | Algorithm::Tower { .. }
+            | Algorithm::CounterBraids => MergeLaw::Sum,
+            Algorithm::Hll | Algorithm::SuMaxMax { .. } | Algorithm::MaxInterval { .. } => {
+                MergeLaw::Max
+            }
+            Algorithm::Bloom { .. } | Algorithm::LinearCounting | Algorithm::BeauCoup { .. } => {
+                MergeLaw::Or
+            }
+            Algorithm::OddSketch => {
+                return Err(FlymonError::BadTask(
+                    "OddSketch rows have no single per-bucket merge law \
+                     (Bloom gate merges by OR, the parity bitmap by XOR)"
+                        .into(),
+                ))
+            }
+        })
+    }
+
+    /// Combines two partial buckets. `cap` is the hosting register's
+    /// cell ceiling, honored by [`MergeLaw::Sum`] only (pass `u32::MAX`
+    /// when the row has no ceiling).
+    #[inline]
+    pub fn combine(self, a: u32, b: u32, cap: u32) -> u32 {
+        match self {
+            MergeLaw::Sum => (u64::from(a) + u64::from(b)).min(u64::from(cap)) as u32,
+            MergeLaw::Max => a.max(b),
+            MergeLaw::Or => a | b,
+        }
+    }
+}
+
 /// The shard (or fleet ingress) among `n` that `pkt` belongs to.
 ///
 /// # Panics
@@ -431,20 +498,12 @@ impl ShardedDatapath {
     /// for [`Algorithm::MaxInterval`] it is only an approximation (the
     /// arrival-time state is not mergeable — see DESIGN.md).
     pub fn merged_row(&self, row: usize) -> Result<Vec<u32>, FlymonError> {
-        match self.algorithm {
-            Algorithm::Hll | Algorithm::SuMaxMax { .. } | Algorithm::MaxInterval { .. } => {
-                self.merged_row_with(row, u32::max)
-            }
-            Algorithm::Bloom { .. } | Algorithm::LinearCounting | Algorithm::BeauCoup { .. } => {
-                self.merged_row_with(row, |a, b| a | b)
-            }
-            _ => {
-                let cap = u64::from(self.row_cap(row));
-                self.merged_row_with(row, move |a, b| {
-                    (u64::from(a) + u64::from(b)).min(cap) as u32
-                })
-            }
-        }
+        let law = MergeLaw::of(self.algorithm)?;
+        let cap = match law {
+            MergeLaw::Sum => self.row_cap(row),
+            MergeLaw::Max | MergeLaw::Or => u32::MAX,
+        };
+        self.merged_row_with(row, move |a, b| law.combine(a, b, cap))
     }
 
     /// Merged frequency estimate: per-bucket sums, then the row-wise

@@ -43,10 +43,10 @@
 
 use flymon::prelude::*;
 use flymon::FlymonError;
-use flymon_packet::Packet;
+use flymon_packet::{Packet, TaskFilter};
 use flymon_sketches::hll::estimate_from_registers;
 
-use crate::datapath::{self, WorkerStats};
+use crate::datapath::{self, MergeLaw, WorkerStats};
 
 /// A merged estimate paired with an explicit bound on what it can miss.
 ///
@@ -97,19 +97,83 @@ impl PacketLedger {
     }
 }
 
-/// A fleet of identically configured FlyMon switches running one shared
-/// measurement task.
+/// One measurement task deployed fleet-wide: the shared definition plus
+/// each switch's handle for it.
 #[derive(Debug)]
-pub struct SwitchFleet {
-    switches: Vec<FlyMon>,
+struct FleetTask {
+    /// The definition every switch deployed (kept current across
+    /// reallocation and splits).
+    def: TaskDefinition,
+    /// The algorithm that runs it (identical on every switch).
+    algorithm: Algorithm,
     /// One handle per switch; `None` on switches whose deployment
     /// failed (and was rolled back).
     handles: Vec<Option<TaskHandle>>,
+}
+
+/// A read-only description of one fleet task (what the adaptive
+/// controller plans against).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetTaskInfo {
+    /// Position in the fleet's task list (the index reconfiguration ops
+    /// take). Indices shift when a task splits.
+    pub index: usize,
+    /// The task's name.
+    pub name: String,
+    /// Which packets feed it.
+    pub filter: TaskFilter,
+    /// The algorithm running it.
+    pub algorithm: Algorithm,
+    /// Requested buckets per row (the knob
+    /// [`SwitchFleet::reallocate_task`] turns).
+    pub requested_buckets: usize,
+    /// Buckets actually placed across all rows on one switch (requested
+    /// buckets are rounded per the allocation mode).
+    pub allocated_buckets: usize,
+}
+
+/// One task's slice of an epoch rotation: its merged pre-reset rows and
+/// enough metadata to interpret them without a fleet in hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskEpoch {
+    /// The task's name at rotation time.
+    pub name: String,
+    /// Its traffic filter.
+    pub filter: TaskFilter,
+    /// Its algorithm.
+    pub algorithm: Algorithm,
+    /// Per-row merged registers, merged by the algorithm's
+    /// [`MergeLaw`].
+    pub rows: Vec<Vec<u32>>,
+    /// Per-row register cell ceilings (a bucket at its ceiling was
+    /// saturated, not exactly counted) — row index parallel to `rows`.
+    pub row_caps: Vec<u32>,
+}
+
+/// A whole fleet epoch: every task's archived readout plus the packet
+/// count the rotation archived ([`SwitchFleet::rotate_epoch_all`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEpoch {
+    /// One entry per fleet task, in task-list order.
+    pub tasks: Vec<TaskEpoch>,
+    /// Packets the alive switches had absorbed this epoch (now
+    /// archived).
+    pub packets: u64,
+}
+
+/// A fleet of identically configured FlyMon switches running a shared
+/// set of measurement tasks (one at deployment; reconfiguration ops can
+/// grow, shrink and split them).
+#[derive(Debug)]
+pub struct SwitchFleet {
+    switches: Vec<FlyMon>,
+    /// The fleet-wide task list; `tasks[0]` is the primary task the
+    /// single-task readout API answers for. Empty only on a zero-switch
+    /// fleet, which hosts no task at all.
+    tasks: Vec<FleetTask>,
     /// Liveness per switch; dead switches receive no traffic and are
     /// skipped by merged readouts.
     alive: Vec<bool>,
-    /// `None` only on a zero-switch fleet, which hosts no task at all.
-    algorithm: Option<Algorithm>,
     dropped_packets: u64,
     /// Packets whose updates live in each switch's current registers.
     represented: Vec<u64>,
@@ -202,11 +266,18 @@ impl SwitchFleet {
         if algorithm.is_none() && n > 0 {
             return Err(first_err.expect("n > 0 deployments all failed"));
         }
+        let tasks = match algorithm {
+            Some(algorithm) => vec![FleetTask {
+                def: task.clone(),
+                algorithm,
+                handles,
+            }],
+            None => Vec::new(),
+        };
         Ok(SwitchFleet {
             switches,
-            handles,
+            tasks,
             alive,
-            algorithm,
             dropped_packets: 0,
             represented: vec![0; n],
             checkpoint_represented: vec![0; n],
@@ -265,11 +336,21 @@ impl SwitchFleet {
         if self.alive[i] {
             return Ok(());
         }
-        let h = self.handles[i].ok_or(FlymonError::NoSuchTask)?;
-        // Logged reset: a later promotion replays it, so the standby
-        // recovers to the same cleared registers this switch rejoins
-        // with — which is why the sync barrier drops to zero too.
-        self.switches[i].reset_task(h)?;
+        let handles: Vec<TaskHandle> = self
+            .tasks
+            .iter()
+            .filter_map(|t| t.handles[i])
+            .collect();
+        if handles.is_empty() {
+            return Err(FlymonError::NoSuchTask);
+        }
+        // Logged resets (every fleet task, not just the primary): a
+        // later promotion replays them, so the standby recovers to the
+        // same cleared registers this switch rejoins with — which is
+        // why the sync barrier drops to zero too.
+        for h in handles {
+            self.switches[i].reset_task(h)?;
+        }
         self.alive[i] = true;
         self.lost_packets += self.represented[i];
         self.represented[i] = 0;
@@ -416,58 +497,249 @@ impl SwitchFleet {
         self.rotated_packets
     }
 
-    /// Epoch-boundary rotation: merges every row of the alive fleet
-    /// (by the task algorithm's merge law), then clears the fleet task
-    /// on every alive switch through the logged
-    /// [`FlyMon::rotate_epoch`] path, returning the archived readout.
+    /// Epoch-boundary rotation of the **primary** task: merges its rows
+    /// across the alive fleet, then clears *every* fleet task on every
+    /// alive switch through the logged reset path, returning the
+    /// primary task's archived readout. Equivalent to
+    /// [`SwitchFleet::rotate_epoch_all`] with the secondary readouts
+    /// discarded — single-task callers keep their old contract.
+    pub fn rotate_epoch(&mut self) -> Result<EpochReadout, FlymonError> {
+        let epoch = self.rotate_epoch_all()?;
+        let primary = epoch
+            .tasks
+            .into_iter()
+            .next()
+            .expect("rotate_epoch_all errors on a taskless fleet");
+        Ok(EpochReadout {
+            rows: primary.rows,
+            packets: epoch.packets,
+        })
+    }
+
+    /// Epoch-boundary rotation: merges every row of every fleet task
+    /// across the alive fleet — each task by its algorithm's
+    /// [`MergeLaw`], the same canonical table the sharded datapath
+    /// merges by — then clears all tasks on every alive switch through
+    /// the logged reset path, returning the archived readouts.
     ///
-    /// Memory is constant per rotation — one merged copy of the task's
+    /// (Routing through the shared table is load-bearing: this path
+    /// used to pick max/OR only for HLL/Bloom and silently *sum*
+    /// everything else, inflating SuMax-Max maxima across the boundary.
+    /// Sum-law rows are clamped at their register cell ceiling, exactly
+    /// as Cond-ADD saturates them; an algorithm without a single merge
+    /// law is an explicit error, never a silent sum.)
+    ///
+    /// Memory is constant per rotation — one merged copy of each task's
     /// rows — regardless of how much traffic the epoch carried, which
     /// is what lets a streaming runtime measure indefinitely.
     ///
     /// Accounting: the alive switches' absorbed counts move to
     /// [`SwitchFleet::rotated_packets`] (still `represented`, now in
     /// the archive), and each rotated switch's standby barrier drops to
-    /// zero — the reset is WAL-logged, so a later promotion replays it
-    /// and recovers the *cleared* registers; packets absorbed after the
-    /// rotation are the new loss window. Dead switches are skipped
-    /// (their registers are unreachable); they settle through revival
-    /// or promotion as usual.
+    /// zero — the resets are WAL-logged, so a later promotion replays
+    /// them and recovers the *cleared* registers; packets absorbed
+    /// after the rotation are the new loss window. Dead switches are
+    /// skipped (their registers are unreachable); they settle through
+    /// revival or promotion as usual.
     ///
-    /// Errors if every switch is dead (no rows to read) or a logged
-    /// reset fails mid-sweep — switches already rotated stay rotated
-    /// (each per-switch reset is itself atomic), and the error surfaces
-    /// which switch refused.
-    pub fn rotate_epoch(&mut self) -> Result<EpochReadout, FlymonError> {
-        let merge: fn(u32, u32) -> u32 = match self.algorithm {
-            Some(Algorithm::Hll) => u32::max,
-            Some(Algorithm::Bloom { .. }) => |a, b| a | b,
-            _ => u32::saturating_add,
-        };
-        let d = {
+    /// Errors if every switch is dead (no rows to read), a task's
+    /// algorithm has no merge law, or a logged reset fails mid-sweep —
+    /// switches already rotated stay rotated (each per-switch reset is
+    /// itself atomic), and the error surfaces which switch refused.
+    pub fn rotate_epoch_all(&mut self) -> Result<FleetEpoch, FlymonError> {
+        if self.alive_task_members(0).next().is_none() {
+            return Err(FlymonError::NoCapacity(
+                "every switch in the fleet has failed".into(),
+            ));
+        }
+        let mut task_epochs = Vec::with_capacity(self.tasks.len());
+        for ti in 0..self.tasks.len() {
+            let law = MergeLaw::of(self.tasks[ti].algorithm)?;
             let (fm, h) = self
-                .alive_members()
+                .alive_task_members(ti)
                 .next()
-                .ok_or_else(|| FlymonError::NoCapacity("every switch in the fleet has failed".into()))?;
-            fm.task(h)?.rows.len()
-        };
-        let mut rows = Vec::with_capacity(d);
-        for row in 0..d {
-            rows.push(self.merged_row(row, merge)?);
+                .expect("liveness was checked above");
+            let placed = &fm.task(h)?.rows;
+            let row_caps: Vec<u32> = placed.iter().map(|r| r.bucket_max).collect();
+            let mut rows = Vec::with_capacity(placed.len());
+            for (row, &bucket_max) in row_caps.iter().enumerate() {
+                let cap = match law {
+                    MergeLaw::Sum => bucket_max,
+                    MergeLaw::Max | MergeLaw::Or => u32::MAX,
+                };
+                rows.push(self.merged_task_row(ti, row, move |a, b| law.combine(a, b, cap))?);
+            }
+            task_epochs.push(TaskEpoch {
+                name: self.tasks[ti].def.name.clone(),
+                filter: self.tasks[ti].def.filter,
+                algorithm: self.tasks[ti].algorithm,
+                rows,
+                row_caps,
+            });
         }
         let mut packets = 0;
         for i in 0..self.switches.len() {
             if !self.alive[i] {
                 continue;
             }
-            let Some(h) = self.handles[i] else { continue };
-            self.switches[i].reset_task(h)?;
+            for ti in 0..self.tasks.len() {
+                let Some(h) = self.tasks[ti].handles[i] else {
+                    continue;
+                };
+                self.switches[i].reset_task(h)?;
+            }
             packets += self.represented[i];
             self.rotated_packets += self.represented[i];
             self.represented[i] = 0;
             self.checkpoint_represented[i] = 0;
         }
-        Ok(EpochReadout { rows, packets })
+        Ok(FleetEpoch {
+            tasks: task_epochs,
+            packets,
+        })
+    }
+
+    /// Read-only descriptions of the fleet's task list, in the order
+    /// reconfiguration ops index it.
+    pub fn task_infos(&self) -> Vec<FleetTaskInfo> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(index, t)| {
+                let allocated = self
+                    .alive_task_members(index)
+                    .next()
+                    .and_then(|(fm, h)| fm.task(h).ok())
+                    .map_or(0, |rec| rec.rows.iter().map(|r| r.size).sum());
+                FleetTaskInfo {
+                    index,
+                    name: t.def.name.clone(),
+                    filter: t.def.filter,
+                    algorithm: t.algorithm,
+                    requested_buckets: t.def.memory,
+                    allocated_buckets: allocated,
+                }
+            })
+            .collect()
+    }
+
+    /// True when every switch is alive — the precondition for fleet-wide
+    /// reconfiguration ([`SwitchFleet::reallocate_task`],
+    /// [`SwitchFleet::split_task`]): reconfiguring around a dead switch
+    /// would leave its task set diverged from the fleet's.
+    pub fn fully_alive(&self) -> bool {
+        self.alive.iter().all(|&a| a)
+    }
+
+    /// Resizes fleet task `task` to `new_buckets` buckets per row on
+    /// every switch, through each switch's logged
+    /// [`FlyMon::reallocate_memory`] (§6 freeze-and-divert: a fresh
+    /// instance is deployed, traffic diverts, the old one is retired —
+    /// counts do not carry over, so callers rotate the epoch first).
+    ///
+    /// Requires a fully alive fleet. Switches are identical (same
+    /// config, same deterministic task set), so per-switch outcomes
+    /// agree; if a reallocation nevertheless fails or reverts
+    /// mid-sweep, the per-switch control planes stay audit-clean, the
+    /// affected handle is refreshed, and the error surfaces — callers
+    /// should treat the fleet's task list as authoritative and retry or
+    /// stop adapting.
+    pub fn reallocate_task(&mut self, task: usize, new_buckets: usize) -> Result<(), FlymonError> {
+        if !self.fully_alive() {
+            return Err(FlymonError::NoCapacity(
+                "fleet reconfiguration needs every switch alive".into(),
+            ));
+        }
+        if task >= self.tasks.len() {
+            return Err(FlymonError::NoSuchTask);
+        }
+        for i in 0..self.switches.len() {
+            let h = self.tasks[task].handles[i].ok_or(FlymonError::NoSuchTask)?;
+            match self.switches[i].reallocate_memory(h, new_buckets) {
+                Ok(new_h) => self.tasks[task].handles[i] = Some(new_h),
+                Err(FlymonError::ReallocationReverted { restored }) => {
+                    self.tasks[task].handles[i] = Some(restored);
+                    return Err(FlymonError::ReallocationReverted { restored });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.tasks[task].def.memory = new_buckets;
+        Ok(())
+    }
+
+    /// Splits fleet task `task` into two children along its filter
+    /// (§3.1.1 task splitting: the src prefix halves, dst at /32), named
+    /// `<parent>/0` and `<parent>/1`, each inheriting the parent's
+    /// geometry. On every switch the parent is removed and both children
+    /// deployed — all through the logged control plane, so recovery
+    /// replays the split. The parent's registers are retired with it
+    /// (callers rotate the epoch first, as with reallocation).
+    ///
+    /// Requires a fully alive fleet. On a per-switch failure the parent
+    /// is redeployed on that switch (definitions are deterministic, so
+    /// it lands back in an equivalent placement) and the error
+    /// surfaces. Returns the two child task indices: the first child
+    /// takes the parent's slot, the second is appended.
+    pub fn split_task(&mut self, task: usize) -> Result<(usize, usize), FlymonError> {
+        if !self.fully_alive() {
+            return Err(FlymonError::NoCapacity(
+                "fleet reconfiguration needs every switch alive".into(),
+            ));
+        }
+        if task >= self.tasks.len() {
+            return Err(FlymonError::NoSuchTask);
+        }
+        let parent_def = self.tasks[task].def.clone();
+        let (lo, hi) = parent_def.filter.split().ok_or_else(|| {
+            FlymonError::BadTask(format!(
+                "task '{}' filter {} cannot split further",
+                parent_def.name,
+                parent_def.filter.describe()
+            ))
+        })?;
+        let mut lo_def = parent_def.clone();
+        lo_def.name = format!("{}/0", parent_def.name);
+        lo_def.filter = lo;
+        let mut hi_def = parent_def.clone();
+        hi_def.name = format!("{}/1", parent_def.name);
+        hi_def.filter = hi;
+        let n = self.switches.len();
+        let mut lo_handles = Vec::with_capacity(n);
+        let mut hi_handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let h = self.tasks[task].handles[i].ok_or(FlymonError::NoSuchTask)?;
+            self.switches[i].remove(h)?;
+            let lo_h = match self.switches[i].deploy(&lo_def) {
+                Ok(h) => h,
+                Err(e) => {
+                    let _ = self.switches[i].deploy(&parent_def);
+                    return Err(e);
+                }
+            };
+            let hi_h = match self.switches[i].deploy(&hi_def) {
+                Ok(h) => h,
+                Err(e) => {
+                    let _ = self.switches[i].remove(lo_h);
+                    let _ = self.switches[i].deploy(&parent_def);
+                    return Err(e);
+                }
+            };
+            lo_handles.push(Some(lo_h));
+            hi_handles.push(Some(hi_h));
+        }
+        let algorithm = self.tasks[task].algorithm;
+        self.tasks[task] = FleetTask {
+            def: lo_def,
+            algorithm,
+            handles: lo_handles,
+        };
+        self.tasks.push(FleetTask {
+            def: hi_def,
+            algorithm,
+            handles: hi_handles,
+        });
+        Ok((task, self.tasks.len() - 1))
     }
 
     /// Bounds control-plane WAL growth outside the standby-sync cadence:
@@ -597,19 +869,40 @@ impl SwitchFleet {
         stats
     }
 
-    /// Alive switches paired with their task handles.
+    /// Alive switches paired with their handles for the primary task.
     fn alive_members(&self) -> impl Iterator<Item = (&FlyMon, TaskHandle)> {
+        self.alive_task_members(0)
+    }
+
+    /// Alive switches paired with their handles for fleet task `ti`
+    /// (empty when the task does not exist).
+    fn alive_task_members(&self, ti: usize) -> impl Iterator<Item = (&FlyMon, TaskHandle)> {
+        let handles: &[Option<TaskHandle>] = self
+            .tasks
+            .get(ti)
+            .map_or(&[], |t| t.handles.as_slice());
         self.switches
             .iter()
-            .zip(&self.handles)
+            .zip(handles)
             .zip(&self.alive)
             .filter(|&(_, &alive)| alive)
             .filter_map(|((fm, h), _)| h.map(|h| (fm, h)))
     }
 
-    /// Per-bucket merged readout of one row across the alive fleet.
+    /// Per-bucket merged readout of one primary-task row.
     fn merged_row(&self, row: usize, merge: impl Fn(u32, u32) -> u32) -> Result<Vec<u32>, FlymonError> {
-        let mut members = self.alive_members();
+        self.merged_task_row(0, row, merge)
+    }
+
+    /// Per-bucket merged readout of one row of fleet task `ti` across
+    /// the alive fleet.
+    fn merged_task_row(
+        &self,
+        ti: usize,
+        row: usize,
+        merge: impl Fn(u32, u32) -> u32,
+    ) -> Result<Vec<u32>, FlymonError> {
+        let mut members = self.alive_task_members(ti);
         let (first, first_h) = members.next().ok_or_else(|| {
             FlymonError::NoCapacity("every switch in the fleet has failed".into())
         })?;
@@ -626,23 +919,34 @@ impl SwitchFleet {
     /// the fleet's registers, then the row-wise minimum (linearity of
     /// counter sketches). Dead switches are skipped — the estimate
     /// covers the surviving traffic.
+    ///
+    /// The query routes to the first fleet task whose filter matches
+    /// `pkt` — after a split, each child answers for its own prefix, so
+    /// callers keep querying the fleet without tracking the task list.
     pub fn merged_frequency(&self, pkt: &Packet) -> Result<u64, FlymonError> {
-        let d = match self.algorithm {
-            Some(Algorithm::Cms { d }) => d,
-            Some(Algorithm::Mrac) => 1,
-            Some(other) => {
+        if self.tasks.is_empty() {
+            return Err(FlymonError::NoCapacity(
+                "the fleet has no switches".into(),
+            ));
+        }
+        let ti = self
+            .tasks
+            .iter()
+            .position(|t| t.def.filter.matches(pkt))
+            .ok_or_else(|| {
+                FlymonError::BadTask("no fleet task's filter admits this packet".into())
+            })?;
+        let d = match self.tasks[ti].algorithm {
+            Algorithm::Cms { d } => d,
+            Algorithm::Mrac => 1,
+            other => {
                 return Err(FlymonError::BadTask(format!(
                     "{} readouts do not merge by summation",
                     other.name()
                 )))
             }
-            None => {
-                return Err(FlymonError::NoCapacity(
-                    "the fleet has no switches".into(),
-                ))
-            }
         };
-        let (locator, locator_h) = self.alive_members().next().ok_or_else(|| {
+        let (locator, locator_h) = self.alive_task_members(ti).next().ok_or_else(|| {
             FlymonError::NoCapacity("every switch in the fleet has failed".into())
         })?;
         let mut best = u64::MAX;
@@ -654,7 +958,7 @@ impl SwitchFleet {
                 .rows
                 .get(row)
                 .map_or(u64::MAX, |r| u64::from(r.bucket_max));
-            let merged = self.merged_row(row, move |a, b| {
+            let merged = self.merged_task_row(ti, row, move |a, b| {
                 (u64::from(a) + u64::from(b)).min(cap) as u32
             })?;
             // Locate the bucket through any alive switch (identical
@@ -679,8 +983,12 @@ impl SwitchFleet {
     }
 
     /// Network-wide cardinality estimate: HLL registers merge by max.
+    /// Answers for the primary task.
     pub fn merged_cardinality(&self) -> Result<f64, FlymonError> {
-        if !matches!(self.algorithm, Some(Algorithm::Hll)) {
+        if !matches!(
+            self.tasks.first().map(|t| t.algorithm),
+            Some(Algorithm::Hll)
+        ) {
             return Err(FlymonError::BadTask(
                 "merged cardinality needs an HLL task".into(),
             ));
@@ -696,7 +1004,10 @@ impl SwitchFleet {
     /// checks: no false negatives, and at most the sum of the per-switch
     /// false-positive rates.
     pub fn merged_exists(&self, pkt: &Packet) -> Result<bool, FlymonError> {
-        if !matches!(self.algorithm, Some(Algorithm::Bloom { .. })) {
+        if !matches!(
+            self.tasks.first().map(|t| t.algorithm),
+            Some(Algorithm::Bloom { .. })
+        ) {
             return Err(FlymonError::BadTask(
                 "merged existence needs a Bloom task".into(),
             ));
@@ -706,11 +1017,12 @@ impl SwitchFleet {
             .any(|(fm, h)| fm.query_exists(h, pkt)))
     }
 
-    /// Access one switch (diagnostics, per-ingress queries, audits).
-    /// Returns `None` for the handle on switches whose deployment was
-    /// rolled back.
+    /// Access one switch (diagnostics, per-ingress queries, audits),
+    /// paired with its handle for the *primary* task. Returns `None`
+    /// for the handle on switches whose deployment was rolled back.
     pub fn switch(&self, i: usize) -> (&FlyMon, Option<TaskHandle>) {
-        (&self.switches[i], self.handles[i])
+        let h = self.tasks.first().and_then(|t| t.handles[i]);
+        (&self.switches[i], h)
     }
 
     /// Mutable access to one switch's control plane (secondary

@@ -60,8 +60,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use flymon::FlymonError;
 use flymon_packet::{Packet, SplitMix64, TaskFilter};
-use flymon_traffic::gen::PhasedSource;
+use flymon_traffic::gen::{PhasedSource, ShiftingSource};
 
+use crate::adapt::{AdaptiveController, ControllerReport};
 use crate::fleet::{EpochReadout, SwitchFleet};
 
 /// A producer of packet chunks: the streaming runtime pulls one chunk
@@ -74,6 +75,12 @@ pub trait ChunkSource {
 impl ChunkSource for PhasedSource {
     fn next_chunk(&mut self) -> Option<Vec<Packet>> {
         PhasedSource::next_chunk(self)
+    }
+}
+
+impl ChunkSource for ShiftingSource {
+    fn next_chunk(&mut self) -> Option<Vec<Packet>> {
+        ShiftingSource::next_chunk(self)
     }
 }
 
@@ -503,6 +510,10 @@ pub struct StreamingRuntime {
     resync_pending: bool,
     watch: Option<WatchFlow>,
     last_epoch: Option<EpochReadout>,
+    /// The closed-loop adaptive controller, when attached; it observes
+    /// every epoch rotation and reconfigures the fleet through the
+    /// logged control plane — paused whenever health is off `Healthy`.
+    controller: Option<AdaptiveController>,
 }
 
 impl StreamingRuntime {
@@ -527,7 +538,24 @@ impl StreamingRuntime {
             resync_pending: false,
             watch: None,
             last_epoch: None,
+            controller: None,
         }
+    }
+
+    /// Attaches a closed-loop adaptive controller: from now on every
+    /// epoch rotation feeds it the full fleet readout, and — while the
+    /// runtime is `Healthy` — it may grow, shrink or split fleet tasks
+    /// through the logged control plane. On any other health state the
+    /// epoch is observed but adaptation is paused (degraded readouts
+    /// make lousy control signals, and a mid-recovery fleet must not be
+    /// reconfigured).
+    pub fn attach_controller(&mut self, controller: AdaptiveController) {
+        self.controller = Some(controller);
+    }
+
+    /// The attached controller's audit trail, if one is attached.
+    pub fn controller_report(&self) -> Option<&ControllerReport> {
+        self.controller.as_ref().map(|c| c.report())
     }
 
     /// Schedules a deterministic ingestion fault.
@@ -784,7 +812,19 @@ impl StreamingRuntime {
             if let Some(w) = self.watch.as_mut() {
                 w.archived += self.fleet.merged_frequency(&w.pkt).unwrap_or(0);
             }
-            self.last_epoch = Some(self.fleet.rotate_epoch()?);
+            let epoch = self.fleet.rotate_epoch_all()?;
+            let primary = epoch.tasks.first().expect("a rotating fleet has a task");
+            self.last_epoch = Some(EpochReadout {
+                rows: primary.rows.clone(),
+                packets: epoch.packets,
+            });
+            // Close the loop: the controller sees every rotation but
+            // only acts while the runtime is healthy — backpressure,
+            // shedding and recovery all pause adaptation.
+            if let Some(ctl) = self.controller.as_mut() {
+                let paused = self.health != RuntimeHealth::Healthy;
+                ctl.on_epoch(&mut self.fleet, &epoch, paused)?;
+            }
             self.stats.epochs_rotated += 1;
             self.processed_since_rotate = 0;
             out.rotated = true;

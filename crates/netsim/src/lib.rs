@@ -17,12 +17,15 @@
 //! multi-threaded trace replay whose merged readouts are bit-identical
 //! to a serial single-switch replay for linear/max/OR-mergeable sketches.
 //! [`fleet`] layers network-wide measurement (merged readouts, WAL-backed
-//! switches, warm-standby failover) on top, and [`chaos`] soaks that
-//! machinery under randomized seeded fault schedules.
+//! switches, warm-standby failover) on top, [`adapt`] closes the loop
+//! with an epoch-driven controller that grows, shrinks and splits tasks
+//! from their own readouts, and [`chaos`] soaks that machinery under
+//! randomized seeded fault schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod chaos;
 pub mod datapath;
 pub mod epochs;
@@ -31,13 +34,18 @@ pub mod forwarding;
 pub mod ingest;
 pub mod runner;
 
+pub use adapt::{
+    AdaptAction, AdaptiveController, ControllerConfig, ControllerReport, Decision, TaskSignals,
+};
 pub use chaos::{
     run_ingest_schedule, run_ingest_soak, run_schedule, run_soak, ChaosConfig, ChaosReport,
     IngestChaosConfig, IngestChaosReport,
 };
-pub use datapath::{ReplayMode, ReplayStats, ShardedDatapath, WorkerStats};
+pub use datapath::{MergeLaw, ReplayMode, ReplayStats, ShardedDatapath, WorkerStats};
 pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};
-pub use fleet::{BoundedEstimate, EpochReadout, PacketLedger, SwitchFleet};
+pub use fleet::{
+    BoundedEstimate, EpochReadout, FleetEpoch, FleetTaskInfo, PacketLedger, SwitchFleet, TaskEpoch,
+};
 pub use ingest::{
     AdmissionConfig, BoundedQueue, ChunkSource, IngestConfig, IngestError, IngestFault,
     QueueStats, RuntimeHealth, RuntimeReport, RuntimeStats, StepOutcome, StreamLedger,

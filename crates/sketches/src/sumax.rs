@@ -43,7 +43,12 @@ impl SuMax {
     }
 
     /// Creates a sketch of `rows` rows within `bytes` (32-bit counters).
+    ///
+    /// # Panics
+    /// Panics if `rows` is zero (the width division and the row-wise
+    /// minimum are both undefined without at least one row).
     pub fn with_memory(mode: SuMaxMode, rows: usize, bytes: usize) -> Self {
+        assert!(rows > 0, "SuMax needs at least one row");
         Self::new(mode, rows, (bytes / 4 / rows).max(1))
     }
 
@@ -56,15 +61,41 @@ impl SuMax {
         row * self.width + murmur3_32(0x50a0_0000 ^ row as u32, key) as usize % self.width
     }
 
+    /// Rows a single stack buffer can index in [`SuMax::update`];
+    /// beyond it the update falls back to recomputing the row hashes
+    /// (still allocation-free). Every deployment in the repo uses d <= 4.
+    const STACK_ROWS: usize = 16;
+
     /// Feeds one observation of `value` for `key`.
     pub fn update(&mut self, key: &[u8], value: u64) {
         match self.mode {
             SuMaxMode::Sum => {
-                let indices: Vec<usize> = (0..self.rows).map(|r| self.index(r, key)).collect();
-                let min = indices.iter().map(|&i| self.counters[i]).min().unwrap();
-                for &i in &indices {
-                    if self.counters[i] == min {
-                        self.counters[i] += value;
+                // Approximate conservative update on the hot path: no
+                // per-packet heap allocation. `rows >= 1` is validated at
+                // construction, so the running minimum below is over a
+                // nonempty set.
+                if self.rows <= Self::STACK_ROWS {
+                    let mut idx = [0usize; Self::STACK_ROWS];
+                    let mut min = u64::MAX;
+                    for (r, slot) in idx.iter_mut().enumerate().take(self.rows) {
+                        *slot = self.index(r, key);
+                        min = min.min(self.counters[*slot]);
+                    }
+                    for &i in &idx[..self.rows] {
+                        if self.counters[i] == min {
+                            self.counters[i] += value;
+                        }
+                    }
+                } else {
+                    let mut min = u64::MAX;
+                    for r in 0..self.rows {
+                        min = min.min(self.counters[self.index(r, key)]);
+                    }
+                    for r in 0..self.rows {
+                        let i = self.index(r, key);
+                        if self.counters[i] == min {
+                            self.counters[i] += value;
+                        }
                     }
                 }
             }
@@ -168,5 +199,30 @@ mod tests {
         let s = SuMax::with_memory(SuMaxMode::Sum, 3, 120_000);
         assert!(s.memory_bytes() <= 120_000);
         assert_eq!(s.width, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn with_memory_rejects_zero_rows() {
+        let _ = SuMax::with_memory(SuMaxMode::Sum, 0, 4096);
+    }
+
+    #[test]
+    fn sum_update_identical_across_stack_and_fallback_paths() {
+        // rows > STACK_ROWS exercises the hash-recompute fallback; both
+        // paths must implement the same conservative update.
+        let mut wide = SuMax::new(SuMaxMode::Sum, SuMax::STACK_ROWS + 4, 64);
+        for i in 0..2_000u32 {
+            wide.update(&i.to_be_bytes(), 1);
+        }
+        for i in 0..2_000u32 {
+            assert!(wide.query(&i.to_be_bytes()) >= 1);
+        }
+        // Sparse exactness holds on the fallback path too.
+        let mut sparse = SuMax::new(SuMaxMode::Sum, SuMax::STACK_ROWS + 1, 4096);
+        for _ in 0..9 {
+            sparse.update(b"k", 3);
+        }
+        assert_eq!(sparse.query(b"k"), 27);
     }
 }

@@ -38,14 +38,37 @@ impl TowerSketch {
     /// Panics if `bits_per_level` cannot hold at least one 16-bit counter.
     pub fn new(bits_per_level: usize) -> Self {
         assert!(bits_per_level >= 16, "need at least one 16-bit counter");
-        let levels = Self::LADDER_BITS
-            .iter()
-            .map(|&bits| Level {
+        Self::with_ladder(&Self::LADDER_BITS, bits_per_level)
+            .expect("canonical ladder is valid")
+    }
+
+    /// Creates a tower with a custom level ladder (counter widths,
+    /// bottom-up). Rejects ladders a query could not answer: an empty
+    /// ladder (the all-saturated fallback would have no top level to
+    /// bound from), a counter width outside `1..=16` bits (`Level::cap`
+    /// is computed in 32-bit arithmetic), or a level budget too small
+    /// for even one counter of the widest level.
+    pub fn with_ladder(ladder_bits: &[u8], bits_per_level: usize) -> Result<Self, String> {
+        if ladder_bits.is_empty() {
+            return Err("tower ladder must have at least one level".into());
+        }
+        let mut levels = Vec::with_capacity(ladder_bits.len());
+        for &bits in ladder_bits {
+            if bits == 0 || bits > 16 {
+                return Err(format!("tower counter width {bits} not in 1..=16 bits"));
+            }
+            let width = bits_per_level / bits as usize;
+            if width == 0 {
+                return Err(format!(
+                    "level budget of {bits_per_level} bits cannot hold one {bits}-bit counter"
+                ));
+            }
+            levels.push(Level {
                 bits,
-                counters: vec![0; bits_per_level / bits as usize],
-            })
-            .collect();
-        TowerSketch { levels }
+                counters: vec![0; width],
+            });
+        }
+        Ok(TowerSketch { levels })
     }
 
     /// Creates a tower within `bytes` total (split evenly across levels).
@@ -90,7 +113,9 @@ impl TowerSketch {
                 best = Some(best.map_or(u64::from(v), |b| b.min(u64::from(v))));
             }
         }
-        best.unwrap_or_else(|| u64::from(self.levels.last().unwrap().cap()))
+        // Empty-level sketches cannot be constructed (with_ladder rejects
+        // them), but map_or keeps this total rather than panicking.
+        best.unwrap_or_else(|| self.levels.last().map_or(0, |l| u64::from(l.cap())))
     }
 
     /// Resets all counters.
@@ -163,6 +188,38 @@ mod tests {
             tower_err < cms_err,
             "tower {tower_err} should beat cms {cms_err} on mice"
         );
+    }
+
+    #[test]
+    fn empty_and_degenerate_ladders_are_rejected() {
+        assert!(TowerSketch::with_ladder(&[], 1024).is_err());
+        assert!(TowerSketch::with_ladder(&[0], 1024).is_err());
+        assert!(TowerSketch::with_ladder(&[17], 1024).is_err());
+        // Budget too small for one counter of the widest level.
+        assert!(TowerSketch::with_ladder(&[2, 16], 8).is_err());
+        assert!(TowerSketch::with_ladder(&[2, 4, 8, 16], 16).is_ok());
+    }
+
+    #[test]
+    fn saturated_all_levels_returns_top_cap_without_panicking() {
+        // One counter per... well, as few as possible: a 2-bit-only
+        // ladder with a single counter saturates after 3 updates of any
+        // key, after which every query key aliases onto the saturated
+        // counter and the old `levels.last().unwrap()` path is the only
+        // answer left. It must return the top cap, not panic.
+        let mut t = TowerSketch::with_ladder(&[2], 2).expect("valid ladder");
+        for _ in 0..10 {
+            t.update(b"flood");
+        }
+        assert_eq!(t.query(b"flood"), 3);
+        assert_eq!(t.query(b"innocent-bystander"), 3);
+
+        // Same property on the canonical ladder: saturate every level.
+        let mut canon = TowerSketch::new(16);
+        for _ in 0..100_000 {
+            canon.update(b"flood");
+        }
+        assert_eq!(canon.query(b"flood"), u64::from(u16::MAX));
     }
 
     #[test]

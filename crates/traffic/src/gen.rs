@@ -202,25 +202,7 @@ impl PhasedSource {
 
     /// The deterministic 5-tuple of Zipf rank `rank` (0 = heaviest).
     fn flow_of(&self, rank: usize) -> (u32, u32, u16, u16, u8) {
-        let mut r = SplitMix64::new(
-            self.cfg
-                .seed
-                .wrapping_add(1)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                ^ (rank as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
-        );
-        let src_net: u32 = if rank * 8 < self.cfg.flows.max(1) {
-            10 << 24 // the priority tenant's net
-        } else {
-            [24u32, 59, 131, 172, 192][r.range_usize(0, 5)] << 24
-        };
-        let dst_net: u32 = [10u32, 47, 88, 140, 203][r.range_usize(0, 5)] << 24;
-        let src_ip = src_net | (r.next_u32() & 0x00ff_ffff);
-        let dst_ip = dst_net | (r.next_u32() & 0x00ff_ffff);
-        let src_port = r.range_u64(1024, u64::from(u16::MAX)) as u16;
-        let dst_port = [80u16, 443, 53, 22, 8080, 3306][r.range_usize(0, 6)];
-        let proto = if r.chance(0.8) { 6 } else { 17 };
-        (src_ip, dst_ip, src_port, dst_port, proto)
+        ranked_flow(self.cfg.seed, self.cfg.flows, rank)
     }
 
     /// Emits the next chunk, or `None` once every phase has run. Chunk
@@ -247,6 +229,214 @@ impl PhasedSource {
                     .ts_ns(self.now_ns)
                     .build(),
             );
+        }
+        self.emitted += out.len() as u64;
+        self.chunks_in_phase += 1;
+        if self.chunks_in_phase >= phase.chunks {
+            self.phase += 1;
+            self.chunks_in_phase = 0;
+        }
+        Some(out)
+    }
+}
+
+/// The deterministic 5-tuple of Zipf rank `rank` (0 = heaviest) in a
+/// population of `flows` flows derived from `seed`. Shared by
+/// [`PhasedSource`] and [`ShiftingSource`], so the same seed yields the
+/// same flow universe in both drivers. The heaviest eighth of the ranks
+/// sources from `10.0.0.0/8` (the priority tenant).
+fn ranked_flow(seed: u64, flows: usize, rank: usize) -> (u32, u32, u16, u16, u8) {
+    let mut r = SplitMix64::new(
+        seed.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (rank as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+    );
+    let src_net: u32 = if rank * 8 < flows.max(1) {
+        10 << 24 // the priority tenant's net
+    } else {
+        [24u32, 59, 131, 172, 192][r.range_usize(0, 5)] << 24
+    };
+    let dst_net: u32 = [10u32, 47, 88, 140, 203][r.range_usize(0, 5)] << 24;
+    let src_ip = src_net | (r.next_u32() & 0x00ff_ffff);
+    let dst_ip = dst_net | (r.next_u32() & 0x00ff_ffff);
+    let src_port = r.range_u64(1024, u64::from(u16::MAX)) as u16;
+    let dst_port = [80u16, 443, 53, 22, 8080, 3306][r.range_usize(0, 6)];
+    let proto = if r.chance(0.8) { 6 } else { 17 };
+    (src_ip, dst_ip, src_port, dst_port, proto)
+}
+
+/// A spoofed-source flood riding one [`ShiftPhase`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackSpec {
+    /// The victim destination address.
+    pub dst_ip: u32,
+    /// Fraction of the phase's packets that are attack packets.
+    pub share: f64,
+    /// Size of the spoofed source pool, drawn from `198.18.0.0/16`
+    /// (the benchmarking range — disjoint from every background net).
+    pub sources: u32,
+}
+
+/// One phase of a [`ShiftingSource`]: offered load, flow-size skew and
+/// an optional attack overlay, all shifting together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftPhase {
+    /// How many chunk pulls this phase lasts.
+    pub chunks: usize,
+    /// Offered-load multiplier (1.0 = baseline).
+    pub rate: f64,
+    /// Zipf skew of per-packet flow choice during this phase — the
+    /// diurnal knob (night traffic is head-heavy, day traffic flatter).
+    pub zipf_alpha: f64,
+    /// When set, this phase carries a spoofed flood.
+    pub attack: Option<AttackSpec>,
+}
+
+/// Configuration of a [`ShiftingSource`].
+#[derive(Debug, Clone)]
+pub struct ShiftingConfig {
+    /// Distinct background flows (Zipf-ranked, shared across phases).
+    pub flows: usize,
+    /// Packets offered per pull at rate 1.0.
+    pub base_chunk: usize,
+    /// Modeled inter-packet gap at rate 1.0.
+    pub ns_per_packet: u64,
+    /// The phase schedule, consumed in order.
+    pub phases: Vec<ShiftPhase>,
+    /// RNG seed; same seed, same stream.
+    pub seed: u64,
+}
+
+impl Default for ShiftingConfig {
+    fn default() -> Self {
+        // A compressed diurnal cycle with an attack in the middle:
+        // skewed night traffic, flatter day traffic at double load, a
+        // spoofed flood on top of the day peak, then recovery.
+        ShiftingConfig {
+            flows: 5_000,
+            base_chunk: 2_048,
+            ns_per_packet: 1_000,
+            phases: vec![
+                ShiftPhase { chunks: 8, rate: 1.0, zipf_alpha: 1.3, attack: None },
+                ShiftPhase { chunks: 8, rate: 2.0, zipf_alpha: 1.05, attack: None },
+                ShiftPhase {
+                    chunks: 6,
+                    rate: 3.0,
+                    zipf_alpha: 1.05,
+                    attack: Some(AttackSpec {
+                        dst_ip: (203 << 24) | (113 << 8) | 7,
+                        share: 0.5,
+                        sources: 20_000,
+                    }),
+                },
+                ShiftPhase { chunks: 8, rate: 1.0, zipf_alpha: 1.3, attack: None },
+            ],
+            seed: 0x5217_F7ED,
+        }
+    }
+}
+
+/// A streaming source whose *traffic mix* shifts between phases, not
+/// just its rate: each [`ShiftPhase`] re-skews the Zipf flow choice
+/// (diurnal shape) and may overlay a spoofed-source flood. The
+/// background flow universe is fixed across phases (same
+/// `(seed, rank)` identities as [`PhasedSource`]), so a flow that is
+/// heavy at night is still *the same flow* — merely diluted — during
+/// the day; what changes is the distribution the sampler draws from.
+///
+/// This is the workload the closed-loop adaptive controller is
+/// benchmarked against: no single static memory allocation is right
+/// for all three regimes (skewed-quiet, flat-busy, flood).
+#[derive(Debug)]
+pub struct ShiftingSource {
+    cfg: ShiftingConfig,
+    zipf: Zipf,
+    zipf_phase: usize,
+    rng: SplitMix64,
+    phase: usize,
+    chunks_in_phase: usize,
+    now_ns: u64,
+    emitted: u64,
+}
+
+impl ShiftingSource {
+    /// Builds the source; pulls start in the first phase.
+    ///
+    /// # Panics
+    /// Panics if the schedule is empty (there would be nothing to pull).
+    pub fn new(cfg: ShiftingConfig) -> Self {
+        assert!(!cfg.phases.is_empty(), "shifting schedule needs a phase");
+        let zipf = Zipf::new(cfg.flows.max(1), cfg.phases[0].zipf_alpha);
+        let rng = SplitMix64::new(cfg.seed);
+        ShiftingSource {
+            cfg,
+            zipf,
+            zipf_phase: 0,
+            rng,
+            phase: 0,
+            chunks_in_phase: 0,
+            now_ns: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The active phase (index into the schedule); `None` once
+    /// exhausted.
+    pub fn current_phase(&self) -> Option<usize> {
+        (self.phase < self.cfg.phases.len()).then_some(self.phase)
+    }
+
+    /// Packets emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Emits the next chunk, or `None` once the schedule has run out.
+    pub fn next_chunk(&mut self) -> Option<Vec<Packet>> {
+        let phase = *self.cfg.phases.get(self.phase)?;
+        if self.zipf_phase != self.phase {
+            // Re-skew at the phase boundary; the flow universe itself
+            // (rank -> 5-tuple) is unchanged.
+            self.zipf = Zipf::new(self.cfg.flows.max(1), phase.zipf_alpha);
+            self.zipf_phase = self.phase;
+        }
+        let count = ((self.cfg.base_chunk as f64) * phase.rate).round().max(1.0) as usize;
+        let gap = ((self.cfg.ns_per_packet as f64) / phase.rate.max(1e-9)).max(1.0) as u64;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            self.now_ns += gap;
+            let attack = phase
+                .attack
+                .filter(|a| self.rng.chance(a.share));
+            let pkt = if let Some(a) = attack {
+                // One spoofed SYN-flood packet: a source drawn from the
+                // pool (consecutive addresses from 198.18.0.0 up), aimed
+                // at the victim.
+                let s = self.rng.range_u64(0, u64::from(a.sources.max(1))) as u32;
+                let src = ((198u32 << 24) | (18 << 16)).wrapping_add(s);
+                PacketBuilder::new()
+                    .src_ip(src)
+                    .dst_ip(a.dst_ip)
+                    .src_port(self.rng.next_u16())
+                    .dst_port(80)
+                    .protocol(6)
+                    .len(64)
+                    .ts_ns(self.now_ns)
+                    .build()
+            } else {
+                let rank = self.zipf.sample(&mut self.rng) - 1; // 0-based
+                let (src_ip, dst_ip, src_port, dst_port, proto) =
+                    ranked_flow(self.cfg.seed, self.cfg.flows, rank);
+                PacketBuilder::new()
+                    .src_ip(src_ip)
+                    .dst_ip(dst_ip)
+                    .src_port(src_port)
+                    .dst_port(dst_port)
+                    .protocol(proto)
+                    .len(if proto == 6 { 1400 } else { 128 })
+                    .ts_ns(self.now_ns)
+                    .build()
+            };
+            out.push(pkt);
         }
         self.emitted += out.len() as u64;
         self.chunks_in_phase += 1;
@@ -599,6 +789,103 @@ mod tests {
             priority,
             chunk.len()
         );
+    }
+
+    #[test]
+    fn shifting_source_is_deterministic_and_finite() {
+        let cfg = ShiftingConfig {
+            flows: 400,
+            base_chunk: 512,
+            phases: vec![
+                ShiftPhase { chunks: 2, rate: 1.0, zipf_alpha: 1.3, attack: None },
+                ShiftPhase { chunks: 1, rate: 2.0, zipf_alpha: 1.0, attack: None },
+            ],
+            ..ShiftingConfig::default()
+        };
+        let drain = |mut s: ShiftingSource| {
+            let mut all = Vec::new();
+            while let Some(c) = s.next_chunk() {
+                all.push(c);
+            }
+            all
+        };
+        let a = drain(ShiftingSource::new(cfg.clone()));
+        let b = drain(ShiftingSource::new(cfg.clone()));
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 3, "2 + 1 chunk pulls, then exhausted");
+        assert_eq!(a[2].len(), 1024, "rate 2.0 doubles the chunk");
+        let c = drain(ShiftingSource::new(ShiftingConfig { seed: 3, ..cfg }));
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn shifting_attack_phase_floods_the_victim_from_many_sources() {
+        let victim = (203u32 << 24) | (113 << 8) | 7;
+        let mut src = ShiftingSource::new(ShiftingConfig {
+            flows: 500,
+            base_chunk: 20_000,
+            phases: vec![ShiftPhase {
+                chunks: 1,
+                rate: 1.0,
+                zipf_alpha: 1.1,
+                attack: Some(AttackSpec { dst_ip: victim, share: 0.5, sources: 5_000 }),
+            }],
+            ..ShiftingConfig::default()
+        });
+        let chunk = src.next_chunk().unwrap();
+        let attack: Vec<_> = chunk.iter().filter(|p| p.dst_ip == victim).collect();
+        let frac = attack.len() as f64 / chunk.len() as f64;
+        assert!(
+            (0.45..0.55).contains(&frac),
+            "attack share 0.5 materialized as {frac:.3}"
+        );
+        let srcs: HashSet<_> = attack.iter().map(|p| p.src_ip).collect();
+        assert!(srcs.len() > 2_000, "only {} distinct spoofed sources", srcs.len());
+        assert!(srcs.iter().all(|&s| s >> 16 == (198 << 8) | 18));
+    }
+
+    #[test]
+    fn shifting_alpha_reskews_but_keeps_the_flow_universe() {
+        let cfg = ShiftingConfig {
+            flows: 2_000,
+            base_chunk: 30_000,
+            phases: vec![
+                ShiftPhase { chunks: 1, rate: 1.0, zipf_alpha: 1.5, attack: None },
+                ShiftPhase { chunks: 1, rate: 1.0, zipf_alpha: 0.7, attack: None },
+            ],
+            ..ShiftingConfig::default()
+        };
+        let mut src = ShiftingSource::new(cfg.clone());
+        let night = src.next_chunk().unwrap();
+        let day = src.next_chunk().unwrap();
+        let head_share = |chunk: &[Packet]| {
+            let mut counts = std::collections::HashMap::new();
+            for p in chunk {
+                *counts.entry(p.src_ip).or_insert(0u64) += 1;
+            }
+            let mut sizes: Vec<u64> = counts.into_values().collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            sizes.iter().take(10).sum::<u64>() as f64 / chunk.len() as f64
+        };
+        assert!(
+            head_share(&night) > 2.0 * head_share(&day),
+            "alpha 1.5 head share {:.3} should dwarf alpha 0.7's {:.3}",
+            head_share(&night),
+            head_share(&day)
+        );
+        // The same flow universe underlies both phases: the heaviest
+        // night flow still appears during the day.
+        let top_night = {
+            let mut counts = std::collections::HashMap::new();
+            for p in &night {
+                *counts.entry(p.src_ip).or_insert(0u64) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        assert!(day.iter().any(|p| p.src_ip == top_night));
+        // And it shares PhasedSource's universe for the same seed: the
+        // priority tenant's net shows up.
+        assert!(night.iter().any(|p| p.src_ip >> 24 == 10));
     }
 
     #[test]

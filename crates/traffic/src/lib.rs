@@ -27,7 +27,10 @@ pub mod pcap;
 pub mod zipf;
 
 pub use epoch::split_epochs;
-pub use gen::{DdosConfig, Phase, PhasedConfig, PhasedSource, SpikeConfig, TraceConfig, TraceGenerator};
+pub use gen::{
+    AttackSpec, DdosConfig, Phase, PhasedConfig, PhasedSource, ShiftPhase, ShiftingConfig,
+    ShiftingSource, SpikeConfig, TraceConfig, TraceGenerator,
+};
 pub use ground_truth::GroundTruth;
 pub use metrics::{average_relative_error, f1_score, false_positive_rate, relative_error, wmre};
 pub use zipf::Zipf;

@@ -60,13 +60,40 @@ impl Zipf {
     }
 
     /// Expected flow sizes for a population of `total` samples: the exact
-    /// expectation `total * pmf(k)` per rank, useful for deterministic
-    /// flow-size assignment (avoids sampling noise in ground-truth-heavy
-    /// experiments).
+    /// expectation `total * pmf(k)` per rank, rounded by largest-remainder
+    /// assignment so that `Σ counts == total` *exactly*. Useful for
+    /// deterministic flow-size assignment (avoids sampling noise in
+    /// ground-truth-heavy experiments) without inflating the ground-truth
+    /// total — tail ranks whose expectation rounds to zero get zero,
+    /// they are not bumped to one.
     pub fn expected_counts(&self, total: u64) -> Vec<u64> {
-        (1..=self.cdf.len())
-            .map(|k| ((total as f64) * self.pmf(k)).round().max(1.0) as u64)
-            .collect()
+        let n = self.cdf.len();
+        let mut counts = Vec::with_capacity(n);
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let mut assigned: u64 = 0;
+        for k in 1..=n {
+            let exact = (total as f64) * self.pmf(k);
+            let floor = exact.floor().max(0.0) as u64;
+            counts.push(floor);
+            assigned += floor;
+            remainders.push((exact - floor as f64, k - 1));
+        }
+        // Hand the residual to the largest fractional remainders, ties to
+        // the heavier (earlier) rank — this keeps the counts monotone
+        // non-increasing, since exact expectations strictly decrease.
+        remainders.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        // `residual < n` up to floating-point slack in the pmf sum;
+        // cycling covers the slack instead of panicking on an index.
+        let residual = total.saturating_sub(assigned) as usize;
+        for &(_, i) in remainders.iter().cycle().take(residual) {
+            counts[i] += 1;
+        }
+        debug_assert_eq!(counts.iter().sum::<u64>(), total);
+        counts
     }
 }
 
@@ -121,14 +148,34 @@ mod tests {
     }
 
     #[test]
-    fn expected_counts_are_monotone_and_positive() {
+    fn expected_counts_are_monotone_and_conserved() {
         let z = Zipf::new(20, 1.3);
         let c = z.expected_counts(10_000);
         assert_eq!(c.len(), 20);
         for w in c.windows(2) {
             assert!(w[0] >= w[1], "expected counts must be non-increasing");
         }
-        assert!(c.iter().all(|&x| x >= 1));
+        assert_eq!(c.iter().sum::<u64>(), 10_000, "totals must be conserved");
+    }
+
+    #[test]
+    fn expected_counts_conserve_total_even_with_huge_tails() {
+        // Regression: the old rounding clamped every rank to >= 1, so a
+        // key space larger than the packet budget inflated the total —
+        // 100k ranks over 10k packets produced >= 100k packets and
+        // skewed every accuracy-per-byte denominator downstream.
+        let z = Zipf::new(100_000, 1.1);
+        let c = z.expected_counts(10_000);
+        assert_eq!(c.iter().sum::<u64>(), 10_000);
+        assert!(
+            c.iter().filter(|&&x| x == 0).count() > 50_000,
+            "most tail ranks must round to zero, not one"
+        );
+        for w in c.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // And a total of zero stays zero.
+        assert_eq!(z.expected_counts(0).iter().sum::<u64>(), 0);
     }
 
     #[test]
