@@ -1,26 +1,36 @@
 //! Stage-major batched replay vs. per-packet replay vs. the sharded
-//! datapath, plus the CRC kernel duel.
+//! datapath, plus CRC kernel duels.
 //!
-//! Replays the canonical ≥1M-packet evaluation trace four ways through
-//! one switch configuration:
+//! Replays the canonical ≥1M-packet evaluation trace several ways
+//! through one switch configuration:
 //!
-//! - **serial (batched)** — `FlyMon::process_trace`, the stage-major
-//!   hot path at the default batch size: the recorded headline number;
-//! - **batch sweep** — the same replay at batch sizes 16/64/256, to keep
-//!   the default honest as the hot path evolves;
-//! - **prefetch duel** — default batch size with register-row prefetch
-//!   on vs. off;
+//! - **serial (batched)** — `FlyMon::process_trace` at the defaults
+//!   (batch 64, full 8-lane SIMD-width kernels, prefetch off): the
+//!   recorded headline number;
+//! - **lane sweep** — the same replay at lane widths 1 (scalar), 4 and
+//!   8, quantifying what the lane-lockstep match/digest/address passes
+//!   buy on this host;
+//! - **batch sweep** — batch sizes 16/64/256, to keep the default
+//!   honest as the hot path evolves;
+//! - **prefetch duel** — prefetch on vs. the default off;
 //! - **per-packet** — the interpreter path (`FlyMon::process` in a
 //!   loop), asserted bit-identical to the batched replay;
 //!
-//! then through a [`ShardedDatapath`] at several worker counts,
-//! verifying the merged registers stay bit-identical and the per-worker
-//! packet accounting covers the trace exactly. A kernel microbench
-//! races byte-at-a-time CRC32 against the slicing-by-8 kernel.
+//! then through a [`ShardedDatapath`] at several worker counts — the
+//! ingress/worker pipeline, or its inline striped fallback on hosts
+//! without real parallelism — verifying the merged registers stay
+//! bit-identical, the per-worker packet accounting covers the trace
+//! exactly, and tabulating per-core efficiency (per-worker processing
+//! rate vs. the serial headline). Kernel microbenches race byte-at-a-
+//! time CRC32 against slicing-by-8 and the 8-lane lockstep kernel.
+//!
+//! The JSON records `cpus` and the compiled-in `target_features` so a
+//! number is never compared across incompatible builds silently.
 //!
 //! Full runs overwrite `results/BENCH_datapath.json` (the snapshot later
 //! PRs diff against) *and* append one record to
-//! `results/BENCH_history.jsonl` (the append-only trajectory).
+//! `results/BENCH_history.jsonl` (the append-only trajectory; schema in
+//! `results/README.md`).
 //!
 //! Run with `cargo bench --bench datapath`; CI runs
 //! `cargo bench --bench datapath -- --smoke` on a ~100k-packet trace:
@@ -36,15 +46,19 @@ use flymon_bench::{
 };
 use flymon_netsim::{ReplayMode, ShardedDatapath};
 use flymon_packet::KeySpec;
-use flymon_rmt::hash::{crc32_slice8, crc32_with_table, tables8_for, CRC32_POLYNOMIALS};
+use flymon_rmt::hash::{
+    crc32_lanes, crc32_slice8, crc32_with_table, tables8_for, CRC32_POLYNOMIALS, CRC_LANES,
+};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 const BATCH_SIZES: [usize; 3] = [16, 64, 256];
+const LANE_WIDTHS: [usize; 3] = [1, 4, 8];
 
-/// PR-3 serial throughput from `results/BENCH_datapath.json` as
-/// committed by the hot-path rebuild — the baseline this PR's
-/// stage-major acceptance bar (≥1.25x) is measured against.
-const PR3_SERIAL_PPS: f64 = 9_750_327.0;
+/// PR-5 serial throughput from `results/BENCH_datapath.json` as
+/// committed by the stage-major batching PR — the baseline this PR's
+/// SIMD-width acceptance bar (≥1.15x) is measured against, and the
+/// floor the CI smoke guard scales from.
+const PR5_SERIAL_PPS: f64 = 13_706_653.0;
 
 /// The smoke guard fails when smoke serial throughput drops below this
 /// fraction of the committed baseline (the `baseline` object in
@@ -68,10 +82,44 @@ fn task() -> TaskDefinition {
         .build()
 }
 
-/// Races the old byte-at-a-time kernel against slicing-by-8 on 13-byte
-/// inputs (the serialized 5-tuple — the longest key the standing masks
-/// produce). Returns (old Mkeys/s, new Mkeys/s).
-fn kernel_duel() -> (f64, f64) {
+/// The x86 feature set this binary was compiled against (compile-time
+/// `cfg!`, not runtime detection — it is the code that was *emitted*
+/// that matters for comparing numbers).
+fn target_features() -> String {
+    let mut f: Vec<&str> = Vec::new();
+    if cfg!(target_feature = "sse2") {
+        f.push("sse2");
+    }
+    if cfg!(target_feature = "ssse3") {
+        f.push("ssse3");
+    }
+    if cfg!(target_feature = "sse4.2") {
+        f.push("sse4.2");
+    }
+    if cfg!(target_feature = "avx") {
+        f.push("avx");
+    }
+    if cfg!(target_feature = "avx2") {
+        f.push("avx2");
+    }
+    if cfg!(target_feature = "bmi2") {
+        f.push("bmi2");
+    }
+    if cfg!(target_feature = "fma") {
+        f.push("fma");
+    }
+    if f.is_empty() {
+        "portable".to_string()
+    } else {
+        f.join(",")
+    }
+}
+
+/// Races the old byte-at-a-time kernel against slicing-by-8 and the
+/// 8-lane lockstep kernel on 13-byte inputs (the serialized 5-tuple —
+/// the longest key the standing masks produce). Returns
+/// (bytewise, slice8, lanes8) in Mkeys/s.
+fn kernel_duel() -> (f64, f64, f64) {
     const KEYS: usize = 1 << 14;
     const ROUNDS: usize = 8;
     let tables = tables8_for(CRC32_POLYNOMIALS[0]).expect("family tables");
@@ -97,7 +145,31 @@ fn kernel_duel() -> (f64, f64) {
     };
     let old = time(&|k| crc32_with_table(&tables[0], 0x5eed, k));
     let new = time(&|k| crc32_slice8(tables, 0x5eed, k));
-    (old, new)
+    // Lane-lockstep: the same keys in groups of CRC_LANES independent
+    // chains — the shape the vectorized digest pass feeds it.
+    let lanes = {
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let begun = Instant::now();
+            let mut acc = 0u32;
+            let mut out = [0u32; CRC_LANES];
+            for group in keys.chunks(CRC_LANES) {
+                let mut inputs: [&[u8]; CRC_LANES] = [&[]; CRC_LANES];
+                for (l, k) in group.iter().enumerate() {
+                    inputs[l] = k;
+                }
+                let m = group.len();
+                crc32_lanes(tables, 0x5eed, &inputs[..m], &mut out[..m]);
+                for &o in &out[..m] {
+                    acc ^= o;
+                }
+            }
+            std::hint::black_box(acc);
+            best = best.min(begun.elapsed().as_secs_f64());
+        }
+        KEYS as f64 / best / 1e6
+    };
+    (old, new, lanes)
 }
 
 fn git_rev() -> String {
@@ -116,11 +188,13 @@ fn git_rev() -> String {
 fn batched_replay(
     trace: &[flymon_packet::Packet],
     batch_size: usize,
+    lanes: usize,
     prefetch: bool,
 ) -> (f64, FlyMon, TaskHandle) {
     let mut fm = FlyMon::new(config());
     let h = fm.deploy(&task()).expect("bench deploy");
     fm.set_batch_size(batch_size);
+    fm.set_lane_width(lanes);
     fm.set_prefetch(prefetch);
     let begun = Instant::now();
     fm.process_batch(trace);
@@ -130,27 +204,39 @@ fn batched_replay(
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // Read the committed baseline *before* this run overwrites the file.
-    let committed_baseline =
-        read_results_field("BENCH_datapath.json", "serial_packets_per_sec");
+    let committed_baseline = read_results_field("BENCH_datapath.json", "serial_packets_per_sec");
     let trace = if smoke { smoke_trace() } else { eval_trace() };
     let n = trace.len();
     if !smoke {
         assert!(n >= 1_000_000, "the evaluation trace must be ≥1M packets");
     }
     let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let features = target_features();
     let rev = git_rev();
-    println!("replaying {n} packets, batched vs per-packet vs sharded ({cpus} CPUs, rev {rev})\n");
-
-    let (kernel_old, kernel_new) = kernel_duel();
     println!(
-        "CRC32 kernel, 13-byte keys: bytewise {kernel_old:.1} Mkeys/s, \
-         slice8 {kernel_new:.1} Mkeys/s ({:.2}x)\n",
-        kernel_new / kernel_old
+        "replaying {n} packets, batched vs per-packet vs sharded \
+         ({cpus} CPUs, features [{features}], rev {rev})\n"
     );
 
-    // Headline: the stage-major batched replay at the default batch size.
-    let default_batch = FlyMon::new(config()).batch_size();
-    let (serial_secs, serial, h) = batched_replay(&trace, default_batch, true);
+    let (kernel_old, kernel_new, kernel_lanes) = kernel_duel();
+    println!(
+        "CRC32 kernel, 13-byte keys: bytewise {kernel_old:.1} Mkeys/s, \
+         slice8 {kernel_new:.1} Mkeys/s ({:.2}x), \
+         8-lane lockstep {kernel_lanes:.1} Mkeys/s ({:.2}x)\n",
+        kernel_new / kernel_old,
+        kernel_lanes / kernel_old
+    );
+
+    // Headline: the stage-major batched replay at the defaults (batch
+    // size, full lane width, prefetch off — see DESIGN.md for why the
+    // hint defaults off).
+    let defaults = FlyMon::new(config());
+    let default_batch = defaults.batch_size();
+    let default_lanes = defaults.lane_width();
+    let default_prefetch = defaults.prefetch_enabled();
+    drop(defaults);
+    let (serial_secs, serial, h) =
+        batched_replay(&trace, default_batch, default_lanes, default_prefetch);
     let serial_pps = n as f64 / serial_secs;
 
     // Per-packet interpreter reference: timed for the table, and the
@@ -173,7 +259,7 @@ fn main() {
 
     let mut rows = vec![
         vec![
-            format!("serial (batch {default_batch})"),
+            format!("serial (batch {default_batch}, {default_lanes} lanes)"),
             format!("{serial_secs:.3}"),
             format!("{serial_pps:.0}"),
             "1.00".to_string(),
@@ -186,13 +272,42 @@ fn main() {
         ],
     ];
 
+    // Lane-width sweep: scalar vs 4-wide vs the full 8-wide lockstep,
+    // fresh switch per width, identical registers demanded.
+    let mut lane_json = Vec::new();
+    for lanes in LANE_WIDTHS {
+        let secs = if lanes == default_lanes {
+            serial_secs
+        } else {
+            let (secs, fm, hl) = batched_replay(&trace, default_batch, lanes, default_prefetch);
+            for row in 0..3 {
+                assert_eq!(
+                    fm.read_row(hl, row).expect("lane row"),
+                    serial.read_row(h, row).expect("serial row"),
+                    "lane width {lanes} diverged at row {row}"
+                );
+            }
+            secs
+        };
+        let pps = n as f64 / secs;
+        lane_json.push(format!(
+            r#"{{"lane_width":{lanes},"seconds":{secs:.6},"packets_per_sec":{pps:.0}}}"#
+        ));
+        rows.push(vec![
+            format!("lanes {lanes}"),
+            format!("{secs:.3}"),
+            format!("{pps:.0}"),
+            format!("{:.2}", serial_secs / secs),
+        ]);
+    }
+
     // Batch-size sweep: fresh switch per size, same registers demanded.
     let mut sweep_json = Vec::new();
     for batch in BATCH_SIZES {
         let secs = if batch == default_batch {
             serial_secs
         } else {
-            let (secs, fm, hb) = batched_replay(&trace, batch, true);
+            let (secs, fm, hb) = batched_replay(&trace, batch, default_lanes, default_prefetch);
             for row in 0..3 {
                 assert_eq!(
                     fm.read_row(hb, row).expect("sweep row"),
@@ -214,33 +329,34 @@ fn main() {
         ]);
     }
 
-    // Prefetch duel at the default batch size.
-    let (nopf_secs, nopf_fm, nopf_h) = batched_replay(&trace, default_batch, false);
+    // Prefetch duel at the defaults: the hint defaults *off*; measure
+    // what turning it on does with the gathered lane-group addresses.
+    let (pf_secs, pf_fm, pf_h) = batched_replay(&trace, default_batch, default_lanes, true);
     for row in 0..3 {
         assert_eq!(
-            nopf_fm.read_row(nopf_h, row).expect("no-prefetch row"),
+            pf_fm.read_row(pf_h, row).expect("prefetch row"),
             serial.read_row(h, row).expect("serial row"),
             "prefetch changed register contents at row {row}"
         );
     }
-    let nopf_pps = n as f64 / nopf_secs;
+    let pf_pps = n as f64 / pf_secs;
     rows.push(vec![
-        "no prefetch".to_string(),
-        format!("{nopf_secs:.3}"),
-        format!("{nopf_pps:.0}"),
-        format!("{:.2}", serial_secs / nopf_secs),
+        "prefetch on".to_string(),
+        format!("{pf_secs:.3}"),
+        format!("{pf_pps:.0}"),
+        format!("{:.2}", serial_secs / pf_secs),
     ]);
 
     let mut parallel_json = Vec::new();
+    let mut core_rows = Vec::new();
     for workers in WORKER_COUNTS {
-        let mut dp =
-            ShardedDatapath::deploy(workers, config(), &task()).expect("sharded deploy");
+        let mut dp = ShardedDatapath::deploy(workers, config(), &task()).expect("sharded deploy");
         let stats = dp.process_trace(&trace);
         let secs = stats.elapsed.as_secs_f64();
         let pps = stats.packets_per_sec();
         let mode = match stats.mode {
             ReplayMode::Serial => "serial".to_string(),
-            ReplayMode::Threaded { threads } => format!("threaded({threads})"),
+            ReplayMode::Pipelined { workers } => format!("pipelined({workers})"),
         };
 
         // The merged registers must be bit-identical to the serial
@@ -252,13 +368,13 @@ fn main() {
                 "row {row} diverged at {workers} workers"
             );
         }
-        // Accounting must cover the trace exactly: with the busy/elapsed
-        // skew fixed, a claimed-twice or never-claimed packet shows up
-        // here rather than as a quietly wrong throughput number.
+        // Accounting must cover the trace exactly: a delivered-twice or
+        // never-delivered packet shows up here rather than as a quietly
+        // wrong throughput number.
         let claimed: u64 = dp.worker_stats().iter().map(|w| w.packets).sum();
         assert_eq!(
             claimed, n as u64,
-            "workers must claim every packet exactly once at {workers} workers"
+            "workers must receive every packet exactly once at {workers} workers"
         );
 
         let worker_json: Vec<String> = dp
@@ -266,22 +382,35 @@ fn main() {
             .iter()
             .map(|w| {
                 format!(
-                    r#"{{"worker":{},"packets":{},"packets_per_sec":{:.0},"recirculated":{},"dropped":{}}}"#,
+                    r#"{{"worker":{},"packets":{},"packets_per_sec":{:.0},"busy_seconds":{:.6},"recirculated":{},"dropped":{}}}"#,
                     w.worker,
                     w.packets,
                     w.packets_per_sec(),
+                    w.busy.as_secs_f64(),
                     w.recirculated,
                     w.dropped
                 )
             })
             .collect();
+        for w in dp.worker_stats() {
+            // Per-core efficiency: each worker's pure processing rate
+            // (ring waits excluded) against the serial headline.
+            core_rows.push(vec![
+                format!("x{workers} [{mode}]"),
+                format!("{}", w.worker),
+                format!("{}", w.packets),
+                format!("{:.0}", w.packets_per_sec()),
+                format!("{:.2}", w.packets_per_sec() / serial_pps),
+            ]);
+        }
         parallel_json.push(format!(
-            r#"{{"workers":{},"mode":"{}","seconds":{:.6},"packets_per_sec":{:.0},"speedup":{:.3},"recirculated":{},"dropped":{},"per_worker":[{}]}}"#,
+            r#"{{"workers":{},"mode":"{}","seconds":{:.6},"packets_per_sec":{:.0},"speedup":{:.3},"imbalance":{:.3},"recirculated":{},"dropped":{},"per_worker":[{}]}}"#,
             workers,
             mode,
             secs,
             pps,
             serial_secs / secs,
+            stats.imbalance,
             stats.recirculated,
             stats.dropped,
             worker_json.join(",")
@@ -299,6 +428,11 @@ fn main() {
         &["mode", "seconds", "pkts/s", "speedup"],
         &rows,
     );
+    print_table(
+        "Per-core efficiency (processing rate vs serial headline)",
+        &["datapath", "worker", "packets", "pkts/s", "efficiency"],
+        &core_rows,
+    );
     if cpus < *WORKER_COUNTS.iter().max().unwrap() {
         println!(
             "note: only {cpus} CPU(s) visible — parallel speedups are \
@@ -307,21 +441,27 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"trace_packets\": {n},\n  \"smoke\": {smoke},\n  \"cpus\": {cpus},\n  \"git_rev\": \"{rev}\",\n  \
+        "{{\n  \"trace_packets\": {n},\n  \"smoke\": {smoke},\n  \"cpus\": {cpus},\n  \
+         \"target_features\": \"{features}\",\n  \"git_rev\": \"{rev}\",\n  \
          \"kernel\": {{\"name\": \"crc32-slice8\", \"bytewise_mkeys_per_sec\": {kernel_old:.1}, \
-         \"slice8_mkeys_per_sec\": {kernel_new:.1}, \"speedup\": {:.3}}},\n  \
-         \"baseline\": {{\"source\": \"PR-3 hot-path rebuild\", \"serial_packets_per_sec\": {PR3_SERIAL_PPS:.0}}},\n  \
-         \"serial\": {{\"batch_size\": {default_batch}, \"seconds\": {serial_secs:.6}, \
+         \"slice8_mkeys_per_sec\": {kernel_new:.1}, \"lanes8_mkeys_per_sec\": {kernel_lanes:.1}, \
+         \"speedup\": {:.3}, \"lanes_speedup\": {:.3}}},\n  \
+         \"baseline\": {{\"source\": \"PR-5 stage-major batching\", \"serial_packets_per_sec\": {PR5_SERIAL_PPS:.0}}},\n  \
+         \"serial\": {{\"batch_size\": {default_batch}, \"lane_width\": {default_lanes}, \
+         \"prefetch\": {default_prefetch}, \"seconds\": {serial_secs:.6}, \
          \"packets_per_sec\": {serial_pps:.0}, \"speedup_vs_baseline\": {:.3}}},\n  \
          \"per_packet\": {{\"seconds\": {pp_secs:.6}, \"packets_per_sec\": {pp_pps:.0}}},\n  \
+         \"lane_sweep\": [\n    {}\n  ],\n  \
          \"batch_sweep\": [\n    {}\n  ],\n  \
-         \"prefetch\": {{\"batch_size\": {default_batch}, \"on_packets_per_sec\": {serial_pps:.0}, \
-         \"off_packets_per_sec\": {nopf_pps:.0}, \"on_over_off\": {:.3}}},\n  \
+         \"prefetch\": {{\"batch_size\": {default_batch}, \"on_packets_per_sec\": {pf_pps:.0}, \
+         \"off_packets_per_sec\": {serial_pps:.0}, \"on_over_off\": {:.3}}},\n  \
          \"parallel\": [\n    {}\n  ]\n}}\n",
         kernel_new / kernel_old,
-        serial_pps / PR3_SERIAL_PPS,
+        kernel_lanes / kernel_old,
+        serial_pps / PR5_SERIAL_PPS,
+        lane_json.join(",\n    "),
         sweep_json.join(",\n    "),
-        serial_pps / nopf_pps,
+        pf_pps / serial_pps,
         parallel_json.join(",\n    ")
     );
     let path = emit_results_file("BENCH_datapath.json", &json);
@@ -349,14 +489,16 @@ fn main() {
              ({SMOKE_TOLERANCE}x of committed baseline {baseline:.0})"
         );
     } else {
-        // Append-only perf trajectory, one record per full run.
+        // Append-only perf trajectory, one record per full run. Schema
+        // documented in results/README.md.
         let ts = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
         let line = format!(
-            r#"{{"unix_ts":{ts},"git_rev":"{rev}","cpus":{cpus},"trace_packets":{n},"serial_batch_size":{default_batch},"serial_packets_per_sec":{serial_pps:.0},"speedup_vs_baseline":{:.3},"per_packet_packets_per_sec":{pp_pps:.0},"prefetch_on_over_off":{:.3},"batch_sweep":[{}]}}"#,
-            serial_pps / PR3_SERIAL_PPS,
-            serial_pps / nopf_pps,
+            r#"{{"unix_ts":{ts},"git_rev":"{rev}","cpus":{cpus},"target_features":"{features}","trace_packets":{n},"serial_batch_size":{default_batch},"serial_lane_width":{default_lanes},"serial_packets_per_sec":{serial_pps:.0},"speedup_vs_baseline":{:.3},"per_packet_packets_per_sec":{pp_pps:.0},"prefetch_on_over_off":{:.3},"lane_sweep":[{}],"batch_sweep":[{}]}}"#,
+            serial_pps / PR5_SERIAL_PPS,
+            pf_pps / serial_pps,
+            lane_json.join(","),
             sweep_json.join(",")
         );
         let hist = append_results_line("BENCH_history.jsonl", &line);

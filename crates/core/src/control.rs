@@ -187,6 +187,7 @@ pub struct FlyMon {
     batch: BatchScratch,
     batch_size: usize,
     prefetch: bool,
+    lane_width: usize,
     /// Claimed-packet staging buffer for [`FlyMon::process_batch_if`],
     /// kept on the instance so repeated claim scans reuse one
     /// allocation.
@@ -204,6 +205,20 @@ pub struct FlyMon {
 /// per-group dispatch over enough packets to matter (the bench's
 /// batch-size sweep backs this choice; see `results/BENCH_datapath.json`).
 pub const DEFAULT_BATCH_SIZE: usize = 64;
+
+/// Default SIMD lane-group width of the stage-major passes: the full
+/// [`CRC_LANES`](flymon_rmt::hash::CRC_LANES) width. Every width in
+/// `1..=8` is bit-identical (the bench sweeps 1/4/8); 8 keeps enough
+/// independent CRC chains in flight to saturate the core's load ports.
+pub const DEFAULT_LANE_WIDTH: usize = flymon_rmt::hash::CRC_LANES;
+
+/// Default state of the stage-3 register-row prefetch. Off: with the
+/// gathered address pass resolving a whole lane group before the SALU
+/// apply, the hardware prefetcher already has the rows in flight, and
+/// the explicit hint never repaid its issue cost (the bench's prefetch
+/// duel measured ≤ 1.01× with lane groups; see DESIGN.md § "SIMD &
+/// ingress/worker datapath").
+pub const DEFAULT_PREFETCH: bool = false;
 
 impl FlyMon {
     /// Builds the data plane.
@@ -251,7 +266,8 @@ impl FlyMon {
             scratch: PacketScratch::default(),
             batch: BatchScratch::default(),
             batch_size: DEFAULT_BATCH_SIZE,
-            prefetch: true,
+            prefetch: DEFAULT_PREFETCH,
+            lane_width: DEFAULT_LANE_WIDTH,
             claim_buf: Vec::new(),
             packets_processed: 0,
             recirculated_packets: 0,
@@ -413,6 +429,19 @@ impl FlyMon {
         self.prefetch
     }
 
+    /// Sets the SIMD lane-group width of the stage-major passes (clamped
+    /// to `1..=CRC_LANES`). Purely a throughput knob — every width is
+    /// bit-identical (the bench sweeps 1/4/8; `tests/batch.rs` pins the
+    /// identity).
+    pub fn set_lane_width(&mut self, lanes: usize) {
+        self.lane_width = lanes.clamp(1, flymon_rmt::hash::CRC_LANES);
+    }
+
+    /// The SIMD lane-group width of the stage-major passes.
+    pub fn lane_width(&self) -> usize {
+        self.lane_width
+    }
+
     /// Processes a batch of packets and reports what the batch did —
     /// the worker-facing entry point of the sharded datapath
     /// (`flymon_netsim::datapath`), which partitions a trace across
@@ -451,6 +480,7 @@ impl FlyMon {
                 g >= first_spliced,
                 self.prefetch,
                 record_ctx,
+                self.lane_width,
             );
         }
         self.recirculated_packets += self.batch.executed_count();

@@ -15,7 +15,7 @@
 //! memory once), which is exactly the hardware constraint of §3.3.
 
 use flymon_packet::{Packet, TaskFilter};
-use flymon_rmt::hash::{HashScratch, HashUnit, MAX_HASH_UNITS};
+use flymon_rmt::hash::{HashScratch, HashUnit, CRC_LANES, MAX_HASH_UNITS};
 use flymon_rmt::salu::{BatchOp, Salu, StatefulOp};
 use flymon_rmt::RmtError;
 
@@ -574,6 +574,15 @@ impl CmuGroup {
     /// `record_ctx` is the pipeline-wide "some program reads PHV
     /// contexts" flag — when false, context recording is skipped (the
     /// values would be unobservable).
+    ///
+    /// `lanes` is the SIMD-style lane-group width (clamped to
+    /// `1..=CRC_LANES`): stages 1–3 sweep the chunk in groups of `lanes`
+    /// packets evaluated in lockstep — branch-reduced filter masks in
+    /// stage 1, [`HashUnit::digest_lanes`] in stage 2, and a gathered
+    /// address pass in stage 3 that computes (and prefetches) every
+    /// bucket index of a lane group before any register row is touched.
+    /// `lanes == 1` is the scalar reference the bench sweep compares
+    /// against; every width is bit-identical (pinned by `tests/batch.rs`).
     pub fn process_chunk(
         &mut self,
         pkts: &[Packet],
@@ -581,10 +590,12 @@ impl CmuGroup {
         mark_executed: bool,
         prefetch: bool,
         record_ctx: bool,
+        lanes: usize,
     ) {
         if self.program.is_empty() {
             return;
         }
+        let lanes = lanes.clamp(1, CRC_LANES);
         let group_index = self.index;
         let CmuGroup {
             units,
@@ -613,42 +624,181 @@ impl CmuGroup {
                 any_always = true;
                 continue;
             }
-            for (pi, pkt) in pkts.iter().enumerate() {
-                let coin = &mut batch.coins[pi];
-                let hit = cprog.bindings.iter().position(|cb| {
-                    cb.filter_matches(pkt)
-                        && (cb.coin_mask == 0
-                            || u64::from(coin.coin(pkt, cb.task)) & cb.coin_mask == 0)
-                });
-                if let Some(bi) = hit {
-                    cmu.hits[bi] += 1;
-                    matched.push((pi as u32, bi as u16));
-                    batch.need_digest[pi] = true;
+            if lanes == 1 {
+                // Scalar reference path (lane width 1 in the bench sweep).
+                for (pi, pkt) in pkts.iter().enumerate() {
+                    let coin = &mut batch.coins[pi];
+                    let hit = cprog.bindings.iter().position(|cb| {
+                        cb.filter_matches(pkt)
+                            && (cb.coin_mask == 0
+                                || u64::from(coin.coin(pkt, cb.task)) & cb.coin_mask == 0)
+                    });
+                    if let Some(bi) = hit {
+                        cmu.hits[bi] += 1;
+                        matched.push((pi as u32, bi as u16));
+                        batch.need_digest[pi] = true;
+                    }
                 }
-            }
-        }
-        if any_always {
-            batch.need_digest[..n].fill(true);
-        }
-
-        // Stage 2: bulk digests, unit-major over the matched packets.
-        // Units nothing reads keep stale slots — compiled plans never
-        // index them (exactly the serial path's lazy-zero slots).
-        for (u, unit) in units.iter().enumerate() {
-            if !program.unit_used[u] {
                 continue;
             }
-            if any_always {
-                // Every packet needs digests: no per-packet gate.
-                for (pi, pkt) in pkts.iter().enumerate() {
-                    batch.digests[pi * MAX_HASH_UNITS + u] =
-                        unit.compute_cached(pkt, &mut batch.keys[pi]);
+            // Lane path: binding-outer over each lane group, tracking
+            // which lanes are still unmatched in an `alive` bitmask. A
+            // lane's first matching binding retires it, so the probe set
+            // per (packet, binding) — including which coins get flipped —
+            // is exactly the scalar path's, and first-match-wins order is
+            // preserved by appending `chosen` lanes in lane order.
+            let mut base = 0;
+            while base < n {
+                let m = lanes.min(n - base);
+                let lane_pkts = &pkts[base..base + m];
+                let mut chosen = [u16::MAX; CRC_LANES];
+                let mut alive: u32 = (1u32 << m) - 1;
+                for (bi, cb) in cprog.bindings.iter().enumerate() {
+                    if alive == 0 {
+                        break;
+                    }
+                    // Branch-reduced filter evaluation over the lane
+                    // group: both prefix compares fold into one boolean
+                    // per lane, collected into a bitmask.
+                    let mut filter_mask: u32 = 0;
+                    for (l, pkt) in lane_pkts.iter().enumerate() {
+                        let hit = ((pkt.src_ip & cb.src_mask) == cb.src_net)
+                            & ((pkt.dst_ip & cb.dst_mask) == cb.dst_net);
+                        filter_mask |= u32::from(hit) << l;
+                    }
+                    let mut cand = alive & filter_mask;
+                    if cb.coin_mask != 0 && cand != 0 {
+                        // Sampling coins stay scalar (the rare case): one
+                        // memoized hash per candidate lane.
+                        let mut passed = 0u32;
+                        let mut c = cand;
+                        while c != 0 {
+                            let l = c.trailing_zeros() as usize;
+                            c &= c - 1;
+                            let pi = base + l;
+                            let coin = batch.coins[pi].coin(&pkts[pi], cb.task);
+                            if u64::from(coin) & cb.coin_mask == 0 {
+                                passed |= 1 << l;
+                            }
+                        }
+                        cand = passed;
+                    }
+                    if cand != 0 {
+                        cmu.hits[bi] += u64::from(cand.count_ones());
+                        let mut c = cand;
+                        while c != 0 {
+                            let l = c.trailing_zeros() as usize;
+                            c &= c - 1;
+                            chosen[l] = bi as u16;
+                        }
+                        alive &= !cand;
+                    }
+                }
+                for (l, &bi) in chosen[..m].iter().enumerate() {
+                    if bi != u16::MAX {
+                        let pi = base + l;
+                        matched.push((pi as u32, bi));
+                        batch.need_digest[pi] = true;
+                    }
+                }
+                base += m;
+            }
+        }
+
+        // Stage 2: bulk digests, unit-major over the packed list of
+        // packets that matched something. Units nothing reads keep stale
+        // slots — compiled plans never index them (exactly the serial
+        // path's lazy-zero slots).
+        batch.digest_idx.clear();
+        if any_always {
+            batch.digest_idx.extend(0..n as u32);
+        } else {
+            for pi in 0..n {
+                if batch.need_digest[pi] {
+                    batch.digest_idx.push(pi as u32);
+                }
+            }
+        }
+        if !batch.digest_idx.is_empty() {
+            // Split-borrow the scratch: the digest matrix is written
+            // while the key caches are read (shared borrows) during the
+            // lane gather.
+            let BatchScratch {
+                keys,
+                digests,
+                digest_idx,
+                ..
+            } = &mut *batch;
+            if lanes == 1 {
+                for (u, unit) in units.iter().enumerate() {
+                    if !program.unit_used[u] {
+                        continue;
+                    }
+                    for &pi in digest_idx.iter() {
+                        let p = pi as usize;
+                        digests[p * MAX_HASH_UNITS + u] =
+                            unit.compute_cached(&pkts[p], &mut keys[p]);
+                    }
                 }
             } else {
-                for (pi, pkt) in pkts.iter().enumerate() {
-                    if batch.need_digest[pi] {
-                        batch.digests[pi * MAX_HASH_UNITS + u] =
-                            unit.compute_cached(pkt, &mut batch.keys[pi]);
+                // Extraction prepass: memoize every used unit's key bytes
+                // per packet (one serialization per distinct spec per
+                // packet, same as the scalar path), so the gather below
+                // can hold shared borrows across several packets' caches
+                // at once.
+                for &pi in digest_idx.iter() {
+                    let p = pi as usize;
+                    let cache = &mut keys[p];
+                    for (u, unit) in units.iter().enumerate() {
+                        if !program.unit_used[u] {
+                            continue;
+                        }
+                        if let Some(mask) = unit.mask() {
+                            cache.get_or_extract(mask, &pkts[p]);
+                        }
+                    }
+                }
+                let mut inputs: [&[u8]; CRC_LANES] = [&[]; CRC_LANES];
+                let mut out = [0u32; CRC_LANES];
+                for (u, unit) in units.iter().enumerate() {
+                    if !program.unit_used[u] {
+                        continue;
+                    }
+                    let Some(mask) = unit.mask() else {
+                        // A used-but-unmasked unit digests to 0 (the
+                        // scalar path's "unconfigured" constant).
+                        for &pi in digest_idx.iter() {
+                            digests[pi as usize * MAX_HASH_UNITS + u] = 0;
+                        }
+                        continue;
+                    };
+                    for idx_group in digest_idx.chunks(lanes) {
+                        let m = idx_group.len();
+                        let mut full = true;
+                        for (l, &pi) in idx_group.iter().enumerate() {
+                            match keys[pi as usize].get(mask) {
+                                Some(k) => inputs[l] = k.as_bytes(),
+                                None => {
+                                    full = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if full {
+                            unit.digest_lanes(&inputs[..m], &mut out[..m]);
+                            for (l, &pi) in idx_group.iter().enumerate() {
+                                digests[pi as usize * MAX_HASH_UNITS + u] = out[l];
+                            }
+                        } else {
+                            // Cache overflow (> MAX_CACHED_KEYS distinct
+                            // specs in one packet): scalar fallback,
+                            // bit-identical to compute_cached's spill.
+                            for &pi in idx_group.iter() {
+                                let p = pi as usize;
+                                digests[p * MAX_HASH_UNITS + u] =
+                                    unit.digest_bytes(mask.extract(&pkts[p]).as_bytes());
+                            }
+                        }
                     }
                 }
             }
@@ -661,31 +811,49 @@ impl CmuGroup {
                 // matched list, no per-op (packet, forward) metadata.
                 let cb = &cprog.bindings[0];
                 batch.resolved.clear();
-                for (p, pkt) in pkts.iter().enumerate() {
-                    let digests =
-                        &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
-                    let addr = cb.address(digests, bucket_mask);
-                    let ctx = &batch.ctxs[p];
-                    let p1 = cb.p1.resolve(pkt, digests, ctx);
-                    let p2 = cb.p2.resolve(pkt, digests, ctx);
-                    let (p1, p2) = cb.prep.apply(p1, p2, ctx);
-                    if prefetch {
-                        // One batch of lookahead: the row is requested
-                        // while the remaining packets still resolve.
-                        cmu.salu.register().prefetch(addr);
+                let mut base = 0;
+                while base < n {
+                    let m = lanes.min(n - base);
+                    // Gathered address pass: every bucket index of the
+                    // lane group is computed — and its register row
+                    // requested — before any parameter resolves, so the
+                    // row fetches overlap the resolve arithmetic.
+                    let mut addrs = [0usize; CRC_LANES];
+                    for (l, a) in addrs[..m].iter_mut().enumerate() {
+                        let p = base + l;
+                        let digests =
+                            &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
+                        *a = cb.address(digests, bucket_mask);
                     }
-                    batch.resolved.push(BatchOp {
-                        op: cb.op,
-                        addr,
-                        p1,
-                        p2,
-                    });
+                    if prefetch {
+                        let reg = cmu.salu.register();
+                        for &a in &addrs[..m] {
+                            reg.prefetch(a);
+                        }
+                    }
+                    for (l, &addr) in addrs[..m].iter().enumerate() {
+                        let p = base + l;
+                        let pkt = &pkts[p];
+                        let digests =
+                            &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
+                        let ctx = &batch.ctxs[p];
+                        let p1 = cb.p1.resolve(pkt, digests, ctx);
+                        let p2 = cb.p2.resolve(pkt, digests, ctx);
+                        let (p1, p2) = cb.prep.apply(p1, p2, ctx);
+                        batch.resolved.push(BatchOp {
+                            op: cb.op,
+                            addr,
+                            p1,
+                            p2,
+                        });
+                    }
+                    base += m;
                 }
-                batch.outs.clear();
-                cmu.salu
-                    .execute_batch(&batch.resolved, &mut batch.outs)
-                    .expect("installed ops are pre-loaded and addresses in range");
                 if record_ctx {
+                    batch.outs.clear();
+                    cmu.salu
+                        .execute_batch(&batch.resolved, &mut batch.outs)
+                        .expect("installed ops are pre-loaded and addresses in range");
                     for (p, out) in batch.outs.iter().enumerate() {
                         let forwarded = match cb.forward {
                             Forward::Result => out.result,
@@ -694,6 +862,12 @@ impl CmuGroup {
                         };
                         batch.ctxs[p].record(group_index, ci, forwarded);
                     }
+                } else {
+                    // No program reads PHV contexts: identical register
+                    // effects without collecting outputs.
+                    cmu.salu
+                        .apply_batch(&batch.resolved)
+                        .expect("installed ops are pre-loaded and addresses in range");
                 }
                 if mark_executed {
                     batch.executed[..n].fill(true);
@@ -705,45 +879,69 @@ impl CmuGroup {
             }
             batch.resolved.clear();
             batch.meta.clear();
-            for &(pi, bi) in &batch.matched[ci] {
-                let p = pi as usize;
-                let pkt = &pkts[p];
-                let cb = &cprog.bindings[bi as usize];
-                let digests = &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
-                let ctx = &batch.ctxs[p];
-                let addr = cb.address(digests, bucket_mask);
-                let p1 = cb.p1.resolve(pkt, digests, ctx);
-                let p2 = cb.p2.resolve(pkt, digests, ctx);
-                let (p1, p2) = cb.prep.apply(p1, p2, ctx);
-                if prefetch {
-                    // One batch of lookahead: the row is requested while
-                    // the remaining packets still resolve.
-                    cmu.salu.register().prefetch(addr);
+            for mgroup in batch.matched[ci].chunks(lanes) {
+                let m = mgroup.len();
+                // Same gathered address pass over the sparse matched
+                // list: all of the lane group's rows are requested before
+                // the parameter resolves touch them.
+                let mut addrs = [0usize; CRC_LANES];
+                for (l, &(pi, bi)) in mgroup.iter().enumerate() {
+                    let p = pi as usize;
+                    let cb = &cprog.bindings[bi as usize];
+                    let digests =
+                        &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
+                    addrs[l] = cb.address(digests, bucket_mask);
                 }
-                batch.resolved.push(BatchOp {
-                    op: cb.op,
-                    addr,
-                    p1,
-                    p2,
-                });
-                batch.meta.push((pi, cb.forward));
+                if prefetch {
+                    let reg = cmu.salu.register();
+                    for &a in &addrs[..m] {
+                        reg.prefetch(a);
+                    }
+                }
+                for (l, &(pi, bi)) in mgroup.iter().enumerate() {
+                    let p = pi as usize;
+                    let pkt = &pkts[p];
+                    let cb = &cprog.bindings[bi as usize];
+                    let digests =
+                        &batch.digests[p * MAX_HASH_UNITS..(p + 1) * MAX_HASH_UNITS];
+                    let ctx = &batch.ctxs[p];
+                    let p1 = cb.p1.resolve(pkt, digests, ctx);
+                    let p2 = cb.p2.resolve(pkt, digests, ctx);
+                    let (p1, p2) = cb.prep.apply(p1, p2, ctx);
+                    batch.resolved.push(BatchOp {
+                        op: cb.op,
+                        addr: addrs[l],
+                        p1,
+                        p2,
+                    });
+                    batch.meta.push((pi, cb.forward));
+                }
             }
-            batch.outs.clear();
-            cmu.salu
-                .execute_batch(&batch.resolved, &mut batch.outs)
-                .expect("installed ops are pre-loaded and addresses in range");
-            for (k, &(pi, forward)) in batch.meta.iter().enumerate() {
-                let out = &batch.outs[k];
-                if record_ctx {
+            if record_ctx {
+                batch.outs.clear();
+                cmu.salu
+                    .execute_batch(&batch.resolved, &mut batch.outs)
+                    .expect("installed ops are pre-loaded and addresses in range");
+                for (k, &(pi, forward)) in batch.meta.iter().enumerate() {
+                    let out = &batch.outs[k];
                     let forwarded = match forward {
                         Forward::Result => out.result,
                         Forward::Old => out.old,
                         Forward::OldAndP1 => out.old & batch.resolved[k].p1,
                     };
                     batch.ctxs[pi as usize].record(group_index, ci, forwarded);
+                    if mark_executed {
+                        batch.executed[pi as usize] = true;
+                    }
                 }
+            } else {
+                cmu.salu
+                    .apply_batch(&batch.resolved)
+                    .expect("installed ops are pre-loaded and addresses in range");
                 if mark_executed {
-                    batch.executed[pi as usize] = true;
+                    for &(pi, _) in batch.meta.iter() {
+                        batch.executed[pi as usize] = true;
+                    }
                 }
             }
         }

@@ -119,6 +119,11 @@ pub struct BatchScratch {
     /// Which packets matched some binding in the current group (gate for
     /// the bulk digest pass). Reset per group.
     pub(crate) need_digest: Vec<bool>,
+    /// Packed packet indices needing digests this group — the dense
+    /// iteration domain of the lane-group digest pass (built from
+    /// `need_digest`, or `0..n` when any CMU matches unconditionally).
+    /// Reset per group.
+    pub(crate) digest_idx: Vec<u32>,
     /// Per-CMU matched lists `(packet index, binding index)`, in packet
     /// order — packet order is what keeps same-bucket SALU updates
     /// applied in arrival order. Reset per group.

@@ -6,44 +6,59 @@
 //! experiments in `results/` feed it. This module recovers multi-core
 //! throughput without giving up single-switch semantics:
 //!
-//! 1. every worker thread scans the **shared** `&[Packet]` trace slice
-//!    directly and *claims* the packets whose ingress hash ([`shard_of`]:
-//!    `murmur3` over the source address, the same hash
-//!    [`SwitchFleet`](crate::SwitchFleet) routes by) lands on it — no
-//!    serial partitioning prologue, no per-shard `Vec<Packet>` copies,
-//!    and per-shard packet order is trace order by construction;
-//! 2. each worker's claims run against a private [`FlyMon`] *replica* of
-//!    the switch — deployments are deterministic, so every replica
-//!    derives identical hash configurations, partition layouts and
-//!    bindings;
+//! 1. a dedicated **ingress** (the calling thread) walks the trace once,
+//!    computes an RSS-style flow hash per packet ([`slot_of`]: murmur3
+//!    over the source address, finalized with `fmix32`, folded into
+//!    [`FANOUT_SLOTS`] slots) and routes each packet through a
+//!    slot→worker **fanout table** into that worker's bounded ring;
+//! 2. each **worker** thread owns a private [`FlyMon`] *replica* of the
+//!    switch (deployments are deterministic, so every replica derives
+//!    identical hash configurations, partition layouts and bindings),
+//!    drains its ring in [`PIPELINE_BATCH`]-packet batches through the
+//!    stage-major [`FlyMon::process_batch`] path, and recycles drained
+//!    buffers back to the ingress;
 //! 3. readouts are merged per the deployed sketch's merge law, exactly as
 //!    fleet readouts are: per-bucket **sum** for linear frequency rows
 //!    (CMS/MRAC), per-bucket **max** for HLL cardinality registers,
 //!    per-bucket **OR** / any-replica for Bloom existence rows.
 //!
 //! For those laws the merged registers are *bit-identical* to a serial
-//! replay of the whole trace on one switch (each packet updates exactly
-//! one replica, and the per-bucket operation is associative and
-//! commutative across packets). Non-linear recipes — max-inter-arrival,
-//! which differences consecutive timestamps *of the same flow* inside one
-//! register — are only shard-equivalent because the shard hash keys on the
-//! source address, so a flow's packets never split across replicas; see
-//! `DESIGN.md` § "Sharded datapath" (including "Why PR 2 didn't scale"
-//! for what the claim-scan model replaced and its memory-bandwidth
-//! tradeoff).
+//! replay of the whole trace on one switch for **any** disjoint packet
+//! partition (each packet updates exactly one replica, and the per-bucket
+//! operation is associative and commutative across packets) — which is
+//! what lets the fanout table be *rebalanced*: slots are weighed by a
+//! profiling pass over the trace and assigned to workers longest-
+//! processing-time-first, keeping per-worker packet counts within ~1.2×
+//! of each other even on heavily skewed traffic. Non-linear recipes —
+//! max-inter-arrival, which differences consecutive timestamps *of the
+//! same flow* inside one register — additionally need **flow affinity**:
+//! for those the table degrades to the static `slot % workers` map (a
+//! flow's packets always share a slot, hence a worker, across calls).
 //!
-//! No external thread-pool or channel dependency is used:
-//! `std::thread::scope` spawns and joins the workers over the borrowed
-//! trace — at most `std::thread::available_parallelism()` of them. On a
-//! single-CPU host the replay degrades gracefully to an inline serial
-//! sweep of the replicas ([`ReplayMode::Serial`]) instead of
-//! time-slicing threads that cannot run concurrently.
+//! The rings are plain `std::sync::mpsc::sync_channel`s of recycled
+//! `Vec<Packet>` batches, depth [`RING_DEPTH`]: a full ring blocks the
+//! ingress (backpressure, the same discipline as `ingest::BoundedQueue`)
+//! instead of ballooning memory. No external thread-pool or channel
+//! dependency is used; workers are best-effort pinned to distinct cores
+//! ([`flymon_rmt::affinity`]) when the host has enough of them.
+//!
+//! On a single-CPU host (or with one worker) the replay degrades to an
+//! inline sweep on the calling thread ([`ReplayMode::Serial`]) instead of
+//! time-slicing threads that cannot run concurrently: mergeable
+//! deployments *stripe* the trace over the replicas in
+//! [`STRIPE_CHUNK`]-packet chunks (no per-packet hashing at all), while
+//! affinity-bound deployments and fleet replays stage per-worker batches
+//! through the same fanout table the pipelined path would use. See
+//! `DESIGN.md` § "SIMD & ingress/worker datapath" for why this replaced
+//! the claim-chunk scan model.
 
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use flymon::prelude::*;
 use flymon::FlymonError;
 use flymon_packet::Packet;
+use flymon_rmt::hash::{fmix32, murmur3_32};
 use flymon_sketches::hll::estimate_from_registers;
 
 /// Seed of the ingress/shard hash. Shared with
@@ -120,21 +135,28 @@ impl MergeLaw {
 
 /// The shard (or fleet ingress) among `n` that `pkt` belongs to.
 ///
+/// The raw murmur3 digest is finalized through [`fmix32`] before the
+/// modulus: on real traces source addresses are far from uniform, and
+/// folding the unmixed digest `% n` measured up to 2.7× worst/best
+/// shard imbalance at 4 shards. The extra avalanche pass costs four
+/// shifts and two multiplies per packet and brings the split to within
+/// a few percent of uniform.
+///
 /// # Panics
 /// Panics if `n` is zero — an empty datapath has no shards.
 pub fn shard_of(pkt: &Packet, n: usize) -> usize {
     assert!(n > 0, "cannot shard across zero workers");
-    flymon_rmt::hash::murmur3_32(INGRESS_HASH_SEED, &pkt.src_ip.to_be_bytes()) as usize % n
+    fmix32(murmur3_32(INGRESS_HASH_SEED, &pkt.src_ip.to_be_bytes())) as usize % n
 }
 
 /// Partitions `trace` into `n` shards by [`shard_of`], preserving the
 /// original packet order within each shard.
 ///
-/// This is the *reference* partitioner: the replay path no longer
-/// materializes shards (workers claim packets straight off the shared
-/// trace — see [`ShardedDatapath::process_trace`]), but tests pin the
-/// claim sets against this function, and offline tooling that genuinely
-/// wants per-shard vectors can still build them.
+/// This is the *reference* partitioner: the replay path never
+/// materializes shards (the ingress routes packets straight into worker
+/// rings — see [`ShardedDatapath::process_trace`]), but fleet tests pin
+/// drop attribution against this function, and offline tooling that
+/// genuinely wants per-shard vectors can still build them.
 pub fn shard_trace(trace: &[Packet], n: usize) -> Vec<Vec<Packet>> {
     let mut shards: Vec<Vec<Packet>> = vec![Vec::new(); n];
     for p in trace {
@@ -143,14 +165,43 @@ pub fn shard_trace(trace: &[Packet], n: usize) -> Vec<Vec<Packet>> {
     shards
 }
 
-/// Packets a worker pulls off the shared trace per
-/// [`FlyMon::process_batch_if`] call. Chunking amortizes per-batch
-/// dispatch and recirculation bookkeeping while keeping the scanned
-/// window cache-resident; the value is not semantically meaningful (any
-/// chunking yields identical state — claims are per-packet).
-pub const CLAIM_CHUNK: usize = 4096;
+/// Slots in the ingress fanout table. A power of two (the slot index is
+/// a mask of the mixed flow hash) well above any realistic worker count,
+/// so the rebalancer has fine-grained units to pack: with 256 slots the
+/// largest slot holds ~the heaviest single flow, which bounds how far
+/// from perfect the longest-processing-time-first assignment can land.
+pub const FANOUT_SLOTS: usize = 256;
 
-/// Where one packet goes in a zero-copy replay.
+/// The fanout slot of `pkt`: mixed flow hash, masked to
+/// [`FANOUT_SLOTS`]. Depends only on the source address, so a flow's
+/// packets always share a slot — the property that makes the static
+/// slot map flow-affine.
+#[inline]
+pub fn slot_of(pkt: &Packet) -> usize {
+    fmix32(murmur3_32(INGRESS_HASH_SEED, &pkt.src_ip.to_be_bytes())) as usize & (FANOUT_SLOTS - 1)
+}
+
+/// Packets per batch handed from the ingress to a worker ring (and per
+/// inline staged flush). Large enough to amortize the channel round-trip
+/// and let the stage-major batch path stretch its legs; small enough
+/// that `RING_DEPTH` in-flight batches per worker stay cache-friendly.
+pub(crate) const PIPELINE_BATCH: usize = 1024;
+
+/// Bounded depth of each worker's ring, in batches. A full ring blocks
+/// the ingress on `send` — backpressure, not growth: at most
+/// `RING_DEPTH × PIPELINE_BATCH` packets (~224 KiB at 28-byte packets)
+/// are in flight per worker, and a slow worker throttles the ingress
+/// instead of queueing unboundedly.
+pub(crate) const RING_DEPTH: usize = 8;
+
+/// Packets per chunk in the inline striped fallback (single-CPU hosts,
+/// mergeable deployments): chunk `c` goes to replica `c % workers`
+/// whole, with no per-packet hashing. Any chunking yields register state
+/// a merge reconstructs exactly; the size only balances dispatch
+/// amortization against how evenly short traces spread over replicas.
+pub(crate) const STRIPE_CHUNK: usize = 4096;
+
+/// Where one packet goes in a replay.
 pub(crate) struct Assignment {
     /// The ingress the shard hash picked (drop accounting lands here).
     pub ingress: usize,
@@ -162,7 +213,7 @@ pub(crate) struct Assignment {
 /// Per-worker accounting of one parallel replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkerStats {
-    /// Worker index (= shard index = replica index).
+    /// Worker index (= replica index).
     pub worker: usize,
     /// Packets this worker processed.
     pub packets: u64,
@@ -171,17 +222,17 @@ pub struct WorkerStats {
     /// Packets routed to this worker's ingress that no one could take
     /// (always 0 for a [`ShardedDatapath`]; nonzero on an all-dead fleet).
     pub dropped: u64,
-    /// Wall-clock time of the worker's whole scan-and-claim loop — the
-    /// same span [`ReplayStats::elapsed`] measures (minus spawn/join), so
-    /// [`WorkerStats::packets_per_sec`] is comparable to the aggregate
-    /// number. (PR 2 measured only shard processing here, while `elapsed`
-    /// also covered the serial shard materialization; per-worker pkt/s
-    /// overstated the replay.)
+    /// Time this worker spent *inside* [`FlyMon::process_batch`] — pure
+    /// pipeline work, excluding ring waits and ingress stalls. Per-worker
+    /// [`WorkerStats::packets_per_sec`] is therefore the replica's
+    /// processing rate (the per-core efficiency number the bench
+    /// tabulates), while [`ReplayStats::elapsed`] brackets the whole
+    /// replay including fanout planning and scheduling gaps.
     pub busy: Duration,
 }
 
 impl WorkerStats {
-    /// This worker's throughput in packets per second.
+    /// This worker's processing throughput in packets per second.
     pub fn packets_per_sec(&self) -> f64 {
         let secs = self.busy.as_secs_f64();
         if secs > 0.0 {
@@ -190,27 +241,46 @@ impl WorkerStats {
             0.0
         }
     }
+
+    /// Worst/best packet-count ratio across `stats` — the fanout
+    /// balance figure of merit (1.0 is perfect). `1.0` when every
+    /// worker is idle (nothing to imbalance); `f64::INFINITY` when some
+    /// worker got packets and another got none.
+    pub fn imbalance_ratio(stats: &[WorkerStats]) -> f64 {
+        let max = stats.iter().map(|s| s.packets).max().unwrap_or(0);
+        let min = stats.iter().map(|s| s.packets).min().unwrap_or(0);
+        if max == 0 {
+            1.0
+        } else if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
 }
 
 /// How a replay drove its workers.
 ///
-/// A worker is a (replica, shard) pair; a *thread* is an OS thread. The
-/// replay clamps the thread count to
-/// `std::thread::available_parallelism()`, so on a 1-CPU host a
-/// 4-worker datapath runs all four replicas inline on the calling
-/// thread ([`ReplayMode::Serial`]) instead of paying spawn/join and
-/// context-switch overhead for parallelism the machine cannot deliver
-/// (the 0.69×-at-4-workers regression in `results/BENCH_datapath.json`).
+/// A worker is a (replica, ring) pair; a *thread* is an OS thread. With
+/// more than one usable CPU the replay spawns one OS thread per worker
+/// plus the ingress on the calling thread ([`ReplayMode::Pipelined`]);
+/// on a 1-CPU host — or with a single worker — it runs the replicas
+/// inline on the calling thread ([`ReplayMode::Serial`]) instead of
+/// paying spawn, channel and context-switch overhead for parallelism
+/// the machine cannot deliver (the 0.69×-at-4-workers regression in
+/// `results/BENCH_datapath.json` history).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum ReplayMode {
-    /// All workers ran sequentially on the calling thread (the host has
-    /// one usable CPU, or there is one worker).
+    /// All workers ran inline on the calling thread (the host has one
+    /// usable CPU, or there is one worker): striped chunks for
+    /// mergeable deployments, staged fanout batches otherwise.
     #[default]
     Serial,
-    /// Workers were spread over `threads` spawned OS threads.
-    Threaded {
-        /// OS threads spawned (≤ workers, ≤ available parallelism).
-        threads: usize,
+    /// A dedicated ingress (the calling thread) fanned packets out to
+    /// `workers` spawned worker threads over bounded rings.
+    Pipelined {
+        /// Worker OS threads spawned (= replica count).
+        workers: usize,
     },
 }
 
@@ -223,10 +293,14 @@ pub struct ReplayStats {
     pub recirculated: u64,
     /// Dropped packets across all workers.
     pub dropped: u64,
-    /// Wall-clock time of the replay (spawn to last join).
+    /// Wall-clock time of the replay (fanout planning to last join).
     pub elapsed: Duration,
     /// How the workers were scheduled onto OS threads.
     pub mode: ReplayMode,
+    /// [`WorkerStats::imbalance_ratio`] of *this* replay's per-worker
+    /// packet counts (not the cumulative counters). `0.0` before any
+    /// replay ran.
+    pub imbalance: f64,
 }
 
 impl ReplayStats {
@@ -248,116 +322,237 @@ impl ReplayStats {
     }
 }
 
-/// One worker's scan-and-claim loop over the shared trace: claim the
-/// packets `assign` routes to `worker`, count drops whose ingress is
-/// `worker`, time the whole loop. Identical work whether it runs on a
-/// spawned thread or inline on the calling one.
-fn scan_worker<A>(worker: usize, fm: &mut FlyMon, trace: &[Packet], assign: &A) -> WorkerStats
-where
-    A: Fn(&Packet) -> Assignment + Sync,
-{
-    let begun = Instant::now();
-    let mut report = WorkerStats {
-        worker,
-        ..WorkerStats::default()
-    };
-    for chunk in trace.chunks(CLAIM_CHUNK) {
-        let batch = fm.process_batch_if(chunk, |p| {
-            let a = assign(p);
-            match a.to {
-                Some(w) => w == worker,
-                None => {
-                    if a.ingress == worker {
-                        report.dropped += 1;
-                    }
-                    false
-                }
-            }
-        });
-        report.packets += batch.packets;
-        report.recirculated += batch.recirculated;
-    }
-    report.busy = begun.elapsed();
-    report
+/// Usable CPUs on this host (≥ 1).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
-/// Zero-copy parallel replay: every worker thread scans the whole shared
-/// `trace` slice in [`CLAIM_CHUNK`]-sized windows and claims the packets
-/// `assign` routes to it — no serial partitioning prologue, no per-shard
-/// packet copies. A packet whose assignment is `to: None` is counted as
-/// dropped by the worker matching its `ingress` (and processed by no
-/// one).
-///
-/// Shared by [`ShardedDatapath::process_trace`] and
-/// [`SwitchFleet::process_trace_parallel`](crate::SwitchFleet::process_trace_parallel):
-/// both reduce parallel replay to "disjoint packet sets on disjoint
-/// `FlyMon` instances", which needs no locking at all. The redundant
-/// work is the claim scan itself — every worker hashes every packet's
-/// 4-byte source address — which is cheap next to pipeline processing
-/// and, unlike the old materialization, embarrassingly parallel.
-///
-/// Per-worker `busy` spans the worker's whole scan-and-process loop, the
-/// same work [`ReplayStats::elapsed`] brackets (modulo spawn/join), so
-/// per-worker and aggregate packets/sec are finally comparable.
-///
-/// OS threads are clamped to `std::thread::available_parallelism()`:
-/// with one usable CPU every worker runs inline on the calling thread
-/// ([`ReplayMode::Serial`]); otherwise contiguous runs of workers share
-/// up to that many spawned threads ([`ReplayMode::Threaded`]). Worker
-/// indices, claim sets and per-replica state are identical either way —
-/// only the scheduling (and therefore wall-clock) changes. The chosen
-/// mode is recorded in [`ReplayStats::mode`].
-pub(crate) fn replay_zero_copy<A>(
+/// Runs one batch through `fm`, folding the report into `report` and
+/// clearing `buf` for reuse. The timer brackets only the pipeline work —
+/// see [`WorkerStats::busy`].
+fn flush_batch(fm: &mut FlyMon, report: &mut WorkerStats, buf: &mut Vec<Packet>) {
+    if buf.is_empty() {
+        return;
+    }
+    let begun = Instant::now();
+    let b = fm.process_batch(buf);
+    report.busy += begun.elapsed();
+    report.packets += b.packets;
+    report.recirculated += b.recirculated;
+    buf.clear();
+}
+
+/// Inline fallback for mergeable deployments: stripe the trace over the
+/// replicas in [`STRIPE_CHUNK`]-packet chunks, round-robin. No per-packet
+/// hashing, no copies — chunk `c` is sliced straight out of the shared
+/// trace into replica `c % n`'s batch path. Merge laws reconstruct the
+/// serial registers from *any* disjoint partition, so the chunk→replica
+/// map is free to ignore flows entirely.
+fn replay_inline_striped(replicas: &mut [FlyMon], trace: &[Packet]) -> Vec<WorkerStats> {
+    let n = replicas.len();
+    let mut reports: Vec<WorkerStats> = (0..n)
+        .map(|worker| WorkerStats {
+            worker,
+            ..WorkerStats::default()
+        })
+        .collect();
+    for (c, chunk) in trace.chunks(STRIPE_CHUNK).enumerate() {
+        let w = c % n;
+        let begun = Instant::now();
+        let b = replicas[w].process_batch(chunk);
+        reports[w].busy += begun.elapsed();
+        reports[w].packets += b.packets;
+        reports[w].recirculated += b.recirculated;
+    }
+    reports
+}
+
+/// Inline fallback for routed replays (flow-affine deployments, fleets
+/// with failover/drops): one pass over the trace on the calling thread,
+/// staging each packet into its worker's buffer and flushing full
+/// buffers through that replica's batch path. A single trace walk —
+/// unlike the retired claim-chunk model, which scanned the whole trace
+/// once *per worker* and hashed every packet `workers` times.
+fn replay_inline_staged<A>(
     replicas: &mut [FlyMon],
     trace: &[Packet],
-    assign: A,
+    assign: &mut A,
+) -> Vec<WorkerStats>
+where
+    A: FnMut(&Packet) -> Assignment,
+{
+    let n = replicas.len();
+    let mut reports: Vec<WorkerStats> = (0..n)
+        .map(|worker| WorkerStats {
+            worker,
+            ..WorkerStats::default()
+        })
+        .collect();
+    let mut bufs: Vec<Vec<Packet>> = (0..n).map(|_| Vec::with_capacity(PIPELINE_BATCH)).collect();
+    for p in trace {
+        let a = assign(p);
+        match a.to {
+            None => reports[a.ingress].dropped += 1,
+            Some(w) => {
+                bufs[w].push(*p);
+                if bufs[w].len() == PIPELINE_BATCH {
+                    flush_batch(&mut replicas[w], &mut reports[w], &mut bufs[w]);
+                }
+            }
+        }
+    }
+    for w in 0..n {
+        flush_batch(&mut replicas[w], &mut reports[w], &mut bufs[w]);
+    }
+    reports
+}
+
+/// The real parallel path: the calling thread becomes the ingress,
+/// walking the trace once and fanning batches out into per-worker
+/// bounded rings; each spawned worker owns one replica, drains its ring
+/// through the stage-major batch path, and sends cleared buffers back
+/// on an unbounded recycle channel so steady state allocates nothing.
+///
+/// Backpressure is the ring bound itself: `sync_channel(RING_DEPTH)`
+/// blocks the ingress when a worker falls behind. Drops are decided and
+/// counted at the ingress (`to: None` → the ingress worker's `dropped`),
+/// so workers never see a packet they don't process.
+///
+/// Workers are pinned to distinct cores only when the host has enough
+/// for all of them *plus* the ingress; the ingress itself is never
+/// pinned — it runs on the caller's thread, and narrowing its affinity
+/// would leak past the replay.
+fn replay_pipelined<A>(replicas: &mut [FlyMon], trace: &[Packet], assign: &mut A) -> Vec<WorkerStats>
+where
+    A: FnMut(&Packet) -> Assignment,
+{
+    let n = replicas.len();
+    let cores = host_parallelism();
+    let pin = cores > n;
+    std::thread::scope(|scope| {
+        let mut rings = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (w, fm) in replicas.iter_mut().enumerate() {
+            let (data_tx, data_rx) = mpsc::sync_channel::<Vec<Packet>>(RING_DEPTH);
+            let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<Packet>>();
+            rings.push((data_tx, recycle_rx));
+            handles.push(scope.spawn(move || {
+                if pin {
+                    // Core 0 is left to the ingress; worker w takes w+1.
+                    let _ = flymon_rmt::affinity::pin_current_thread((w + 1) % cores);
+                }
+                let mut report = WorkerStats {
+                    worker: w,
+                    ..WorkerStats::default()
+                };
+                while let Ok(mut batch) = data_rx.recv() {
+                    let begun = Instant::now();
+                    let b = fm.process_batch(&batch);
+                    report.busy += begun.elapsed();
+                    report.packets += b.packets;
+                    report.recirculated += b.recirculated;
+                    batch.clear();
+                    // The ingress may already be gone (tail flush); a
+                    // dead recycle channel just means fresh allocations.
+                    let _ = recycle_tx.send(batch);
+                }
+                report
+            }));
+        }
+
+        // Ingress: one walk over the shared trace on the calling thread.
+        let mut bufs: Vec<Vec<Packet>> =
+            (0..n).map(|_| Vec::with_capacity(PIPELINE_BATCH)).collect();
+        let mut dropped = vec![0u64; n];
+        for p in trace {
+            let a = assign(p);
+            match a.to {
+                None => dropped[a.ingress] += 1,
+                Some(w) => {
+                    bufs[w].push(*p);
+                    if bufs[w].len() == PIPELINE_BATCH {
+                        let fresh = rings[w]
+                            .1
+                            .try_recv()
+                            .unwrap_or_else(|_| Vec::with_capacity(PIPELINE_BATCH));
+                        let full = std::mem::replace(&mut bufs[w], fresh);
+                        // Blocking send on a full ring = backpressure.
+                        rings[w].0.send(full).expect("datapath worker hung up");
+                    }
+                }
+            }
+        }
+        for (w, buf) in bufs.into_iter().enumerate() {
+            if !buf.is_empty() {
+                rings[w].0.send(buf).expect("datapath worker hung up");
+            }
+        }
+        // Closing the data channels is the workers' shutdown signal.
+        drop(rings);
+
+        let mut reports: Vec<WorkerStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("datapath worker panicked"))
+            .collect();
+        for (w, d) in dropped.into_iter().enumerate() {
+            reports[w].dropped = d;
+        }
+        reports
+    })
+}
+
+/// Parallel replay entry point shared by
+/// [`ShardedDatapath::process_trace`] and
+/// [`SwitchFleet::process_trace_parallel`](crate::SwitchFleet::process_trace_parallel):
+/// both reduce parallel replay to "disjoint packet sets on disjoint
+/// [`FlyMon`] instances", which needs no locking at all.
+///
+/// `assign` routes a packet (run only on the ingress/calling thread, so
+/// `FnMut` with captured state is fine); a `to: None` assignment drops
+/// the packet, attributed to its `ingress` worker. `can_stripe` declares
+/// that *any* disjoint partition reconstructs under the deployment's
+/// merge law (no flow affinity, no routing side effects) — it unlocks
+/// the zero-hash striped fallback on hosts without real parallelism and
+/// is ignored otherwise. `parallelism` overrides the detected CPU count
+/// (`None` = ask the host): `Some(1)` forces the inline path, `Some(≥2)`
+/// forces the pipelined path even on a 1-CPU host (CI exercises the
+/// threaded machinery this way).
+///
+/// One [`WorkerStats`] report is produced per worker — including idle
+/// ones — and merged into the cumulative `stats` rows; the returned
+/// aggregate carries this replay's own mode, wall-clock and
+/// [`ReplayStats::imbalance`].
+pub(crate) fn replay_pipeline<A>(
+    replicas: &mut [FlyMon],
+    trace: &[Packet],
+    mut assign: A,
+    can_stripe: bool,
+    parallelism: Option<usize>,
     stats: &mut Vec<WorkerStats>,
 ) -> ReplayStats
 where
-    A: Fn(&Packet) -> Assignment + Sync,
+    A: FnMut(&Packet) -> Assignment,
 {
-    let assign = &assign;
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(replicas.len());
+    let n = replicas.len();
+    let cpus = parallelism.unwrap_or_else(host_parallelism);
     let started = Instant::now();
-    let (mode, reports): (ReplayMode, Vec<WorkerStats>) = if threads <= 1 {
-        // One usable CPU (or one worker): run every replica's scan
-        // inline — same claims, same per-replica state, no spawn/join.
-        let reports = replicas
-            .iter_mut()
-            .enumerate()
-            .map(|(worker, fm)| scan_worker(worker, fm, trace, assign))
-            .collect();
+    let (mode, reports) = if n == 1 || cpus <= 1 {
+        let reports = if can_stripe {
+            replay_inline_striped(replicas, trace)
+        } else {
+            replay_inline_staged(replicas, trace, &mut assign)
+        };
         (ReplayMode::Serial, reports)
     } else {
-        // Workers keep their global index (= replica index = shard
-        // index) while contiguous runs of them share an OS thread.
-        let mut indexed: Vec<(usize, &mut FlyMon)> = replicas.iter_mut().enumerate().collect();
-        let per_thread = indexed.len().div_ceil(threads);
-        let spawned = indexed.len().div_ceil(per_thread);
-        let reports = std::thread::scope(|scope| {
-            let handles: Vec<_> = indexed
-                .chunks_mut(per_thread)
-                .map(|run| {
-                    scope.spawn(move || {
-                        run.iter_mut()
-                            .map(|(worker, fm)| scan_worker(*worker, fm, trace, assign))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("datapath worker panicked"))
-                .collect()
-        });
-        (ReplayMode::Threaded { threads: spawned }, reports)
+        let reports = replay_pipelined(replicas, trace, &mut assign);
+        (ReplayMode::Pipelined { workers: n }, reports)
     };
     let mut total = ReplayStats {
         elapsed: started.elapsed(),
         mode,
+        imbalance: WorkerStats::imbalance_ratio(&reports),
         ..ReplayStats::default()
     };
     for report in reports {
@@ -386,6 +581,7 @@ pub struct ShardedDatapath {
     algorithm: Algorithm,
     stats: Vec<WorkerStats>,
     last_replay: ReplayStats,
+    parallelism: Option<usize>,
 }
 
 impl ShardedDatapath {
@@ -418,12 +614,23 @@ impl ShardedDatapath {
             algorithm: algorithm.expect("workers > 0"),
             stats: Vec::new(),
             last_replay: ReplayStats::default(),
+            parallelism: None,
         })
     }
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// Overrides the CPU count the replay scheduler sees (`None` = ask
+    /// the host, the default). `Some(1)` forces the inline serial path;
+    /// `Some(≥2)` forces the pipelined ingress/worker path even on a
+    /// single-CPU host — how CI exercises the threaded machinery on
+    /// 1-CPU runners. Purely a scheduling knob: claims, merge laws and
+    /// per-replica state are identical either way.
+    pub fn set_parallelism_hint(&mut self, cpus: Option<usize>) {
+        self.parallelism = cpus;
     }
 
     /// Cumulative per-worker throughput counters.
@@ -441,25 +648,84 @@ impl ShardedDatapath {
         (&self.replicas[worker], self.handles[worker])
     }
 
-    /// Replays `trace`: every worker scans the shared slice and claims
-    /// the packets whose ingress hash lands on it (zero-copy — the trace
-    /// is never partitioned or duplicated). Returns the aggregate stats;
-    /// per-worker counters accumulate in
-    /// [`ShardedDatapath::worker_stats`].
+    /// Whether the deployed algorithm's register semantics require all
+    /// packets of a flow to visit the same replica. Max-inter-arrival
+    /// differences consecutive timestamps of a flow inside one register;
+    /// splitting a flow across replicas would fabricate intervals no
+    /// serial switch ever saw. Every other deployed algorithm
+    /// reconstructs under its merge law from any disjoint partition.
+    fn affinity_required(&self) -> bool {
+        matches!(self.algorithm, Algorithm::MaxInterval { .. })
+    }
+
+    /// Builds the slot→worker fanout table for `trace`.
+    ///
+    /// Flow-affine deployments get the static `slot % workers` map —
+    /// stable across calls, so a flow observed in two replays still
+    /// lands on the same replica. Mergeable deployments get a
+    /// *rebalanced* table: one profiling pass weighs each slot by its
+    /// packet count, then slots are assigned longest-processing-time
+    /// first, each to the least-loaded worker. With [`FANOUT_SLOTS`]
+    /// fine-grained units the worst worker exceeds the ideal share by
+    /// at most one mid-sized slot, which holds the packet imbalance
+    /// under ~1.2× even on zipf-skewed traffic (the naive `hash % n`
+    /// split measured 2.7× — see DESIGN.md).
+    fn fanout_table(&self, trace: &[Packet]) -> Vec<usize> {
+        let n = self.replicas.len();
+        if self.affinity_required() {
+            return (0..FANOUT_SLOTS).map(|s| s % n).collect();
+        }
+        let mut weight = [0u64; FANOUT_SLOTS];
+        for p in trace {
+            weight[slot_of(p)] += 1;
+        }
+        let mut order: Vec<usize> = (0..FANOUT_SLOTS).collect();
+        order.sort_by_key(|&s| (std::cmp::Reverse(weight[s]), s));
+        let mut load = vec![0u64; n];
+        let mut table = vec![0usize; FANOUT_SLOTS];
+        for s in order {
+            // Deterministic tie-break on the worker index keeps the
+            // table — and therefore every replay — reproducible.
+            let w = (0..n).min_by_key(|&w| (load[w], w)).expect("workers > 0");
+            table[s] = w;
+            load[w] += weight[s];
+        }
+        table
+    }
+
+    /// Replays `trace` through the ingress/worker pipeline (or its
+    /// inline fallback on hosts without real parallelism — see
+    /// [`ReplayMode`]). Returns the aggregate stats; per-worker counters
+    /// accumulate in [`ShardedDatapath::worker_stats`].
     pub fn process_trace(&mut self, trace: &[Packet]) -> ReplayStats {
         let n = self.replicas.len();
-        let total = replay_zero_copy(
+        let can_stripe = !self.affinity_required();
+        let cpus = self.parallelism.unwrap_or_else(host_parallelism);
+        let begun = Instant::now();
+        // The striped inline path never consults the assignment, so
+        // skip the fanout profiling pass (and its table) entirely when
+        // replay_pipeline will take it — same predicate as there.
+        let table = if can_stripe && (n == 1 || cpus <= 1) {
+            Vec::new()
+        } else {
+            self.fanout_table(trace)
+        };
+        let mut total = replay_pipeline(
             &mut self.replicas,
             trace,
             |p| {
-                let ingress = shard_of(p, n);
+                let w = table[slot_of(p)];
                 Assignment {
-                    ingress,
-                    to: Some(ingress),
+                    ingress: w,
+                    to: Some(w),
                 }
             },
+            can_stripe,
+            self.parallelism,
             &mut self.stats,
         );
+        // Charge the fanout profiling pass to the replay it served.
+        total.elapsed = begun.elapsed();
         self.last_replay = total;
         total
     }
@@ -542,8 +808,8 @@ impl ShardedDatapath {
     }
 
     /// Merged existence check: a key inserted anywhere was inserted on
-    /// exactly one replica (its shard), so union membership is the OR of
-    /// the per-replica checks.
+    /// exactly one replica, so union membership is the OR of the
+    /// per-replica checks.
     pub fn merged_exists(&self, pkt: &Packet) -> Result<bool, FlymonError> {
         if !matches!(self.algorithm, Algorithm::Bloom { .. }) {
             return Err(FlymonError::BadTask(
@@ -569,6 +835,15 @@ mod tests {
             buckets_per_cmu: 4096,
             ..FlyMonConfig::default()
         }
+    }
+
+    fn cms_def(d: usize) -> TaskDefinition {
+        TaskDefinition::builder("f")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d })
+            .memory(1024)
+            .build()
     }
 
     #[test]
@@ -601,74 +876,223 @@ mod tests {
     }
 
     #[test]
-    fn zero_copy_claims_match_shard_trace() {
-        // Satellite regression: the claim scan must assign every packet
-        // to exactly the shard the old serial partitioner chose (same
-        // INGRESS_HASH_SEED, same `% n`). Per-replica register state is
-        // the strongest witness: replica w must equal a solo switch fed
-        // precisely shard_trace(trace, n)[w], in order.
-        let def = TaskDefinition::builder("f")
+    fn lpt_fanout_balances_skewed_slots() {
+        // A deliberately skewed trace: source i contributes i+1 packets,
+        // so slot weights span two orders of magnitude. The rebalanced
+        // table must still split packets within 1.2× worst/best, where
+        // the naive `hash % n` split has no such guarantee.
+        let mut trace = Vec::new();
+        for i in 0..256u32 {
+            for _ in 0..=i {
+                trace.push(Packet::tcp(i, 1, 2, 3));
+            }
+        }
+        let dp = ShardedDatapath::deploy(3, config(), &cms_def(2)).unwrap();
+        let table = dp.fanout_table(&trace);
+        assert_eq!(table.len(), FANOUT_SLOTS);
+        let mut load = [0u64; 3];
+        for p in &trace {
+            load[table[slot_of(p)]] += 1;
+        }
+        let max = *load.iter().max().unwrap() as f64;
+        let min = *load.iter().min().unwrap() as f64;
+        assert!(min > 0.0, "a worker was starved: {load:?}");
+        assert!(
+            max / min < 1.2,
+            "rebalanced fanout too skewed: {load:?} ({:.3}×)",
+            max / min
+        );
+    }
+
+    #[test]
+    fn affine_fanout_is_static_and_flow_stable() {
+        // Max-inter-arrival must keep each flow on one replica across
+        // calls, so its table ignores traffic entirely: slot % workers.
+        let def = TaskDefinition::builder("gap")
             .key(KeySpec::SRC_IP)
-            .attribute(Attribute::frequency_packets())
-            .algorithm(Algorithm::Cms { d: 3 })
+            .attribute(Attribute::Max(MaxParam::PacketIntervalUs))
             .memory(1024)
             .build();
-        let trace: Vec<Packet> = (0..5000u32)
+        let cfg = FlyMonConfig {
+            groups: 3,
+            buckets_per_cmu: 1024,
+            bucket_bits: 32,
+            ..FlyMonConfig::default()
+        };
+        let dp = ShardedDatapath::deploy(2, cfg, &def).unwrap();
+        assert!(dp.affinity_required());
+        let trace: Vec<Packet> = (0..100u32).map(|i| Packet::tcp(i, 1, 2, 3)).collect();
+        let table = dp.fanout_table(&trace);
+        for (s, &w) in table.iter().enumerate() {
+            assert_eq!(w, s % 2);
+        }
+    }
+
+    #[test]
+    fn pipelined_replay_matches_inline_and_balances() {
+        // Force the threaded ingress/worker path (even on a 1-CPU CI
+        // host) and pin it against the inline path and a solo serial
+        // switch: identical merged rows, full coverage, bounded
+        // imbalance.
+        let d = 2;
+        let def = cms_def(d);
+        let trace: Vec<Packet> = (0..50_000u32)
             .map(|i| Packet::tcp(i.wrapping_mul(0x9e37_79b9) % 1000, i, 1, 2))
             .collect();
-        let workers = 3;
-        let shards = shard_trace(&trace, workers);
-        let mut dp = ShardedDatapath::deploy(workers, config(), &def).unwrap();
-        let total = dp.process_trace(&trace);
-        assert_eq!(total.packets as usize, trace.len(), "every packet claimed");
-        for (w, shard) in shards.iter().enumerate() {
-            assert_eq!(
-                dp.worker_stats()[w].packets as usize,
-                shard.len(),
-                "worker {w} claimed a different shard than shard_trace"
-            );
-            let mut solo = FlyMon::new(config());
-            let h = solo.deploy(&def).unwrap();
-            solo.process_trace(shard);
-            let (replica, rh) = dp.replica(w);
-            for row in 0..3 {
-                assert_eq!(
-                    replica.read_row(rh, row).unwrap(),
-                    solo.read_row(h, row).unwrap(),
-                    "worker {w} row {row} diverged from its reference shard"
-                );
+
+        let mut solo = FlyMon::new(config());
+        let h = solo.deploy(&def).unwrap();
+        solo.process_trace(&trace);
+
+        let mut inline = ShardedDatapath::deploy(3, config(), &def).unwrap();
+        inline.set_parallelism_hint(Some(1));
+        let it = inline.process_trace(&trace);
+        assert_eq!(it.mode, ReplayMode::Serial);
+        assert_eq!(it.packets as usize, trace.len());
+
+        let mut piped = ShardedDatapath::deploy(3, config(), &def).unwrap();
+        piped.set_parallelism_hint(Some(4));
+        let pt = piped.process_trace(&trace);
+        assert_eq!(pt.mode, ReplayMode::Pipelined { workers: 3 });
+        assert_eq!(pt.packets as usize, trace.len(), "every packet delivered");
+        assert_eq!(pt.dropped, 0);
+        assert!(
+            pt.imbalance < 1.2,
+            "rebalanced fanout exceeded 1.2× ({:.3}×)",
+            pt.imbalance
+        );
+        for row in 0..d {
+            let want = solo.read_row(h, row).unwrap();
+            assert_eq!(inline.merged_row(row).unwrap(), want, "inline row {row}");
+            assert_eq!(piped.merged_row(row).unwrap(), want, "pipelined row {row}");
+        }
+    }
+
+    #[test]
+    fn pipelined_drops_are_attributed_at_the_ingress() {
+        // The `to: None` path (dead fleet switches) through the
+        // threaded pipeline: drops land on the assignment's ingress row
+        // and the dropped packets reach no worker.
+        let def = cms_def(1);
+        let mut replicas: Vec<FlyMon> = (0..2)
+            .map(|_| {
+                let mut fm = FlyMon::new(config());
+                fm.deploy(&def).unwrap();
+                fm
+            })
+            .collect();
+        let trace: Vec<Packet> = (0..3000u32).map(|i| Packet::tcp(i, 1, 2, 3)).collect();
+        let mut stats = Vec::new();
+        let total = replay_pipeline(
+            &mut replicas,
+            &trace,
+            |p| {
+                let w = shard_of(p, 2);
+                Assignment {
+                    ingress: w,
+                    // Worker 1's traffic is all dropped at the ingress.
+                    to: (w == 0).then_some(0),
+                }
+            },
+            false,
+            Some(2),
+            &mut stats,
+        );
+        assert_eq!(total.mode, ReplayMode::Pipelined { workers: 2 });
+        let shards = shard_trace(&trace, 2);
+        assert_eq!(total.packets as usize, shards[0].len());
+        assert_eq!(total.dropped as usize, shards[1].len());
+        assert_eq!(stats.len(), 2, "idle workers still report");
+        assert_eq!(stats[0].packets as usize, shards[0].len());
+        assert_eq!(stats[0].dropped, 0);
+        assert_eq!(stats[1].packets, 0);
+        assert_eq!(stats[1].dropped as usize, shards[1].len());
+    }
+
+    #[test]
+    fn affine_replay_keeps_flows_on_one_replica_across_calls() {
+        // Strongest witness for flow affinity: replica w's registers
+        // must be bit-identical to a solo switch fed exactly the flows
+        // the static table maps to w — across *two* replays, which a
+        // traffic-rebalanced table would shuffle.
+        let def = TaskDefinition::builder("gap")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::Max(MaxParam::PacketIntervalUs))
+            .memory(1024)
+            .build();
+        let cfg = FlyMonConfig {
+            groups: 3,
+            buckets_per_cmu: 1024,
+            bucket_bits: 32,
+            ..FlyMonConfig::default()
+        };
+        let mut trace = Vec::new();
+        for round in 0..40u64 {
+            for i in 0..200u32 {
+                let mut p = Packet::tcp(i, 1, 2, 3);
+                p.ts_ns = round * 1_000_000 + u64::from(i) * 900;
+                trace.push(p);
+            }
+        }
+        let n = 2;
+        for hint in [Some(1), Some(4)] {
+            let mut dp = ShardedDatapath::deploy(n, cfg, &def).unwrap();
+            dp.set_parallelism_hint(hint);
+            dp.process_trace(&trace);
+            dp.process_trace(&trace);
+            for w in 0..n {
+                let sub: Vec<Packet> = trace
+                    .iter()
+                    .filter(|p| slot_of(p) % n == w)
+                    .copied()
+                    .collect();
+                let mut solo = FlyMon::new(cfg);
+                let h = solo.deploy(&def).unwrap();
+                solo.process_trace(&sub);
+                solo.process_trace(&sub);
+                let (replica, rh) = dp.replica(w);
+                for row in 0..3 {
+                    assert_eq!(
+                        replica.read_row(rh, row).unwrap(),
+                        solo.read_row(h, row).unwrap(),
+                        "worker {w} row {row} diverged (hint {hint:?})"
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn replay_mode_matches_available_parallelism() {
-        let def = TaskDefinition::builder("f")
-            .key(KeySpec::SRC_IP)
-            .attribute(Attribute::frequency_packets())
-            .memory(256)
-            .build();
+        let def = cms_def(1);
         let trace: Vec<Packet> = (0..200u32).map(|i| Packet::tcp(i, 1, 2, 3)).collect();
-        let cpus = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let cpus = host_parallelism();
 
         // One worker never spawns, whatever the host offers.
         let mut dp = ShardedDatapath::deploy(1, config(), &def).unwrap();
         assert_eq!(dp.process_trace(&trace).mode, ReplayMode::Serial);
 
-        // Four workers: serial on a 1-CPU host, else clamped threads.
+        // Four workers: inline on a 1-CPU host, else the full pipeline.
         let mut dp = ShardedDatapath::deploy(4, config(), &def).unwrap();
         let total = dp.process_trace(&trace);
-        assert_eq!(total.packets, 200, "clamping must not change claims");
+        assert_eq!(total.packets, 200, "scheduling must not change claims");
         match total.mode {
             ReplayMode::Serial => assert_eq!(cpus, 1),
-            ReplayMode::Threaded { threads } => {
+            ReplayMode::Pipelined { workers } => {
                 assert!(cpus > 1);
-                assert!(threads >= 2 && threads <= cpus.min(4));
+                assert_eq!(workers, 4);
             }
         }
         assert_eq!(dp.last_replay().mode, total.mode);
+
+        // The hint overrides the host in both directions.
+        dp.set_parallelism_hint(Some(1));
+        assert_eq!(dp.process_trace(&trace).mode, ReplayMode::Serial);
+        dp.set_parallelism_hint(Some(2));
+        assert_eq!(
+            dp.process_trace(&trace).mode,
+            ReplayMode::Pipelined { workers: 4 }
+        );
     }
 
     #[test]
@@ -689,5 +1113,21 @@ mod tests {
         dp.process_trace(&trace);
         let per_worker: u64 = dp.worker_stats().iter().map(|s| s.packets).sum();
         assert_eq!(per_worker, 1000);
+    }
+
+    #[test]
+    fn imbalance_ratio_edge_cases() {
+        let w = |worker, packets| WorkerStats {
+            worker,
+            packets,
+            ..WorkerStats::default()
+        };
+        assert_eq!(WorkerStats::imbalance_ratio(&[]), 1.0);
+        assert_eq!(WorkerStats::imbalance_ratio(&[w(0, 0), w(1, 0)]), 1.0);
+        assert_eq!(
+            WorkerStats::imbalance_ratio(&[w(0, 5), w(1, 0)]),
+            f64::INFINITY
+        );
+        assert_eq!(WorkerStats::imbalance_ratio(&[w(0, 10), w(1, 8)]), 1.25);
     }
 }

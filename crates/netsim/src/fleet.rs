@@ -828,10 +828,15 @@ impl SwitchFleet {
 
     /// Parallel [`SwitchFleet::process_trace`]: routes every packet to
     /// the switch the serial path would pick (ingress hash + failover
-    /// probe, with liveness frozen for the replay), then runs each
-    /// switch's sub-trace on its own thread. Switches are disjoint state,
-    /// so the resulting registers — and therefore every merged readout —
-    /// are bit-identical to the serial replay.
+    /// probe, with liveness frozen for the replay) through the shared
+    /// ingress/worker pipeline. Switches are disjoint state, so the
+    /// resulting registers — and therefore every merged readout — are
+    /// bit-identical to the serial replay.
+    ///
+    /// Routing must be honored exactly (failover targets, drop
+    /// attribution on dead switches), so the replay never stripes:
+    /// `can_stripe` is false and the frozen-liveness closure runs once
+    /// per packet on the ingress thread.
     ///
     /// Returns per-worker throughput stats; fleet-level
     /// [`SwitchFleet::dropped_packets`] accounting is updated as usual,
@@ -843,13 +848,12 @@ impl SwitchFleet {
             self.dropped_packets += trace.len() as u64;
             return Vec::new();
         }
-        // Freeze liveness for the replay: the routing closure runs on
-        // every worker thread concurrently with (immutable) switch state,
-        // so it probes a snapshot of `alive` — the same semantics the old
-        // serial prologue had, without the prologue.
+        // Freeze liveness for the replay: routing decisions must reflect
+        // a single snapshot of `alive` for the whole trace — the same
+        // semantics the old serial prologue had, without the prologue.
         let alive = self.alive.clone();
         let mut stats = Vec::new();
-        let total = datapath::replay_zero_copy(
+        let total = datapath::replay_pipeline(
             &mut self.switches,
             trace,
             |p| {
@@ -859,6 +863,8 @@ impl SwitchFleet {
                     .find(|&i| alive[i]);
                 datapath::Assignment { ingress, to }
             },
+            false,
+            None,
             &mut stats,
         );
         debug_assert_eq!(stats.len(), n, "one stats row per switch");

@@ -411,6 +411,21 @@ impl ExtractionCache {
         }
     }
 
+    /// The memoized extraction of `spec`, if one exists — the read-only
+    /// companion to [`ExtractionCache::get_or_extract`]. The vectorized
+    /// digest pass gathers key bytes from *several* packets' caches at
+    /// once; shared borrows make that gather possible where `&mut`
+    /// lookups would not. Returns `None` when the spec was never
+    /// extracted (or landed in the uncached spill slot), in which case
+    /// the caller falls back to scalar extraction.
+    pub fn get(&self, spec: &KeySpec) -> Option<&FlowKeyBytes> {
+        let n = usize::from(self.len);
+        self.specs[..n]
+            .iter()
+            .position(|s| s == spec)
+            .map(|i| &self.keys[i])
+    }
+
     /// Number of distinct specs memoized since the last clear.
     pub fn len(&self) -> usize {
         usize::from(self.len)

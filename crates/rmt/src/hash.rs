@@ -139,19 +139,10 @@ pub fn crc32_slice8(tables: &[[u32; 256]; 8], seed: u32, bytes: &[u8]) -> u32 {
     let mut crc = !seed;
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
-        let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
-        crc = tables[7][(lo & 0xff) as usize]
-            ^ tables[6][((lo >> 8) & 0xff) as usize]
-            ^ tables[5][((lo >> 16) & 0xff) as usize]
-            ^ tables[4][(lo >> 24) as usize]
-            ^ tables[3][(hi & 0xff) as usize]
-            ^ tables[2][((hi >> 8) & 0xff) as usize]
-            ^ tables[1][((hi >> 16) & 0xff) as usize]
-            ^ tables[0][(hi >> 24) as usize];
+        crc = advance_block(tables, crc, chunk);
     }
     for &b in chunks.remainder() {
-        crc = (crc >> 8) ^ tables[0][((crc ^ u32::from(b)) & 0xff) as usize];
+        crc = advance_byte(tables, crc, b);
     }
     !crc
 }
@@ -165,6 +156,104 @@ pub fn crc32(poly: u32, seed: u32, bytes: &[u8]) -> u32 {
         Some(tables) => crc32_slice8(tables, seed, bytes),
         None => crc32_with_table(&crc32_table(poly), seed, bytes),
     }
+}
+
+/// Lane count of the batched CRC kernel: [`crc32_slice8x8`] advances 8
+/// independent digests in lockstep — wide enough to cover the
+/// out-of-order window of one serial CRC chain, narrow enough that the
+/// lane state (8 × u32) stays in registers.
+pub const CRC_LANES: usize = 8;
+
+/// Advances one raw (pre/post-inversion already applied by the caller)
+/// CRC state through an 8-byte block with the slicing-by-8 tables.
+#[inline(always)]
+fn advance_block(tables: &[[u32; 256]; 8], crc: u32, chunk: &[u8]) -> u32 {
+    let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+    tables[7][(lo & 0xff) as usize]
+        ^ tables[6][((lo >> 8) & 0xff) as usize]
+        ^ tables[5][((lo >> 16) & 0xff) as usize]
+        ^ tables[4][(lo >> 24) as usize]
+        ^ tables[3][(hi & 0xff) as usize]
+        ^ tables[2][((hi >> 8) & 0xff) as usize]
+        ^ tables[1][((hi >> 16) & 0xff) as usize]
+        ^ tables[0][(hi >> 24) as usize]
+}
+
+/// Advances one raw CRC state one byte.
+#[inline(always)]
+fn advance_byte(tables: &[[u32; 256]; 8], crc: u32, b: u8) -> u32 {
+    (crc >> 8) ^ tables[0][((crc ^ u32::from(b)) & 0xff) as usize]
+}
+
+/// Batched CRC-32: computes `out[l] = crc32_slice8(tables, seed,
+/// inputs[l])` for up to [`CRC_LANES`] independent byte-strings in
+/// lockstep, bit-identical to the scalar kernel by construction.
+///
+/// The scalar kernel is latency-bound: every table lookup depends on
+/// the previous one, and for the short flow keys the compression stage
+/// hashes (4–13 bytes) it degenerates to a serial byte-at-a-time chain
+/// with no exploitable ILP at all. Advancing 8 *independent* lanes in
+/// lockstep turns that latency chain into 8 interleaved chains the
+/// out-of-order core overlaps — the same trick slicing-by-8 plays
+/// *within* one long input, applied *across* inputs, which is what makes
+/// it pay off for short keys too.
+///
+/// Lockstep covers the lanes' common prefix: whole 8-byte blocks first,
+/// then single bytes up to the shortest lane's length. Bytes past the
+/// common length (ragged tails) finish on the scalar path per lane.
+/// In the hot case — a lane group of packets hashed under one mask —
+/// every lane has the same length and the whole digest runs lockstep.
+///
+/// # Panics
+/// Panics if `inputs` and `out` differ in length or exceed
+/// [`CRC_LANES`].
+pub fn crc32_lanes(tables: &[[u32; 256]; 8], seed: u32, inputs: &[&[u8]], out: &mut [u32]) {
+    let n = inputs.len();
+    assert!(n <= CRC_LANES, "at most {CRC_LANES} CRC lanes");
+    assert_eq!(n, out.len(), "one output slot per lane");
+    let mut state = [!seed; CRC_LANES];
+    let common = inputs.iter().map(|i| i.len()).min().unwrap_or(0);
+
+    // Lockstep whole blocks of the common prefix.
+    let blocks = common / 8;
+    for blk in 0..blocks {
+        let off = blk * 8;
+        for l in 0..n {
+            state[l] = advance_block(tables, state[l], &inputs[l][off..off + 8]);
+        }
+    }
+    // Lockstep single bytes up to the common length (short keys live
+    // entirely here: 8 interleaved byte chains instead of one). The
+    // range loop is over byte *positions* shared by all lanes, not one
+    // slice — clippy's iterator rewrite doesn't apply.
+    #[allow(clippy::needless_range_loop)]
+    for off in blocks * 8..common {
+        for l in 0..n {
+            state[l] = advance_byte(tables, state[l], inputs[l][off]);
+        }
+    }
+    // Ragged tails: per-lane scalar fallback past the common prefix.
+    for l in 0..n {
+        let mut crc = state[l];
+        let tail = &inputs[l][common..];
+        let mut chunks = tail.chunks_exact(8);
+        for chunk in &mut chunks {
+            crc = advance_block(tables, crc, chunk);
+        }
+        for &b in chunks.remainder() {
+            crc = advance_byte(tables, crc, b);
+        }
+        out[l] = !crc;
+    }
+}
+
+/// The full-width entry point of the batched kernel: 8 independent
+/// byte-strings in, 8 digests out (see [`crc32_lanes`]).
+pub fn crc32_slice8x8(tables: &[[u32; 256]; 8], seed: u32, inputs: &[&[u8]; CRC_LANES]) -> [u32; CRC_LANES] {
+    let mut out = [0u32; CRC_LANES];
+    crc32_lanes(tables, seed, inputs, &mut out);
+    out
 }
 
 /// The murmur3 32-bit finalizer: a full-avalanche bit mix.
@@ -362,6 +451,18 @@ impl HashUnit {
         fmix32(crc32_slice8(self.tables, self.seed, bytes))
     }
 
+    /// Batched [`HashUnit::digest_bytes`]: digests up to [`CRC_LANES`]
+    /// independent key byte-strings in lockstep ([`crc32_lanes`]) and
+    /// whitens each lane with [`fmix32`]. Bit-identical per lane to the
+    /// scalar path; the stage-major datapath's bulk-digest pass feeds it
+    /// lane groups of packets hashed under this unit's mask.
+    pub fn digest_lanes(&self, inputs: &[&[u8]], out: &mut [u32]) {
+        crc32_lanes(self.tables, self.seed, inputs, out);
+        for d in out.iter_mut() {
+            *d = fmix32(*d);
+        }
+    }
+
     /// The unit's fixed polynomial (diagnostics).
     pub fn polynomial(&self) -> u32 {
         self.poly
@@ -428,6 +529,86 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_differentially() {
+        // The tentpole kernel: every family polynomial × every lane
+        // count 1..=8 × lengths 0..64 — crc32_lanes must agree lane for
+        // lane with the scalar crc32_slice8 (itself differentially tied
+        // to the bitwise reference above). Lane lengths are drawn
+        // independently so the ragged-tail fallback is exercised, and
+        // one equal-length pass per combination covers the all-lockstep
+        // hot case.
+        let mut rng = flymon_packet::SplitMix64::new(0x0001_a9e5);
+        for &poly in &CRC32_POLYNOMIALS {
+            let tables = tables8_for(poly).expect("family polynomial");
+            for lanes in 1..=CRC_LANES {
+                for len in 0..64usize {
+                    let seed = rng.next_u32();
+                    // Ragged: lane l gets an independent length in 0..64.
+                    let ragged: Vec<Vec<u8>> = (0..lanes)
+                        .map(|_| {
+                            let n = rng.next_u64() as usize % 64;
+                            (0..n).map(|_| rng.next_u64() as u8).collect()
+                        })
+                        .collect();
+                    // Uniform: every lane exactly `len` bytes (lockstep).
+                    let uniform: Vec<Vec<u8>> = (0..lanes)
+                        .map(|_| (0..len).map(|_| rng.next_u64() as u8).collect())
+                        .collect();
+                    for set in [&ragged, &uniform] {
+                        let inputs: Vec<&[u8]> = set.iter().map(Vec::as_slice).collect();
+                        let mut out = vec![0u32; lanes];
+                        crc32_lanes(tables, seed, &inputs, &mut out);
+                        for (l, input) in inputs.iter().enumerate() {
+                            assert_eq!(
+                                out[l],
+                                crc32_slice8(tables, seed, input),
+                                "lane {l}/{lanes} diverged: poly {poly:#x}, len {}",
+                                input.len()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice8x8_full_width_entry_matches_scalar() {
+        let tables = tables8_for(CRC32_POLYNOMIALS[1]).expect("family polynomial");
+        let keys: Vec<Vec<u8>> = (0..CRC_LANES as u8)
+            .map(|l| (0..13).map(|b| l.wrapping_mul(37).wrapping_add(b)).collect())
+            .collect();
+        let inputs: [&[u8]; CRC_LANES] = std::array::from_fn(|l| keys[l].as_slice());
+        let out = crc32_slice8x8(tables, 0x5eed, &inputs);
+        for (l, input) in inputs.iter().enumerate() {
+            assert_eq!(out[l], crc32_slice8(tables, 0x5eed, input), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn digest_lanes_matches_digest_bytes() {
+        let mut unit = HashUnit::new(2);
+        unit.set_mask(KeySpec::FIVE_TUPLE);
+        let keys: Vec<Vec<u8>> = (0..5u8).map(|l| vec![l; 4 + usize::from(l)]).collect();
+        let inputs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let mut out = vec![0u32; inputs.len()];
+        unit.digest_lanes(&inputs, &mut out);
+        for (l, input) in inputs.iter().enumerate() {
+            assert_eq!(out[l], unit.digest_bytes(input), "lane {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CRC lanes")]
+    fn lane_kernel_rejects_overwide_groups() {
+        let tables = tables8_for(CRC32_POLYNOMIALS[0]).expect("family polynomial");
+        let key = [0u8; 4];
+        let inputs = [&key[..]; CRC_LANES + 1];
+        let mut out = [0u32; CRC_LANES + 1];
+        crc32_lanes(tables, 0, &inputs, &mut out);
     }
 
     #[test]

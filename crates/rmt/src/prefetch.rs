@@ -17,10 +17,10 @@
 //! exceptions"; it is the documented idiom for speculative
 //! software-directed fetching). The pointer is never dereferenced in
 //! Rust semantics either — it is only passed to the intrinsic — so the
-//! single `unsafe` block below cannot exhibit UB for any input. This is
-//! the sole unsafe code in the workspace, which is why this crate
-//! gates it with `deny(unsafe_code)` + a scoped allow instead of the
-//! blanket `forbid` the other crates use.
+//! single `unsafe` block below cannot exhibit UB for any input. This
+//! and [`crate::affinity`] are the only unsafe code in the workspace,
+//! which is why this crate gates them with `deny(unsafe_code)` +
+//! scoped allows instead of the blanket `forbid` the other crates use.
 
 /// Requests that the cache line holding `*p` be pulled into all cache
 /// levels. Purely advisory: a no-op on non-x86_64 targets, and never

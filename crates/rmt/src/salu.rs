@@ -280,6 +280,71 @@ impl Salu {
         }
         res
     }
+
+    /// [`Salu::execute_batch`] without the output record: register
+    /// effects are bit-identical, but no [`OpOutput`]s are collected.
+    ///
+    /// The batch path calls this when no compiled program anywhere reads
+    /// PHV contexts — the outputs would be unobservable, and skipping the
+    /// per-op push keeps the apply loop a pure read-modify-write sweep.
+    pub fn apply_batch(&mut self, ops: &[BatchOp]) -> Result<(), RmtError> {
+        let max = self.register.max_value();
+        let limit = self.register.len();
+        let mut checked: Option<StatefulOp> = None;
+        let mut dirty_lo = usize::MAX;
+        let mut dirty_hi = 0usize;
+        let buckets = self.register.buckets_mut();
+        let mut res = Ok(());
+        for b in ops {
+            if checked != Some(b.op) {
+                if !self.loaded.contains(&b.op) {
+                    res = Err(RmtError::NoSuchEntity("pre-loaded register action"));
+                    break;
+                }
+                checked = Some(b.op);
+            }
+            let Some(slot) = buckets.get_mut(b.addr) else {
+                res = Err(RmtError::IndexOutOfRange {
+                    what: "bucket",
+                    index: b.addr,
+                    limit,
+                });
+                break;
+            };
+            let current = *slot;
+            let next = match b.op {
+                StatefulOp::CondAdd => {
+                    if current < b.p2 {
+                        (current.wrapping_add(b.p1)) & max
+                    } else {
+                        current
+                    }
+                }
+                StatefulOp::Max => {
+                    let p1 = b.p1 & max;
+                    if current < p1 {
+                        p1
+                    } else {
+                        current
+                    }
+                }
+                StatefulOp::AndOr => {
+                    (if b.p2 == 0 { current & b.p1 } else { current | b.p1 }) & max
+                }
+                StatefulOp::Xor => (current ^ b.p1) & max,
+                StatefulOp::ReservedRead => current,
+            };
+            if next != current {
+                *slot = next;
+                dirty_lo = dirty_lo.min(b.addr);
+                dirty_hi = dirty_hi.max(b.addr + 1);
+            }
+        }
+        if dirty_lo < dirty_hi {
+            self.register.mark_dirty(dirty_lo, dirty_hi);
+        }
+        res
+    }
 }
 
 #[cfg(test)]

@@ -117,13 +117,70 @@ fn batched_replay_is_bit_identical_to_per_packet() {
                 def.name
             );
         }
-        // Prefetch is a hint, never a semantic: disabling it must not
-        // change a single cell.
-        let mut no_prefetch = FlyMon::new(config());
-        no_prefetch.deploy(def).unwrap();
-        no_prefetch.set_prefetch(false);
-        no_prefetch.process_batch(&t);
-        assert_eq!(registers(&no_prefetch), registers(&reference));
+        // Prefetch is a hint, never a semantic: toggling it must not
+        // change a single cell (it defaults off — see DESIGN.md).
+        let mut prefetched = FlyMon::new(config());
+        prefetched.deploy(def).unwrap();
+        prefetched.set_prefetch(true);
+        prefetched.process_batch(&t);
+        assert_eq!(registers(&prefetched), registers(&reference));
+    }
+}
+
+#[test]
+fn every_lane_width_is_bit_identical_to_per_packet() {
+    // The SIMD-width lane kernels (match+coin bitmasks, lockstep CRC
+    // digests, gathered address resolution) are execution-order
+    // optimizations only: every lane width from scalar (1) to the full
+    // CRC_LANES (8) — including widths that leave ragged tail groups in
+    // a 64-packet chunk — must reproduce the per-packet replay cell for
+    // cell, for each SALU-op family.
+    let defs = [
+        TaskDefinition::builder("cms")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::frequency_packets())
+            .algorithm(Algorithm::Cms { d: 3 })
+            .memory(4096)
+            .build(),
+        TaskDefinition::builder("hll")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+            .algorithm(Algorithm::Hll)
+            .memory(2048)
+            .build(),
+        TaskDefinition::builder("bloom")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+            .memory(4096)
+            .build(),
+        TaskDefinition::builder("sumax")
+            .key(KeySpec::SRC_IP)
+            .attribute(Attribute::Max(MaxParam::QueueLen))
+            .memory(2048)
+            .build(),
+    ];
+    let t = trace(20_000);
+    for def in &defs {
+        let mut reference = FlyMon::new(config());
+        reference.deploy(def).unwrap();
+        for p in &t {
+            reference.process(p);
+        }
+        for lanes in 1..=8usize {
+            let mut batched = FlyMon::new(config());
+            batched.deploy(def).unwrap();
+            batched.set_lane_width(lanes);
+            // Batch size 53 never divides the lane width, so every
+            // chunk ends in a partial lane group.
+            batched.set_batch_size(53);
+            batched.process_batch(&t);
+            assert_eq!(
+                registers(&batched),
+                registers(&reference),
+                "task {} diverged at lane width {lanes}",
+                def.name
+            );
+        }
     }
 }
 

@@ -185,6 +185,51 @@ fn summed_merge_clamps_at_the_register_ceiling() {
 }
 
 #[test]
+fn rebalanced_fanout_bounds_imbalance_under_zipf_skew() {
+    // Satellite regression: the naive `hash % n` split of this zipf-1.1
+    // trace measured up to 2.7× worst/best worker packets. The mixed
+    // (fmix32) flow hash plus the profiled LPT slot table must keep
+    // every worker within 1.2× of the best-fed one — with merged rows
+    // still bit-identical to serial, since sum-law rows reconstruct
+    // from any disjoint partition.
+    let d = 2;
+    let def = TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d })
+        .memory(8192)
+        .build();
+    let t = trace();
+    let (serial, h) = serial_switch(&def, &t);
+
+    for workers in [2, 3, 4] {
+        let mut dp = ShardedDatapath::deploy(workers, config(), &def).unwrap();
+        // Force the pipelined ingress/worker path (and its fanout
+        // table) even on a 1-CPU CI host.
+        dp.set_parallelism_hint(Some(workers + 1));
+        let stats = dp.process_trace(&t);
+        assert_eq!(stats.packets, t.len() as u64);
+        assert!(
+            stats.imbalance < 1.2,
+            "{workers}-worker fanout imbalance {:.3}× breaches the 1.2× bound",
+            stats.imbalance
+        );
+        assert_eq!(
+            flymon_netsim::WorkerStats::imbalance_ratio(dp.worker_stats()),
+            stats.imbalance,
+            "single-replay and cumulative imbalance must agree here"
+        );
+        for row in 0..d {
+            assert_eq!(
+                dp.merged_row(row).unwrap(),
+                serial.read_row(h, row).unwrap(),
+                "{workers}-worker rebalanced merge diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
 fn replay_is_deterministic_across_repeated_runs() {
     // The same trace replayed twice on fresh datapaths must produce the
     // same merged rows — thread scheduling must not leak into results.
