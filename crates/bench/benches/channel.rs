@@ -1,0 +1,272 @@
+//! Control-operation latency over the lossy control channel.
+//!
+//! Replays the same fleet-level control sequence — deploy an extra
+//! task, reallocate the anchor task, rotate the fleet epoch, remove
+//! the extra task — through a [`ControlChannel`] at 0%, 1% and 10%
+//! per-leg drop (with matching duplication and reordering rates), plus
+//! a channel-less "direct" baseline. Per fleet-level operation it
+//! records the *virtual* completion latency (the channel's modeled
+//! clock: flights, timeouts and backoff, never slept), so the numbers
+//! are seed-deterministic; wall-clock throughput is reported alongside
+//! to show the channel machinery itself costs nothing measurable.
+//!
+//! Every operation must complete (retrying on the rare exhausted
+//! budget), every switch audit must stay clean, and latency must grow
+//! monotonically with the drop rate — retries are paid in modeled
+//! time, not in correctness.
+//!
+//! Full runs overwrite `results/BENCH_channel.json` and append a
+//! record to `results/BENCH_history.jsonl`. CI runs
+//! `cargo bench --bench channel -- --smoke`: short cycles, schema and
+//! invariant checks only, no recorded numbers.
+
+use std::time::Instant;
+
+use flymon::prelude::*;
+use flymon_bench::{append_results_line, emit_results_file, print_table};
+use flymon_netsim::{ChannelConfig, SwitchFleet};
+use flymon_packet::KeySpec;
+
+const SWITCHES: usize = 3;
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn anchor_def() -> TaskDefinition {
+    TaskDefinition::builder("anchor")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d: 2 })
+        .memory(8192)
+        .build()
+}
+
+fn extra_def() -> TaskDefinition {
+    TaskDefinition::builder("bench-extra")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(1024)
+        .build()
+}
+
+struct Outcome {
+    label: String,
+    drop_pct: f64,
+    ops: usize,
+    mean_ms: f64,
+    p99_ms: f64,
+    retries_per_cmd: f64,
+    timeouts: u64,
+    reconciled: u64,
+    wall_secs: f64,
+}
+
+/// Runs `cycles` control cycles and measures each fleet-level
+/// operation's modeled completion latency. `drop` of `None` runs the
+/// channel-less direct path (zero modeled latency by construction).
+fn run_scenario(label: &str, drop: Option<f64>, cycles: usize) -> Outcome {
+    let mut fleet = SwitchFleet::deploy(SWITCHES, config(), &anchor_def()).expect("fleet deploys");
+    if let Some(d) = drop {
+        let cfg = ChannelConfig {
+            drop_rate: d,
+            dup_rate: d,
+            reorder_rate: d,
+            ..ChannelConfig::default()
+        };
+        fleet
+            .attach_channel(0xBE4C_0DE5 ^ (d * 1e4) as u64, cfg)
+            .expect("channel attaches");
+    }
+    let now_ms = |f: &SwitchFleet| f.channel().map_or(0.0, |c| c.now_ms());
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut timeouts = 0u64;
+    let extra = extra_def();
+    let begun = Instant::now();
+    for cycle in 0..cycles {
+        // One cycle: deploy / reallocate / rotate / remove, each a
+        // fleet-level op fanning out one command per switch. A timed-out
+        // op is retried (deploys roll back, removes skip swept
+        // switches), and the retry's modeled time counts toward the
+        // sample — the controller pays for the loss either way.
+        let t0 = now_ms(&fleet);
+        let idx = loop {
+            match fleet.deploy_task(&extra) {
+                Ok(i) => break i,
+                Err(FlymonError::ChannelTimeout { .. }) => timeouts += 1,
+                Err(e) => panic!("cycle {cycle}: deploy failed {e:?}"),
+            }
+        };
+        latencies.push(now_ms(&fleet) - t0);
+
+        let t0 = now_ms(&fleet);
+        let buckets = if cycle % 2 == 0 { 4096 } else { 8192 };
+        loop {
+            match fleet.reallocate_task(0, buckets) {
+                Ok(()) => break,
+                Err(FlymonError::ChannelTimeout { .. }) => timeouts += 1,
+                Err(e) => panic!("cycle {cycle}: reallocate failed {e:?}"),
+            }
+        }
+        latencies.push(now_ms(&fleet) - t0);
+
+        let t0 = now_ms(&fleet);
+        loop {
+            match fleet.rotate_epoch_all() {
+                Ok(_) => break,
+                Err(FlymonError::ChannelTimeout { .. }) => timeouts += 1,
+                Err(e) => panic!("cycle {cycle}: rotate failed {e:?}"),
+            }
+        }
+        latencies.push(now_ms(&fleet) - t0);
+
+        let t0 = now_ms(&fleet);
+        loop {
+            match fleet.remove_task(idx) {
+                Ok(()) => break,
+                Err(FlymonError::ChannelTimeout { .. }) => timeouts += 1,
+                Err(e) => panic!("cycle {cycle}: remove failed {e:?}"),
+            }
+        }
+        latencies.push(now_ms(&fleet) - t0);
+    }
+    let wall_secs = begun.elapsed().as_secs_f64();
+
+    for i in 0..fleet.len() {
+        assert!(
+            fleet.switch(i).0.audit().is_empty(),
+            "{label}: switch {i} audit diverged: {:?}",
+            fleet.switch(i).0.audit()
+        );
+        assert_eq!(fleet.switch(i).0.task_count(), 1, "{label}: switch {i} leaked a task");
+    }
+    let (retries_per_cmd, reconciled) = fleet.channel().map_or((0.0, 0), |c| {
+        let s = c.stats();
+        (s.retries as f64 / s.commands.max(1) as f64, s.reconciled)
+    });
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let p99 = sorted[((sorted.len() as f64 * 0.99).ceil() as usize).min(sorted.len()) - 1];
+    Outcome {
+        label: label.into(),
+        drop_pct: drop.unwrap_or(0.0) * 100.0,
+        ops: latencies.len(),
+        mean_ms: latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
+        p99_ms: p99,
+        retries_per_cmd,
+        timeouts,
+        reconciled,
+        wall_secs,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rev = flymon_bench_git_rev();
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("control-op latency over the lossy channel ({mode}, rev {rev})\n");
+
+    let cycles = if smoke { 5 } else { 200 };
+    let scenarios: Vec<Outcome> = vec![
+        run_scenario("direct", None, cycles),
+        run_scenario("drop-0", Some(0.0), cycles),
+        run_scenario("drop-1", Some(0.01), cycles),
+        run_scenario("drop-10", Some(0.10), cycles),
+    ];
+
+    print_table(
+        "Control-op completion latency (virtual ms over the modeled channel)",
+        &["channel", "drop %", "ops", "mean ms", "p99 ms", "retries/cmd", "timeouts", "wall s"],
+        &scenarios
+            .iter()
+            .map(|o| {
+                vec![
+                    o.label.clone(),
+                    format!("{:.0}", o.drop_pct),
+                    format!("{}", o.ops),
+                    format!("{:.3}", o.mean_ms),
+                    format!("{:.3}", o.p99_ms),
+                    format!("{:.3}", o.retries_per_cmd),
+                    format!("{}", o.timeouts),
+                    format!("{:.2}", o.wall_secs),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Loss is paid in modeled latency, never in correctness: the audit
+    // and task-count asserts ran per scenario, and latency must grow
+    // with the drop rate.
+    let by = |l: &str| scenarios.iter().find(|o| o.label == l).expect("scenario");
+    assert!(
+        by("drop-0").mean_ms < by("drop-1").mean_ms && by("drop-1").mean_ms < by("drop-10").mean_ms,
+        "latency must grow monotonically with the drop rate"
+    );
+    assert!(
+        by("drop-10").retries_per_cmd > 0.0,
+        "a 10% drop rate must force retries"
+    );
+    println!(
+        "drop 10% pays {:.2}x the lossless mean latency ({:.3} ms vs {:.3} ms) \
+         at {:.3} retries/command, all operations completed\n",
+        by("drop-10").mean_ms / by("drop-0").mean_ms.max(1e-9),
+        by("drop-10").mean_ms,
+        by("drop-0").mean_ms,
+        by("drop-10").retries_per_cmd,
+    );
+
+    let rows: Vec<String> = scenarios
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"channel\": \"{}\", \"drop_pct\": {:.1}, \"ops\": {}, \
+                 \"mean_ms\": {:.4}, \"p99_ms\": {:.4}, \"retries_per_cmd\": {:.4}, \
+                 \"timeouts\": {}, \"reconciled\": {}, \"wall_secs\": {:.3}}}",
+                o.label,
+                o.drop_pct,
+                o.ops,
+                o.mean_ms,
+                o.p99_ms,
+                o.retries_per_cmd,
+                o.timeouts,
+                o.reconciled,
+                o.wall_secs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"git_rev\": \"{rev}\",\n  \
+         \"switches\": {SWITCHES},\n  \"cycles\": {cycles},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = emit_results_file("BENCH_channel.json", &json);
+    println!("wrote {}", path.display());
+
+    if !smoke {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let d10 = by("drop-10");
+        let line = format!(
+            r#"{{"unix_ts":{ts},"git_rev":"{rev}","bench":"channel","ops":{},"drop10_mean_ms":{:.4},"drop10_p99_ms":{:.4},"drop10_retries_per_cmd":{:.4},"drop10_timeouts":{}}}"#,
+            d10.ops, d10.mean_ms, d10.p99_ms, d10.retries_per_cmd, d10.timeouts
+        );
+        let hist = append_results_line("BENCH_history.jsonl", &line);
+        println!("appended {}", hist.display());
+    }
+}
+
+fn flymon_bench_git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}

@@ -298,6 +298,17 @@ impl FlyMon {
         wal: &WriteAheadLog,
         chk: &SwitchCheckpoint,
     ) -> Result<FlyMon, FlymonError> {
+        // Verify the replay suffix's CRC frames before trusting any of
+        // it: a torn or corrupted record is a named divergence, not a
+        // silently replayed lie. Records at or below the anchor are
+        // shadowed by the checkpoint image and may be arbitrarily stale.
+        if let Err(seq) = wal.verify_frames_after(chk.wal_seq) {
+            return Err(FlymonError::RecoveryDivergence {
+                seq,
+                detail: "WAL frame checksum mismatch: torn or corrupted record in replay suffix"
+                    .into(),
+            });
+        }
         let mut fm = FlyMon::restore(chk)?;
         for rec in wal.committed_after(chk.wal_seq) {
             let WalOutcome::Committed { removed, deployed } = rec.outcome else {

@@ -61,6 +61,30 @@ pub enum FlymonError {
         /// Handle of the restored original-geometry instance.
         restored: TaskHandle,
     },
+    /// A control-channel command exhausted its retry budget without the
+    /// switch ever applying it (dropped requests or a full partition).
+    /// The channel's outcome-determinacy contract guarantees the
+    /// command took no effect — safe to retry later or abandon.
+    ChannelTimeout {
+        /// The controller→switch operation that timed out.
+        op: &'static str,
+        /// The switch the command was addressed to.
+        switch: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A command stamped with a stale fencing term reached a switch
+    /// that has already accepted a newer term (a partitioned old
+    /// primary writing after a standby promotion). The switch rejected
+    /// it; the reject is counted in the channel stats and event log.
+    Fenced {
+        /// The controller→switch operation that was fenced off.
+        op: &'static str,
+        /// The stale term the command carried.
+        stale_term: u64,
+        /// The term the switch currently honors.
+        current_term: u64,
+    },
 }
 
 impl From<RmtError> for FlymonError {
@@ -101,6 +125,16 @@ impl std::fmt::Display for FlymonError {
             FlymonError::ReallocationReverted { restored } => write!(
                 f,
                 "reallocation failed; task restored at original size as {restored:?}"
+            ),
+            FlymonError::ChannelTimeout { op, switch, attempts } => write!(
+                f,
+                "control channel: {op} to switch {switch} timed out after {attempts} attempt(s); \
+                 command was never applied"
+            ),
+            FlymonError::Fenced { op, stale_term, current_term } => write!(
+                f,
+                "control channel: {op} carried stale fencing term {stale_term}, switch honors \
+                 term {current_term}; command rejected"
             ),
         }
     }

@@ -24,6 +24,16 @@
 //! commit/abort resolution, checkpoint-anchored truncation — is all
 //! here.
 //!
+//! Every record is CRC-framed: a checksum over the record's canonical
+//! encoding is (re)computed at append and at commit/abort resolution,
+//! standing in for the frame checksum an on-disk log would write with
+//! each record. Recovery verifies the frames of the replay suffix
+//! before trusting it ([`WriteAheadLog::verify_frames_after`]); a torn
+//! or corrupted record surfaces as
+//! [`crate::FlymonError::RecoveryDivergence`] naming the bad sequence
+//! number instead of replaying garbage. Tests inject corruption with
+//! [`WriteAheadLog::corrupt_frame`].
+//!
 //! [`FlyMon::deploy`]: crate::control::FlyMon::deploy
 //! [`FlyMon::remove`]: crate::control::FlyMon::remove
 //! [`FlyMon::reallocate_memory`]: crate::control::FlyMon::reallocate_memory
@@ -31,6 +41,18 @@
 //! [`FlyMon::recover`]: crate::control::FlyMon::recover
 
 use crate::task::{TaskDefinition, TaskId};
+use flymon_rmt::hash::{crc32, CRC32_POLYNOMIALS};
+
+/// Seed for every WAL frame checksum (conventional CRC-32 init value).
+const FRAME_SEED: u32 = 0xFFFF_FFFF;
+
+/// Frame checksum over a record's canonical encoding. The encoding is
+/// the record's debug rendering — deterministic for these derive-only
+/// types — which models serializing the record into an on-disk frame.
+fn frame_crc(seq: u64, intent: &WalIntent, outcome: &WalOutcome) -> u32 {
+    let encoded = format!("{seq}|{intent:?}|{outcome:?}");
+    crc32(CRC32_POLYNOMIALS[0], FRAME_SEED, encoded.as_bytes())
+}
 
 /// What a logged operation set out to do, recorded before any mutation.
 #[derive(Debug, Clone)]
@@ -80,6 +102,22 @@ pub struct WalRecord {
     pub intent: WalIntent,
     /// Resolution, patched in when the transaction finishes.
     pub outcome: WalOutcome,
+    /// Frame checksum over the canonical encoding, rewritten at append
+    /// and at resolution (private so nothing can patch a record without
+    /// reframing it — except the explicit corruption hook).
+    crc: u32,
+}
+
+impl WalRecord {
+    /// The stored frame checksum.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Whether the stored frame checksum matches the record contents.
+    pub fn frame_ok(&self) -> bool {
+        self.crc == frame_crc(self.seq, &self.intent, &self.outcome)
+    }
 }
 
 /// An in-memory write-ahead log (modeled durable storage).
@@ -103,10 +141,12 @@ impl WriteAheadLog {
     pub fn append(&mut self, intent: WalIntent) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let crc = frame_crc(seq, &intent, &WalOutcome::Pending);
         self.records.push(WalRecord {
             seq,
             intent,
             outcome: WalOutcome::Pending,
+            crc,
         });
         seq
     }
@@ -125,6 +165,7 @@ impl WriteAheadLog {
         if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
             debug_assert_eq!(rec.outcome, WalOutcome::Pending, "record resolved twice");
             rec.outcome = outcome;
+            rec.crc = frame_crc(rec.seq, &rec.intent, &rec.outcome);
         }
     }
 
@@ -184,6 +225,38 @@ impl WriteAheadLog {
             .retain(|r| !matches!(r.outcome, WalOutcome::Aborted));
         before - self.records.len()
     }
+
+    /// Verifies the frame checksums of every record with `seq > after`
+    /// — the suffix a recovery anchored at `after` would replay.
+    /// Returns the sequence number of the first corrupted frame, if
+    /// any. Records at or below the anchor are not checked: the
+    /// checkpoint image is authoritative there and recovery never reads
+    /// them.
+    pub fn verify_frames_after(&self, after: u64) -> Result<(), u64> {
+        match self
+            .records
+            .iter()
+            .find(|r| r.seq > after && !r.frame_ok())
+        {
+            Some(bad) => Err(bad.seq),
+            None => Ok(()),
+        }
+    }
+
+    /// Corruption-injection hook for tests and chaos schedules: flips
+    /// bits in the stored frame checksum of record `seq`, modeling a
+    /// torn write anywhere in the frame (a mangled payload and a
+    /// mangled checksum are indistinguishable to verification). Returns
+    /// false if no such record is held. This is the *only* way to make
+    /// a held record fail [`WalRecord::frame_ok`].
+    pub fn corrupt_frame(&mut self, seq: u64) -> bool {
+        if let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) {
+            rec.crc ^= 0xDEAD_BEEF;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +308,39 @@ mod tests {
         wal.commit(pending, None, None);
         assert_eq!(wal.committed_after(0).count(), 2);
         assert_eq!(wal.last_seq(), 12, "pruning never rewinds sequence numbers");
+    }
+
+    #[test]
+    fn frames_track_every_resolution_and_catch_corruption() {
+        let mut wal = WriteAheadLog::new();
+        let a = wal.append(WalIntent::Remove(TaskId(1)));
+        let b = wal.append(WalIntent::Reset(TaskId(2)));
+        assert!(wal.records().iter().all(WalRecord::frame_ok), "fresh frames verify");
+        wal.commit(a, Some(TaskId(1)), None);
+        wal.abort(b);
+        assert!(wal.records().iter().all(WalRecord::frame_ok), "resolution reframes");
+        assert_eq!(wal.verify_frames_after(0), Ok(()));
+        assert!(wal.corrupt_frame(a));
+        assert!(!wal.records()[0].frame_ok());
+        assert_eq!(wal.verify_frames_after(0), Err(a), "first bad seq is named");
+        assert_eq!(
+            wal.verify_frames_after(a),
+            Ok(()),
+            "records at or below the anchor are the checkpoint's problem"
+        );
+        assert!(!wal.corrupt_frame(99), "unknown seq reports false");
+    }
+
+    #[test]
+    fn distinct_records_have_distinct_frames() {
+        let mut wal = WriteAheadLog::new();
+        let a = wal.append(WalIntent::Remove(TaskId(1)));
+        wal.append(WalIntent::Remove(TaskId(1)));
+        // Same intent, different seq: the frame covers the seq too.
+        assert_ne!(wal.records()[0].crc(), wal.records()[1].crc());
+        let before = wal.records()[0].crc();
+        wal.commit(a, Some(TaskId(1)), None);
+        assert_ne!(wal.records()[0].crc(), before, "outcome is inside the frame");
     }
 
     #[test]

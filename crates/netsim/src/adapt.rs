@@ -193,6 +193,13 @@ pub struct ControllerReport {
     pub skipped_cooldown: u64,
     /// Desired actions suppressed by the per-epoch budget.
     pub skipped_budget: u64,
+    /// Actions abandoned because the control channel timed out before
+    /// the command could be applied everywhere. The channel's
+    /// outcome-determinacy contract plus the fleet ops' unwind keep the
+    /// task list authoritative, so the action is simply dropped; the
+    /// task still enters cooldown, which turns a flapping channel into
+    /// a paced retry instead of a hammering loop.
+    pub channel_timeouts: u64,
     /// Every action issued, in order.
     pub decisions: Vec<Decision>,
 }
@@ -343,15 +350,36 @@ impl AdaptiveController {
                 self.report.skipped_budget += 1;
                 continue;
             }
-            // Apply through the transactional control plane.
+            // Apply through the transactional control plane. A lossy
+            // control channel can time a command out; that is a
+            // transient, not a controller bug — abandon the action,
+            // rest the task, and retry at the adaptation cadence.
             match &action {
                 AdaptAction::Grow { to, .. } | AdaptAction::Shrink { to, .. } => {
-                    fleet.reallocate_task(info.index, *to)?;
+                    match fleet.reallocate_task(info.index, *to) {
+                        Ok(()) => {}
+                        Err(FlymonError::ChannelTimeout { .. }) => {
+                            self.report.channel_timeouts += 1;
+                            self.cooldown_until
+                                .insert(sig.name.clone(), self.epoch + self.cfg.cooldown_epochs);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
                     self.cooldown_until
                         .insert(sig.name.clone(), self.epoch + self.cfg.cooldown_epochs);
                 }
                 AdaptAction::Split { low, high } => {
-                    fleet.split_task(info.index)?;
+                    match fleet.split_task(info.index) {
+                        Ok(_) => {}
+                        Err(FlymonError::ChannelTimeout { .. }) => {
+                            self.report.channel_timeouts += 1;
+                            self.cooldown_until
+                                .insert(sig.name.clone(), self.epoch + self.cfg.cooldown_epochs);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
                     // Both children rest; the parent name retires.
                     self.cooldown_until
                         .insert(low.clone(), self.epoch + self.cfg.cooldown_epochs);

@@ -40,6 +40,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use flymon::prelude::*;
 use flymon_packet::{KeySpec, Packet, SplitMix64};
 
+use crate::channel::ChannelConfig;
 use crate::fleet::SwitchFleet;
 use crate::ingest::{ChunkSource, IngestConfig, IngestFault, RuntimeHealth, StreamingRuntime};
 
@@ -54,6 +55,11 @@ pub struct ChaosConfig {
     pub slice_packets: usize,
     /// Switch geometry.
     pub config: FlyMonConfig,
+    /// When set, a lossy control channel (seeded off the schedule seed)
+    /// is attached to the fleet and the event table widens with channel
+    /// faults: partitions, heals, link flaps, duplicate/reorder storms
+    /// and split-brain probes. `None` keeps the PR-6 schedule exactly.
+    pub channel: Option<ChannelConfig>,
 }
 
 impl Default for ChaosConfig {
@@ -67,7 +73,20 @@ impl Default for ChaosConfig {
                 buckets_per_cmu: 16384,
                 ..FlyMonConfig::default()
             },
+            channel: None,
         }
+    }
+}
+
+/// A [`ChannelConfig`] for partition soaks: lossy enough to exercise
+/// every retry path, tame enough that commands still complete within
+/// the retry budget when the link is not partitioned.
+pub fn soak_channel_config() -> ChannelConfig {
+    ChannelConfig {
+        drop_rate: 0.10,
+        dup_rate: 0.10,
+        reorder_rate: 0.10,
+        ..ChannelConfig::default()
     }
 }
 
@@ -93,6 +112,20 @@ pub enum ChaosEvent {
     /// through an armed fault plan, sometimes left deployed — then
     /// usually remove it.
     Reconfigure(usize),
+    /// Partition a switch's control link (channel schedules only).
+    Partition(usize),
+    /// Heal every partition and re-announce the fencing term.
+    Heal,
+    /// Flap a link: partition it, push a standby sync into the hole
+    /// (commands to the flapped switch time out), then heal it.
+    Flap(usize),
+    /// Temporarily crank duplication + reordering to storm levels and
+    /// drive a sync plus a deploy/remove cycle through the storm.
+    DupStorm,
+    /// Simulate a partitioned stale primary: rewind the controller's
+    /// fencing term, issue a fleet-wide command, and require every
+    /// switch to reject it with zero state change.
+    SplitBrainProbe,
 }
 
 /// An invariant that failed after an event.
@@ -125,6 +158,15 @@ pub struct ChaosReport {
     pub packets: u64,
     /// Packets explicitly lost by the end of the schedule.
     pub lost: u64,
+    /// Control operations abandoned on a channel timeout (the command
+    /// never applied; tolerated, not a violation).
+    pub failed_ops: usize,
+    /// Stale-term commands the switches fenced off (every one audited
+    /// in the channel event log, none silently dropped).
+    pub stale_rejects: u64,
+    /// The control channel's full event log — empty without a channel;
+    /// the determinism guard diffs two runs of the same seed over it.
+    pub channel_events: Vec<String>,
     /// Every invariant failure, in schedule order.
     pub violations: Vec<Violation>,
 }
@@ -257,6 +299,13 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
     let mut fleet = SwitchFleet::deploy(cfg.switches, cfg.config, &def)
         .expect("chaos fleet deploys cleanly");
     fleet.enable_standby();
+    if let Some(ch) = &cfg.channel {
+        // The channel's rng stream is derived from (not equal to) the
+        // schedule seed, so channel rolls never perturb event rolls.
+        fleet
+            .attach_channel(seed ^ 0xC4A7_7E1C_0DE5_EED5, *ch)
+            .expect("chaos channel config validates");
+    }
     // Invariant 5's private probe: sees every traffic slice through the
     // batched datapath, checkpointed at each slice boundary.
     let mut probe = FlyMon::new(cfg.config);
@@ -269,7 +318,11 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
     let mut true_sentinel = 0u64;
 
     for event_index in 0..cfg.events {
-        let roll = rng.next_u64() % 100;
+        // Without a channel the roll table is byte-identical to the
+        // pre-channel harness; with one, five channel-fault ranges are
+        // appended (the 0..=99 core keeps its exact boundaries).
+        let table = if cfg.channel.is_some() { 130 } else { 100 };
+        let roll = rng.next_u64() % table;
         let event = match roll {
             0..=34 => ChaosEvent::Traffic {
                 parallel: rng.next_u64().is_multiple_of(2),
@@ -288,10 +341,15 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
                 Some(i) => ChaosEvent::Revive(i),
                 None => ChaosEvent::Sync,
             },
-            _ => match pick(&fleet, &mut rng, true) {
+            90..=99 => match pick(&fleet, &mut rng, true) {
                 Some(i) => ChaosEvent::Reconfigure(i),
                 None => ChaosEvent::Sync,
             },
+            100..=106 => ChaosEvent::Partition((rng.next_u64() % cfg.switches as u64) as usize),
+            107..=112 => ChaosEvent::Heal,
+            113..=118 => ChaosEvent::Flap((rng.next_u64() % cfg.switches as u64) as usize),
+            119..=124 => ChaosEvent::DupStorm,
+            _ => ChaosEvent::SplitBrainProbe,
         };
 
         match &event {
@@ -321,6 +379,10 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
             }
             ChaosEvent::Promote(i) => match fleet.promote_standby(*i) {
                 Ok(_) => report.promotes += 1,
+                // A promote command swallowed by a partitioned or lossy
+                // channel never applied: the switch stays dead, the
+                // schedule moves on — tolerated, not a violation.
+                Err(FlymonError::ChannelTimeout { .. }) => report.failed_ops += 1,
                 Err(e) => report.violations.push(Violation {
                     event_index,
                     event: format!("{event:?}"),
@@ -329,6 +391,7 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
             },
             ChaosEvent::Revive(i) => match fleet.revive_switch(*i) {
                 Ok(()) => report.revives += 1,
+                Err(FlymonError::ChannelTimeout { .. }) => report.failed_ops += 1,
                 Err(e) => report.violations.push(Violation {
                     event_index,
                     event: format!("{event:?}"),
@@ -337,23 +400,208 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
             },
             ChaosEvent::Reconfigure(i) => {
                 report.reconfigs += 1;
-                let faulted = rng.next_u64().is_multiple_of(3);
-                let keep = rng.next_u64().is_multiple_of(4);
-                let def = ephemeral_def(rng.next_u64() % 1_000_000);
-                let fm = fleet.switch_mut(*i);
-                if faulted {
-                    fm.arm_faults(FaultPlan::new(rng.next_u64()).fail_probability(0.5));
+                if fleet.channel().is_some() && fleet.fully_alive() {
+                    // Channel-routed: deploy fleet-wide, then (usually)
+                    // remove, proving exactly-once application — a
+                    // duplicated commit that applied twice would leave
+                    // the per-switch task counts off by one.
+                    let keep = rng.next_u64().is_multiple_of(4);
+                    let def = ephemeral_def(rng.next_u64() % 1_000_000);
+                    let before: Vec<usize> = (0..fleet.len())
+                        .map(|s| fleet.switch(s).0.task_count())
+                        .collect();
+                    match fleet.deploy_task(&def) {
+                        Ok(t) if !keep => match fleet.remove_task(t) {
+                            Ok(()) => {
+                                let after: Vec<usize> = (0..fleet.len())
+                                    .map(|s| fleet.switch(s).0.task_count())
+                                    .collect();
+                                if after != before {
+                                    report.violations.push(Violation {
+                                        event_index,
+                                        event: format!("{event:?}"),
+                                        detail: format!(
+                                            "exactly-once broken: task counts {before:?} -> \
+                                             {after:?} after a deploy/remove cycle"
+                                        ),
+                                    });
+                                }
+                            }
+                            Err(FlymonError::ChannelTimeout { .. }) => report.failed_ops += 1,
+                            Err(e) => report.violations.push(Violation {
+                                event_index,
+                                event: format!("{event:?}"),
+                                detail: format!("channel-routed remove failed: {e}"),
+                            }),
+                        },
+                        Ok(_) => {}
+                        Err(FlymonError::ChannelTimeout { .. }) => report.failed_ops += 1,
+                        // Any other failure rolled back (the invariant
+                        // check below proves it left no trace) — kept
+                        // ephemerals can legitimately starve capacity.
+                        Err(_) => {}
+                    }
+                } else {
+                    let faulted = rng.next_u64().is_multiple_of(3);
+                    let keep = rng.next_u64().is_multiple_of(4);
+                    let def = ephemeral_def(rng.next_u64() % 1_000_000);
+                    let fm = fleet.switch_mut(*i);
+                    if faulted {
+                        fm.arm_faults(FaultPlan::new(rng.next_u64()).fail_probability(0.5));
+                    }
+                    let deployed = fm.deploy(&def);
+                    fm.disarm_faults();
+                    if let Ok(h) = deployed {
+                        if !keep {
+                            let _ = fleet.switch_mut(*i).remove(h);
+                        }
+                    }
+                    // A failed (faulted or capacity-starved) deploy
+                    // rolled back; the invariant check below proves it
+                    // left no trace.
                 }
-                let deployed = fm.deploy(&def);
-                fm.disarm_faults();
-                if let Ok(h) = deployed {
-                    if !keep {
-                        let _ = fleet.switch_mut(*i).remove(h);
+            }
+            ChaosEvent::Partition(i) => {
+                if let Some(ch) = fleet.channel_mut() {
+                    ch.set_partitioned(*i, true);
+                }
+            }
+            ChaosEvent::Heal => {
+                if let Some(ch) = fleet.channel_mut() {
+                    ch.heal_all();
+                    // Reconnect handshake: re-announce the fencing term
+                    // so a switch that missed a promotion's broadcast
+                    // while partitioned cannot be captured by a stale
+                    // primary (the lazy-propagation loophole).
+                    ch.broadcast_term();
+                }
+            }
+            ChaosEvent::Flap(i) => {
+                if let Some(ch) = fleet.channel_mut() {
+                    ch.set_partitioned(*i, true);
+                }
+                // Push a sync into the hole: commands to the flapped
+                // switch burn their retry budget and time out; every
+                // other switch ships normally.
+                fleet.sync_standby();
+                if let Some(ch) = fleet.channel_mut() {
+                    ch.set_partitioned(*i, false);
+                    ch.broadcast_term();
+                }
+            }
+            ChaosEvent::DupStorm => {
+                let base = fleet.channel().map(|c| *c.config());
+                if let Some(base) = base {
+                    fleet
+                        .channel_mut()
+                        .expect("channel checked above")
+                        .set_rates(base.drop_rate, 0.5, 0.5)
+                        .expect("storm rates validate");
+                    fleet.sync_standby();
+                    if fleet.fully_alive() {
+                        let before: Vec<usize> = (0..fleet.len())
+                            .map(|s| fleet.switch(s).0.task_count())
+                            .collect();
+                        let def = ephemeral_def(rng.next_u64() % 1_000_000);
+                        match fleet.deploy_task(&def) {
+                            Ok(t) => match fleet.remove_task(t) {
+                                Ok(()) => {
+                                    let after: Vec<usize> = (0..fleet.len())
+                                        .map(|s| fleet.switch(s).0.task_count())
+                                        .collect();
+                                    if after != before {
+                                        report.violations.push(Violation {
+                                            event_index,
+                                            event: format!("{event:?}"),
+                                            detail: format!(
+                                                "dup storm broke exactly-once: task counts \
+                                                 {before:?} -> {after:?}"
+                                            ),
+                                        });
+                                    }
+                                }
+                                Err(FlymonError::ChannelTimeout { .. }) => report.failed_ops += 1,
+                                Err(e) => report.violations.push(Violation {
+                                    event_index,
+                                    event: format!("{event:?}"),
+                                    detail: format!("storm remove failed: {e}"),
+                                }),
+                            },
+                            Err(FlymonError::ChannelTimeout { .. }) => report.failed_ops += 1,
+                            Err(_) => {}
+                        }
+                    }
+                    fleet
+                        .channel_mut()
+                        .expect("channel checked above")
+                        .set_rates(base.drop_rate, base.dup_rate, base.reorder_rate)
+                        .expect("base rates validated at attach");
+                }
+            }
+            ChaosEvent::SplitBrainProbe => {
+                if fleet.channel().is_some() && fleet.fully_alive() {
+                    // Make every switch current first: heal partitions
+                    // and announce the term (minting one if no
+                    // promotion has happened yet), so the rewound
+                    // command below tests fencing, not propagation lag.
+                    {
+                        let ch = fleet.channel_mut().expect("channel checked above");
+                        ch.heal_all();
+                        if ch.term() == 0 {
+                            ch.mint_term();
+                        }
+                    }
+                    fleet
+                        .channel_mut()
+                        .expect("channel checked above")
+                        .broadcast_term();
+                    let term = fleet.channel().expect("channel checked above").term();
+                    let before: Vec<usize> = (0..fleet.len())
+                        .map(|s| fleet.switch(s).0.task_count())
+                        .collect();
+                    // The stale primary writes: rewind the controller's
+                    // term and issue a fleet-wide deploy.
+                    fleet
+                        .channel_mut()
+                        .expect("channel checked above")
+                        .force_term(term - 1);
+                    let def = ephemeral_def(rng.next_u64() % 1_000_000);
+                    let outcome = fleet.deploy_task(&def);
+                    fleet
+                        .channel_mut()
+                        .expect("channel checked above")
+                        .force_term(term);
+                    let after: Vec<usize> = (0..fleet.len())
+                        .map(|s| fleet.switch(s).0.task_count())
+                        .collect();
+                    match outcome {
+                        Err(FlymonError::Fenced { .. }) => {
+                            if after != before {
+                                report.violations.push(Violation {
+                                    event_index,
+                                    event: format!("{event:?}"),
+                                    detail: format!(
+                                        "fenced command still mutated state: task counts \
+                                         {before:?} -> {after:?}"
+                                    ),
+                                });
+                            }
+                        }
+                        Ok(_) => report.violations.push(Violation {
+                            event_index,
+                            event: format!("{event:?}"),
+                            detail: "stale-term command was accepted: split brain".into(),
+                        }),
+                        // All-attempts-dropped is astronomically rare
+                        // but possible; the command still never applied.
+                        Err(FlymonError::ChannelTimeout { .. }) => report.failed_ops += 1,
+                        Err(e) => report.violations.push(Violation {
+                            event_index,
+                            event: format!("{event:?}"),
+                            detail: format!("split-brain probe failed unexpectedly: {e}"),
+                        }),
                     }
                 }
-                // A failed (faulted or capacity-starved) deploy rolled
-                // back; the invariant check below proves it left no
-                // trace.
             }
         }
 
@@ -367,8 +615,14 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
         report.events += 1;
     }
 
-    // Settle: one final sync + promotion sweep over the dead, then a
-    // last full check so no schedule ends in an unexamined state.
+    // Settle: heal the control plane first (a schedule must not end
+    // judged through a partition it injected itself), then one final
+    // sync + promotion sweep over the dead, then a last full check so
+    // no schedule ends in an unexamined state.
+    if let Some(ch) = fleet.channel_mut() {
+        ch.heal_all();
+        ch.broadcast_term();
+    }
     fleet.sync_standby();
     for i in 0..fleet.len() {
         if !fleet.is_alive(i) && fleet.promote_standby(i).is_ok() {
@@ -383,6 +637,10 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
         &mut report.violations,
     );
     report.lost = fleet.lost_packets();
+    if let Some(ch) = fleet.channel() {
+        report.stale_rejects = ch.stats().stale_rejects;
+        report.channel_events = ch.event_log().to_vec();
+    }
     report
 }
 
@@ -748,6 +1006,51 @@ mod tests {
         let promotes: usize = reports.iter().map(|r| r.promotes).sum();
         assert!(kills > 0, "no schedule killed a switch");
         assert!(promotes > 0, "no schedule promoted the standby");
+    }
+
+    fn quick_channel() -> ChaosConfig {
+        ChaosConfig {
+            switches: 3,
+            events: 20,
+            slice_packets: 500,
+            channel: Some(soak_channel_config()),
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn channel_schedule_is_clean_and_exercises_the_channel() {
+        let report = run_schedule(0xFEED, &quick_channel());
+        assert!(report.is_clean(), "{:#?}", report.violations);
+        assert!(
+            !report.channel_events.is_empty(),
+            "a channel schedule must log channel traffic"
+        );
+    }
+
+    #[test]
+    fn channel_schedule_is_seed_deterministic_including_event_log() {
+        let a = run_schedule(42, &quick_channel());
+        let b = run_schedule(42, &quick_channel());
+        assert_eq!(a, b, "channel schedules must be seed-deterministic");
+        assert_eq!(a.channel_events, b.channel_events);
+    }
+
+    #[test]
+    fn channel_soak_exercises_partitions_and_fencing() {
+        let reports = run_soak(1..=6u64, &quick_channel());
+        for r in &reports {
+            assert!(r.is_clean(), "seed {}: {:#?}", r.seed, r.violations);
+        }
+        let stale: u64 = reports.iter().map(|r| r.stale_rejects).sum();
+        assert!(
+            stale > 0,
+            "six channel seeds must hit at least one split-brain probe"
+        );
+        let partitioned = reports
+            .iter()
+            .any(|r| r.channel_events.iter().any(|e| e.contains("partition")));
+        assert!(partitioned, "no schedule partitioned a link");
     }
 
     fn quick_ingest() -> IngestChaosConfig {

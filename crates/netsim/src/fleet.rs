@@ -46,7 +46,24 @@ use flymon::FlymonError;
 use flymon_packet::{Packet, TaskFilter};
 use flymon_sketches::hll::estimate_from_registers;
 
+use crate::channel::{ChannelConfig, ControlChannel, TxnResult};
 use crate::datapath::{self, MergeLaw, WorkerStats};
+
+/// Routes one controller→switch command through the fleet's control
+/// channel when one is attached, or applies it directly (the perfect
+/// in-process channel) otherwise. The channel is threaded through as a
+/// taken-out local so `apply` can borrow fleet fields freely.
+fn send(
+    chan: &mut Option<ControlChannel>,
+    switch: usize,
+    op: &'static str,
+    apply: impl FnOnce() -> Result<TxnResult, FlymonError>,
+) -> Result<TxnResult, FlymonError> {
+    match chan.as_mut() {
+        Some(c) => c.invoke(switch, op, apply),
+        None => apply(),
+    }
+}
 
 /// A merged estimate paired with an explicit bound on what it can miss.
 ///
@@ -190,6 +207,10 @@ pub struct SwitchFleet {
     /// Packets archived by epoch rotations: read out before their
     /// registers were cleared, so still "represented" in the ledger.
     rotated_packets: u64,
+    /// Lossy control channel every controller→switch command routes
+    /// through once attached ([`SwitchFleet::attach_channel`]); `None`
+    /// means the perfect in-process channel (direct calls).
+    channel: Option<ControlChannel>,
 }
 
 /// One epoch's merged pre-reset readout ([`SwitchFleet::rotate_epoch`]).
@@ -285,7 +306,38 @@ impl SwitchFleet {
             lost_packets: 0,
             total_fed: 0,
             rotated_packets: 0,
+            channel: None,
         })
+    }
+
+    /// Attaches a lossy control channel: from here on, every
+    /// controller→switch command (deploys, removes, reallocations,
+    /// splits, standby syncs, promotions, epoch resets) is routed
+    /// through it — subject to its seeded drops, duplicates, reorders,
+    /// partitions, retries, exactly-once dedup and fencing terms. Fails
+    /// if the configuration does not validate; replaces any previously
+    /// attached channel (links, terms and stats start fresh).
+    pub fn attach_channel(&mut self, seed: u64, cfg: ChannelConfig) -> Result<(), FlymonError> {
+        self.channel = Some(ControlChannel::new(self.switches.len(), seed, cfg)?);
+        Ok(())
+    }
+
+    /// Detaches the control channel (subsequent commands apply
+    /// directly), returning it with its stats and event log intact.
+    pub fn detach_channel(&mut self) -> Option<ControlChannel> {
+        self.channel.take()
+    }
+
+    /// The attached control channel, if any.
+    pub fn channel(&self) -> Option<&ControlChannel> {
+        self.channel.as_ref()
+    }
+
+    /// Mutable access to the attached control channel (partition
+    /// scheduling, fault-rate changes, term forcing in split-brain
+    /// tests).
+    pub fn channel_mut(&mut self) -> Option<&mut ControlChannel> {
+        self.channel.as_mut()
     }
 
     /// Number of switches.
@@ -347,10 +399,19 @@ impl SwitchFleet {
         // Logged resets (every fleet task, not just the primary): a
         // later promotion replays them, so the standby recovers to the
         // same cleared registers this switch rejoins with — which is
-        // why the sync barrier drops to zero too.
-        for h in handles {
-            self.switches[i].reset_task(h)?;
-        }
+        // why the sync barrier drops to zero too. One channel command
+        // covers the whole reset sweep: either the switch performed it
+        // (exactly once) or the revival never happened.
+        let mut chan = self.channel.take();
+        let sw = &mut self.switches[i];
+        let result = send(&mut chan, i, "revive-reset", || {
+            for h in &handles {
+                sw.reset_task(*h)?;
+            }
+            Ok(TxnResult::Unit)
+        });
+        self.channel = chan;
+        result?;
         self.alive[i] = true;
         self.lost_packets += self.represented[i];
         self.represented[i] = 0;
@@ -378,37 +439,57 @@ impl SwitchFleet {
     ///
     /// Returns the register buckets shipped (the sync's payload cost);
     /// 0 when the standby is not enabled.
+    ///
+    /// With a control channel attached, each per-switch sync is one
+    /// channel command: a switch whose command times out (drops, a
+    /// partition) is simply skipped this round — its image ages like a
+    /// dead switch's, which is exactly what the loss window measures —
+    /// and the failure is counted in the channel stats and event log.
     pub fn sync_standby(&mut self) -> usize {
-        let Some(images) = self.standby.as_mut() else {
+        if self.standby.is_none() {
             return 0;
-        };
+        }
+        let mut chan = self.channel.take();
         let mut shipped = 0;
-        for (i, image) in images.iter_mut().enumerate() {
+        for i in 0..self.switches.len() {
             if !self.alive[i] {
                 continue;
             }
-            let barrier = match image {
-                Some(base) => {
-                    let delta = self.switches[i].checkpoint(CaptureMode::Delta);
-                    shipped += delta.payload_buckets();
-                    base.overlay(&delta)
-                        .expect("a delta always composes onto its own base");
-                    base.wal_seq
+            let slot = &mut self
+                .standby
+                .as_mut()
+                .expect("checked above")[i];
+            let sw = &mut self.switches[i];
+            let mut payload = 0usize;
+            let synced = send(&mut chan, i, "sync-standby", || {
+                let barrier = match slot {
+                    Some(base) => {
+                        let delta = sw.checkpoint(CaptureMode::Delta);
+                        payload = delta.payload_buckets();
+                        base.overlay(&delta)
+                            .expect("a delta always composes onto its own base");
+                        base.wal_seq
+                    }
+                    empty @ None => {
+                        let full = sw.checkpoint(CaptureMode::Full);
+                        payload = full.payload_buckets();
+                        let barrier = full.wal_seq;
+                        *empty = Some(full);
+                        barrier
+                    }
+                };
+                if let Some(mut wal) = sw.detach_wal() {
+                    wal.compact(barrier);
+                    sw.attach_wal(wal);
                 }
-                slot @ None => {
-                    let full = self.switches[i].checkpoint(CaptureMode::Full);
-                    shipped += full.payload_buckets();
-                    let barrier = full.wal_seq;
-                    *slot = Some(full);
-                    barrier
-                }
-            };
-            if let Some(mut wal) = self.switches[i].detach_wal() {
-                wal.compact(barrier);
-                self.switches[i].attach_wal(wal);
+                Ok(TxnResult::Unit)
+            });
+            if synced.is_ok() {
+                shipped += payload;
+                self.checkpoint_represented[i] = self.represented[i];
             }
-            self.checkpoint_represented[i] = self.represented[i];
         }
+        self.channel = chan;
         shipped
     }
 
@@ -425,6 +506,15 @@ impl SwitchFleet {
     /// Errors if the standby is not enabled, holds no image for this
     /// switch, the switch is still alive, or recovery diverges (in
     /// which case the fleet is unchanged and the switch stays dead).
+    ///
+    /// With a control channel attached, promotion **mints a new fencing
+    /// term** before anything else: the promote command and everything
+    /// after it carry the new term, and on success the term is
+    /// broadcast to every reachable switch, so a partitioned stale
+    /// primary's late commands are rejected ([`FlymonError::Fenced`])
+    /// rather than applied. If the promote command itself times out
+    /// (the target is partitioned), the fleet is unchanged — but the
+    /// term stays minted, which is safe: terms only ever rise.
     pub fn promote_standby(&mut self, i: usize) -> Result<u64, FlymonError> {
         let images = self
             .standby
@@ -438,18 +528,34 @@ impl SwitchFleet {
         let image = images[i]
             .as_ref()
             .ok_or(FlymonError::Checkpoint("standby holds no image for this switch"))?;
-        let wal = self.switches[i]
-            .detach_wal()
-            .ok_or(FlymonError::Checkpoint("failed switch has no WAL"))?;
-        let recovered = match FlyMon::recover(&wal, image) {
-            Ok(fm) => fm,
-            Err(e) => {
-                self.switches[i].attach_wal(wal);
-                return Err(e);
+        let mut chan = self.channel.take();
+        if let Some(c) = chan.as_mut() {
+            c.mint_term();
+        }
+        let sw = &mut self.switches[i];
+        let result = send(&mut chan, i, "promote-standby", || {
+            let wal = sw
+                .detach_wal()
+                .ok_or(FlymonError::Checkpoint("failed switch has no WAL"))?;
+            match FlyMon::recover(&wal, image) {
+                Ok(fm) => {
+                    *sw = fm;
+                    sw.attach_wal(wal);
+                    Ok(TxnResult::Unit)
+                }
+                Err(e) => {
+                    sw.attach_wal(wal);
+                    Err(e)
+                }
             }
-        };
-        self.switches[i] = recovered;
-        self.switches[i].attach_wal(wal);
+        });
+        if result.is_ok() {
+            if let Some(c) = chan.as_mut() {
+                c.broadcast_term();
+            }
+        }
+        self.channel = chan;
+        result?;
         self.alive[i] = true;
         let loss = self.represented[i] - self.checkpoint_represented[i];
         self.lost_packets += loss;
@@ -578,21 +684,33 @@ impl SwitchFleet {
             });
         }
         let mut packets = 0;
+        let mut chan = self.channel.take();
         for i in 0..self.switches.len() {
             if !self.alive[i] {
                 continue;
             }
-            for ti in 0..self.tasks.len() {
-                let Some(h) = self.tasks[ti].handles[i] else {
-                    continue;
-                };
-                self.switches[i].reset_task(h)?;
+            let handles: Vec<TaskHandle> = self
+                .tasks
+                .iter()
+                .filter_map(|t| t.handles[i])
+                .collect();
+            let sw = &mut self.switches[i];
+            let reset = send(&mut chan, i, "epoch-reset", || {
+                for h in &handles {
+                    sw.reset_task(*h)?;
+                }
+                Ok(TxnResult::Unit)
+            });
+            if let Err(e) = reset {
+                self.channel = chan;
+                return Err(e);
             }
             packets += self.represented[i];
             self.rotated_packets += self.represented[i];
             self.represented[i] = 0;
             self.checkpoint_represented[i] = 0;
         }
+        self.channel = chan;
         Ok(FleetEpoch {
             tasks: task_epochs,
             packets,
@@ -653,17 +771,31 @@ impl SwitchFleet {
         if task >= self.tasks.len() {
             return Err(FlymonError::NoSuchTask);
         }
+        let mut chan = self.channel.take();
+        let mut outcome = Ok(());
         for i in 0..self.switches.len() {
-            let h = self.tasks[task].handles[i].ok_or(FlymonError::NoSuchTask)?;
-            match self.switches[i].reallocate_memory(h, new_buckets) {
-                Ok(new_h) => self.tasks[task].handles[i] = Some(new_h),
+            let Some(h) = self.tasks[task].handles[i] else {
+                outcome = Err(FlymonError::NoSuchTask);
+                break;
+            };
+            let sw = &mut self.switches[i];
+            match send(&mut chan, i, "reallocate", || {
+                sw.reallocate_memory(h, new_buckets).map(TxnResult::Handle)
+            }) {
+                Ok(r) => self.tasks[task].handles[i] = Some(r.handle()),
                 Err(FlymonError::ReallocationReverted { restored }) => {
                     self.tasks[task].handles[i] = Some(restored);
-                    return Err(FlymonError::ReallocationReverted { restored });
+                    outcome = Err(FlymonError::ReallocationReverted { restored });
+                    break;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
             }
         }
+        self.channel = chan;
+        outcome?;
         self.tasks[task].def.memory = new_buckets;
         Ok(())
     }
@@ -676,11 +808,17 @@ impl SwitchFleet {
     /// replays the split. The parent's registers are retired with it
     /// (callers rotate the epoch first, as with reallocation).
     ///
-    /// Requires a fully alive fleet. On a per-switch failure the parent
-    /// is redeployed on that switch (definitions are deterministic, so
-    /// it lands back in an equivalent placement) and the error
-    /// surfaces. Returns the two child task indices: the first child
-    /// takes the parent's slot, the second is appended.
+    /// Requires a fully alive fleet. On a per-switch failure the whole
+    /// sweep unwinds: the parent is redeployed on the failing switch
+    /// and every switch that already split rolls its children back to
+    /// the parent (definitions are deterministic, so it lands back in
+    /// an equivalent placement), with the recorded handles refreshed —
+    /// so after a [`FlymonError::ChannelTimeout`] the task list is
+    /// still authoritative and the split can simply be retried.
+    /// Rollback is itself channel-routed and best-effort; a switch
+    /// whose rollback fails is left with a `None` handle (diverged
+    /// until revived). Returns the two child task indices: the first
+    /// child takes the parent's slot, the second is appended.
     pub fn split_task(&mut self, task: usize) -> Result<(usize, usize), FlymonError> {
         if !self.fully_alive() {
             return Err(FlymonError::NoCapacity(
@@ -705,29 +843,87 @@ impl SwitchFleet {
         hi_def.name = format!("{}/1", parent_def.name);
         hi_def.filter = hi;
         let n = self.switches.len();
-        let mut lo_handles = Vec::with_capacity(n);
-        let mut hi_handles = Vec::with_capacity(n);
-        for i in 0..n {
-            let h = self.tasks[task].handles[i].ok_or(FlymonError::NoSuchTask)?;
-            self.switches[i].remove(h)?;
-            let lo_h = match self.switches[i].deploy(&lo_def) {
-                Ok(h) => h,
-                Err(e) => {
-                    let _ = self.switches[i].deploy(&parent_def);
-                    return Err(e);
+        let mut chan = self.channel.take();
+        let swept = (|| {
+            let mut lo_handles: Vec<TaskHandle> = Vec::with_capacity(n);
+            let mut hi_handles: Vec<TaskHandle> = Vec::with_capacity(n);
+            let mut failure: Option<FlymonError> = None;
+            'sweep: for i in 0..n {
+                let h = match self.tasks[task].handles[i].ok_or(FlymonError::NoSuchTask) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'sweep;
+                    }
+                };
+                let sw = &mut self.switches[i];
+                if let Err(e) = send(&mut chan, i, "split-remove", || {
+                    sw.remove(h).map(|_| TxnResult::Unit)
+                }) {
+                    // Nothing changed on this switch; its recorded
+                    // parent handle is still valid.
+                    failure = Some(e);
+                    break 'sweep;
                 }
-            };
-            let hi_h = match self.switches[i].deploy(&hi_def) {
-                Ok(h) => h,
-                Err(e) => {
-                    let _ = self.switches[i].remove(lo_h);
-                    let _ = self.switches[i].deploy(&parent_def);
-                    return Err(e);
+                let sw = &mut self.switches[i];
+                let lo_h = match send(&mut chan, i, "split-deploy", || {
+                    sw.deploy(&lo_def).map(TxnResult::Handle)
+                }) {
+                    Ok(r) => r.handle(),
+                    Err(e) => {
+                        let sw = &mut self.switches[i];
+                        let restored = send(&mut chan, i, "split-rollback", || {
+                            sw.deploy(&parent_def).map(TxnResult::Handle)
+                        });
+                        self.tasks[task].handles[i] = restored.ok().map(|r| r.handle());
+                        failure = Some(e);
+                        break 'sweep;
+                    }
+                };
+                let sw = &mut self.switches[i];
+                let hi_h = match send(&mut chan, i, "split-deploy", || {
+                    sw.deploy(&hi_def).map(TxnResult::Handle)
+                }) {
+                    Ok(r) => r.handle(),
+                    Err(e) => {
+                        let sw = &mut self.switches[i];
+                        let restored = send(&mut chan, i, "split-rollback", || {
+                            sw.remove(lo_h)
+                                .and_then(|_| sw.deploy(&parent_def))
+                                .map(TxnResult::Handle)
+                        });
+                        self.tasks[task].handles[i] = restored.ok().map(|r| r.handle());
+                        failure = Some(e);
+                        break 'sweep;
+                    }
+                };
+                lo_handles.push(lo_h);
+                hi_handles.push(hi_h);
+            }
+            if let Some(e) = failure {
+                // Unwind switches that already split so the fleet stays
+                // uniform: remove both children, restore the parent, and
+                // refresh the recorded handle (a redeploy mints a new
+                // one). Best-effort: a switch whose rollback itself
+                // fails is marked `None` — diverged until revived.
+                for j in (0..lo_handles.len()).rev() {
+                    let (lo_j, hi_j) = (lo_handles[j], hi_handles[j]);
+                    let sw = &mut self.switches[j];
+                    let restored = send(&mut chan, j, "split-rollback", || {
+                        sw.remove(lo_j)?;
+                        sw.remove(hi_j)?;
+                        sw.deploy(&parent_def).map(TxnResult::Handle)
+                    });
+                    self.tasks[task].handles[j] = restored.ok().map(|r| r.handle());
                 }
-            };
-            lo_handles.push(Some(lo_h));
-            hi_handles.push(Some(hi_h));
-        }
+                return Err(e);
+            }
+            Ok((lo_handles, hi_handles))
+        })();
+        self.channel = chan;
+        let (lo_handles, hi_handles) = swept?;
+        let lo_handles: Vec<Option<TaskHandle>> = lo_handles.into_iter().map(Some).collect();
+        let hi_handles: Vec<Option<TaskHandle>> = hi_handles.into_iter().map(Some).collect();
         let algorithm = self.tasks[task].algorithm;
         self.tasks[task] = FleetTask {
             def: lo_def,
@@ -740,6 +936,107 @@ impl SwitchFleet {
             handles: hi_handles,
         });
         Ok((task, self.tasks.len() - 1))
+    }
+
+    /// Deploys a new task on every switch through the logged control
+    /// plane (and the control channel, when one is attached), appending
+    /// it to the fleet's task list. Requires a fully alive fleet —
+    /// deploying around a dead switch would diverge its task set.
+    ///
+    /// On a per-switch failure the already-deployed switches are rolled
+    /// back (best-effort removes, themselves channel-routed) and the
+    /// error surfaces; the fleet's task list is unchanged. Returns the
+    /// new task's index.
+    pub fn deploy_task(&mut self, def: &TaskDefinition) -> Result<usize, FlymonError> {
+        if self.switches.is_empty() {
+            return Err(FlymonError::NoCapacity("fleet has no switches".into()));
+        }
+        if !self.fully_alive() {
+            return Err(FlymonError::NoCapacity(
+                "fleet reconfiguration needs every switch alive".into(),
+            ));
+        }
+        let n = self.switches.len();
+        let mut chan = self.channel.take();
+        let swept = (|| {
+            let mut handles: Vec<Option<TaskHandle>> = Vec::with_capacity(n);
+            for i in 0..n {
+                let sw = &mut self.switches[i];
+                match send(&mut chan, i, "deploy", || {
+                    sw.deploy(def).map(TxnResult::Handle)
+                }) {
+                    Ok(r) => handles.push(Some(r.handle())),
+                    Err(e) => {
+                        for (j, h) in handles.iter().enumerate() {
+                            let Some(h) = *h else { continue };
+                            let sw = &mut self.switches[j];
+                            let _ = send(&mut chan, j, "deploy-rollback", || {
+                                sw.remove(h).map(|_| TxnResult::Unit)
+                            });
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(handles)
+        })();
+        self.channel = chan;
+        let handles = swept?;
+        let h = handles[0].expect("every deploy succeeded above");
+        let algorithm = self.switches[0].task(h)?.algorithm;
+        self.tasks.push(FleetTask {
+            def: def.clone(),
+            algorithm,
+            handles,
+        });
+        Ok(self.tasks.len() - 1)
+    }
+
+    /// Removes fleet task `task` from every switch through the logged
+    /// control plane (and the control channel, when one is attached).
+    /// Requires a fully alive fleet; task 0 anchors the fleet's readout
+    /// API and cannot be removed. Like [`SwitchFleet::split_task`],
+    /// removal shifts the indices of later tasks.
+    ///
+    /// A per-switch failure surfaces mid-sweep: switches already swept
+    /// stay cleared (their handle slots are `None`), so a later retry
+    /// skips them — retrying after a [`FlymonError::ChannelTimeout`] is
+    /// idempotent.
+    pub fn remove_task(&mut self, task: usize) -> Result<(), FlymonError> {
+        if task == 0 {
+            return Err(FlymonError::BadTask(
+                "task 0 anchors the fleet readout API and cannot be removed".into(),
+            ));
+        }
+        if task >= self.tasks.len() {
+            return Err(FlymonError::NoSuchTask);
+        }
+        if !self.fully_alive() {
+            return Err(FlymonError::NoCapacity(
+                "fleet reconfiguration needs every switch alive".into(),
+            ));
+        }
+        let mut chan = self.channel.take();
+        let mut outcome = Ok(());
+        for i in 0..self.switches.len() {
+            let Some(h) = self.tasks[task].handles[i] else {
+                continue; // cleared by a previous, partially failed sweep
+            };
+            let sw = &mut self.switches[i];
+            match send(&mut chan, i, "remove", || {
+                sw.remove(h).map(|_| TxnResult::Unit)
+            }) {
+                Ok(_) => self.tasks[task].handles[i] = None,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        self.channel = chan;
+        outcome?;
+        self.tasks.remove(task);
+        Ok(())
     }
 
     /// Bounds control-plane WAL growth outside the standby-sync cadence:

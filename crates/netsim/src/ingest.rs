@@ -344,6 +344,13 @@ pub struct IngestConfig {
     /// Steps with zero progress (packets queued, nothing drained or
     /// rotated) tolerated before [`IngestError::Stalled`].
     pub max_idle_steps: usize,
+    /// Extra zero-progress steps granted while recovery is blocked
+    /// *only* by an in-flight control-channel retry (a respawn command
+    /// that timed out on a lossy or partitioned channel and is being
+    /// retried each step). A fleet waiting on the channel is not
+    /// stalled — it is waiting; once the grace is spent the ordinary
+    /// `max_idle_steps` budget takes over.
+    pub channel_grace_steps: usize,
     /// WAL records per switch above which off-barrier compaction runs
     /// (aborted-record pruning plus a standby sync).
     pub wal_threshold: usize,
@@ -361,6 +368,7 @@ impl Default for IngestConfig {
             epoch_packets: 0,
             sync_every_steps: 1,
             max_idle_steps: 64,
+            channel_grace_steps: 8,
             wal_threshold: 256,
             seed: 0x57_12EA,
         }
@@ -396,6 +404,9 @@ pub struct RuntimeStats {
     pub promotions: u64,
     /// Quarantined replicas revived fresh (no usable standby image).
     pub revives: u64,
+    /// Steps on which a respawn stayed deferred because its control-
+    /// channel command timed out (retried every step until it lands).
+    pub respawns_deferred: u64,
     /// Health-state transitions.
     pub health_transitions: u64,
 }
@@ -508,6 +519,13 @@ pub struct StreamingRuntime {
     /// Set while a respawned replica awaits its first post-recovery
     /// sync barrier; holds the health machine in `Recovering`.
     resync_pending: bool,
+    /// A quarantined replica whose respawn command timed out on the
+    /// control channel; retried at the top of every step until it
+    /// lands. Holds the health machine in `Recovering`.
+    respawn_pending: Option<usize>,
+    /// Consecutive steps the pending respawn has waited on the channel
+    /// (compared against [`IngestConfig::channel_grace_steps`]).
+    channel_wait_steps: usize,
     watch: Option<WatchFlow>,
     last_epoch: Option<EpochReadout>,
     /// The closed-loop adaptive controller, when attached; it observes
@@ -536,6 +554,8 @@ impl StreamingRuntime {
             processed_since_rotate: 0,
             idle_steps: 0,
             resync_pending: false,
+            respawn_pending: None,
+            channel_wait_steps: 0,
             watch: None,
             last_epoch: None,
             controller: None,
@@ -611,6 +631,13 @@ impl StreamingRuntime {
         &self.fleet
     }
 
+    /// Mutable fleet access — the chaos harness's hook for attaching a
+    /// control channel, partitioning and healing it, or forcing terms
+    /// mid-stream. Not part of the steady-state datapath.
+    pub fn fleet_mut(&mut self) -> &mut SwitchFleet {
+        &mut self.fleet
+    }
+
     /// The most recent epoch rotation's archived readout — one readout
     /// is retained, not the whole history (constant memory).
     pub fn last_epoch(&self) -> Option<&EpochReadout> {
@@ -663,6 +690,29 @@ impl StreamingRuntime {
         }
     }
 
+    /// One respawn attempt for a quarantined replica: standby promotion
+    /// first, fresh revival as the fallback. Returns `Ok(true)` when
+    /// the replica is back, `Ok(false)` when the respawn command timed
+    /// out on the control channel (never applied — safe to retry next
+    /// step), and `Err` on any genuine failure.
+    fn try_respawn(&mut self, victim: usize) -> Result<bool, IngestError> {
+        match self.fleet.promote_standby(victim) {
+            Ok(_) => {
+                self.stats.promotions += 1;
+                Ok(true)
+            }
+            Err(FlymonError::ChannelTimeout { .. }) => Ok(false),
+            Err(_) => match self.fleet.revive_switch(victim) {
+                Ok(()) => {
+                    self.stats.revives += 1;
+                    Ok(true)
+                }
+                Err(FlymonError::ChannelTimeout { .. }) => Ok(false),
+                Err(e) => Err(e.into()),
+            },
+        }
+    }
+
     /// Executes one supervised step: sync barrier, producer pull,
     /// admission ladder, panic supervision, worker drain, epoch
     /// rotation, health update, stall detection.
@@ -672,6 +722,19 @@ impl StreamingRuntime {
         let step = self.step;
         let mut out = StepOutcome::default();
 
+        // 0. A respawn deferred by a control-channel timeout is retried
+        // before anything else: if the channel has healed, the replica
+        // comes back this step and the barrier below re-images it.
+        if let Some(victim) = self.respawn_pending {
+            if self.try_respawn(victim)? {
+                self.respawn_pending = None;
+                self.channel_wait_steps = 0;
+            } else {
+                self.stats.respawns_deferred += 1;
+                self.channel_wait_steps += 1;
+            }
+        }
+
         // 1. Sync barrier first, so a panic later in the step finds a
         // checkpoint that already covers every processed packet (the
         // zero-loss respawn window). Off-cadence WAL maintenance rides
@@ -680,7 +743,7 @@ impl StreamingRuntime {
             self.fleet.maintain_wals(self.cfg.wal_threshold);
             self.fleet.sync_standby();
             self.stats.syncs += 1;
-            if self.resync_pending {
+            if self.resync_pending && self.respawn_pending.is_none() {
                 // The respawned replica is re-imaged; recovery is done.
                 self.resync_pending = false;
             }
@@ -776,11 +839,14 @@ impl StreamingRuntime {
             // is empty and the respawned registers are bit-identical to
             // an unfailed replica's. Fall back to a fresh revival when
             // no image exists.
-            if self.fleet.promote_standby(victim).is_ok() {
-                self.stats.promotions += 1;
-            } else {
-                self.fleet.revive_switch(victim)?;
-                self.stats.revives += 1;
+            if !self.try_respawn(victim)? {
+                // The respawn command timed out on the control channel
+                // (partition or loss burst): the replica stays
+                // quarantined and the respawn is retried every step.
+                // Not an error — the channel may heal.
+                self.respawn_pending = Some(victim);
+                self.stats.respawns_deferred += 1;
+                self.channel_wait_steps = 1;
             }
             self.resync_pending = true;
             self.set_health(RuntimeHealth::Recovering);
@@ -830,10 +896,11 @@ impl StreamingRuntime {
             out.rotated = true;
         }
 
-        // 7. Health: Recovering holds until the post-respawn barrier;
-        // otherwise the ladder's observable state decides.
+        // 7. Health: Recovering holds until the post-respawn barrier
+        // (and until any channel-deferred respawn lands); otherwise the
+        // ladder's observable state decides.
         if self.health == RuntimeHealth::Recovering {
-            if !self.resync_pending {
+            if !self.resync_pending && self.respawn_pending.is_none() {
                 self.set_health(RuntimeHealth::Healthy);
             }
         } else {
@@ -849,9 +916,15 @@ impl StreamingRuntime {
         }
         out.health = self.health;
 
-        // 8. Stall detection: packets queued, nothing moving.
+        // 8. Stall detection: packets queued, nothing moving. A fleet
+        // whose only blocker is an in-flight control-channel retry is
+        // *waiting*, not stalled — it gets `channel_grace_steps` of
+        // grace before the ordinary idle budget starts counting.
         let progress = out.drained > 0 || out.rotated || out.recovered;
-        if !progress && !self.queue.is_empty() {
+        let channel_waiting = self.health == RuntimeHealth::Recovering
+            && self.respawn_pending.is_some()
+            && self.channel_wait_steps <= self.cfg.channel_grace_steps;
+        if !progress && !self.queue.is_empty() && !channel_waiting {
             self.idle_steps += 1;
             if self.idle_steps > self.cfg.max_idle_steps {
                 return Err(IngestError::Stalled {
@@ -859,7 +932,7 @@ impl StreamingRuntime {
                     queued: self.queue.len() + self.backlog.len(),
                 });
             }
-        } else {
+        } else if progress || self.queue.is_empty() {
             self.idle_steps = 0;
         }
 
@@ -878,7 +951,7 @@ impl StreamingRuntime {
         }
         self.fleet.sync_standby();
         self.stats.syncs += 1;
-        if self.resync_pending {
+        if self.resync_pending && self.respawn_pending.is_none() {
             self.resync_pending = false;
             if self.health == RuntimeHealth::Recovering {
                 self.set_health(RuntimeHealth::Healthy);
@@ -1275,5 +1348,92 @@ mod tests {
             rt.run(&mut src).unwrap()
         };
         assert_eq!(run(), run(), "same seeds, same report");
+    }
+
+    /// A respawn blocked only by a partitioned control channel is
+    /// *waiting*, not stalled: the grace window holds the stall
+    /// detector off, the respawn retries every step, and once the
+    /// partition heals the replica comes back and the stream finishes
+    /// healthy.
+    #[test]
+    fn channel_blocked_respawn_waits_out_grace_then_recovers() {
+        let mut fl = fleet(2);
+        fl.attach_channel(0xC4A5, crate::channel::ChannelConfig::default())
+            .unwrap();
+        let mut rt = StreamingRuntime::new(
+            fl,
+            IngestConfig {
+                queue_capacity: 4_096,
+                drain_chunk: 256,
+                max_idle_steps: 2,
+                channel_grace_steps: 32,
+                ..IngestConfig::default()
+            },
+        );
+        rt.inject(IngestFault::WorkerPanic {
+            at_step: 3,
+            switch: 1,
+        });
+        let mut src = TraceChunks::new(vec![Packet::tcp(8, 8, 8, 8); 8_192], 512);
+        // Partition the victim's control link before the panic fires:
+        // the promote command cannot reach it.
+        rt.fleet_mut()
+            .channel_mut()
+            .unwrap()
+            .set_partitioned(1, true);
+        for _ in 0..8 {
+            rt.step(&mut src)
+                .expect("channel grace must hold the stall detector off");
+        }
+        assert_eq!(rt.health(), RuntimeHealth::Recovering);
+        assert!(
+            rt.stats().respawns_deferred >= 3,
+            "deferred respawn retried every step: {:?}",
+            rt.stats()
+        );
+        // Heal the partition: the next step's retry lands.
+        rt.fleet_mut()
+            .channel_mut()
+            .unwrap()
+            .set_partitioned(1, false);
+        let report = rt.run(&mut src).unwrap();
+        assert_eq!(report.health, RuntimeHealth::Healthy);
+        assert_eq!(report.stats.promotions, 1, "respawn used the checkpoint path");
+        assert_eq!(report.stats.panics_recovered, 1);
+        assert!(report.ledger.conserved(), "{:?}", report.ledger);
+    }
+
+    /// With zero grace the old strict behavior is preserved: a respawn
+    /// stuck behind a never-healing partition trips the stall detector
+    /// instead of hanging (regression guard in both directions).
+    #[test]
+    fn zero_channel_grace_keeps_the_strict_stall_detector() {
+        let mut fl = fleet(2);
+        fl.attach_channel(0xC4A6, crate::channel::ChannelConfig::default())
+            .unwrap();
+        let mut rt = StreamingRuntime::new(
+            fl,
+            IngestConfig {
+                queue_capacity: 4_096,
+                drain_chunk: 256,
+                max_idle_steps: 4,
+                channel_grace_steps: 0,
+                ..IngestConfig::default()
+            },
+        );
+        rt.inject(IngestFault::WorkerPanic {
+            at_step: 3,
+            switch: 1,
+        });
+        let mut src = TraceChunks::new(vec![Packet::tcp(8, 8, 8, 8); 8_192], 512);
+        rt.fleet_mut()
+            .channel_mut()
+            .unwrap()
+            .set_partitioned(1, true);
+        let err = rt.run(&mut src).unwrap_err();
+        assert!(
+            matches!(err, IngestError::Stalled { .. }),
+            "an unreachable replica must surface without grace, got {err:?}"
+        );
     }
 }

@@ -19,13 +19,17 @@
 //! [`fleet`] layers network-wide measurement (merged readouts, WAL-backed
 //! switches, warm-standby failover) on top, [`adapt`] closes the loop
 //! with an epoch-driven controller that grows, shrinks and splits tasks
-//! from their own readouts, and [`chaos`] soaks that machinery under
-//! randomized seeded fault schedules.
+//! from their own readouts, [`channel`] routes every controller→switch
+//! command through a lossy, deterministic control channel (drops,
+//! duplicates, reorders, partitions; exactly-once delivery and fencing
+//! terms on top), and [`chaos`] soaks that machinery under randomized
+//! seeded fault schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod channel;
 pub mod chaos;
 pub mod datapath;
 pub mod epochs;
@@ -37,9 +41,10 @@ pub mod runner;
 pub use adapt::{
     AdaptAction, AdaptiveController, ControllerConfig, ControllerReport, Decision, TaskSignals,
 };
+pub use channel::{ChannelConfig, ChannelStats, ControlChannel, ScriptStep, TxnResult};
 pub use chaos::{
-    run_ingest_schedule, run_ingest_soak, run_schedule, run_soak, ChaosConfig, ChaosReport,
-    IngestChaosConfig, IngestChaosReport,
+    run_ingest_schedule, run_ingest_soak, run_schedule, run_soak, soak_channel_config, ChaosConfig,
+    ChaosReport, IngestChaosConfig, IngestChaosReport,
 };
 pub use datapath::{MergeLaw, ReplayMode, ReplayStats, ShardedDatapath, WorkerStats};
 pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};

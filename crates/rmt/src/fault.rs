@@ -75,8 +75,10 @@ impl std::error::Error for InstallError {}
 /// Bounded retry-with-backoff for install ops.
 ///
 /// `max_attempts` includes the first try; the k-th retry waits
-/// `backoff_ms * multiplier^(k-1)` of *modeled* time. The default is one
-/// attempt and no backoff — faults surface immediately.
+/// `backoff_ms * multiplier^(k-1)` of *modeled* time, optionally spread
+/// by seeded `jitter` (see [`RetryPolicy::backoff_before_jittered`]) so
+/// that many ops failing together do not retry in lockstep. The default
+/// is one attempt and no backoff — faults surface immediately.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts per op (≥ 1).
@@ -85,6 +87,11 @@ pub struct RetryPolicy {
     pub backoff_ms: f64,
     /// Exponential growth factor for successive backoffs.
     pub multiplier: f64,
+    /// Jitter fraction in `0.0..=1.0`: each backoff is scaled by a
+    /// seeded uniform factor in `[1 - jitter, 1]`. `0.0` (the default)
+    /// reproduces the pure exponential schedule bit-for-bit and draws
+    /// nothing from the generator.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -93,6 +100,7 @@ impl Default for RetryPolicy {
             max_attempts: 1,
             backoff_ms: 0.0,
             multiplier: 2.0,
+            jitter: 0.0,
         }
     }
 }
@@ -106,9 +114,19 @@ impl RetryPolicy {
             max_attempts,
             backoff_ms,
             multiplier,
+            jitter: 0.0,
         };
         policy.validate()?;
         Ok(policy)
+    }
+
+    /// Returns the policy with the given jitter fraction. The result
+    /// still has to pass [`RetryPolicy::validate`] (called by every
+    /// consumer that accepts a policy), which rejects jitter outside
+    /// `0.0..=1.0`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
     }
 
     /// Checks an already-constructed policy (the fields are public, so a
@@ -125,6 +143,9 @@ impl RetryPolicy {
         if !self.multiplier.is_finite() || self.multiplier < 0.0 {
             return Err("multiplier must be finite and non-negative");
         }
+        if !self.jitter.is_finite() || !(0.0..=1.0).contains(&self.jitter) {
+            return Err("jitter must be a finite fraction in 0.0..=1.0");
+        }
         Ok(())
     }
 
@@ -135,6 +156,7 @@ impl RetryPolicy {
             max_attempts: max_attempts.max(1),
             backoff_ms: 1.0,
             multiplier: 2.0,
+            jitter: 0.0,
         }
     }
 
@@ -146,6 +168,21 @@ impl RetryPolicy {
         } else {
             self.backoff_ms * self.multiplier.powi(attempt as i32 - 2)
         }
+    }
+
+    /// Like [`RetryPolicy::backoff_before`], scaled by a seeded uniform
+    /// factor in `[1 - jitter, 1]` drawn from `rng`. The returned value
+    /// is the *exact* modeled wait — callers fold it into their latency
+    /// accounting as-is, so the books stay balanced to the bit. With
+    /// `jitter == 0.0` (or a zero base backoff) nothing is drawn and the
+    /// deterministic schedule is returned unchanged, so pre-jitter seeds
+    /// reproduce identical fault streams.
+    pub fn backoff_before_jittered(&self, attempt: u32, rng: &mut SplitMix64) -> f64 {
+        let base = self.backoff_before(attempt);
+        if base == 0.0 || self.jitter == 0.0 {
+            return base;
+        }
+        base * (1.0 - self.jitter * rng.next_f64())
     }
 }
 
@@ -285,7 +322,7 @@ impl FaultPlan {
         let mut backoff_ms = 0.0;
         let mut last_reason = "unreachable";
         for attempt in 1..=max {
-            backoff_ms += policy.backoff_before(attempt);
+            backoff_ms += policy.backoff_before_jittered(attempt, &mut self.rng);
             match self.judge(op_index, attempt, kind, group) {
                 Ok(()) => {
                     return Ok(OpCost {
@@ -369,11 +406,58 @@ mod tests {
             max_attempts: 5,
             backoff_ms: 2.0,
             multiplier: 3.0,
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_before(1), 0.0);
         assert_eq!(p.backoff_before(2), 2.0);
         assert_eq!(p.backoff_before(3), 6.0);
         assert_eq!(p.backoff_before(4), 18.0);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_bounds_and_is_deterministic() {
+        let p = RetryPolicy::with_attempts(6).with_jitter(0.5);
+        let draws = |seed: u64| -> Vec<f64> {
+            let mut rng = SplitMix64::new(seed);
+            (1..=6).map(|a| p.backoff_before_jittered(a, &mut rng)).collect()
+        };
+        let a = draws(42);
+        assert_eq!(a[0], 0.0, "attempt 1 is free, jitter or not");
+        for (i, &b) in a.iter().enumerate().skip(1) {
+            let base = p.backoff_before(i as u32 + 1);
+            assert!(b <= base && b >= base * 0.5, "attempt {}: {b} not in [{}, {base}]", i + 1, base * 0.5);
+        }
+        assert_eq!(a, draws(42), "same seed, same jittered schedule");
+        assert_ne!(a, draws(43), "different seed, spread-out retries");
+        // jitter = 0 draws nothing: a shared rng stream is unperturbed.
+        let mut rng = SplitMix64::new(7);
+        let before = rng;
+        let plain = RetryPolicy::with_attempts(4);
+        assert_eq!(plain.backoff_before_jittered(3, &mut rng), plain.backoff_before(3));
+        assert_eq!(rng, before, "zero jitter must not consume randomness");
+    }
+
+    #[test]
+    fn jitter_validation_and_exact_cost_accounting() {
+        assert!(RetryPolicy::checked(3, 1.0, 2.0).unwrap().with_jitter(0.25).validate().is_ok());
+        assert!(RetryPolicy::with_attempts(3).with_jitter(1.5).validate().is_err());
+        assert!(RetryPolicy::with_attempts(3).with_jitter(-0.1).validate().is_err());
+        assert!(RetryPolicy::with_attempts(3).with_jitter(f64::NAN).validate().is_err());
+        // The OpCost books record the actual jittered waits: replaying
+        // the same seed reproduces the sum exactly, and it is bounded by
+        // the unjittered schedule from above and its halved form below.
+        let policy = RetryPolicy::with_attempts(3).with_jitter(0.5);
+        let cost = FaultPlan::new(9)
+            .transient(2)
+            .execute(OP, 0, &policy)
+            .unwrap();
+        let replay = FaultPlan::new(9)
+            .transient(2)
+            .execute(OP, 0, &policy)
+            .unwrap();
+        assert_eq!(cost.attempts, 3);
+        assert_eq!(cost.backoff_ms, replay.backoff_ms, "modeled latency is seed-exact");
+        assert!(cost.backoff_ms <= 3.0 && cost.backoff_ms >= 1.5, "got {}", cost.backoff_ms);
     }
 
     #[test]
@@ -391,6 +475,7 @@ mod tests {
             max_attempts: 0,
             backoff_ms: 1.0,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         };
         assert!(bad.validate().is_err());
         assert!(RetryPolicy::default().validate().is_ok());

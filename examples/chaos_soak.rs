@@ -4,18 +4,39 @@
 //! no panic).
 //!
 //! ```text
-//! cargo run --release --example chaos_soak            # full soak, 100 seeds
-//! cargo run --release --example chaos_soak -- --smoke # CI mode, 20 fixed seeds
+//! cargo run --release --example chaos_soak              # full soak, 100 seeds
+//! cargo run --release --example chaos_soak -- --smoke   # CI mode, 20 fixed seeds
+//! cargo run --release --example chaos_soak -- --smoke --partition
+//!                      # same seeds, every control op over a lossy channel
+//!                      # (10% drop/dup/reorder) with scheduled partitions,
+//!                      # flaps, dup-storms and split-brain probes
+//! cargo run --release --example chaos_soak -- --partition --seed 7 \
+//!     --event-log soak.log   # one schedule; dump its channel event log
+//!                            # (byte-identical per seed — CI diffs two runs)
 //! ```
 //!
 //! Exits nonzero if any schedule reports a violation, printing the seed
 //! and event index needed to replay it.
 
-use flymon_netsim::chaos::{run_soak, ChaosConfig};
+use flymon_netsim::chaos::{run_soak, soak_channel_config, ChaosConfig};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (seeds, cfg) = if smoke {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let partition = args.iter().any(|a| a == "--partition");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let seed: Option<u64> = flag_value("--seed").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("--seed takes an integer, got {s:?}"))
+    });
+    let event_log = flag_value("--event-log");
+
+    let (mut seeds, mut cfg) = if smoke {
         (
             1..=20u64,
             ChaosConfig {
@@ -28,9 +49,17 @@ fn main() {
     } else {
         (1..=100u64, ChaosConfig::default())
     };
+    if let Some(s) = seed {
+        seeds = s..=s;
+    }
+    if partition {
+        cfg.channel = Some(soak_channel_config());
+    }
     let mode = if smoke { "smoke" } else { "full" };
+    let channel = if partition { ", lossy partitioned channel" } else { "" };
     println!(
-        "chaos soak ({mode}): {} seeds x {} events, {} switches, {} pkts/slice",
+        "chaos soak ({mode}{channel}): seeds {}..={} x {} events, {} switches, {} pkts/slice",
+        seeds.start(),
         seeds.end(),
         cfg.events,
         cfg.switches,
@@ -43,6 +72,8 @@ fn main() {
     let mut promotes = 0;
     let mut revives = 0;
     let mut reconfigs = 0;
+    let mut failed_ops = 0;
+    let mut stale_rejects = 0u64;
     let mut packets = 0u64;
     let mut lost = 0u64;
     for r in &reports {
@@ -50,6 +81,8 @@ fn main() {
         promotes += r.promotes;
         revives += r.revives;
         reconfigs += r.reconfigs;
+        failed_ops += r.failed_ops;
+        stale_rejects += r.stale_rejects;
         packets += r.packets;
         lost += r.lost;
         if !r.is_clean() {
@@ -68,12 +101,35 @@ fn main() {
         revives,
         reconfigs
     );
+    if partition {
+        println!(
+            "lossy channel: {} ops timed out (tolerated and retried), {} stale-term commands fenced",
+            failed_ops, stale_rejects
+        );
+    }
     println!(
         "{} packets fed, {} explicitly lost to failures ({:.3}%)",
         packets,
         lost,
         100.0 * lost as f64 / packets.max(1) as f64
     );
+    if let Some(path) = event_log {
+        // One line per channel event, prefixed with the seed: the
+        // determinism artifact. Two runs of the same seed and config
+        // must produce byte-identical files — CI diffs them.
+        let mut out = String::new();
+        for r in &reports {
+            for line in &r.channel_events {
+                out.push_str(&format!("seed={} {}\n", r.seed, line));
+            }
+        }
+        std::fs::write(&path, &out)
+            .unwrap_or_else(|e| panic!("cannot write event log {path:?}: {e}"));
+        println!(
+            "wrote {} channel event lines to {path}",
+            out.lines().count()
+        );
+    }
     if failed {
         eprintln!("chaos soak: INVARIANT VIOLATIONS FOUND");
         std::process::exit(1);

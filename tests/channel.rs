@@ -1,0 +1,340 @@
+//! Lossy control channel, end to end: the exhaustive interleaving
+//! sweep (every drop/duplicate/reorder schedule of commit and abort
+//! deliveries applies exactly once), split-brain fencing (a stale
+//! primary's late writes are rejected with zero state divergence), and
+//! a lossy soak where every control cycle completes through retries.
+
+use flymon::prelude::*;
+use flymon_netsim::channel::{ChannelConfig, ControlChannel, ScriptStep, TxnResult};
+use flymon_netsim::SwitchFleet;
+use flymon_packet::{KeySpec, Packet};
+use flymon_rmt::fault::RetryPolicy;
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn cms_def(d: usize) -> TaskDefinition {
+    TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d })
+        .memory(8192)
+        .build()
+}
+
+fn bloom_def(name: &str) -> TaskDefinition {
+    TaskDefinition::builder(name)
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(1024)
+        .build()
+}
+
+fn trace(seed: u64, packets: u64) -> Vec<Packet> {
+    TraceGenerator::new(seed).wide_like(&TraceConfig {
+        flows: 2_000,
+        packets,
+        zipf_alpha: 1.1,
+        duration_ns: 1_000_000_000,
+        seed,
+    })
+}
+
+/// Every register bucket of every CMU, in canonical order.
+fn all_registers(fm: &FlyMon) -> Vec<Vec<u32>> {
+    let total = fm.config().buckets_per_cmu;
+    fm.groups()
+        .iter()
+        .flat_map(|g| {
+            g.cmus()
+                .iter()
+                .map(move |c| c.register().read_range(0, total).unwrap().to_vec())
+        })
+        .collect()
+}
+
+/// All 4^1 + 4^2 + 4^3 = 84 attempt-fate scripts of length 1..=3.
+fn all_scripts() -> Vec<Vec<ScriptStep>> {
+    use ScriptStep::*;
+    let steps = [Deliver, DropRequest, DropReply, DuplicateDeliver];
+    let mut out = Vec::new();
+    for len in 1..=3u32 {
+        for code in 0..4usize.pow(len) {
+            let mut c = code;
+            let mut script = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                script.push(steps[c % 4]);
+                c /= 4;
+            }
+            out.push(script);
+        }
+    }
+    out
+}
+
+/// Channel whose retry budget exactly covers the script, so the
+/// script alone decides the command's fate.
+fn scripted_channel(script: &[ScriptStep], seed: u64) -> ControlChannel {
+    let cfg = ChannelConfig {
+        retry: RetryPolicy::with_attempts(script.len() as u32),
+        ..ChannelConfig::default()
+    };
+    let mut ch = ControlChannel::new(1, seed, cfg).unwrap();
+    ch.push_script(script.iter().copied());
+    ch
+}
+
+/// The exhaustive small-scale sweep: every delivery schedule over
+/// {deliver, drop-request, drop-reply, duplicate} of lengths 1..=3 is
+/// run against a real switch, for a deploy (commit) and then a remove,
+/// and the effect must land exactly once no matter the interleaving.
+///
+/// The outcome classes are fully determined by the script:
+/// - any `Deliver`/`DuplicateDeliver` step ⇒ `Ok` via a surviving reply;
+/// - otherwise any `DropReply` step ⇒ applied, every reply lost, and
+///   the outcome probe reconciles to `Ok`;
+/// - all `DropRequest` ⇒ `Err(ChannelTimeout)` and *nothing* applied,
+///   so a retry on a healthy channel completes the command cleanly.
+#[test]
+fn exhaustive_interleaving_sweep_applies_exactly_once() {
+    use ScriptStep::*;
+    let def = cms_def(2);
+    for (idx, script) in all_scripts().iter().enumerate() {
+        let ok_via_reply = script.iter().any(|s| matches!(s, Deliver | DuplicateDeliver));
+        let reconciles = !ok_via_reply && script.contains(&DropReply);
+        let applies_expected = ok_via_reply || reconciles;
+
+        let mut fm = FlyMon::new(config());
+        fm.attach_wal(WriteAheadLog::new());
+
+        // Commit path: deploy under the scripted schedule.
+        let mut ch = scripted_channel(script, 0xC0DE + idx as u64);
+        let mut applies = 0u32;
+        let deployed = ch.invoke(0, "deploy", || {
+            applies += 1;
+            fm.deploy(&def).map(TxnResult::Handle)
+        });
+        ch.advance(60.0); // deliver any late duplicate copies
+        assert_eq!(
+            applies,
+            applies_expected as u32,
+            "script {script:?}: deploy applied {applies} times"
+        );
+        assert_eq!(ch.stats().timeouts, (!applies_expected) as u64, "script {script:?}");
+        assert_eq!(ch.stats().reconciled, reconciles as u64, "script {script:?}");
+        let handle = match deployed {
+            Ok(r) => r.handle(),
+            Err(FlymonError::ChannelTimeout { .. }) => {
+                assert!(!applies_expected, "script {script:?}: spurious timeout");
+                assert_eq!(fm.task_count(), 0, "script {script:?}: timeout yet deployed");
+                // Outcome determinacy: never applied, so a plain retry
+                // over a healthy channel is safe and completes.
+                let mut retry = ControlChannel::new(1, 1, ChannelConfig::default()).unwrap();
+                retry
+                    .invoke(0, "deploy", || fm.deploy(&def).map(TxnResult::Handle))
+                    .unwrap()
+                    .handle()
+            }
+            Err(e) => panic!("script {script:?}: unexpected deploy error {e:?}"),
+        };
+        assert_eq!(fm.task_count(), 1, "script {script:?}: deploy not exactly-once");
+
+        // Abort path: remove the task under the same schedule.
+        let mut ch = scripted_channel(script, 0xDEC0 + idx as u64);
+        let mut removes = 0u32;
+        let removed = ch.invoke(0, "remove", || {
+            removes += 1;
+            fm.remove(handle).map(|_| TxnResult::Unit)
+        });
+        ch.advance(60.0);
+        assert_eq!(
+            removes,
+            applies_expected as u32,
+            "script {script:?}: remove applied {removes} times"
+        );
+        match removed {
+            Ok(TxnResult::Unit) => {}
+            Ok(r) => panic!("script {script:?}: remove returned {r:?}"),
+            Err(FlymonError::ChannelTimeout { .. }) => {
+                assert_eq!(fm.task_count(), 1, "script {script:?}: timeout yet removed");
+                let mut retry = ControlChannel::new(1, 2, ChannelConfig::default()).unwrap();
+                retry
+                    .invoke(0, "remove", || fm.remove(handle).map(|_| TxnResult::Unit))
+                    .unwrap();
+            }
+            Err(e) => panic!("script {script:?}: unexpected remove error {e:?}"),
+        }
+        assert_eq!(fm.task_count(), 0, "script {script:?}: remove not exactly-once");
+        assert!(fm.audit().is_empty(), "script {script:?}: {:?}", fm.audit());
+
+        // The WAL is the ground truth for exactly-once: however many
+        // copies of each command arrived, exactly one committed record
+        // per logical command (deploys + removes, including retries
+        // after a timeout) may exist.
+        let wal = fm.detach_wal().unwrap();
+        let committed = wal.committed_after(0).count();
+        assert_eq!(committed, 2, "script {script:?}: {committed} committed WAL records");
+    }
+}
+
+/// A logical apply *error* (a rejected command) is an outcome like any
+/// other: cached in the dedup window and replayed to retransmissions,
+/// never re-applied — the abort is delivered exactly once too.
+#[test]
+fn cached_apply_errors_replay_to_retransmissions_without_reapplying() {
+    use ScriptStep::*;
+    let mut ch = scripted_channel(&[DropReply, DropReply, Deliver], 7);
+    let mut applies = 0u32;
+    let err = ch
+        .invoke(0, "doomed-op", || {
+            applies += 1;
+            Err::<TxnResult, _>(FlymonError::InvalidPolicy("rejected by the switch"))
+        })
+        .unwrap_err();
+    assert!(matches!(err, FlymonError::InvalidPolicy(_)), "{err:?}");
+    assert_eq!(applies, 1, "the failing apply ran more than once");
+    assert_eq!(ch.stats().dup_suppressed, 2, "retransmissions must hit the cache");
+    assert_eq!(ch.stats().timeouts, 0);
+}
+
+/// The dedicated split-brain drill: after a standby promotion mints a
+/// new fencing term, a stale primary (old term) issuing deploys,
+/// reallocations, splits and epoch resets is rejected on every link
+/// with `Fenced`, every reject is counted and audited, and the fleet's
+/// registers and task sets are bit-identical to before the attack —
+/// zero divergence. The real primary's term keeps working throughout.
+#[test]
+fn stale_primary_is_fenced_with_zero_divergence() {
+    let def = cms_def(2);
+    let mut fleet = SwitchFleet::deploy(3, config(), &def).unwrap();
+    fleet.attach_channel(0xB1A5_ED5E, ChannelConfig::default()).unwrap();
+    let t = trace(11, 20_000);
+    fleet.process_trace(&t[..10_000]);
+    assert!(fleet.enable_standby() > 0);
+    fleet.sync_standby();
+    fleet.process_trace(&t[10_000..]);
+
+    fleet.fail_switch(1);
+    fleet.promote_standby(1).unwrap();
+    let term = fleet.channel().unwrap().term();
+    assert!(term >= 1, "promotion must mint a fencing term");
+
+    let before_regs: Vec<Vec<Vec<u32>>> =
+        (0..3).map(|i| all_registers(fleet.switch(i).0)).collect();
+    let before_tasks: Vec<usize> = (0..3).map(|i| fleet.switch(i).0.task_count()).collect();
+    let rejects_before = fleet.channel().unwrap().stats().stale_rejects;
+
+    // The partitioned old primary wakes up still believing in term-1
+    // and replays its queued reconfigurations. Every class of command
+    // must bounce off the fence on the first link it reaches.
+    fleet.channel_mut().unwrap().force_term(term - 1);
+    let stale_ops: Vec<Result<(), FlymonError>> = vec![
+        fleet.deploy_task(&bloom_def("late-writer")).map(|_| ()),
+        fleet.reallocate_task(0, 4096),
+        fleet.split_task(0).map(|_| ()),
+        fleet.rotate_epoch_all().map(|_| ()),
+    ];
+    for (k, op) in stale_ops.iter().enumerate() {
+        assert!(
+            matches!(op, Err(FlymonError::Fenced { .. })),
+            "stale op {k} was not fenced: {op:?}"
+        );
+    }
+
+    // Zero divergence: nothing the stale primary sent touched a switch.
+    for i in 0..3 {
+        assert_eq!(
+            all_registers(fleet.switch(i).0),
+            before_regs[i],
+            "switch {i} registers diverged under a fenced command"
+        );
+        assert_eq!(fleet.switch(i).0.task_count(), before_tasks[i], "switch {i}");
+        assert!(fleet.switch(i).0.audit().is_empty(), "switch {i}: {:?}", fleet.switch(i).0.audit());
+    }
+    let stats = *fleet.channel().unwrap().stats();
+    assert_eq!(
+        stats.stale_rejects - rejects_before,
+        stale_ops.len() as u64,
+        "every stale command must be counted, none silently dropped"
+    );
+    assert!(
+        fleet
+            .channel()
+            .unwrap()
+            .event_log()
+            .iter()
+            .any(|l| l.contains("REJECTED")),
+        "stale rejects must be audited in the event log"
+    );
+
+    // The real primary (current term) is unaffected by the stale storm.
+    fleet.channel_mut().unwrap().force_term(term);
+    let idx = fleet.deploy_task(&bloom_def("post-storm")).unwrap();
+    fleet.remove_task(idx).unwrap();
+    fleet.rotate_epoch_all().unwrap();
+    assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+}
+
+/// Lossy soak: at 30% per-leg drop, 20% duplication and 20% reordering,
+/// a dozen deploy/remove cycles across the fleet all complete — the
+/// retry/dedup machinery absorbs every fault, the switches end with
+/// exactly the anchor task, and the channel counters prove the faults
+/// actually fired.
+#[test]
+fn lossy_channel_soak_completes_every_cycle_with_retries() {
+    let def = cms_def(2);
+    let mut fleet = SwitchFleet::deploy(2, config(), &def).unwrap();
+    let lossy = ChannelConfig {
+        drop_rate: 0.3,
+        dup_rate: 0.2,
+        reorder_rate: 0.2,
+        ..ChannelConfig::default()
+    };
+    fleet.attach_channel(0xA55E_77E1, lossy).unwrap();
+    fleet.process_trace(&trace(3, 10_000));
+
+    let mut timeout_retries = 0u32;
+    for cycle in 0..12 {
+        let extra = bloom_def("soak-extra");
+        let idx = loop {
+            match fleet.deploy_task(&extra) {
+                Ok(i) => break i,
+                // Never applied (or fully rolled back) — retrying is safe.
+                Err(FlymonError::ChannelTimeout { .. }) => timeout_retries += 1,
+                Err(e) => panic!("cycle {cycle}: deploy failed {e:?}"),
+            }
+        };
+        loop {
+            match fleet.remove_task(idx) {
+                Ok(()) => break,
+                // Swept switches stay cleared; the retry skips them.
+                Err(FlymonError::ChannelTimeout { .. }) => timeout_retries += 1,
+                Err(e) => panic!("cycle {cycle}: remove failed {e:?}"),
+            }
+        }
+        assert!(timeout_retries < 100, "cycle {cycle}: the channel never converges");
+    }
+
+    for i in 0..2 {
+        assert_eq!(
+            fleet.switch(i).0.task_count(),
+            1,
+            "switch {i} did not end with exactly the anchor task"
+        );
+        assert!(fleet.switch(i).0.audit().is_empty(), "switch {i}");
+    }
+    let stats = *fleet.channel().unwrap().stats();
+    assert!(stats.retries > 0, "a 30% drop rate must force retries: {stats:?}");
+    assert!(stats.request_drops > 0 && stats.reply_drops > 0, "{stats:?}");
+    assert!(stats.duplicates > 0, "duplication never fired: {stats:?}");
+    assert!(stats.dup_suppressed > 0, "dedup never engaged: {stats:?}");
+    assert!(stats.reordered > 0, "reordering never fired: {stats:?}");
+    assert_eq!(stats.stale_rejects, 0, "no promotion ran, nothing may be fenced");
+    assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+}

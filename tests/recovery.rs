@@ -309,3 +309,52 @@ fn wal_compaction_leaves_recovery_unaffected() {
         "pruning aborted records changed the recovered state"
     );
 }
+
+/// A corrupted (torn) record in the WAL's replay suffix must fail
+/// recovery loudly with [`FlymonError::RecoveryDivergence`] naming the
+/// bad record — never replay garbage — while corruption *behind* the
+/// checkpoint anchor sits outside the replay suffix and is harmless.
+#[test]
+fn corrupted_wal_suffix_fails_recovery_and_pre_anchor_corruption_does_not() {
+    let mut fm = FlyMon::new(config());
+    fm.attach_wal(WriteAheadLog::new());
+    fm.deploy(&cms_def(2)).unwrap();
+    let chk = fm.checkpoint(CaptureMode::Full);
+    let anchor = chk.wal_seq;
+    assert!(anchor >= 1, "the first deploy is logged before the anchor");
+
+    // Post-checkpoint history — the replay suffix recovery depends on.
+    let extra = TaskDefinition::builder("post-chk-bloom")
+        .key(KeySpec::NONE)
+        .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+        .memory(1024)
+        .build();
+    fm.deploy(&extra).unwrap();
+
+    let mut wal = fm.detach_wal().unwrap();
+    let suffix_seq = wal
+        .records()
+        .iter()
+        .find(|r| r.seq > anchor)
+        .expect("post-checkpoint deploy left a suffix record")
+        .seq;
+    assert!(wal.corrupt_frame(suffix_seq), "corruption hook missed");
+    match FlyMon::recover(&wal, &chk) {
+        Err(FlymonError::RecoveryDivergence { seq, .. }) => {
+            assert_eq!(seq, suffix_seq, "divergence must name the torn record")
+        }
+        other => panic!("corrupted suffix must fail recovery, got {other:?}"),
+    }
+
+    // The hook XORs the stored frame, so applying it twice restores it.
+    assert!(wal.corrupt_frame(suffix_seq));
+    let recovered = FlyMon::recover(&wal, &chk).unwrap();
+    assert_eq!(recovered.task_count(), 2, "restored frame replays cleanly");
+
+    // Pre-anchor corruption: the record is covered by the checkpoint
+    // image, never replayed, so recovery must not even look at it.
+    assert!(wal.corrupt_frame(anchor));
+    let recovered = FlyMon::recover(&wal, &chk).unwrap();
+    assert_eq!(recovered.task_count(), 2);
+    assert!(recovered.audit().is_empty(), "{:?}", recovered.audit());
+}

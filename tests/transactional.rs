@@ -251,6 +251,7 @@ fn transient_faults_are_retried_with_modeled_backoff() {
         max_attempts: 3,
         backoff_ms: 1.0,
         multiplier: 2.0,
+        ..RetryPolicy::default()
     })
     .unwrap();
     // Every op fails its first attempt, succeeds on the second (one
@@ -443,6 +444,7 @@ fn degenerate_retry_policies_are_rejected_at_the_boundary() {
             max_attempts: 0,
             backoff_ms: 1.0,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         }),
         Err(FlymonError::InvalidPolicy(_))
     ));
@@ -451,6 +453,7 @@ fn degenerate_retry_policies_are_rejected_at_the_boundary() {
             max_attempts: 3,
             backoff_ms: f64::NAN,
             multiplier: 2.0,
+            ..RetryPolicy::default()
         }),
         Err(FlymonError::InvalidPolicy(_))
     ));
