@@ -1,30 +1,80 @@
-//! Streaming ingestion throughput and overload behavior.
+//! Streaming ingestion throughput, rotation latency and overload
+//! behavior.
 //!
-//! Three scenarios against the supervised streaming runtime:
+//! Scenarios against the supervised streaming runtime:
 //!
 //! - **steady** — a trace streamed chunk-by-chunk through the bounded
 //!   queue with capacity to spare: the runtime's throughput, and its
 //!   overhead versus feeding the same fleet the whole trace directly;
 //! - **rotating** — the same stream with epoch rotation every 8k
 //!   processed packets: what constant-memory readout costs;
+//! - **rotation stall** — the ingestion pause a single epoch rotation
+//!   imposes, fully-dirty and idle (the double-buffered bank swap makes
+//!   the stall O(tasks); merging and re-zeroing run after ingestion
+//!   resumes, and an idle rotation is a watermark check);
+//! - **zero-allocation readout** — the steady-state readout loop
+//!   ([`SwitchFleet::merged_task_row_into`] into a reused scratch) is
+//!   run under a counting global allocator and asserted to allocate
+//!   nothing;
 //! - **overload** — a 10× phased burst over an undersized queue: the
 //!   degradation ladder's shed rate, backpressure blocking, and the
-//!   health excursion, with the conserved ledger checked at the end.
+//!   health excursion, with the conserved ledger checked at the end;
+//! - **rotation sweep** (full runs only) — rotation stall vs fleet
+//!   memory from 64 KB to 8 MB, idle and fully-dirty, showing the
+//!   stall stays flat while total rotation work scales with memory.
 //!
 //! Full runs overwrite `results/BENCH_streaming.json` and append a
-//! record (throughput + shed rate) to `results/BENCH_history.jsonl`.
-//! CI runs `cargo bench --bench streaming -- --smoke`: smaller stream,
-//! schema only, nothing recorded.
+//! record (throughput + shed rate + rotation stall) to
+//! `results/BENCH_history.jsonl`. CI runs
+//! `cargo bench --bench streaming -- --smoke`: smaller stream, schema
+//! only, nothing recorded — plus a tolerance guard that exits 1 when
+//! the smoke rotation stall regresses more than 25% over the committed
+//! baseline.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use flymon::prelude::*;
-use flymon_bench::{append_results_line, emit_results_file, print_table, smoke_trace};
+use flymon_bench::{
+    append_results_line, emit_results_file, fmt_bytes, print_table, read_results_field,
+    smoke_trace,
+};
 use flymon_netsim::{
     AdmissionConfig, IngestConfig, RuntimeHealth, StreamingRuntime, SwitchFleet, TraceChunks,
 };
-use flymon_packet::{KeySpec, TaskFilter};
+use flymon_packet::{KeySpec, Packet, TaskFilter};
 use flymon_traffic::gen::{Phase, PhasedConfig, PhasedSource, TraceConfig, TraceGenerator};
+
+/// Counts heap allocations so the readout loop can be asserted
+/// allocation-free. Only `alloc`/`realloc` count — frees are irrelevant
+/// to the steady-state claim.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Fail the smoke guard when the smoke rotation stall exceeds the
+/// committed baseline by more than this factor.
+const STALL_TOLERANCE: f64 = 1.25;
 
 fn config() -> FlyMonConfig {
     FlyMonConfig {
@@ -56,6 +106,55 @@ fn git_rev() -> String {
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Min rotation stall over `rounds` rotations of `fleet`, feeding
+/// `feed` before each when provided (fully-dirty) or rotating cold
+/// (idle). Also returns the min *total* rotation wall time — stall plus
+/// the post-resume merge and bank retirement — which is what the whole
+/// rotation used to cost when everything sat inside the stall.
+fn rotation_stall(
+    fleet: &mut SwitchFleet,
+    feed: Option<&[Packet]>,
+    rounds: usize,
+) -> (f64, f64) {
+    let mut stall_us = f64::INFINITY;
+    let mut total_us = f64::INFINITY;
+    for _ in 0..rounds {
+        if let Some(feed) = feed {
+            fleet.process_trace(feed);
+        }
+        let begun = Instant::now();
+        fleet.rotate_epoch_all().expect("rotation");
+        total_us = total_us.min(begun.elapsed().as_secs_f64() * 1e6);
+        stall_us = stall_us.min(fleet.last_rotation_stall().as_secs_f64() * 1e6);
+    }
+    (stall_us, total_us)
+}
+
+/// Runs the steady-state readout loop — every row of the primary task
+/// merged into one reused scratch — and returns the allocations it
+/// made after warm-up. Asserted to be zero: the borrowed row views,
+/// the elision checks and the vectorized merge kernels never touch the
+/// heap once the scratch has grown.
+fn readout_allocs(fleet: &SwitchFleet, rows: usize, iters: usize) -> u64 {
+    let mut scratch = ReadoutScratch::default();
+    for row in 0..rows {
+        // Warm-up: grows the scratch to the largest row.
+        fleet
+            .merged_task_row_into(0, row, &mut scratch)
+            .expect("readout");
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        for row in 0..rows {
+            let occ = fleet
+                .merged_task_row_into(0, row, &mut scratch)
+                .expect("readout");
+            std::hint::black_box((occ, scratch.acc.as_slice()));
+        }
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
 }
 
 fn main() {
@@ -113,6 +212,23 @@ fn main() {
     let rotating_pps = n as f64 / rotating_secs;
     assert!(rotating.ledger.conserved(), "{:?}", rotating.ledger);
     let epochs = rotating.stats.epochs_rotated;
+    let (run_rotations, run_stall) = rt.fleet().rotation_stall_totals();
+
+    // Rotation stall: the ingestion pause one rotation imposes, on the
+    // same fleet geometry the scenarios use. Min over several rounds —
+    // stalls are microseconds, so min is the noise-robust estimate.
+    let feed = &trace[..trace.len().min(8_192)];
+    let rounds = 5;
+    let (dirty_stall_us, dirty_total_us) =
+        rotation_stall(&mut fleet(), Some(feed), rounds);
+    let (idle_stall_us, _) = rotation_stall(&mut fleet(), None, rounds);
+
+    // Zero-allocation readout: assert, then record the (zero) count.
+    let allocs = readout_allocs(&direct, 2, 256);
+    assert_eq!(
+        allocs, 0,
+        "steady-state readout loop allocated {allocs} times"
+    );
 
     // Overload: 10× phased burst over an undersized queue.
     let burst_chunks = if smoke { 4 } else { 12 };
@@ -193,6 +309,64 @@ fn main() {
         overload.stats.blocked_steps,
         overload.stats.health_transitions
     );
+    println!(
+        "rotation stall: {dirty_stall_us:.1} us dirty ({:.1} us total rotation, \
+         {:.1}x off the stall path), {idle_stall_us:.1} us idle; \
+         run average {:.1} us over {run_rotations} rotations; \
+         readout loop: {allocs} allocations",
+        dirty_total_us,
+        dirty_total_us / dirty_stall_us.max(f64::MIN_POSITIVE),
+        run_stall.as_secs_f64() * 1e6 / (run_rotations.max(1) as f64),
+    );
+
+    // Rotation-latency sweep: stall vs fleet memory, idle and dirty.
+    // The stall is O(tasks) under the bank swap, so it should stay flat
+    // while the total rotation (merge + retirement, off the stall path)
+    // grows with memory. Full runs only — the sweep's largest point
+    // builds an 8 MB fleet.
+    let mut sweep_rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    if !smoke {
+        let feed = smoke_trace();
+        // 2 switches x 2 rows x bpc buckets x 2 bytes = 8 x bpc bytes.
+        for bpc in [8_192usize, 65_536, 524_288, 1_048_576] {
+            let bytes = 8 * bpc;
+            let cfg = FlyMonConfig {
+                groups: 2,
+                buckets_per_cmu: bpc,
+                ..FlyMonConfig::default()
+            };
+            let def = TaskDefinition::builder("sweep")
+                .key(KeySpec::SRC_IP)
+                .attribute(Attribute::frequency_packets())
+                .algorithm(Algorithm::Cms { d: 2 })
+                .memory(bpc)
+                .build();
+            let mut f =
+                SwitchFleet::deploy(2, cfg, &def).expect("sweep fleet deploys");
+            let (idle_us, _) = rotation_stall(&mut f, None, 3);
+            let (stall_us, total_us) = rotation_stall(&mut f, Some(&feed), 3);
+            sweep_rows.push(vec![
+                fmt_bytes(bytes),
+                format!("{idle_us:.1}"),
+                format!("{stall_us:.1}"),
+                format!("{total_us:.1}"),
+                format!("{:.1}x", total_us / stall_us.max(f64::MIN_POSITIVE)),
+            ]);
+            sweep_json.push(format!(
+                "{{\"fleet_bytes\": {bytes}, \"idle_stall_us\": {idle_us:.1}, \
+                 \"dirty_stall_us\": {stall_us:.1}, \"dirty_total_us\": {total_us:.1}}}"
+            ));
+        }
+        print_table(
+            "Rotation stall vs fleet memory",
+            &["fleet memory", "idle stall us", "dirty stall us", "total us", "off-stall"],
+            &sweep_rows,
+        );
+    }
+
+    // Read the committed baseline *before* this run overwrites the file.
+    let committed_stall = read_results_field("BENCH_streaming.json", "rotation_stall_us");
 
     let json = format!(
         "{{\n  \"trace_packets\": {n},\n  \"smoke\": {smoke},\n  \"git_rev\": \"{rev}\",\n  \
@@ -201,12 +375,17 @@ fn main() {
          \"overhead_vs_direct\": {:.3}, \"syncs\": {}}},\n  \
          \"rotating\": {{\"seconds\": {rotating_secs:.6}, \"packets_per_sec\": {rotating_pps:.0}, \
          \"epochs\": {epochs}, \"overhead_vs_steady\": {:.3}}},\n  \
+         \"rotation\": {{\"rotation_stall_us\": {dirty_stall_us:.1}, \
+         \"rotation_stall_idle_us\": {idle_stall_us:.1}, \
+         \"rotation_total_us\": {dirty_total_us:.1}, \"readout_allocs\": {allocs}}},\n  \
+         \"rotation_sweep\": [{}],\n  \
          \"overload\": {{\"offered\": {offered}, \"processed\": {}, \"shed\": {shed}, \
          \"shed_rate\": {shed_rate:.4}, \"shed_random\": {}, \"shed_priority\": {}, \
          \"shed_overflow\": {}, \"blocked_steps\": {}, \"health_transitions\": {}}}\n}}\n",
         direct_pps / steady_pps,
         steady.stats.syncs,
         steady_pps / rotating_pps,
+        sweep_json.join(", "),
         overload.stats.processed,
         overload.stats.shed_random,
         overload.stats.shed_priority,
@@ -217,14 +396,38 @@ fn main() {
     let path = emit_results_file("BENCH_streaming.json", &json);
     println!("wrote {}", path.display());
 
-    if !smoke {
-        let ts = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map_or(0, |d| d.as_secs());
-        let line = format!(
-            r#"{{"unix_ts":{ts},"git_rev":"{rev}","bench":"streaming","trace_packets":{n},"steady_packets_per_sec":{steady_pps:.0},"rotating_packets_per_sec":{rotating_pps:.0},"overload_shed_rate":{shed_rate:.4}}}"#
+    if smoke {
+        // CI tolerance guard: fail loudly when the rotation stall
+        // regresses more than 25% over the committed baseline. (Smoke
+        // uses a smaller trace, but the stall bench rotates the same
+        // fleet geometry with the same per-rotation feed, so the
+        // per-rotation stall is comparable across smoke and full runs.)
+        let Some(baseline) = committed_stall else {
+            println!("smoke guard: no committed rotation baseline found, skipping");
+            return;
+        };
+        let ceiling = baseline * STALL_TOLERANCE;
+        if dirty_stall_us > ceiling {
+            eprintln!(
+                "SMOKE GUARD FAILED: rotation stall {dirty_stall_us:.1} us exceeds \
+                 {STALL_TOLERANCE}x the committed baseline {baseline:.1} us \
+                 (ceiling {ceiling:.1} us)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke guard passed: rotation stall {dirty_stall_us:.1} us <= {ceiling:.1} us \
+             ({STALL_TOLERANCE}x of committed baseline {baseline:.1} us)"
         );
-        let hist = append_results_line("BENCH_history.jsonl", &line);
-        println!("appended {}", hist.display());
+        return;
     }
+
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = format!(
+        r#"{{"unix_ts":{ts},"git_rev":"{rev}","bench":"streaming","trace_packets":{n},"steady_packets_per_sec":{steady_pps:.0},"rotating_packets_per_sec":{rotating_pps:.0},"rotation_stall_us":{dirty_stall_us:.1},"rotation_stall_idle_us":{idle_stall_us:.1},"readout_allocs":{allocs},"overload_shed_rate":{shed_rate:.4}}}"#
+    );
+    let hist = append_results_line("BENCH_history.jsonl", &line);
+    println!("appended {}", hist.display());
 }

@@ -18,18 +18,23 @@ use crate::task::Algorithm;
 use crate::FlymonError;
 
 /// Frequency estimate for the flow `pkt` belongs to.
+///
+/// Multi-row estimators address every row with one reused hash scratch
+/// ([`FlyMon::row_value_with`]) — a query sweep over the readout
+/// allocates once, not once per row.
 pub fn query_frequency(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<u64, FlymonError> {
     let task = fm.task(h)?;
+    let mut scratch = flymon_rmt::hash::HashScratch::default();
     match task.algorithm {
         Algorithm::Cms { d } | Algorithm::SuMaxSum { d } => (0..d)
-            .map(|i| fm.row_value(h, i, pkt).map(u64::from))
+            .map(|i| fm.row_value_with(h, i, pkt, &mut scratch).map(u64::from))
             .try_fold(u64::MAX, |acc, v| v.map(|v| acc.min(v))),
-        Algorithm::Mrac => fm.row_value(h, 0, pkt).map(u64::from),
+        Algorithm::Mrac => fm.row_value_with(h, 0, pkt, &mut scratch).map(u64::from),
         Algorithm::Tower { d } => {
             let mut best: Option<u64> = None;
             let mut top_cap = 0u64;
             for (i, &bits) in TOWER_LEVEL_BITS.iter().enumerate().take(d) {
-                let count = u64::from(fm.row_value(h, i, pkt)?) >> (16 - bits);
+                let count = u64::from(fm.row_value_with(h, i, pkt, &mut scratch)?) >> (16 - bits);
                 let cap = (1u64 << bits) - 1;
                 top_cap = top_cap.max(cap);
                 if count < cap {
@@ -41,8 +46,8 @@ pub fn query_frequency(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<u64, 
         Algorithm::CounterBraids => {
             // Low layer counts to its cap; each blocked packet carried
             // one unit into the high layer (Appendix D).
-            let low = u64::from(fm.row_value(h, 0, pkt)?);
-            let high = u64::from(fm.row_value(h, 1, pkt)?);
+            let low = u64::from(fm.row_value_with(h, 0, pkt, &mut scratch)?);
+            let high = u64::from(fm.row_value_with(h, 1, pkt, &mut scratch)?);
             debug_assert!(low <= u64::from(BRAIDS_LOW_CAP));
             Ok(low + high)
         }
@@ -59,12 +64,13 @@ pub fn query_frequency(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<u64, 
 /// Max-attribute estimate (row-wise minimum of maxima).
 pub fn query_max(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<u64, FlymonError> {
     let task = fm.task(h)?;
+    let mut scratch = flymon_rmt::hash::HashScratch::default();
     match task.algorithm {
         Algorithm::SuMaxMax { d } => (0..d)
-            .map(|i| fm.row_value(h, i, pkt).map(u64::from))
+            .map(|i| fm.row_value_with(h, i, pkt, &mut scratch).map(u64::from))
             .try_fold(u64::MAX, |acc, v| v.map(|v| acc.min(v))),
         Algorithm::MaxInterval { d } => (0..d)
-            .map(|i| fm.row_value(h, 3 * i + 2, pkt).map(u64::from))
+            .map(|i| fm.row_value_with(h, 3 * i + 2, pkt, &mut scratch).map(u64::from))
             .try_fold(u64::MAX, |acc, v| v.map(|v| acc.min(v))),
         other => Err(FlymonError::BadTask(format!(
             "{} has no max query",
@@ -83,12 +89,12 @@ pub fn query_exists(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<bool, Fl
         )));
     };
     let ctx = PacketContext::default();
+    let mut scratch = flymon_rmt::hash::HashScratch::default();
     for i in 0..d {
         let row = &task.rows[i];
         let binding = &task.bindings[i];
-        let bucket = fm.row_value(h, i, pkt)?;
+        let bucket = fm.row_value_with(h, i, pkt, &mut scratch)?;
         if bit_optimized {
-            let mut scratch = flymon_rmt::hash::HashScratch::default();
             fm.groups()[row.group].compress_into(pkt, &mut scratch);
             let p1 = binding.p1.resolve(pkt, scratch.as_slice(), &ctx);
             let (bit, _) = binding.prep.apply(p1, 0, &ctx);
@@ -111,8 +117,9 @@ pub fn query_coupons(fm: &FlyMon, h: TaskHandle, pkt: &Packet) -> Result<Vec<u32
             task.algorithm.name()
         )));
     };
+    let mut scratch = flymon_rmt::hash::HashScratch::default();
     (0..d)
-        .map(|i| fm.row_value(h, i, pkt).map(u32::count_ones))
+        .map(|i| fm.row_value_with(h, i, pkt, &mut scratch).map(u32::count_ones))
         .collect()
 }
 
@@ -154,15 +161,15 @@ pub fn cardinality(fm: &FlyMon, h: TaskHandle) -> Result<f64, FlymonError> {
             // CMU buckets hold max-ρ values; the harmonic-mean estimator
             // is exactly the published one (§4 Flow Cardinality).
             let regs: Vec<u8> = fm
-                .read_row(h, 0)?
-                .into_iter()
-                .map(|v| v.min(255) as u8)
+                .row_view(h, 0)?
+                .iter()
+                .map(|&v| v.min(255) as u8)
                 .collect();
             Ok(estimate_from_registers(&regs))
         }
         Algorithm::LinearCounting => {
             // Buckets are 16-bit bitmaps; LC over the bit population.
-            let buckets = fm.read_row(h, 0)?;
+            let buckets = fm.row_view(h, 0)?;
             let m = (buckets.len() * 16) as f64;
             let ones: u32 = buckets.iter().map(|b| b.count_ones()).sum();
             let zeros = m - f64::from(ones);
@@ -186,15 +193,15 @@ pub fn flow_size_distribution(
     em_iterations: usize,
 ) -> Result<Vec<f64>, FlymonError> {
     expect_mrac(fm, h)?;
-    let counters = fm.read_row(h, 0)?;
-    Ok(estimate_distribution_from_counters(&counters, em_iterations))
+    let counters = fm.row_view(h, 0)?;
+    Ok(estimate_distribution_from_counters(counters, em_iterations))
 }
 
 /// MRAC flow-entropy estimate.
 pub fn entropy(fm: &FlyMon, h: TaskHandle, em_iterations: usize) -> Result<f64, FlymonError> {
     expect_mrac(fm, h)?;
-    let counters = fm.read_row(h, 0)?;
-    Ok(entropy_from_counters(&counters, em_iterations))
+    let counters = fm.row_view(h, 0)?;
+    Ok(entropy_from_counters(counters, em_iterations))
 }
 
 /// Jaccard similarity of the traffic sets recorded by two Odd-Sketch
@@ -213,8 +220,8 @@ pub fn jaccard_similarity(
             ));
         }
     }
-    let parity_a = fm.read_row(a, 1)?;
-    let parity_b = fm.read_row(b, 1)?;
+    let parity_a = fm.row_view(a, 1)?;
+    let parity_b = fm.row_view(b, 1)?;
     if parity_a.len() != parity_b.len() {
         return Err(FlymonError::BadTask(
             "Odd Sketch tasks must have equal memory to compare".into(),
@@ -223,7 +230,7 @@ pub fn jaccard_similarity(
     let n = (parity_a.len() * 16) as f64;
     let odd: u32 = parity_a
         .iter()
-        .zip(&parity_b)
+        .zip(parity_b)
         .map(|(x, y)| (x ^ y).count_ones())
         .sum();
     let frac = 2.0 * f64::from(odd) / n;
@@ -244,8 +251,8 @@ pub fn jaccard_similarity(
             m * (m / zeros).ln()
         }
     };
-    let size_a = lc(&fm.read_row(a, 0)?);
-    let size_b = lc(&fm.read_row(b, 0)?);
+    let size_a = lc(fm.row_view(a, 0)?);
+    let size_b = lc(fm.row_view(b, 0)?);
     let den = size_a + size_b + sym_diff;
     if den <= 0.0 {
         return Ok(1.0);

@@ -1052,21 +1052,201 @@ impl FlyMon {
         Ok(readout)
     }
 
-    // ------------------------------------------------------------------
-    // Readout & queries
-    // ------------------------------------------------------------------
+    /// Double-buffered epoch reset of *every* deployed task at once:
+    /// each touched register's live bank is swapped with its zeroed
+    /// shadow bank in O(1), so the whole sweep costs O(rows) watermark
+    /// checks and pointer swaps instead of an O(memory) read-and-clear
+    /// — the data plane can resume the instant this returns. The
+    /// retired epoch stays readable through [`FlyMon::archived_row`]
+    /// until [`FlyMon::retire_epoch_banks`] re-zeroes the shadows
+    /// (the O(memory) memset, paid off the ingestion-stall path).
+    ///
+    /// Untouched registers (idle tasks) are not swapped at all: their
+    /// live bank is already zero, so their archived rows read as `None`
+    /// and merge as zeros.
+    ///
+    /// Semantically equivalent to [`FlyMon::reset_task`] over every
+    /// handle, and logged the same way: one `Reset` intent per task,
+    /// appended before any mutation, so recovery and standby promotion
+    /// replay per-task `clear_range` sweeps onto the checkpoint image
+    /// and land on the same all-zero registers. Each partition is also
+    /// marked on the checkpoint watermark, so the next delta snapshot
+    /// ships the zeros exactly as a clear sweep would have.
+    ///
+    /// All-or-nothing for the whole switch: every reset op is
+    /// fault-judged *before* the first swap, so a refused op leaves
+    /// every register (and the WAL, via aborts) untouched.
+    ///
+    /// `handles` must cover every deployed task — a bank swap clears
+    /// whole registers, which is only a reset if no bystander task
+    /// keeps state in them. Callers rotating a subset use
+    /// [`FlyMon::reset_task`] per handle instead.
+    pub fn rotate_banks(&mut self, handles: &[TaskHandle]) -> Result<(), FlymonError> {
+        let Some(mut wal) = self.wal.take() else {
+            return self.rotate_banks_unlogged(handles);
+        };
+        let seqs: Vec<u64> = handles
+            .iter()
+            .map(|h| wal.append(WalIntent::Reset(h.0)))
+            .collect();
+        let result = self.rotate_banks_unlogged(handles);
+        for seq in seqs {
+            match &result {
+                Ok(()) => wal.commit(seq, None, None),
+                Err(_) => wal.abort(seq),
+            }
+        }
+        self.wal = Some(wal);
+        result
+    }
 
-    /// Reads one row's partition (the control plane's periodic readout).
-    pub fn read_row(&self, h: TaskHandle, row: usize) -> Result<Vec<u32>, FlymonError> {
+    /// [`FlyMon::rotate_banks`] without write-ahead logging. (WAL
+    /// replay does not run this: the logged intents are plain per-task
+    /// resets, replayed through [`FlyMon::reset_unlogged`].)
+    pub(crate) fn rotate_banks_unlogged(
+        &mut self,
+        handles: &[TaskHandle],
+    ) -> Result<(), FlymonError> {
+        let mut ids: Vec<TaskId> = handles.iter().map(|h| h.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != self.tasks.len() || ids.iter().any(|id| !self.tasks.contains_key(id)) {
+            return Err(FlymonError::BadTask(
+                "rotate_banks must cover every deployed task exactly (bank swaps clear whole \
+                 registers)"
+                    .into(),
+            ));
+        }
+        // (group, cmu, offset, size) per row, in handle order — the same
+        // op order a reset_task sweep would judge.
+        let mut rows: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for h in handles {
+            rows.extend(
+                self.task(*h)?
+                    .rows
+                    .iter()
+                    .map(|r| (r.group, r.cmu, r.offset, r.size)),
+            );
+        }
+        // Judge every reset op before the first swap: a refused op
+        // aborts the whole rotation with nothing mutated.
+        let mut exec = ExecStats::default();
+        for &(g, ..) in &rows {
+            self.exec_op(InstallOpKind::RegisterWrite, g, &mut exec)?;
+        }
+        // Swap each touched register once; registers left holding an
+        // archive by an aborted rotation are re-zeroed instead (their
+        // live bank is only swap-clean if the shadow was).
+        let mut regs: Vec<(usize, usize)> = rows.iter().map(|&(g, c, ..)| (g, c)).collect();
+        regs.sort_unstable();
+        regs.dedup();
+        for &(g, c) in &regs {
+            let reg = self.groups[g].cmu_mut(c).register_mut();
+            if reg.touched_range().is_some() {
+                reg.swap_epoch_bank();
+            } else if reg.has_archive() {
+                reg.retire_shadow();
+            }
+        }
+        // Mark each retired partition on the checkpoint watermark so
+        // the next delta ships the zeros (only where a swap actually
+        // changed the live bank).
+        for &(g, c, off, size) in &rows {
+            let reg = self.groups[g].cmu_mut(c).register_mut();
+            if reg.has_archive() {
+                reg.mark_epoch_cleared(off, off + size)?;
+            }
+        }
+        // Same staleness contract as reset_unlogged: every touched
+        // group's compiled program is rebuilt lazily.
+        let mut touched: Vec<usize> = rows.iter().map(|r| r.0).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for g in touched {
+            self.groups[g].invalidate_program();
+        }
+        Ok(())
+    }
+
+    /// The archived (pre-rotation) contents of one row, readable
+    /// between [`FlyMon::rotate_banks`] and
+    /// [`FlyMon::retire_epoch_banks`]. `Ok(None)` means the row's
+    /// register holds no archive — it was untouched when the rotation
+    /// ran, so the row's epoch contents were all-zero.
+    pub fn archived_row(&self, h: TaskHandle, row: usize) -> Result<Option<&[u32]>, FlymonError> {
         let task = self.task(h)?;
         let r = task
             .rows
             .get(row)
-            .ok_or(FlymonError::BadTask(format!("row {row} out of range")))?;
+            .ok_or_else(|| FlymonError::BadTask(format!("row {row} out of range")))?;
         Ok(self.groups[r.group].cmus()[r.cmu]
             .register()
-            .read_range(r.offset, r.offset + r.size)?
-            .to_vec())
+            .archived_range(r.offset, r.offset + r.size)?)
+    }
+
+    /// Re-zeroes every shadow bank after the archived epoch has been
+    /// merged — the O(memory) half of a rotation, run after ingestion
+    /// has already resumed on the fresh banks.
+    pub fn retire_epoch_banks(&mut self) {
+        for g in 0..self.groups.len() {
+            for c in 0..self.groups[g].cmus().len() {
+                self.groups[g].cmu_mut(c).register_mut().retire_shadow();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Readout & queries
+    // ------------------------------------------------------------------
+
+    /// Borrowed view of one row's partition — the zero-copy readout the
+    /// epoch merge kernels consume. The slice aliases live SRAM: it
+    /// reflects whatever the data plane wrote up to this call.
+    pub fn row_view(&self, h: TaskHandle, row: usize) -> Result<&[u32], FlymonError> {
+        let task = self.task(h)?;
+        let r = task
+            .rows
+            .get(row)
+            .ok_or_else(|| FlymonError::BadTask(format!("row {row} out of range")))?;
+        Ok(self.groups[r.group].cmus()[r.cmu]
+            .register()
+            .read_range(r.offset, r.offset + r.size)?)
+    }
+
+    /// Copies one row's partition into `out`, reusing its capacity —
+    /// the steady-state readout loop allocates nothing once `out` has
+    /// grown to the largest row it services.
+    pub fn read_row_into(
+        &self,
+        h: TaskHandle,
+        row: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<(), FlymonError> {
+        let view = self.row_view(h, row)?;
+        out.clear();
+        out.extend_from_slice(view);
+        Ok(())
+    }
+
+    /// Reads one row's partition (the control plane's periodic readout).
+    pub fn read_row(&self, h: TaskHandle, row: usize) -> Result<Vec<u32>, FlymonError> {
+        self.row_view(h, row).map(<[u32]>::to_vec)
+    }
+
+    /// True when the row's partition is provably all-zero: untouched
+    /// since it was last reset, per the register's epoch watermark
+    /// ([`flymon_rmt::register::Register::touched_range`]). Readout
+    /// paths use this to elide idle rows — a skipped row contributes
+    /// exactly what merging its zeros would have.
+    pub fn row_untouched(&self, h: TaskHandle, row: usize) -> Result<bool, FlymonError> {
+        let task = self.task(h)?;
+        let r = task
+            .rows
+            .get(row)
+            .ok_or_else(|| FlymonError::BadTask(format!("row {row} out of range")))?;
+        Ok(self.groups[r.group].cmus()[r.cmu]
+            .register()
+            .is_untouched(r.offset, r.offset + r.size))
     }
 
     /// Occupancy statistics of one row — the per-switch health signal
@@ -1074,29 +1254,54 @@ impl FlyMon {
     /// ratios. A bucket at the row's register ceiling was saturated by
     /// Cond-ADD, not exactly counted, so `saturated > 0` means the
     /// placement is undersized for its traffic.
+    ///
+    /// Counts in one pass over the borrowed partition (no row copy),
+    /// and elides the scan entirely when the register's epoch watermark
+    /// proves the row is still all-zero.
     pub fn row_stats(&self, h: TaskHandle, row: usize) -> Result<RowStats, FlymonError> {
-        let cap = self
-            .task(h)?
+        let task = self.task(h)?;
+        let r = task
             .rows
             .get(row)
-            .ok_or(FlymonError::BadTask(format!("row {row} out of range")))?
-            .bucket_max;
-        let values = self.read_row(h, row)?;
+            .ok_or_else(|| FlymonError::BadTask(format!("row {row} out of range")))?;
+        let cap = r.bucket_max;
+        let reg = self.groups[r.group].cmus()[r.cmu].register();
+        if reg.is_untouched(r.offset, r.offset + r.size) {
+            return Ok(RowStats {
+                buckets: r.size,
+                nonzero: 0,
+                saturated: 0,
+            });
+        }
+        let mut nonzero = 0;
+        let mut saturated = 0;
+        for &v in reg.read_range(r.offset, r.offset + r.size)? {
+            nonzero += usize::from(v > 0);
+            saturated += usize::from(v >= cap);
+        }
         Ok(RowStats {
-            buckets: values.len(),
-            nonzero: values.iter().filter(|&&v| v > 0).count(),
-            saturated: values.iter().filter(|&&v| v >= cap).count(),
+            buckets: r.size,
+            nonzero,
+            saturated,
         })
     }
 
     /// The bucket a row's data-plane path addresses for `pkt` —
-    /// *relative to the row's partition*.
-    pub fn locate(&self, h: TaskHandle, row: usize, pkt: &Packet) -> Result<usize, FlymonError> {
+    /// *relative to the row's partition*. Hashing state goes through
+    /// the caller's scratch, so a query loop over many rows or packets
+    /// allocates nothing (the [`crate::scratch::PacketScratch`] idiom
+    /// the data plane's `process` uses).
+    pub fn locate_with(
+        &self,
+        h: TaskHandle,
+        row: usize,
+        pkt: &Packet,
+        scratch: &mut flymon_rmt::hash::HashScratch,
+    ) -> Result<usize, FlymonError> {
         let task = self.task(h)?;
         let r = &task.rows[row];
         let binding = &task.bindings[row];
-        let mut scratch = flymon_rmt::hash::HashScratch::default();
-        self.groups[r.group].compress_into(pkt, &mut scratch);
+        self.groups[r.group].compress_into(pkt, scratch);
         let raw = binding
             .key
             .address(scratch.as_slice(), self.groups[r.group].addr_bits());
@@ -1106,11 +1311,30 @@ impl FlyMon {
         Ok(abs - r.offset)
     }
 
+    /// [`FlyMon::locate_with`] with a throwaway scratch — convenience
+    /// for one-off queries; loops should hold their own scratch.
+    pub fn locate(&self, h: TaskHandle, row: usize, pkt: &Packet) -> Result<usize, FlymonError> {
+        let mut scratch = flymon_rmt::hash::HashScratch::default();
+        self.locate_with(h, row, pkt, &mut scratch)
+    }
+
     /// The absolute bucket value a row holds for `pkt`.
     pub fn row_value(&self, h: TaskHandle, row: usize, pkt: &Packet) -> Result<u32, FlymonError> {
+        let mut scratch = flymon_rmt::hash::HashScratch::default();
+        self.row_value_with(h, row, pkt, &mut scratch)
+    }
+
+    /// [`FlyMon::row_value`] through a caller-held hash scratch.
+    pub fn row_value_with(
+        &self,
+        h: TaskHandle,
+        row: usize,
+        pkt: &Packet,
+        scratch: &mut flymon_rmt::hash::HashScratch,
+    ) -> Result<u32, FlymonError> {
         let task = self.task(h)?;
         let r = &task.rows[row];
-        let idx = self.locate(h, row, pkt)?;
+        let idx = self.locate_with(h, row, pkt, scratch)?;
         Ok(self.groups[r.group].cmus()[r.cmu]
             .register()
             .read(r.offset + idx)?)

@@ -101,7 +101,7 @@ pub mod prelude {
     pub use crate::control::{BatchStats, FlyMon, FlyMonConfig, RowStats, TaskHandle};
     pub use crate::wal::WriteAheadLog;
     pub use flymon_rmt::checkpoint::CaptureMode;
-    pub use crate::scratch::PacketScratch;
+    pub use crate::scratch::{PacketScratch, ReadoutScratch};
     pub use crate::task::{Algorithm, Attribute, FreqParam, MaxParam, TaskDefinition};
     pub use crate::FlymonError;
     pub use flymon_rmt::fault::{FaultPlan, InstallOpKind, RetryPolicy};

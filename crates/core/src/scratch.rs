@@ -190,6 +190,35 @@ impl BatchScratch {
     }
 }
 
+/// Reusable buffers for the epoch readout loop (merge + stats), owned
+/// by whoever drives rotations — a fleet, a sharded datapath, a bench
+/// harness. The same grow-once convention as [`BatchScratch`]: every
+/// buffer is `Vec`-backed and sized to the largest row it has serviced,
+/// so the steady-state readout loop allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ReadoutScratch {
+    /// Merge accumulator for one row at a time
+    /// (`MergeLaw::combine_rows` folds member rows into it).
+    pub acc: Vec<u32>,
+    /// Heavy-bucket candidate indices collected during the fused
+    /// merge+stats pass (nonzero buckets of the rows that feed churn
+    /// tracking).
+    pub candidates: Vec<u32>,
+    /// Hash scratch for `locate_with` in query sweeps over the readout.
+    pub hash: HashScratch,
+}
+
+impl ReadoutScratch {
+    /// Prepares the accumulator for an `n`-bucket row: cleared, with
+    /// capacity reused across rows and epochs.
+    pub fn begin_row(&mut self, n: usize) -> &mut Vec<u32> {
+        self.acc.clear();
+        self.acc.reserve(n);
+        self.candidates.clear();
+        &mut self.acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -250,20 +250,57 @@ impl AdaptiveController {
     }
 
     /// Signals for one task epoch, given the fleet-wide loss delta.
+    ///
+    /// A fleet-rotated epoch carries occupancy counters and the row-0
+    /// heavy-candidate set computed during the merge itself
+    /// ([`TaskEpoch::occupancy`], [`TaskEpoch::heavy_candidates`]), so
+    /// fill/saturation cost nothing here and the churn signal only
+    /// ranks the candidates instead of rescanning the row. Hand-built
+    /// epochs without fused stats fall back to the full scan; both
+    /// paths produce identical signals.
     fn signals(epoch: &TaskEpoch, loss_delta: u64, prev: Option<&Vec<usize>>, top_k: usize) -> (TaskSignals, Vec<usize>) {
         let mut fill = 0.0f64;
         let mut saturation = 0.0f64;
-        for (row, &cap) in epoch.rows.iter().zip(&epoch.row_caps) {
-            if row.is_empty() {
-                continue;
+        let fused = epoch.occupancy.len() == epoch.rows.len();
+        if fused {
+            for (row, occ) in epoch.rows.iter().zip(&epoch.occupancy) {
+                if row.is_empty() {
+                    continue;
+                }
+                let n = row.len() as f64;
+                fill = fill.max(occ.nonzero as f64 / n);
+                saturation = saturation.max(occ.saturated as f64 / n);
             }
-            let n = row.len() as f64;
-            let nonzero = row.iter().filter(|&&v| v > 0).count() as f64;
-            let at_cap = row.iter().filter(|&&v| v >= cap).count() as f64;
-            fill = fill.max(nonzero / n);
-            saturation = saturation.max(at_cap / n);
+        } else {
+            for (row, &cap) in epoch.rows.iter().zip(&epoch.row_caps) {
+                if row.is_empty() {
+                    continue;
+                }
+                let n = row.len() as f64;
+                let nonzero = row.iter().filter(|&&v| v > 0).count() as f64;
+                let at_cap = row.iter().filter(|&&v| v >= cap).count() as f64;
+                fill = fill.max(nonzero / n);
+                saturation = saturation.max(at_cap / n);
+            }
         }
-        let heavy = heavy_buckets(epoch.rows.first().map_or(&[], |r| r.as_slice()), top_k);
+        let row0 = epoch.rows.first().map_or(&[][..], |r| r.as_slice());
+        let candidates_valid = fused
+            && epoch
+                .heavy_candidates
+                .last()
+                .is_none_or(|&i| (i as usize) < row0.len());
+        let heavy = if candidates_valid {
+            // The candidates are exactly row 0's nonzero indices in
+            // ascending order — the same set heavy_buckets filters —
+            // so ranking them reproduces heavy_buckets bit for bit.
+            let mut idx: Vec<usize> =
+                epoch.heavy_candidates.iter().map(|&i| i as usize).collect();
+            idx.sort_unstable_by(|&a, &b| row0[b].cmp(&row0[a]).then(a.cmp(&b)));
+            idx.truncate(top_k);
+            idx
+        } else {
+            heavy_buckets(row0, top_k)
+        };
         let churn = prev.map(|p| 1.0 - jaccard(p, &heavy));
         (
             TaskSignals {

@@ -131,6 +131,127 @@ impl MergeLaw {
             MergeLaw::Or => a | b,
         }
     }
+
+    /// Bulk form of [`MergeLaw::combine`]: folds `src` into `acc`
+    /// bucket-by-bucket (`acc[i] = combine(acc[i], src[i], cap)`) in
+    /// [`MERGE_LANES`]-wide chunks with a scalar tail — the `crc32_lanes`
+    /// idiom, shaped so the per-law inner loops have no branch and
+    /// autovectorize. Bit-identical to the per-element path for every
+    /// law, cap and length (pinned by `tests/readout.rs`).
+    ///
+    /// # Panics
+    /// Panics if the rows differ in length — partial registers of one
+    /// deployment always share a geometry, so a mismatch is a caller
+    /// bug, not a data condition.
+    pub fn combine_rows(self, acc: &mut [u32], src: &[u32], cap: u32) {
+        assert_eq!(
+            acc.len(),
+            src.len(),
+            "merged rows must share a geometry"
+        );
+        let mut acc_chunks = acc.chunks_exact_mut(MERGE_LANES);
+        let mut src_chunks = src.chunks_exact(MERGE_LANES);
+        match self {
+            MergeLaw::Sum => {
+                let cap = u64::from(cap);
+                for (a, s) in acc_chunks.by_ref().zip(src_chunks.by_ref()) {
+                    for lane in 0..MERGE_LANES {
+                        a[lane] = (u64::from(a[lane]) + u64::from(s[lane])).min(cap) as u32;
+                    }
+                }
+                for (a, s) in acc_chunks
+                    .into_remainder()
+                    .iter_mut()
+                    .zip(src_chunks.remainder())
+                {
+                    *a = (u64::from(*a) + u64::from(*s)).min(cap) as u32;
+                }
+            }
+            MergeLaw::Max => {
+                for (a, s) in acc_chunks.by_ref().zip(src_chunks.by_ref()) {
+                    for lane in 0..MERGE_LANES {
+                        a[lane] = a[lane].max(s[lane]);
+                    }
+                }
+                for (a, s) in acc_chunks
+                    .into_remainder()
+                    .iter_mut()
+                    .zip(src_chunks.remainder())
+                {
+                    *a = (*a).max(*s);
+                }
+            }
+            MergeLaw::Or => {
+                for (a, s) in acc_chunks.by_ref().zip(src_chunks.by_ref()) {
+                    for lane in 0..MERGE_LANES {
+                        a[lane] |= s[lane];
+                    }
+                }
+                for (a, s) in acc_chunks
+                    .into_remainder()
+                    .iter_mut()
+                    .zip(src_chunks.remainder())
+                {
+                    *a |= *s;
+                }
+            }
+        }
+    }
+
+    /// [`MergeLaw::combine_rows`] fused with the occupancy scan: merges
+    /// `src` into `acc` and counts the *merged* row's nonzero and
+    /// at-ceiling buckets in the same sweep, so the adaptive
+    /// controller's fill/saturation signals cost no second pass over
+    /// the epoch's rows. Use for the final member of a merge fold;
+    /// `saturation_cap` is the row's cell ceiling (what Cond-ADD
+    /// saturates at), which for Sum rows coincides with the clamp cap.
+    pub fn combine_rows_scan(
+        self,
+        acc: &mut [u32],
+        src: &[u32],
+        cap: u32,
+        saturation_cap: u32,
+    ) -> RowOccupancy {
+        self.combine_rows(acc, src, cap);
+        scan_row(acc, saturation_cap)
+    }
+}
+
+/// Lane width of the bulk merge kernels — mirrors
+/// [`flymon_rmt::hash::CRC_LANES`]: eight u32 lanes fill a 256-bit
+/// vector register, and the measured sweet spot is flat from 4 to 16.
+pub const MERGE_LANES: usize = 8;
+
+/// Occupancy of one merged row, computed in the same sweep that merged
+/// it ([`MergeLaw::combine_rows_scan`] / [`scan_row`]): the raw counts
+/// behind the adaptive controller's fill and saturation ratios.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowOccupancy {
+    /// Buckets holding a nonzero value.
+    pub nonzero: usize,
+    /// Buckets at the row's cell ceiling (saturated by Cond-ADD, not
+    /// exactly counted).
+    pub saturated: usize,
+}
+
+/// Counts a row's nonzero and at-ceiling buckets in one lane-chunked
+/// sweep — the single-member / already-merged half of the fused
+/// merge+stats pass.
+pub fn scan_row(row: &[u32], cap: u32) -> RowOccupancy {
+    let mut nonzero = 0usize;
+    let mut saturated = 0usize;
+    let mut chunks = row.chunks_exact(MERGE_LANES);
+    for c in chunks.by_ref() {
+        for lane in 0..MERGE_LANES {
+            nonzero += usize::from(c[lane] > 0);
+            saturated += usize::from(c[lane] >= cap);
+        }
+    }
+    for &v in chunks.remainder() {
+        nonzero += usize::from(v > 0);
+        saturated += usize::from(v >= cap);
+    }
+    RowOccupancy { nonzero, saturated }
 }
 
 /// The shard (or fleet ingress) among `n` that `pkt` belongs to.
@@ -730,17 +851,15 @@ impl ShardedDatapath {
         total
     }
 
-    /// Per-bucket merged readout of one row across the replicas.
-    fn merged_row_with(
-        &self,
-        row: usize,
-        merge: impl Fn(u32, u32) -> u32,
-    ) -> Result<Vec<u32>, FlymonError> {
+    /// Per-bucket merged readout of one row across the replicas: the
+    /// first replica's row is copied once, then every further replica's
+    /// *borrowed* row folds in through the lane-vectorized
+    /// [`MergeLaw::combine_rows`] kernel — no per-replica row copies,
+    /// no per-element closure dispatch.
+    fn merged_row_with(&self, row: usize, law: MergeLaw, cap: u32) -> Result<Vec<u32>, FlymonError> {
         let mut acc = self.replicas[0].read_row(self.handles[0], row)?;
         for (fm, h) in self.replicas.iter().zip(&self.handles).skip(1) {
-            for (a, v) in acc.iter_mut().zip(fm.read_row(*h, row)?) {
-                *a = merge(*a, v);
-            }
+            law.combine_rows(&mut acc, fm.row_view(*h, row)?, cap);
         }
         Ok(acc)
     }
@@ -769,7 +888,7 @@ impl ShardedDatapath {
             MergeLaw::Sum => self.row_cap(row),
             MergeLaw::Max | MergeLaw::Or => u32::MAX,
         };
-        self.merged_row_with(row, move |a, b| law.combine(a, b, cap))
+        self.merged_row_with(row, law, cap)
     }
 
     /// Merged frequency estimate: per-bucket sums, then the row-wise
@@ -786,10 +905,12 @@ impl ShardedDatapath {
             }
         };
         let mut best = u64::MAX;
+        let mut scratch = flymon_rmt::hash::HashScratch::default();
         for row in 0..d {
             let merged = self.merged_row(row)?;
-            // Replica layouts are identical; locate through any one.
-            let idx = self.replicas[0].locate(self.handles[0], row, pkt)?;
+            // Replica layouts are identical; locate through any one,
+            // reusing one hash scratch across the rows.
+            let idx = self.replicas[0].locate_with(self.handles[0], row, pkt, &mut scratch)?;
             best = best.min(u64::from(merged[idx]));
         }
         Ok(best)
@@ -802,7 +923,7 @@ impl ShardedDatapath {
                 "merged cardinality needs an HLL task".into(),
             ));
         }
-        let merged = self.merged_row_with(0, u32::max)?;
+        let merged = self.merged_row_with(0, MergeLaw::Max, u32::MAX)?;
         let regs: Vec<u8> = merged.into_iter().map(|v| v.min(255) as u8).collect();
         Ok(estimate_from_registers(&regs))
     }

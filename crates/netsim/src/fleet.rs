@@ -41,13 +41,15 @@
 //! represented in some alive register file, explicitly lost, held by a
 //! dead switch, or dropped.
 
+use std::time::{Duration, Instant};
+
 use flymon::prelude::*;
 use flymon::FlymonError;
 use flymon_packet::{Packet, TaskFilter};
 use flymon_sketches::hll::estimate_from_registers;
 
 use crate::channel::{ChannelConfig, ControlChannel, TxnResult};
-use crate::datapath::{self, MergeLaw, WorkerStats};
+use crate::datapath::{self, scan_row, MergeLaw, WorkerStats};
 
 /// Routes one controller→switch command through the fleet's control
 /// channel when one is attached, or applies it directly (the perfect
@@ -165,6 +167,14 @@ pub struct TaskEpoch {
     /// Per-row register cell ceilings (a bucket at its ceiling was
     /// saturated, not exactly counted) — row index parallel to `rows`.
     pub row_caps: Vec<u32>,
+    /// Per-row occupancy (nonzero / saturated bucket counts), computed
+    /// in the same pass that merged the rows — row index parallel to
+    /// `rows`.
+    pub occupancy: Vec<datapath::RowOccupancy>,
+    /// Ascending nonzero bucket indices of row 0: the heavy-bucket
+    /// candidate set, collected during the merge so the controller's
+    /// heavy-churn signal never rescans the merged row.
+    pub heavy_candidates: Vec<u32>,
 }
 
 /// A whole fleet epoch: every task's archived readout plus the packet
@@ -211,6 +221,13 @@ pub struct SwitchFleet {
     /// through once attached ([`SwitchFleet::attach_channel`]); `None`
     /// means the perfect in-process channel (direct calls).
     channel: Option<ControlChannel>,
+    /// Ingestion-stall duration of the most recent epoch rotation (the
+    /// bank-swap sweep; merge and retirement run off the stall path).
+    last_rotation_stall: Duration,
+    /// Cumulative rotation stall across the fleet's lifetime.
+    total_rotation_stall: Duration,
+    /// Epoch rotations performed (successful or failed mid-sweep).
+    rotations: u64,
 }
 
 /// One epoch's merged pre-reset readout ([`SwitchFleet::rotate_epoch`]).
@@ -307,6 +324,9 @@ impl SwitchFleet {
             total_fed: 0,
             rotated_packets: 0,
             channel: None,
+            last_rotation_stall: Duration::ZERO,
+            total_rotation_stall: Duration::ZERO,
+            rotations: 0,
         })
     }
 
@@ -639,6 +659,22 @@ impl SwitchFleet {
     /// rows — regardless of how much traffic the epoch carried, which
     /// is what lets a streaming runtime measure indefinitely.
     ///
+    /// The rotation is double-buffered: the only work ingestion waits
+    /// for is an O(rows) logged **bank swap** per alive switch
+    /// ([`flymon::FlyMon::rotate_banks`]) — each switch's live
+    /// registers trade places with a zeroed shadow bank, archiving the
+    /// epoch in place. The merge then reads the immutable archives
+    /// *after* ingestion resumes, and the O(memory) re-zeroing of the
+    /// archives is deferred to bank retirement, off the stall path.
+    /// Untouched registers skip the swap entirely (their rows are
+    /// provably zero — the identity of every merge law), so an idle
+    /// task's rotation costs a watermark check. Switches hosting tasks
+    /// outside the fleet list (where a whole-register swap would clear
+    /// state the fleet does not own) fall back to the merge-then-clear
+    /// sweep, vectorized and elided but fully inside the stall; both
+    /// paths produce bit-identical epochs. The stall is observable via
+    /// [`SwitchFleet::last_rotation_stall`].
+    ///
     /// Accounting: the alive switches' absorbed counts move to
     /// [`SwitchFleet::rotated_packets`] (still `represented`, now in
     /// the archive), and each rotated switch's standby barrier drops to
@@ -651,38 +687,80 @@ impl SwitchFleet {
     /// Errors if every switch is dead (no rows to read), a task's
     /// algorithm has no merge law, or a logged reset fails mid-sweep —
     /// switches already rotated stay rotated (each per-switch reset is
-    /// itself atomic), and the error surfaces which switch refused.
+    /// itself atomic; their archived epochs are discarded, exactly as
+    /// the merge-then-clear path discards its merged readout), and the
+    /// error surfaces which switch refused.
     pub fn rotate_epoch_all(&mut self) -> Result<FleetEpoch, FlymonError> {
         if self.alive_task_members(0).next().is_none() {
             return Err(FlymonError::NoCapacity(
                 "every switch in the fleet has failed".into(),
             ));
         }
-        let mut task_epochs = Vec::with_capacity(self.tasks.len());
-        for ti in 0..self.tasks.len() {
-            let law = MergeLaw::of(self.tasks[ti].algorithm)?;
-            let (fm, h) = self
-                .alive_task_members(ti)
-                .next()
-                .expect("liveness was checked above");
-            let placed = &fm.task(h)?.rows;
-            let row_caps: Vec<u32> = placed.iter().map(|r| r.bucket_max).collect();
-            let mut rows = Vec::with_capacity(placed.len());
-            for (row, &bucket_max) in row_caps.iter().enumerate() {
-                let cap = match law {
-                    MergeLaw::Sum => bucket_max,
-                    MergeLaw::Max | MergeLaw::Or => u32::MAX,
-                };
-                rows.push(self.merged_task_row(ti, row, move |a, b| law.combine(a, b, cap))?);
-            }
-            task_epochs.push(TaskEpoch {
-                name: self.tasks[ti].def.name.clone(),
-                filter: self.tasks[ti].def.filter,
-                algorithm: self.tasks[ti].algorithm,
-                rows,
-                row_caps,
-            });
+        // The bank swap clears whole registers, so it is only sound
+        // when the fleet's task list covers every task on every alive
+        // switch (always true unless a caller deployed out-of-band).
+        let bankable = (0..self.switches.len()).all(|i| {
+            !self.alive[i]
+                || self.switches[i].task_count()
+                    == self.tasks.iter().filter(|t| t.handles[i].is_some()).count()
+        });
+        if !bankable {
+            return self.rotate_epoch_all_merge_then_clear();
         }
+        // Phase 1 — the ingestion stall: O(rows) logged bank swaps per
+        // alive switch, plus ledger accounting.
+        let stall_begun = Instant::now();
+        let mut packets = 0;
+        let mut chan = self.channel.take();
+        for i in 0..self.switches.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let handles: Vec<TaskHandle> = self
+                .tasks
+                .iter()
+                .filter_map(|t| t.handles[i])
+                .collect();
+            let sw = &mut self.switches[i];
+            let reset = send(&mut chan, i, "epoch-reset", || {
+                sw.rotate_banks(&handles)?;
+                Ok(TxnResult::Unit)
+            });
+            if let Err(e) = reset {
+                self.channel = chan;
+                self.note_rotation_stall(stall_begun.elapsed());
+                return Err(e);
+            }
+            packets += self.represented[i];
+            self.rotated_packets += self.represented[i];
+            self.represented[i] = 0;
+            self.checkpoint_represented[i] = 0;
+        }
+        self.channel = chan;
+        self.note_rotation_stall(stall_begun.elapsed());
+        // Phase 2 — off the stall path: merge the archived banks (they
+        // are immutable; ingestion writes land in the fresh live
+        // banks), fusing the occupancy scan into the same pass.
+        let tasks = self.merge_epochs(true)?;
+        // Phase 3 — retire (re-zero) the archives: the O(memory)
+        // memset the swap deferred out of the stall.
+        for i in 0..self.switches.len() {
+            if self.alive[i] {
+                self.switches[i].retire_epoch_banks();
+            }
+        }
+        Ok(FleetEpoch { tasks, packets })
+    }
+
+    /// The pre-bank rotation path: merge every task's rows from the
+    /// live registers (vectorized, untouched rows elided), then clear
+    /// every task through the logged reset sweep. Kept for switches
+    /// hosting out-of-band tasks, where a whole-register bank swap
+    /// would clear state the fleet does not own. The whole sweep is an
+    /// ingestion stall — which is what the bank path exists to avoid.
+    fn rotate_epoch_all_merge_then_clear(&mut self) -> Result<FleetEpoch, FlymonError> {
+        let stall_begun = Instant::now();
+        let task_epochs = self.merge_epochs(false)?;
         let mut packets = 0;
         let mut chan = self.channel.take();
         for i in 0..self.switches.len() {
@@ -703,6 +781,7 @@ impl SwitchFleet {
             });
             if let Err(e) = reset {
                 self.channel = chan;
+                self.note_rotation_stall(stall_begun.elapsed());
                 return Err(e);
             }
             packets += self.represented[i];
@@ -711,10 +790,95 @@ impl SwitchFleet {
             self.checkpoint_represented[i] = 0;
         }
         self.channel = chan;
+        self.note_rotation_stall(stall_begun.elapsed());
         Ok(FleetEpoch {
             tasks: task_epochs,
             packets,
         })
+    }
+
+    /// Merges every fleet task's rows across the alive fleet — from the
+    /// archived epoch banks when `archived` (the double-buffered path;
+    /// a register that skipped the swap contributes nothing), or from
+    /// the live registers otherwise (rows provably untouched are
+    /// elided). Folding every member into a zeroed accumulator is
+    /// bit-identical to copying the first member and folding the rest:
+    /// 0 is the identity of all three merge laws, and members never
+    /// exceed the cap (registers saturate at their cell ceiling). The
+    /// occupancy scan and row-0 heavy-candidate collection are fused
+    /// into the same pass.
+    fn merge_epochs(&self, archived: bool) -> Result<Vec<TaskEpoch>, FlymonError> {
+        let mut task_epochs = Vec::with_capacity(self.tasks.len());
+        for ti in 0..self.tasks.len() {
+            let law = MergeLaw::of(self.tasks[ti].algorithm)?;
+            let (fm, h) = self
+                .alive_task_members(ti)
+                .next()
+                .expect("liveness was checked above");
+            let placed = &fm.task(h)?.rows;
+            let row_caps: Vec<u32> = placed.iter().map(|r| r.bucket_max).collect();
+            let sizes: Vec<usize> = placed.iter().map(|r| r.size).collect();
+            let mut rows = Vec::with_capacity(sizes.len());
+            let mut occupancy = Vec::with_capacity(sizes.len());
+            let mut heavy_candidates = Vec::new();
+            for (row, (&bucket_max, &size)) in row_caps.iter().zip(&sizes).enumerate() {
+                let cap = match law {
+                    MergeLaw::Sum => bucket_max,
+                    MergeLaw::Max | MergeLaw::Or => u32::MAX,
+                };
+                let mut acc = vec![0u32; size];
+                for (m, mh) in self.alive_task_members(ti) {
+                    if archived {
+                        if let Some(src) = m.archived_row(mh, row)? {
+                            law.combine_rows(&mut acc, src, cap);
+                        }
+                    } else if !m.row_untouched(mh, row)? {
+                        law.combine_rows(&mut acc, m.row_view(mh, row)?, cap);
+                    }
+                }
+                let occ = scan_row(&acc, bucket_max);
+                if row == 0 {
+                    heavy_candidates.reserve(occ.nonzero);
+                    for (i, &v) in acc.iter().enumerate() {
+                        if v > 0 {
+                            heavy_candidates.push(i as u32);
+                        }
+                    }
+                }
+                occupancy.push(occ);
+                rows.push(acc);
+            }
+            task_epochs.push(TaskEpoch {
+                name: self.tasks[ti].def.name.clone(),
+                filter: self.tasks[ti].def.filter,
+                algorithm: self.tasks[ti].algorithm,
+                rows,
+                row_caps,
+                occupancy,
+                heavy_candidates,
+            });
+        }
+        Ok(task_epochs)
+    }
+
+    /// Records one rotation's ingestion stall.
+    fn note_rotation_stall(&mut self, stall: Duration) {
+        self.last_rotation_stall = stall;
+        self.total_rotation_stall += stall;
+        self.rotations += 1;
+    }
+
+    /// Ingestion-stall time of the most recent epoch rotation: the
+    /// bank-swap sweep only — the merge and archive retirement run
+    /// after ingestion resumes. The merge-then-clear fallback counts
+    /// its whole sweep (there, everything is inside the stall).
+    pub fn last_rotation_stall(&self) -> Duration {
+        self.last_rotation_stall
+    }
+
+    /// (rotations performed, cumulative ingestion stall across them).
+    pub fn rotation_stall_totals(&self) -> (u64, Duration) {
+        (self.rotations, self.total_rotation_stall)
     }
 
     /// Read-only descriptions of the fleet's task list, in the order
@@ -1192,18 +1356,16 @@ impl SwitchFleet {
             .filter_map(|((fm, h), _)| h.map(|h| (fm, h)))
     }
 
-    /// Per-bucket merged readout of one primary-task row.
-    fn merged_row(&self, row: usize, merge: impl Fn(u32, u32) -> u32) -> Result<Vec<u32>, FlymonError> {
-        self.merged_task_row(0, row, merge)
-    }
-
     /// Per-bucket merged readout of one row of fleet task `ti` across
-    /// the alive fleet.
+    /// the alive fleet, through the law's vectorized kernel; members
+    /// whose row is provably untouched are elided (their rows are all
+    /// zero — the identity of every merge law).
     fn merged_task_row(
         &self,
         ti: usize,
         row: usize,
-        merge: impl Fn(u32, u32) -> u32,
+        law: MergeLaw,
+        cap: u32,
     ) -> Result<Vec<u32>, FlymonError> {
         let mut members = self.alive_task_members(ti);
         let (first, first_h) = members.next().ok_or_else(|| {
@@ -1211,11 +1373,56 @@ impl SwitchFleet {
         })?;
         let mut acc = first.read_row(first_h, row)?;
         for (fm, h) in members {
-            for (a, v) in acc.iter_mut().zip(fm.read_row(h, row)?) {
-                *a = merge(*a, v);
+            if fm.row_untouched(h, row)? {
+                continue;
             }
+            law.combine_rows(&mut acc, fm.row_view(h, row)?, cap);
         }
         Ok(acc)
+    }
+
+    /// [`SwitchFleet::merged_task_row`] into a caller-provided scratch:
+    /// merges one row of fleet task `ti` into `scratch`'s accumulator
+    /// (readable as `scratch.acc` afterwards) and returns the fused
+    /// occupancy scan. A steady-state readout loop reusing one scratch
+    /// allocates nothing once the scratch has grown to the row size.
+    pub fn merged_task_row_into(
+        &self,
+        ti: usize,
+        row: usize,
+        scratch: &mut ReadoutScratch,
+    ) -> Result<datapath::RowOccupancy, FlymonError> {
+        let law = MergeLaw::of(
+            self.tasks
+                .get(ti)
+                .ok_or_else(|| {
+                    FlymonError::BadTask(format!("fleet task {ti} does not exist"))
+                })?
+                .algorithm,
+        )?;
+        let mut members = self.alive_task_members(ti);
+        let (first, first_h) = members.next().ok_or_else(|| {
+            FlymonError::NoCapacity("every switch in the fleet has failed".into())
+        })?;
+        let bucket_max = first
+            .task(first_h)?
+            .rows
+            .get(row)
+            .map(|r| r.bucket_max)
+            .ok_or_else(|| FlymonError::BadTask(format!("task has no row {row}")))?;
+        let cap = match law {
+            MergeLaw::Sum => bucket_max,
+            MergeLaw::Max | MergeLaw::Or => u32::MAX,
+        };
+        let acc = scratch.begin_row(0);
+        first.read_row_into(first_h, row, acc)?;
+        for (fm, h) in members {
+            if fm.row_untouched(h, row)? {
+                continue;
+            }
+            law.combine_rows(acc, fm.row_view(h, row)?, cap);
+        }
+        Ok(scan_row(acc, bucket_max))
     }
 
     /// Network-wide frequency estimate for a flow: per-bucket sums of
@@ -1253,6 +1460,7 @@ impl SwitchFleet {
             FlymonError::NoCapacity("every switch in the fleet has failed".into())
         })?;
         let mut best = u64::MAX;
+        let mut scratch = flymon_rmt::hash::HashScratch::default();
         for row in 0..d {
             // Cond-ADD saturates each bucket at the register ceiling, so
             // the summed merge clamps there too (see ShardedDatapath).
@@ -1260,13 +1468,12 @@ impl SwitchFleet {
                 .task(locator_h)?
                 .rows
                 .get(row)
-                .map_or(u64::MAX, |r| u64::from(r.bucket_max));
-            let merged = self.merged_task_row(ti, row, move |a, b| {
-                (u64::from(a) + u64::from(b)).min(cap) as u32
-            })?;
+                .map_or(u32::MAX, |r| r.bucket_max);
+            let merged = self.merged_task_row(ti, row, MergeLaw::Sum, cap)?;
             // Locate the bucket through any alive switch (identical
-            // layouts across the fleet).
-            let idx = locator.locate(locator_h, row, pkt)?;
+            // layouts across the fleet), reusing one hash scratch for
+            // the whole sweep.
+            let idx = locator.locate_with(locator_h, row, pkt, &mut scratch)?;
             best = best.min(u64::from(merged[idx]));
         }
         Ok(best)
@@ -1296,7 +1503,7 @@ impl SwitchFleet {
                 "merged cardinality needs an HLL task".into(),
             ));
         }
-        let merged = self.merged_row(0, u32::max)?;
+        let merged = self.merged_task_row(0, 0, MergeLaw::Max, u32::MAX)?;
         let regs: Vec<u8> = merged.into_iter().map(|v| v.min(255) as u8).collect();
         Ok(estimate_from_registers(&regs))
     }
@@ -1444,8 +1651,8 @@ mod tests {
 
         for row in 0..2 {
             assert_eq!(
-                serial.merged_row(row, |a, b| a.saturating_add(b)).unwrap(),
-                parallel.merged_row(row, |a, b| a.saturating_add(b)).unwrap(),
+                serial.merged_task_row(0, row, MergeLaw::Sum, u32::MAX).unwrap(),
+                parallel.merged_task_row(0, row, MergeLaw::Sum, u32::MAX).unwrap(),
                 "row {row} diverged between serial and parallel replay"
             );
         }

@@ -46,7 +46,10 @@ pub use chaos::{
     run_ingest_schedule, run_ingest_soak, run_schedule, run_soak, soak_channel_config, ChaosConfig,
     ChaosReport, IngestChaosConfig, IngestChaosReport,
 };
-pub use datapath::{MergeLaw, ReplayMode, ReplayStats, ShardedDatapath, WorkerStats};
+pub use datapath::{
+    scan_row, MergeLaw, ReplayMode, ReplayStats, RowOccupancy, ShardedDatapath, WorkerStats,
+    MERGE_LANES,
+};
 pub use epochs::{run_accuracy_timeline, AccuracyPoint, EpochTimelineConfig};
 pub use fleet::{
     BoundedEstimate, EpochReadout, FleetEpoch, FleetTaskInfo, PacketLedger, SwitchFleet, TaskEpoch,

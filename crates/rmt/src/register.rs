@@ -21,6 +21,36 @@ pub struct Register {
     /// capture reads this so periodic snapshots copy only the SRAM that
     /// actually changed.
     dirty: Option<(usize, usize)>,
+    /// Half-open hull of buckets written since they last held zero —
+    /// the epoch-elision watermark. Unlike `dirty`, checkpoint barriers
+    /// do *not* retire it ([`Register::clear_dirty`] leaves it alone);
+    /// only zeroing the span does ([`Register::clear_range`], a bank
+    /// swap). The invariant readout elision relies on: every bucket
+    /// outside this hull holds zero.
+    touched: Option<(usize, usize)>,
+    /// Epoch shadow bank, `None` until the first
+    /// [`Register::swap_epoch_bank`]. Between a swap and the matching
+    /// [`Register::retire_shadow`] it holds the archived epoch's
+    /// buckets; otherwise it is all-zero and ready to become the next
+    /// live bank in O(1).
+    shadow: Option<ShadowBank>,
+}
+
+/// The spare bucket bank a double-buffered epoch rotation swaps in.
+#[derive(Debug, Clone)]
+struct ShadowBank {
+    buckets: Vec<u32>,
+    /// True while the bank holds an archived (not yet retired) epoch.
+    holding: bool,
+}
+
+/// Union of a watermark hull with `[start, end)` (callers ensure
+/// `start < end`).
+fn extend(hull: Option<(usize, usize)>, start: usize, end: usize) -> (usize, usize) {
+    match hull {
+        Some((lo, hi)) => (lo.min(start), hi.max(end)),
+        None => (start, end),
+    }
 }
 
 impl Register {
@@ -39,6 +69,8 @@ impl Register {
             width_bits,
             buckets: vec![0; buckets],
             dirty: None,
+            touched: None,
+            shadow: None,
         }
     }
 
@@ -54,10 +86,37 @@ impl Register {
         if start >= end {
             return;
         }
-        self.dirty = Some(match self.dirty {
-            Some((lo, hi)) => (lo.min(start), hi.max(end)),
-            None => (start, end),
-        });
+        self.dirty = Some(extend(self.dirty, start, end));
+        self.touched = Some(extend(self.touched, start, end));
+    }
+
+    /// Extends only the checkpoint watermark — a zeroing reset must
+    /// reach the next delta snapshot, but it makes buckets *less*
+    /// touched, not more (see [`Register::clear_range`]).
+    fn extend_dirty(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        self.dirty = Some(extend(self.dirty, start, end));
+    }
+
+    /// Subtracts `[start, end)` from the touched hull. A hull is an
+    /// interval, so only clears that reach an edge can shrink it; an
+    /// interior clear leaves the hull as a conservative over-cover —
+    /// elision may then scan some zero buckets, but never skips a
+    /// nonzero one.
+    fn retire_touched(&mut self, start: usize, end: usize) {
+        if let Some((lo, hi)) = self.touched {
+            self.touched = if start <= lo && end >= hi {
+                None
+            } else if start <= lo {
+                Some((end.max(lo), hi))
+            } else if end >= hi {
+                Some((lo, start.min(hi)))
+            } else {
+                Some((lo, hi))
+            };
+        }
     }
 
     /// The half-open bucket range written since the last
@@ -69,9 +128,112 @@ impl Register {
     }
 
     /// Resets dirty tracking — the snapshot barrier a checkpoint capture
-    /// places after copying the dirty range.
+    /// places after copying the dirty range. The touched hull is *not*
+    /// reset: a checkpoint copies data, it does not zero it.
     pub fn clear_dirty(&mut self) {
         self.dirty = None;
+    }
+
+    /// The half-open hull of buckets that may hold nonzero values:
+    /// written since they last held zero. `None` means the whole
+    /// register is zero — the epoch-rotation/readout elision check.
+    /// Checkpoint barriers do not retire this watermark (unlike
+    /// [`Register::dirty_range`]); zeroing resets and bank swaps do.
+    pub fn touched_range(&self) -> Option<(usize, usize)> {
+        self.touched
+    }
+
+    /// True when `[start, end)` cannot hold a nonzero bucket — it lies
+    /// entirely outside the touched hull, so a readout may substitute
+    /// zeros without looking at SRAM.
+    pub fn is_untouched(&self, start: usize, end: usize) -> bool {
+        match self.touched {
+            None => true,
+            Some((lo, hi)) => end <= lo || start >= hi,
+        }
+    }
+
+    /// Double-buffered epoch reset: swaps the live bucket bank with the
+    /// zeroed shadow bank in O(1), leaving the epoch's data readable
+    /// through [`Register::archived_range`] until
+    /// [`Register::retire_shadow`] re-zeroes it. After the swap the
+    /// live bank is all-zero, so the touched hull drops to `None`.
+    ///
+    /// The checkpoint watermark is *not* extended here: the register
+    /// does not know which sub-ranges were task partitions. The control
+    /// plane marks each retired partition via
+    /// [`Register::mark_epoch_cleared`] so delta checkpoints ship the
+    /// zeroed ranges, exactly as a [`Register::clear_range`] sweep
+    /// would have.
+    ///
+    /// The first call allocates the shadow bank; a bank still holding
+    /// an unretired archive (an aborted rotation) is re-zeroed first,
+    /// so stale epochs can never leak into the live bank.
+    pub fn swap_epoch_bank(&mut self) {
+        let bank = self.shadow.get_or_insert_with(|| ShadowBank {
+            buckets: vec![0; self.buckets.len()],
+            holding: false,
+        });
+        if bank.holding {
+            bank.buckets.fill(0);
+        }
+        std::mem::swap(&mut self.buckets, &mut bank.buckets);
+        bank.holding = true;
+        self.touched = None;
+    }
+
+    /// Records that `[start, end)` was reset to zero by a bank swap:
+    /// extends the checkpoint watermark (the zeros must reach the next
+    /// delta) and retires the span from the touched hull. Bucket data
+    /// is not inspected — the caller asserts the span is zero, which
+    /// [`Register::swap_epoch_bank`] guarantees for the whole bank.
+    pub fn mark_epoch_cleared(&mut self, start: usize, end: usize) -> Result<(), RmtError> {
+        if end > self.buckets.len() || start > end {
+            return Err(RmtError::IndexOutOfRange {
+                what: "bucket range end",
+                index: end,
+                limit: self.buckets.len(),
+            });
+        }
+        self.extend_dirty(start, end);
+        self.retire_touched(start, end);
+        Ok(())
+    }
+
+    /// The archived epoch's `[start, end)`, if the shadow bank holds an
+    /// unretired archive. `Ok(None)` means no archive — either no swap
+    /// happened or it was retired — and the caller should treat the
+    /// span as all-zero.
+    pub fn archived_range(&self, start: usize, end: usize) -> Result<Option<&[u32]>, RmtError> {
+        if end > self.buckets.len() || start > end {
+            return Err(RmtError::IndexOutOfRange {
+                what: "bucket range end",
+                index: end,
+                limit: self.buckets.len(),
+            });
+        }
+        Ok(self
+            .shadow
+            .as_ref()
+            .filter(|b| b.holding)
+            .map(|b| &b.buckets[start..end]))
+    }
+
+    /// Whether the shadow bank holds an unretired archived epoch.
+    pub fn has_archive(&self) -> bool {
+        self.shadow.as_ref().is_some_and(|b| b.holding)
+    }
+
+    /// Re-zeroes the shadow bank after the archived epoch has been
+    /// merged — the O(memory) part of a rotation, paid off the
+    /// ingestion-stall path. No-op when nothing is archived.
+    pub fn retire_shadow(&mut self) {
+        if let Some(bank) = self.shadow.as_mut() {
+            if bank.holding {
+                bank.buckets.fill(0);
+                bank.holding = false;
+            }
+        }
     }
 
     /// Bucket bit width.
@@ -141,7 +303,10 @@ impl Register {
             });
         }
         self.buckets[start..end].fill(0);
-        self.mark_dirty(start, end);
+        // The zeros must reach the next delta checkpoint, but the span
+        // is now *less* touched: retire it from the elision hull.
+        self.extend_dirty(start, end);
+        self.retire_touched(start, end);
         Ok(())
     }
 
@@ -259,6 +424,91 @@ mod tests {
         r.clear_dirty();
         assert!(r.write(99, 1).is_err());
         assert_eq!(r.dirty_range(), None);
+    }
+
+    #[test]
+    fn touched_hull_survives_checkpoint_barriers() {
+        let mut r = Register::new(64, 16);
+        assert!(r.is_untouched(0, 64), "fresh register is all-zero");
+        r.write(10, 5).unwrap();
+        r.write(20, 5).unwrap();
+        assert_eq!(r.touched_range(), Some((10, 21)));
+        // A checkpoint barrier clears the delta watermark only.
+        r.clear_dirty();
+        assert_eq!(r.dirty_range(), None);
+        assert_eq!(r.touched_range(), Some((10, 21)), "data is still there");
+        assert!(r.is_untouched(0, 10) && r.is_untouched(21, 64));
+        assert!(!r.is_untouched(15, 30));
+        // Zeroing the span retires it.
+        r.clear_range(10, 21).unwrap();
+        assert_eq!(r.touched_range(), None);
+        assert_eq!(r.dirty_range(), Some((10, 21)), "zeros reach the delta");
+    }
+
+    #[test]
+    fn touched_hull_retires_conservatively() {
+        let mut r = Register::new(64, 16);
+        r.write(10, 1).unwrap();
+        r.write(40, 1).unwrap();
+        // Edge clear trims the hull.
+        r.clear_range(0, 20).unwrap();
+        assert_eq!(r.touched_range(), Some((20, 41)));
+        r.clear_range(41, 64).unwrap();
+        assert_eq!(r.touched_range(), Some((20, 41)));
+        // Interior clear keeps the hull (conservative over-cover).
+        r.clear_range(25, 30).unwrap();
+        assert_eq!(r.touched_range(), Some((20, 41)));
+    }
+
+    #[test]
+    fn bank_swap_archives_and_zeroes() {
+        let mut r = Register::new(8, 16);
+        for i in 0..8 {
+            r.write(i, (i as u32) + 1).unwrap();
+        }
+        assert!(!r.has_archive());
+        r.swap_epoch_bank();
+        // Live bank is zero, archive holds the epoch.
+        assert_eq!(r.read_range(0, 8).unwrap(), &[0; 8]);
+        assert_eq!(r.touched_range(), None);
+        assert_eq!(
+            r.archived_range(0, 8).unwrap().unwrap(),
+            &[1, 2, 3, 4, 5, 6, 7, 8]
+        );
+        r.mark_epoch_cleared(0, 8).unwrap();
+        assert_eq!(r.dirty_range(), Some((0, 8)), "reset reaches the delta");
+        r.retire_shadow();
+        assert!(!r.has_archive());
+        assert_eq!(r.archived_range(0, 8).unwrap(), None);
+        // New traffic lands in the fresh bank.
+        r.write(2, 9).unwrap();
+        assert_eq!(r.touched_range(), Some((2, 3)));
+    }
+
+    #[test]
+    fn unretired_archive_never_leaks_into_live_bank() {
+        let mut r = Register::new(4, 16);
+        r.write(0, 11).unwrap();
+        r.swap_epoch_bank();
+        // Rotation aborted: the archive is never retired. The next
+        // epoch's traffic and swap must not resurrect bucket values.
+        r.write(1, 22).unwrap();
+        r.swap_epoch_bank();
+        assert_eq!(r.read_range(0, 4).unwrap(), &[0; 4], "live is clean");
+        assert_eq!(
+            r.archived_range(0, 4).unwrap().unwrap(),
+            &[0, 22, 0, 0],
+            "archive holds only the epoch just rotated, not the aborted one"
+        );
+    }
+
+    #[test]
+    fn archived_range_checks_bounds() {
+        let mut r = Register::new(4, 16);
+        assert!(r.archived_range(0, 5).is_err());
+        assert!(r.mark_epoch_cleared(3, 2).is_err());
+        r.swap_epoch_bank();
+        assert!(r.archived_range(2, 1).is_err());
     }
 
     #[test]

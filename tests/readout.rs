@@ -1,0 +1,373 @@
+//! The O(dirty) readout plane, end to end.
+//!
+//! Four claims are pinned here:
+//!
+//! 1. the vectorized merge kernels ([`MergeLaw::combine_rows`]) are
+//!    bit-identical to the per-element law across laws, cap boundaries
+//!    and ragged row lengths (the 8-lane chunking must not change a
+//!    single bucket);
+//! 2. dirty-row elision is invisible: a member row skipped because its
+//!    epoch watermark proves it untouched contributes exactly what
+//!    merging its zeros would have;
+//! 3. the double-buffered rotation (bank swap + post-stall merge)
+//!    returns epochs bit-identical to the scalar merge of the live
+//!    registers taken just before the rotation, and survives a
+//!    20-seed fault soak with the packet ledger conserved;
+//! 4. the fused merge+stats signals (occupancy, heavy candidates)
+//!    equal what a separate scan of the merged rows would report, and
+//!    a standby promotion after bank rotations recovers registers
+//!    bit-identical to an unfailed twin at the sync barrier.
+
+use flymon::prelude::*;
+use flymon_netsim::{scan_row, MergeLaw, RowOccupancy, SwitchFleet};
+use flymon_packet::{KeySpec, Packet};
+use flymon_traffic::gen::{TraceConfig, TraceGenerator};
+
+fn config() -> FlyMonConfig {
+    FlyMonConfig {
+        groups: 2,
+        buckets_per_cmu: 16384,
+        ..FlyMonConfig::default()
+    }
+}
+
+fn cms_def(d: usize) -> TaskDefinition {
+    TaskDefinition::builder("freq")
+        .key(KeySpec::SRC_IP)
+        .attribute(Attribute::frequency_packets())
+        .algorithm(Algorithm::Cms { d })
+        .memory(8192)
+        .build()
+}
+
+fn trace(seed: u64, packets: u64) -> Vec<Packet> {
+    TraceGenerator::new(seed).wide_like(&TraceConfig {
+        flows: 2_000,
+        packets,
+        zipf_alpha: 1.1,
+        duration_ns: 1_000_000_000,
+        seed,
+    })
+}
+
+/// The scalar pre-PR merge: per-element law application over every
+/// alive member's live rows — the reference every vectorized/elided/
+/// double-buffered path must reproduce bit for bit.
+fn scalar_merged_rows(fleet: &SwitchFleet) -> Vec<Vec<u32>> {
+    let law = {
+        let (fm, h) = first_alive(fleet);
+        MergeLaw::of(fm.task(h).unwrap().algorithm).unwrap()
+    };
+    let mut merged: Vec<Vec<u32>> = Vec::new();
+    let mut caps: Vec<u32> = Vec::new();
+    for i in 0..fleet.len() {
+        if !fleet.is_alive(i) {
+            continue;
+        }
+        let (fm, h) = fleet.switch(i);
+        let Some(h) = h else { continue };
+        if merged.is_empty() {
+            caps = fm.task(h).unwrap().rows.iter().map(|r| r.bucket_max).collect();
+        }
+        for (row, &bucket_max) in caps.iter().enumerate() {
+            let cap = match law {
+                MergeLaw::Sum => bucket_max,
+                MergeLaw::Max | MergeLaw::Or => u32::MAX,
+            };
+            let vals = fm.read_row(h, row).unwrap();
+            if merged.len() <= row {
+                merged.push(vals);
+            } else {
+                for (a, v) in merged[row].iter_mut().zip(vals) {
+                    *a = law.combine(*a, v, cap);
+                }
+            }
+        }
+    }
+    merged
+}
+
+fn first_alive(fleet: &SwitchFleet) -> (&FlyMon, TaskHandle) {
+    (0..fleet.len())
+        .filter(|&i| fleet.is_alive(i))
+        .find_map(|i| {
+            let (fm, h) = fleet.switch(i);
+            h.map(|h| (fm, h))
+        })
+        .expect("an alive member")
+}
+
+/// Occupancy of `row` counted the obvious way.
+fn naive_occupancy(row: &[u32], cap: u32) -> RowOccupancy {
+    RowOccupancy {
+        nonzero: row.iter().filter(|&&v| v > 0).count(),
+        saturated: row.iter().filter(|&&v| v >= cap).count(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Vectorized merge kernels vs the per-element law.
+// ---------------------------------------------------------------------
+
+#[test]
+fn combine_rows_bit_identical_across_laws_caps_and_ragged_tails() {
+    // Deterministic value mix: zeros, small counts, near-cap, at-cap,
+    // and full-width patterns, so clamping and saturation boundaries
+    // are all exercised.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for law in [MergeLaw::Sum, MergeLaw::Max, MergeLaw::Or] {
+        for cap in [255u32, 65_535, u32::MAX] {
+            // 1..=17 spans sub-lane, exact-lane and ragged-tail lengths
+            // around the 8-lane chunk width.
+            for len in 1usize..=17 {
+                let pick = |r: u64| match r % 5 {
+                    0 => 0u32,
+                    1 => (r % 7) as u32,
+                    2 => cap.saturating_sub((r % 3) as u32),
+                    3 => cap,
+                    _ => (r & 0xffff_ffff) as u32 % cap.max(1),
+                };
+                let acc0: Vec<u32> = (0..len).map(|_| pick(next())).collect();
+                let src: Vec<u32> = (0..len).map(|_| pick(next())).collect();
+                let expected: Vec<u32> = acc0
+                    .iter()
+                    .zip(&src)
+                    .map(|(&a, &b)| law.combine(a, b, cap))
+                    .collect();
+                let mut acc = acc0.clone();
+                law.combine_rows(&mut acc, &src, cap);
+                assert_eq!(
+                    acc, expected,
+                    "{law:?} cap={cap} len={len}: kernel diverged from scalar law"
+                );
+                // The fused variant merges identically and reports the
+                // same occupancy a separate scan would.
+                let mut acc2 = acc0.clone();
+                let occ = law.combine_rows_scan(&mut acc2, &src, cap, cap);
+                assert_eq!(acc2, expected);
+                assert_eq!(occ, naive_occupancy(&expected, cap));
+                assert_eq!(scan_row(&expected, cap), naive_occupancy(&expected, cap));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Dirty-row elision: skipped rows behave like merged zeros.
+// ---------------------------------------------------------------------
+
+#[test]
+fn untouched_members_elide_without_changing_the_merge() {
+    // A single flow shards to exactly one switch, leaving the other
+    // two provably untouched — the elision case.
+    let mut fleet = SwitchFleet::deploy(3, config(), &cms_def(2)).unwrap();
+    let one_flow: Vec<Packet> = vec![Packet::tcp(0x0a00_0001, 2, 3, 4); 500];
+    fleet.process_trace(&one_flow);
+
+    let untouched: usize = (0..3)
+        .filter(|&i| {
+            let (fm, h) = fleet.switch(i);
+            let h = h.unwrap();
+            (0..2).all(|row| fm.row_untouched(h, row).unwrap())
+        })
+        .count();
+    assert_eq!(untouched, 2, "one flow must land on exactly one switch");
+
+    // The rotation (which elides the untouched members) must equal the
+    // scalar merge over *all* members, zeros included.
+    let expected = scalar_merged_rows(&fleet);
+    assert!(expected.iter().flatten().any(|&v| v > 0));
+    let epoch = fleet.rotate_epoch_all().unwrap();
+    assert_eq!(epoch.tasks[0].rows, expected);
+
+    // After the rotation everything is untouched; a second (fully
+    // elided) rotation must return the same shape, all zero, with
+    // empty fused stats.
+    let idle = fleet.rotate_epoch_all().unwrap();
+    assert_eq!(idle.tasks[0].rows.len(), expected.len());
+    for (row, exp) in idle.tasks[0].rows.iter().zip(&expected) {
+        assert_eq!(row.len(), exp.len());
+        assert!(row.iter().all(|&v| v == 0), "idle epoch must be all-zero");
+    }
+    assert!(idle.tasks[0].heavy_candidates.is_empty());
+    assert!(idle.tasks[0]
+        .occupancy
+        .iter()
+        .all(|o| o.nonzero == 0 && o.saturated == 0));
+}
+
+// ---------------------------------------------------------------------
+// 3. Double-buffered rotation vs the scalar path, and fused stats.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bank_rotation_epoch_is_bit_identical_to_scalar_merge() {
+    for def in [
+        cms_def(2),
+        TaskDefinition::builder("card")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Distinct(KeySpec::FIVE_TUPLE))
+            .algorithm(Algorithm::Hll)
+            .memory(2048)
+            .build(),
+        TaskDefinition::builder("seen")
+            .key(KeySpec::NONE)
+            .attribute(Attribute::Existence(KeySpec::FIVE_TUPLE))
+            .memory(8192)
+            .build(),
+    ] {
+        let mut fleet = SwitchFleet::deploy(3, config(), &def).unwrap();
+        fleet.process_trace(&trace(0xD1CE, 20_000));
+        let expected = scalar_merged_rows(&fleet);
+        let epoch = fleet.rotate_epoch_all().unwrap();
+        let te = &epoch.tasks[0];
+        assert_eq!(te.rows, expected, "{}: bank path diverged", def.name);
+
+        // Fused stats must equal a separate scan of the merged rows.
+        assert_eq!(te.occupancy.len(), te.rows.len());
+        for ((row, &cap), occ) in te.rows.iter().zip(&te.row_caps).zip(&te.occupancy) {
+            assert_eq!(*occ, naive_occupancy(row, cap));
+        }
+        let nonzero0: Vec<u32> = te.rows[0]
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(te.heavy_candidates, nonzero0);
+    }
+}
+
+#[test]
+fn scratch_readout_through_shared_scratch_matches_scalar_merge() {
+    let mut fleet = SwitchFleet::deploy(3, config(), &cms_def(2)).unwrap();
+    fleet.process_trace(&trace(0xFEED, 15_000));
+    let expected = scalar_merged_rows(&fleet);
+    let mut scratch = ReadoutScratch::default();
+    for (row, exp) in expected.iter().enumerate() {
+        let occ = fleet.merged_task_row_into(0, row, &mut scratch).unwrap();
+        assert_eq!(&scratch.acc, exp, "row {row} diverged through the scratch");
+        let cap = {
+            let (fm, h) = first_alive(&fleet);
+            fm.task(h).unwrap().rows[row].bucket_max
+        };
+        assert_eq!(occ, naive_occupancy(exp, cap));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Rotation under chaos, and promotion across bank rotations.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bank_rotation_survives_twenty_seed_fault_soak() {
+    let mut rotations = 0u64;
+    let mut kills = 0u64;
+    let mut settles = 0u64;
+    for seed in 1..=20u64 {
+        let mut fleet = SwitchFleet::deploy(3, config(), &cms_def(2)).unwrap();
+        fleet.enable_standby();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..30 {
+            match next() % 8 {
+                0..=2 => {
+                    fleet.process_trace(&trace(seed * 100 + step, 400));
+                }
+                3 | 4 => {
+                    // Every rotation is checked against the scalar
+                    // merge of the live registers taken just before.
+                    let expected = scalar_merged_rows(&fleet);
+                    let epoch = fleet.rotate_epoch_all().unwrap();
+                    assert_eq!(
+                        epoch.tasks[0].rows, expected,
+                        "seed {seed} step {step}: rotation diverged"
+                    );
+                    rotations += 1;
+                }
+                5 => {
+                    fleet.sync_standby();
+                }
+                6 => {
+                    if fleet.alive_count() > 1 {
+                        let dead = (next() % 3) as usize;
+                        if fleet.is_alive(dead) {
+                            fleet.fail_switch(dead);
+                            kills += 1;
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(dead) = (0..3).find(|&i| !fleet.is_alive(i)) {
+                        if next().is_multiple_of(2) {
+                            fleet.promote_standby(dead).unwrap();
+                        } else {
+                            fleet.revive_switch(dead).unwrap();
+                        }
+                        settles += 1;
+                    }
+                }
+            }
+            assert!(
+                fleet.ledger().balanced(),
+                "seed {seed} step {step}: ledger unbalanced: {:?}",
+                fleet.ledger()
+            );
+        }
+    }
+    assert!(rotations >= 40, "only {rotations} rotations across 20 seeds");
+    assert!(kills > 0, "the soak never killed a switch");
+    assert!(settles > 0, "the soak never promoted or revived");
+}
+
+#[test]
+fn promotion_after_bank_rotation_matches_unfailed_twin_at_barrier() {
+    // The delta checkpoint after a bank swap must ship the swapped
+    // ranges as zeros (the swap never ran the clear_range sweep the
+    // dirty watermark would have seen) — otherwise the promoted switch
+    // resurrects pre-rotation counts.
+    let def = cms_def(2);
+    let t1 = trace(0xA11CE, 20_000);
+    let t2 = trace(0xB0B, 8_000);
+
+    let mut fleet = SwitchFleet::deploy(1, config(), &def).unwrap();
+    let mut twin = SwitchFleet::deploy(1, config(), &def).unwrap();
+    fleet.process_trace(&t1);
+    twin.process_trace(&t1);
+    fleet.enable_standby();
+
+    let a = fleet.rotate_epoch_all().unwrap();
+    let b = twin.rotate_epoch_all().unwrap();
+    assert_eq!(a.tasks[0].rows, b.tasks[0].rows);
+
+    fleet.process_trace(&t2);
+    twin.process_trace(&t2);
+    // Sync barrier after the rotation: the delta must carry both the
+    // rotation's zeros and t2's writes.
+    fleet.sync_standby();
+    fleet.fail_switch(0);
+    fleet.promote_standby(0).unwrap();
+    assert!(fleet.ledger().balanced(), "{:?}", fleet.ledger());
+
+    let (promoted, ph) = fleet.switch(0);
+    let (reference, rh) = twin.switch(0);
+    let (ph, rh) = (ph.unwrap(), rh.unwrap());
+    for row in 0..2 {
+        assert_eq!(
+            promoted.read_row(ph, row).unwrap(),
+            reference.read_row(rh, row).unwrap(),
+            "row {row}: promoted switch diverged from the unfailed twin"
+        );
+    }
+}
